@@ -1,0 +1,43 @@
+// Figure 1: clustering two adjacent states saves one TCAM entry. We build
+// the 3-state toy parser directly as TCAM rows and show the entry count
+// before and after the post-synthesis clustering pass (§5.3) — and that
+// behavior is unchanged.
+#include <cstdio>
+
+#include "postopt/postopt.h"
+#include "sim/interp.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+using namespace parserhawk;
+
+int main() {
+  std::printf("=== Figure 1: state clustering saves TCAM entries ===\n\n");
+
+  // S0 --default--> S1 --default--> S2, each extracting one header.
+  TcamProgram flat;
+  flat.fields = {Field{"h0", 16, false}, Field{"h1", 16, false}, Field{"h2", 16, false}};
+  flat.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  flat.entries.push_back(TcamEntry{0, 1, 0, 0, 0, {ExtractOp{1, -1, 0, 0}}, 0, 2});
+  flat.entries.push_back(TcamEntry{0, 2, 0, 0, 0, {ExtractOp{2, -1, 0, 0}}, 0, kAccept});
+
+  TcamProgram clustered = inline_terminal_extracts(flat, tofino());
+
+  TextTable table({"Layout", "#TCAM entries"});
+  table.add_row({"(a) one state per header", std::to_string(flat.entries.size())});
+  table.add_row({"(b) clustered", std::to_string(clustered.entries.size())});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Behavior check over random packets.
+  Rng rng(5);
+  int agree = 0;
+  const int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    BitVec input = BitVec::random(rng.range(0, 64), [&rng] { return rng(); });
+    if (equivalent(run_impl(flat, input), run_impl(clustered, input))) ++agree;
+  }
+  std::printf("Behavior preserved on %d/%d random packets; saved %zu entries (paper: 1 per "
+              "merged transition).\n",
+              agree, samples, flat.entries.size() - clustered.entries.size());
+  return clustered.entries.size() < flat.entries.size() && agree == samples ? 0 : 1;
+}

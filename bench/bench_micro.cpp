@@ -1,0 +1,94 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the pieces
+// every experiment leans on — BitVec manipulation, the spec/TCAM
+// interpreters, path-directed input generation and the program analyzer.
+// Not a paper table; used to keep the simulators fast enough that the
+// differential tester's sample counts stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analysis.h"
+#include "baseline/baseline.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "suite/suite.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace parserhawk;
+
+void BM_BitVecSlice(benchmark::State& state) {
+  Rng rng(1);
+  BitVec v = BitVec::random(512, [&rng] { return rng(); });
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.slice((i = (i + 7) % 448), 64).to_u64());
+  }
+}
+BENCHMARK(BM_BitVecSlice);
+
+void BM_BitVecAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    BitVec v;
+    for (int i = 0; i < 16; ++i) v.append_u64(0xA5A5, 16);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_BitVecAppend);
+
+void BM_SpecInterpreterEthernet(benchmark::State& state) {
+  ParserSpec spec = suite::parse_ethernet();
+  BitVec pkt;
+  pkt.append_u64(0xAAAABBBBCCCCull, 48);
+  pkt.append_u64(0x111122223333ull, 48);
+  pkt.append_u64(0x0800, 16);
+  pkt.append_u64(0xDEADBEEF, 32);
+  for (auto _ : state) benchmark::DoNotOptimize(run_spec(spec, pkt));
+}
+BENCHMARK(BM_SpecInterpreterEthernet);
+
+void BM_ImplInterpreterEthernet(benchmark::State& state) {
+  ParserSpec spec = suite::parse_ethernet();
+  CompileResult r = baseline::compile_tofino_proxy(spec, tofino());
+  BitVec pkt;
+  pkt.append_u64(0xAAAABBBBCCCCull, 48);
+  pkt.append_u64(0x111122223333ull, 48);
+  pkt.append_u64(0x0800, 16);
+  pkt.append_u64(0xDEADBEEF, 32);
+  for (auto _ : state) benchmark::DoNotOptimize(run_impl(r.program, pkt));
+}
+BENCHMARK(BM_ImplInterpreterEthernet);
+
+void BM_SpecInterpreterMplsLoop(benchmark::State& state) {
+  ParserSpec spec = suite::parse_mpls();
+  BitVec pkt;
+  pkt.append_u64(0x8847, 16);
+  for (int i = 0; i < 7; ++i) pkt.append_u64(0x00123040, 32);
+  pkt.append_u64(0x00123140, 32);
+  pkt.append_u64(0xCAFEBABE, 32);
+  for (auto _ : state) benchmark::DoNotOptimize(run_spec(spec, pkt, 16));
+}
+BENCHMARK(BM_SpecInterpreterMplsLoop);
+
+void BM_PathDirectedInputGen(benchmark::State& state) {
+  ParserSpec spec = suite::sai_v2();
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(generate_path_input(spec, rng, 16, 0));
+}
+BENCHMARK(BM_PathDirectedInputGen);
+
+void BM_AnalyzeSaiV2(benchmark::State& state) {
+  ParserSpec spec = suite::sai_v2();
+  for (auto _ : state) benchmark::DoNotOptimize(analyze(spec, 8).max_input_bits);
+}
+BENCHMARK(BM_AnalyzeSaiV2);
+
+void BM_GreedyMerge(benchmark::State& state) {
+  std::vector<Rule> rules;
+  for (int v = 0; v < 32; ++v) rules.push_back(Rule{static_cast<std::uint64_t>(v), 0x3F, 1});
+  for (auto _ : state) benchmark::DoNotOptimize(baseline::greedy_merge_rules(rules, 6).size());
+}
+BENCHMARK(BM_GreedyMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table 5: ablation of Opt4 (constant synthesis) and Opt5 (key-bit
+// grouping). Columns: all other optimizations on but Opt4+Opt5 off
+// ("Other OPT"), Opt5 added, then Opt4+Opt5 added — per target.
+//
+// Shape to check: each added optimization reduces compile time
+// (Other OPT >= +OPT5 >= +OPT4,5).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "suite/suite.h"
+#include "support/table.h"
+
+using namespace parserhawk;
+using namespace parserhawk::bench;
+
+namespace {
+
+double timed_compile(const ParserSpec& spec, const HwProfile& hw, bool opt4, bool opt5,
+                     bool* ok) {
+  SynthOptions opts;
+  opts.opt4_constant_synthesis = opt4;
+  opts.opt5_key_grouping = opt5;
+  opts.timeout_sec = opt_timeout_sec();
+  CompileResult r = compile(spec, hw, opts);
+  *ok = r.ok();
+  return r.ok() ? r.stats.seconds : opt_timeout_sec();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 5: speedup from Opt4/Opt5 (ablation) ===\n\n");
+  struct Program {
+    std::string name;
+    ParserSpec spec;
+  };
+  std::vector<Program> programs = {
+      {"Sai V1", suite::sai_v1()},
+      {"Dash V1", suite::dash_v2()},
+      {"Large tran key", suite::large_tran_key()},
+  };
+
+  TextTable table({"Program Name", "Tofino Other OPT (s)", "Tofino +OPT5 (s)",
+                   "Tofino +OPT4,5 (s)", "IPU Other OPT (s)", "IPU +OPT5 (s)",
+                   "IPU +OPT4,5 (s)"});
+  bool monotone = true;
+  for (const auto& p : programs) {
+    std::vector<std::string> cells{p.name};
+    for (const HwProfile& hw : {tofino(), ipu()}) {
+      bool ok = true;
+      double other = timed_compile(p.spec, hw, /*opt4=*/false, /*opt5=*/false, &ok);
+      double plus5 = timed_compile(p.spec, hw, /*opt4=*/false, /*opt5=*/true, &ok);
+      double plus45 = timed_compile(p.spec, hw, /*opt4=*/true, /*opt5=*/true, &ok);
+      // Allow small noise; the trend must hold within 20%.
+      if (plus45 > other * 1.2) monotone = false;
+      cells.push_back(fmt_double(other, 2));
+      cells.push_back(fmt_double(plus5, 2));
+      cells.push_back(fmt_double(plus45, 2));
+    }
+    table.add_row(cells);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Fully-optimized no slower than un-ablated: %s\n", monotone ? "yes" : "NO");
+  return 0;
+}

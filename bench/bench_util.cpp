@@ -1,0 +1,171 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+#include "rewrite/rewrite.h"
+#include "suite/suite.h"
+#include "support/rng.h"
+#include "synth/normalize.h"
+
+namespace parserhawk::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return end != v && parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+double orig_timeout_sec() { return env_double("PH_ORIG_TIMEOUT_SEC", 8.0); }
+double opt_timeout_sec() { return env_double("PH_OPT_TIMEOUT_SEC", 60.0); }
+bool skip_orig() { return std::getenv("PH_SKIP_ORIG") != nullptr; }
+
+std::vector<RowFamily> table3_families() {
+  using namespace parserhawk::suite;
+  Rng rng(0xbe7c4);
+  std::vector<RowFamily> out;
+
+  auto base = [](const ParserSpec& s) { return Variant{"", s}; };
+
+  {
+    ParserSpec s = parse_ethernet();
+    out.push_back(RowFamily{"Parse Ethernet",
+                            false,
+                            {base(s),
+                             {"+ R1", rewrite::add_redundant_entries(s, rng, 3)},
+                             {"- R3", rewrite::merge_entries(s)},
+                             {"+ R2", rewrite::add_unreachable_entries(s, rng, 2)}}});
+  }
+  {
+    ParserSpec s = parse_icmp();
+    out.push_back(RowFamily{"Parse icmp",
+                            false,
+                            {base(s),
+                             {"+ R5", rewrite::split_states(s, rng, 1)},
+                             {"- R3", rewrite::merge_entries(s)}}});
+  }
+  {
+    ParserSpec s = parse_mpls();
+    out.push_back(RowFamily{"Parse MPLS",
+                            true,
+                            {base(s),
+                             {"+ unroll loop", parse_mpls_unrolled(3)},
+                             {"- R1", prune_dead_rules(s)},
+                             {"+ R1", rewrite::add_redundant_entries(s, rng, 2)}}});
+  }
+  {
+    ParserSpec s = large_tran_key();
+    auto r4 = rewrite::split_transition_key(s, 0, 24);
+    ParserSpec split = r4 ? *r4 : s;
+    out.push_back(RowFamily{"Large tran key",
+                            false,
+                            {base(s),
+                             {"+ R4", split},
+                             {"+ R1 + R4", rewrite::add_redundant_entries(split, rng, 2)},
+                             {"+ R3 + R4", rewrite::split_entries(split, rng, 1)}}});
+  }
+  {
+    ParserSpec s = multi_key_same_field();
+    out.push_back(RowFamily{"Multi-key (same pkt field)",
+                            false,
+                            {base(s),
+                             {"- R5", merge_extract_chains(s)},
+                             {"- R5 - R3", rewrite::merge_entries(merge_extract_chains(s))}}});
+  }
+  {
+    ParserSpec s = multi_keys_diff_fields();
+    out.push_back(RowFamily{"Multi-keys (diff pkt fields)",
+                            false,
+                            {base(s),
+                             {"+ R5", rewrite::split_states(s, rng, 1)},
+                             {"- R5", merge_extract_chains(s)}}});
+  }
+  {
+    ParserSpec s = pure_extraction_states();
+    out.push_back(RowFamily{"Pure Extraction states",
+                            false,
+                            {base(s), {"+ state merging", merge_extract_chains(s)}}});
+  }
+  {
+    ParserSpec s = sai_v1();
+    out.push_back(RowFamily{
+        "Sai V1", false, {base(s), {"+ R2", rewrite::add_unreachable_entries(s, rng, 2)}}});
+  }
+  {
+    ParserSpec s = sai_v2();
+    out.push_back(RowFamily{"Sai V2",
+                            false,
+                            {base(s),
+                             {"+ R1 + R2",
+                              rewrite::add_unreachable_entries(
+                                  rewrite::add_redundant_entries(s, rng, 2), rng, 2)}}});
+  }
+  {
+    ParserSpec s = dash_v2();
+    out.push_back(RowFamily{"Dash V2",
+                            false,
+                            {base(s),
+                             {"+ R1 + R2",
+                              rewrite::add_unreachable_entries(
+                                  rewrite::add_redundant_entries(s, rng, 2), rng, 2)}}});
+  }
+  {
+    ParserSpec s = finance_origin();
+    out.push_back(RowFamily{
+        "Finance origin", false, {base(s), {"+ R1", rewrite::add_redundant_entries(s, rng, 2)}}});
+  }
+  {
+    ParserSpec s = ipv4_options();
+    out.push_back(RowFamily{"IPv4 options (varbit)", false, {base(s)}});
+  }
+  return out;
+}
+
+PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw) {
+  PhRun run;
+  SynthOptions opt;
+  opt.timeout_sec = opt_timeout_sec();
+  run.opt = compile(spec, hw, opt);
+
+  if (!skip_orig()) {
+    SynthOptions orig = SynthOptions::naive();
+    orig.timeout_sec = orig_timeout_sec();
+    run.orig = compile(spec, hw, orig);
+    run.orig_ran = true;
+    // Any unsuccessful Orig run exhausted its scaled budget without a
+    // result (the paper's ">86400" rows); report the bound, not a zero.
+    run.orig_timed_out = !run.orig.ok();
+    double orig_time = run.orig_timed_out ? orig_timeout_sec() : run.orig.stats.seconds;
+    if (run.opt.stats.seconds > 0) run.speedup = orig_time / run.opt.stats.seconds;
+  }
+  return run;
+}
+
+std::string failure_cell(const CompileResult& result) {
+  const std::string& r = result.reason;
+  if (r.find("wide-tran-key") != std::string::npos) return "Wide tran key";
+  if (r.find("parser-loop-rej") != std::string::npos || r.find("parser-loop") != std::string::npos)
+    return "Parser loop rej";
+  if (r.find("conflict-transition") != std::string::npos) return "Conflict transition";
+  if (r.find("too-many-stages") != std::string::npos) return "Too many stages";
+  if (r.find("entries") != std::string::npos || r.find("too-many-tcam") != std::string::npos ||
+      r.find("split-explosion") != std::string::npos)
+    return "Too many TCAM";
+  if (result.status == CompileStatus::Timeout) return "Timeout";
+  return to_string(result.status);
+}
+
+std::string tcam_cell(const CompileResult& result) {
+  return result.ok() ? std::to_string(result.usage.tcam_entries) : failure_cell(result);
+}
+
+std::string stages_cell(const CompileResult& result) {
+  return result.ok() ? std::to_string(result.usage.stages) : failure_cell(result);
+}
+
+}  // namespace parserhawk::bench

@@ -1,0 +1,64 @@
+// Shared machinery for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §3).
+//
+// Wall-clock scaling: the paper's 24-hour compilation timeout is scaled to
+// seconds on this machine. Knobs (environment variables):
+//   PH_ORIG_TIMEOUT_SEC  budget for "Orig" (all-optimizations-off) runs
+//                        (default 8; rows that hit it print ">8" like the
+//                        paper's ">86400" cells)
+//   PH_OPT_TIMEOUT_SEC   budget for OPT runs (default 60)
+//   PH_SKIP_ORIG=1       skip Orig columns entirely (quick mode)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "support/table.h"
+#include "synth/compiler.h"
+
+namespace parserhawk::bench {
+
+double orig_timeout_sec();
+double opt_timeout_sec();
+bool skip_orig();
+
+/// One named mutation of a base benchmark (the ±R rows of Table 3).
+struct Variant {
+  std::string label;  ///< "", "+ R1", "- R3", ...
+  ParserSpec spec;
+};
+
+/// A Table 3 row family: benchmark display name + its variants (first
+/// variant is always the unmutated base).
+struct RowFamily {
+  std::string name;
+  bool loopy = false;
+  std::vector<Variant> variants;
+};
+
+/// The Table 3 benchmark x rewrite matrix.
+std::vector<RowFamily> table3_families();
+
+/// ParserHawk OPT + Orig measurements for one spec/target.
+struct PhRun {
+  CompileResult opt;
+  CompileResult orig;
+  bool orig_ran = false;
+  bool orig_timed_out = false;
+  double speedup = 0;  ///< orig_time / opt_time (lower bound when timed out)
+};
+
+PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw);
+
+/// Map a failed CompileResult to the paper's red-cell vocabulary
+/// ("Wide tran key", "Parser loop rej", "Conflict transition",
+/// "Too many TCAM", "Too many stages", ...).
+std::string failure_cell(const CompileResult& result);
+
+/// "<n>" on success, failure text otherwise.
+std::string tcam_cell(const CompileResult& result);
+std::string stages_cell(const CompileResult& result);
+
+}  // namespace parserhawk::bench

@@ -1,0 +1,199 @@
+#include "analysis/analysis.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <functional>
+
+namespace parserhawk {
+
+namespace {
+
+/// Z3 expression for "rule matches key": (key ^ value) & mask == 0.
+z3::expr rule_matches(z3::context& ctx, const z3::expr& key, const Rule& rule, int kw) {
+  if (kw == 0) return ctx.bool_val(true);
+  z3::expr v = ctx.bv_val(static_cast<std::uint64_t>(rule.value), static_cast<unsigned>(kw));
+  z3::expr m = ctx.bv_val(static_cast<std::uint64_t>(rule.mask), static_cast<unsigned>(kw));
+  return ((key ^ v) & m) == ctx.bv_val(0, static_cast<unsigned>(kw));
+}
+
+/// Next-state as a function of key for a rule list, as a nested ITE.
+z3::expr next_of(z3::context& ctx, const z3::expr& key, const std::vector<Rule>& rules, int kw) {
+  z3::expr out = ctx.int_val(kReject);
+  for (auto it = rules.rbegin(); it != rules.rend(); ++it)
+    out = z3::ite(rule_matches(ctx, key, *it, kw), ctx.int_val(it->next), out);
+  return out;
+}
+
+}  // namespace
+
+bool rule_can_fire(const ParserSpec& spec, int state, int rule_idx) {
+  const State& st = spec.state(state);
+  int kw = st.key_width();
+  if (kw == 0) return rule_idx == 0;  // only the first rule of a keyless state fires
+
+  z3::context ctx;
+  z3::solver solver(ctx);
+  z3::expr key = ctx.bv_const("key", static_cast<unsigned>(kw));
+  solver.add(rule_matches(ctx, key, st.rules[static_cast<std::size_t>(rule_idx)], kw));
+  for (int i = 0; i < rule_idx; ++i)
+    solver.add(!rule_matches(ctx, key, st.rules[static_cast<std::size_t>(i)], kw));
+  return solver.check() == z3::sat;
+}
+
+bool rule_is_redundant(const ParserSpec& spec, int state, int rule_idx) {
+  const State& st = spec.state(state);
+  int kw = st.key_width();
+  if (kw == 0) return rule_idx != 0;
+
+  std::vector<Rule> without = st.rules;
+  without.erase(without.begin() + rule_idx);
+
+  z3::context ctx;
+  z3::solver solver(ctx);
+  z3::expr key = ctx.bv_const("key", static_cast<unsigned>(kw));
+  solver.add(next_of(ctx, key, st.rules, kw) != next_of(ctx, key, without, kw));
+  return solver.check() == z3::unsat;
+}
+
+std::set<std::uint64_t> subrange_constants(std::uint64_t value, int width, int key_limit) {
+  std::set<std::uint64_t> out;
+  if (width <= key_limit && width > 0) out.insert(value);
+  for (int lo = 0; lo < width; ++lo) {
+    for (int len = 1; len <= key_limit && lo + len <= width; ++len) {
+      // bits [lo, lo+len) in MSB-first order of a `width`-bit value
+      int shift = width - lo - len;
+      std::uint64_t sub =
+          (value >> shift) & (len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << len) - 1));
+      out.insert(sub);
+    }
+  }
+  return out;
+}
+
+int state_max_bits(const ParserSpec& spec, int state) {
+  const State& st = spec.state(state);
+  int bits = 0;
+  for (const auto& ex : st.extracts) bits += spec.fields[static_cast<std::size_t>(ex.field)].width;
+  int lookahead_reach = 0;
+  for (const auto& p : st.key)
+    if (p.kind == KeyPart::Kind::Lookahead) lookahead_reach = std::max(lookahead_reach, p.lo + p.len);
+  return std::max(bits, lookahead_reach);
+}
+
+SpecAnalysis analyze(const ParserSpec& spec, int max_iterations) {
+  SpecAnalysis a;
+  const int n = static_cast<int>(spec.states.size());
+  a.state_reachable.assign(static_cast<std::size_t>(n), false);
+
+  // Dead-rule detection first: reachability should only follow live rules.
+  for (int s = 0; s < n; ++s) {
+    const State& st = spec.states[static_cast<std::size_t>(s)];
+    for (int r = 0; r < static_cast<int>(st.rules.size()); ++r) {
+      if (!rule_can_fire(spec, s, r)) a.dead_rules.emplace_back(s, r);
+      if (!rule_can_fire(spec, s, r) || rule_is_redundant(spec, s, r))
+        a.redundant_rules.emplace_back(s, r);
+    }
+  }
+
+  // BFS over live edges.
+  std::vector<int> work{spec.start};
+  a.state_reachable[static_cast<std::size_t>(spec.start)] = true;
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    const State& st = spec.states[static_cast<std::size_t>(s)];
+    for (int r = 0; r < static_cast<int>(st.rules.size()); ++r) {
+      if (a.rule_is_dead(s, r)) continue;
+      int next = st.rules[static_cast<std::size_t>(r)].next;
+      if (is_real_state(next) && !a.state_reachable[static_cast<std::size_t>(next)]) {
+        a.state_reachable[static_cast<std::size_t>(next)] = true;
+        work.push_back(next);
+      }
+    }
+  }
+
+  // Cycle detection on the reachable live sub-graph (iterative DFS colors).
+  {
+    enum { White, Grey, Black };
+    std::vector<int> color(static_cast<std::size_t>(n), White);
+    std::function<bool(int)> dfs = [&](int s) -> bool {
+      color[static_cast<std::size_t>(s)] = Grey;
+      const State& st = spec.states[static_cast<std::size_t>(s)];
+      for (int r = 0; r < static_cast<int>(st.rules.size()); ++r) {
+        if (a.rule_is_dead(s, r)) continue;
+        int next = st.rules[static_cast<std::size_t>(r)].next;
+        if (!is_real_state(next)) continue;
+        if (color[static_cast<std::size_t>(next)] == Grey) return true;
+        if (color[static_cast<std::size_t>(next)] == White && dfs(next)) return true;
+      }
+      color[static_cast<std::size_t>(s)] = Black;
+      return false;
+    };
+    a.has_loop = a.state_reachable[static_cast<std::size_t>(spec.start)] && dfs(spec.start);
+  }
+
+  // Key-bit usage (Opt1) and irrelevant fields (Opt2).
+  a.key_usage.resize(spec.fields.size());
+  for (std::size_t f = 0; f < spec.fields.size(); ++f)
+    a.key_usage[f].bits.assign(static_cast<std::size_t>(spec.fields[f].width), false);
+  std::vector<bool> is_len_source(spec.fields.size(), false);
+  std::vector<bool> extracted(spec.fields.size(), false);
+  for (const auto& st : spec.states) {
+    for (const auto& p : st.key)
+      if (p.kind == KeyPart::Kind::FieldSlice)
+        for (int j = 0; j < p.len; ++j)
+          a.key_usage[static_cast<std::size_t>(p.field)].bits[static_cast<std::size_t>(p.lo + j)] = true;
+    for (const auto& ex : st.extracts) {
+      extracted[static_cast<std::size_t>(ex.field)] = true;
+      if (ex.len_field >= 0) is_len_source[static_cast<std::size_t>(ex.len_field)] = true;
+    }
+  }
+  a.irrelevant_field.assign(spec.fields.size(), false);
+  for (std::size_t f = 0; f < spec.fields.size(); ++f)
+    a.irrelevant_field[f] = extracted[f] && !a.key_usage[f].any() && !is_len_source[f];
+
+  // Constant pools (Opt4 raw material).
+  a.state_constants.resize(spec.states.size());
+  for (std::size_t s = 0; s < spec.states.size(); ++s) {
+    const State& st = spec.states[s];
+    int kw = st.key_width();
+    std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : kw == 0 ? 0 : ((std::uint64_t{1} << kw) - 1);
+    for (const auto& r : st.rules)
+      if (!r.is_default()) a.state_constants[s].insert(r.value & full);
+  }
+
+  // Input-length bound: DP over (iteration, state) of max cumulative bits.
+  {
+    std::vector<int> best(static_cast<std::size_t>(n), -1);
+    best[static_cast<std::size_t>(spec.start)] = 0;
+    int overall = state_max_bits(spec, spec.start);
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      std::vector<int> next_best(static_cast<std::size_t>(n), -1);
+      bool changed = false;
+      for (int s = 0; s < n; ++s) {
+        if (best[static_cast<std::size_t>(s)] < 0) continue;
+        int after = best[static_cast<std::size_t>(s)] + state_max_bits(spec, s);
+        overall = std::max(overall, after);
+        for (const auto& r : spec.states[static_cast<std::size_t>(s)].rules) {
+          if (!is_real_state(r.next)) continue;
+          int& slot = next_best[static_cast<std::size_t>(r.next)];
+          if (after > slot) {
+            slot = after;
+            changed = true;
+          }
+        }
+      }
+      // Carry forward the best-so-far for states reachable at multiple depths.
+      for (int s = 0; s < n; ++s)
+        best[static_cast<std::size_t>(s)] = std::max(best[static_cast<std::size_t>(s)],
+                                                     next_best[static_cast<std::size_t>(s)]);
+      if (!changed) break;
+    }
+    a.max_input_bits = overall;
+  }
+
+  return a;
+}
+
+}  // namespace parserhawk

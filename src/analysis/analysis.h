@@ -1,0 +1,95 @@
+// Program analyzer (§5.1 "Code Analyzer and Encoder").
+//
+// Extracts the semantic facts the synthesizer and the rewrite engine
+// consume: reachability, loop structure, dead (shadowed) and redundant
+// transition rules, which field bits participate in transition keys (Opt1),
+// which fields are irrelevant (Opt2), the constant pools for value/mask
+// synthesis (Opt4), and the input-length bound for bounded verification.
+//
+// Shadow/redundancy checks are exact: each is a single Z3 query over the
+// state's <=64-bit key space, not a heuristic cube cover.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace parserhawk {
+
+/// Per-field key-bit usage: bit i set means bit i of the field appears in
+/// some state's transition key.
+struct FieldKeyUsage {
+  std::vector<bool> bits;
+  bool any() const {
+    for (bool b : bits)
+      if (b) return true;
+    return false;
+  }
+};
+
+struct SpecAnalysis {
+  /// Reachable from the start state via rules that can actually fire.
+  std::vector<bool> state_reachable;
+
+  /// True when the reachable sub-graph contains a cycle (MPLS-style loops);
+  /// pipelined targets must unroll or reject such programs.
+  bool has_loop = false;
+
+  /// (state, rule index) pairs that can never fire: every key they match is
+  /// claimed by a higher-priority rule. These are the R2 "unreachable
+  /// entries" of Figure 21.
+  std::vector<std::pair<int, int>> dead_rules;
+
+  /// (state, rule index) pairs whose removal leaves the state's transition
+  /// function unchanged (dead, or duplicating the behavior of what remains).
+  /// Superset of dead_rules; these are the R1 "redundant entries".
+  std::vector<std::pair<int, int>> redundant_rules;
+
+  /// Key-bit usage per field (Opt1: spec-guided key construction).
+  std::vector<FieldKeyUsage> key_usage;
+
+  /// Fields extracted somewhere but contributing no key bits and not acting
+  /// as a varbit length source (Opt2: candidates for bit-width
+  /// minimization).
+  std::vector<bool> irrelevant_field;
+
+  /// Per-state constants appearing as rule values (masked to the key
+  /// width), the raw material of Opt4 constant synthesis.
+  std::vector<std::set<std::uint64_t>> state_constants;
+
+  /// Upper bound on bits any K-iteration parse can consume; the symbolic
+  /// input width for CEGIS verification.
+  int max_input_bits = 0;
+
+  bool rule_is_dead(int state, int rule) const {
+    for (auto [s, r] : dead_rules)
+      if (s == state && r == rule) return true;
+    return false;
+  }
+};
+
+/// Run all analyses. `max_iterations` is the K bound used for the input
+/// length computation (loopy graphs consume more input per extra
+/// iteration).
+SpecAnalysis analyze(const ParserSpec& spec, int max_iterations = 64);
+
+/// Exact check: can rule `rule_idx` of `state` ever fire given its
+/// higher-priority siblings? (Z3 query over the key space.)
+bool rule_can_fire(const ParserSpec& spec, int state, int rule_idx);
+
+/// Exact check: does deleting rule `rule_idx` leave the state's
+/// key -> next-state function unchanged?
+bool rule_is_redundant(const ParserSpec& spec, int state, int rule_idx);
+
+/// Opt4.3: all width-limited sub-range constants C[i..j] (j-i <= key_limit)
+/// of `value` interpreted at `width` bits, plus the value itself when it
+/// fits. Deduplicated.
+std::set<std::uint64_t> subrange_constants(std::uint64_t value, int width, int key_limit);
+
+/// Upper bound on bits consumed by one activation of `state` (extracts
+/// plus lookahead reach).
+int state_max_bits(const ParserSpec& spec, int state);
+
+}  // namespace parserhawk

@@ -1,0 +1,104 @@
+#include "backend/backend.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace parserhawk::backend {
+
+namespace {
+
+std::string hex(std::uint64_t value, int width_bits) {
+  char buf[32];
+  int digits = std::max(1, (width_bits + 3) / 4);
+  std::snprintf(buf, sizeof(buf), "0x%0*llx", digits, static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string key_spec(const TcamProgram& prog, int table, int state) {
+  const StateLayout* layout = prog.layout_of(table, state);
+  if (layout == nullptr || layout->key.empty()) return "-";
+  std::string out;
+  for (const auto& p : layout->key) {
+    if (!out.empty()) out += "++";
+    if (p.kind == KeyPart::Kind::Lookahead) {
+      out += "la[" + std::to_string(p.lo) + ":" + std::to_string(p.lo + p.len) + "]";
+    } else {
+      out += prog.fields.at(static_cast<std::size_t>(p.field)).name + "[" + std::to_string(p.lo) +
+             ":" + std::to_string(p.lo + p.len) + "]";
+    }
+  }
+  return out;
+}
+
+std::string extract_spec(const TcamProgram& prog, const TcamEntry& e) {
+  if (e.extracts.empty()) return "-";
+  std::string out;
+  for (const auto& ex : e.extracts) {
+    if (!out.empty()) out += ",";
+    out += prog.fields.at(static_cast<std::size_t>(ex.field)).name;
+    if (ex.len_field >= 0)
+      out += "(var:" + prog.fields.at(static_cast<std::size_t>(ex.len_field)).name + ")";
+  }
+  return out;
+}
+
+std::string target_spec(const TcamEntry& e) {
+  if (e.next_state == kAccept) return "accept";
+  if (e.next_state == kReject) return "reject";
+  return "s" + std::to_string(e.next_state) + "@t" + std::to_string(e.next_table);
+}
+
+void emit_rows(std::ostringstream& os, const TcamProgram& prog, int table) {
+  std::set<int> states;
+  for (const auto& e : prog.entries)
+    if (e.table == table) states.insert(e.state);
+  for (int state : states) {
+    const StateLayout* layout = prog.layout_of(table, state);
+    int kw = layout ? layout->key_width() : 0;
+    os << "  state s" << state << " key " << key_spec(prog, table, state) << " (" << kw
+       << "b)\n";
+    for (const TcamEntry* row : prog.rows_of(table, state)) {
+      os << "    entry " << row->entry << " match " << hex(row->value, kw) << "/"
+         << hex(row->mask, kw) << " extract " << extract_spec(prog, *row) << " goto "
+         << target_spec(*row) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string emit_tofino(const TcamProgram& prog) {
+  std::ostringstream os;
+  os << "# tofino parser TCAM configuration: " << prog.name << "\n";
+  os << "# " << prog.entries.size() << " entries, single table, start s" << prog.start_state
+     << "\n";
+  os << "table parser_tcam\n";
+  emit_rows(os, prog, 0);
+  return os.str();
+}
+
+std::string emit_ipu(const TcamProgram& prog) {
+  std::ostringstream os;
+  std::set<int> tables;
+  for (const auto& e : prog.entries) tables.insert(e.table);
+  os << "# ipu pipelined parser configuration: " << prog.name << "\n";
+  os << "# " << prog.entries.size() << " entries over " << tables.size() << " stage(s), start s"
+     << prog.start_state << "@t" << prog.start_table << "\n";
+  for (int table : tables) {
+    int count = 0;
+    for (const auto& e : prog.entries)
+      if (e.table == table) ++count;
+    os << "stage " << table << " (" << count << " entries)\n";
+    emit_rows(os, prog, table);
+  }
+  return os.str();
+}
+
+std::string emit(const TcamProgram& prog, const HwProfile& profile) {
+  return profile.arch == Arch::SingleTable ? emit_tofino(prog) : emit_ipu(prog);
+}
+
+}  // namespace parserhawk::backend

@@ -1,0 +1,28 @@
+// Back-end code generators: render a compiled TcamProgram as
+// target-specific configuration text.
+//
+// The formats are deliberately simple, line-oriented and diff-friendly —
+// one TCAM row per line — mirroring what a vendor SDE's table-config dump
+// looks like: single flat table for Tofino-class devices, one table block
+// per pipeline stage for IPU-class devices. These artifacts are what a
+// deployment pipeline would load; the library-internal TcamProgram remains
+// the source of truth for simulation and verification.
+#pragma once
+
+#include <string>
+
+#include "hw/profile.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk::backend {
+
+/// Single-table format: one `entry` line per row, keyed by state.
+std::string emit_tofino(const TcamProgram& prog);
+
+/// Pipelined format: one `stage` block per table, rows within.
+std::string emit_ipu(const TcamProgram& prog);
+
+/// Dispatch on the profile's architecture.
+std::string emit(const TcamProgram& prog, const HwProfile& profile);
+
+}  // namespace parserhawk::backend

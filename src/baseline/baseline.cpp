@@ -1,0 +1,396 @@
+#include "baseline/baseline.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "analysis/analysis.h"
+#include "postopt/postopt.h"
+#include "support/timer.h"
+
+namespace parserhawk::baseline {
+
+namespace {
+
+CompileResult fail(CompileStatus status, std::string reason, const ParserSpec& reference) {
+  CompileResult r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.reference = reference;
+  return r;
+}
+
+/// Direct lookahead translation of a state's key (no deferral): nullopt
+/// when the window does not fit.
+std::optional<std::vector<KeyPart>> direct_layout(const ParserSpec& spec, const State& st,
+                                                  const HwProfile& hw) {
+  std::map<int, int> own_offset;
+  int total = 0;
+  for (const auto& ex : st.extracts) {
+    own_offset[ex.field] = total;
+    total += spec.fields[static_cast<std::size_t>(ex.field)].width;
+  }
+  std::vector<KeyPart> parts;
+  for (const auto& p : st.key) {
+    if (p.kind == KeyPart::Kind::FieldSlice) {
+      auto it = own_offset.find(p.field);
+      if (it == own_offset.end()) {
+        parts.push_back(p);  // earlier field: plain dictionary read
+        continue;
+      }
+      int off = it->second + p.lo;
+      if (off + p.len > hw.lookahead_limit_bits) return std::nullopt;
+      parts.push_back(KeyPart{KeyPart::Kind::Lookahead, -1, off, p.len});
+    } else {
+      int off = total + p.lo;
+      if (off + p.len > hw.lookahead_limit_bits) return std::nullopt;
+      parts.push_back(KeyPart{KeyPart::Kind::Lookahead, -1, off, p.len});
+    }
+  }
+  return parts;
+}
+
+/// The rule-per-entry translation both commercial proxies share. States
+/// whose key cannot be evaluated by lookahead are deferred into an
+/// extract-state + match-state pair (one extra entry). Optionally applies
+/// DPParserGen's greedy rule merging first.
+Result<TcamProgram> direct_translate(const ParserSpec& spec, const HwProfile& hw,
+                                     bool greedy_merge) {
+  TcamProgram prog;
+  prog.name = spec.name;
+  prog.fields = spec.fields;
+  prog.start_table = 0;
+  prog.start_state = spec.start;
+  prog.max_iterations = 64;
+  int next_id = static_cast<int>(spec.states.size());
+
+  for (std::size_t s = 0; s < spec.states.size(); ++s) {
+    const State& st = spec.states[s];
+    int kw = st.key_width();
+    if (kw > hw.key_limit_bits)
+      return Result<TcamProgram>::err(
+          "wide-tran-key", "state '" + st.name + "' has a " + std::to_string(kw) +
+                               "-bit transition key; the compiler cannot split keys (limit " +
+                               std::to_string(hw.key_limit_bits) + ")");
+
+    std::vector<Rule> rules = st.rules;
+    if (rules.empty()) rules.push_back(Rule{0, 0, kReject});
+    if (greedy_merge) rules = greedy_merge_rules(rules, kw);
+
+    auto layout = direct_layout(spec, st, hw);
+    int match_state = static_cast<int>(s);
+    if (!layout) {
+      // Deferred: this state only extracts; a fresh match state dispatches
+      // on the now-extracted fields.
+      match_state = next_id++;
+      TcamEntry ext_row;
+      ext_row.table = 0;
+      ext_row.state = static_cast<int>(s);
+      ext_row.entry = 0;
+      ext_row.extracts = st.extracts;
+      ext_row.next_table = 0;
+      ext_row.next_state = match_state;
+      prog.entries.push_back(std::move(ext_row));
+      prog.layouts[{0, match_state}] = StateLayout{st.key};
+    } else if (!layout->empty()) {
+      prog.layouts[{0, static_cast<int>(s)}] = StateLayout{*layout};
+    }
+
+    int prio = 0;
+    for (const auto& r : rules) {
+      TcamEntry e;
+      e.table = 0;
+      e.state = match_state;
+      e.entry = prio++;
+      e.value = r.value & r.mask;
+      e.mask = r.mask;
+      if (match_state == static_cast<int>(s)) e.extracts = st.extracts;
+      e.next_table = 0;
+      e.next_state = r.next;
+      prog.entries.push_back(std::move(e));
+    }
+  }
+  return prog;
+}
+
+CompileResult finish(TcamProgram prog, const HwProfile& hw, const ParserSpec& reference,
+                     const Stopwatch& watch) {
+  CompileResult out;
+  // Extraction-length splitting is table-stakes for every real compiler;
+  // the documented baseline weaknesses are about keys and redundancy, not
+  // extraction.
+  if (auto split = split_wide_extracts(prog, hw)) prog = std::move(*split);
+  if (auto v = validate(prog, hw); !v) {
+    out.status = CompileStatus::ResourceExceeded;
+    out.reason = v.error().message;
+    out.reference = reference;
+    return out;
+  }
+  out.status = CompileStatus::Success;
+  out.program = std::move(prog);
+  out.usage = measure(out.program);
+  out.reference = reference;
+  out.stats.seconds = watch.elapsed_sec();
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rule> greedy_merge_rules(std::vector<Rule> rules, int key_width) {
+  (void)key_width;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < rules.size() && !changed; ++i) {
+      if (rules[i].is_default()) continue;
+      for (std::size_t j = i + 1; j < rules.size() && !changed; ++j) {
+        if (rules[j].is_default()) continue;
+        if (rules[i].next != rules[j].next || rules[i].mask != rules[j].mask) continue;
+        std::uint64_t diff = (rules[i].value ^ rules[j].value) & rules[i].mask;
+        if (std::popcount(diff) != 1) continue;
+        rules[i].mask &= ~diff;
+        rules[i].value &= rules[i].mask;
+        rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(j));
+        changed = true;
+      }
+    }
+  }
+  return rules;
+}
+
+CompileResult compile_tofino_proxy(const ParserSpec& spec, const HwProfile& hw) {
+  Stopwatch watch;
+  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec);
+  auto prog = direct_translate(spec, hw, /*greedy_merge=*/false);
+  if (!prog) return fail(CompileStatus::Rejected, prog.error().to_string(), spec);
+  return finish(std::move(*prog), hw, spec, watch);
+}
+
+CompileResult compile_ipu_proxy(const ParserSpec& spec, const HwProfile& hw) {
+  Stopwatch watch;
+  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec);
+  if (analyze(spec).has_loop)
+    return fail(CompileStatus::Rejected,
+                "parser-loop-rej: the IPU compiler cannot unroll parser loops", spec);
+  // Documented failure mode: duplicate conditions with different targets.
+  for (const auto& st : spec.states) {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
+    for (const auto& r : st.rules) {
+      auto key = std::make_pair(r.value & r.mask, r.mask);
+      auto [it, inserted] = seen.emplace(key, r.next);
+      if (!inserted && it->second != r.next)
+        return fail(CompileStatus::Rejected,
+                    "conflict-transition: state '" + st.name +
+                        "' has duplicate conditions with different targets",
+                    spec);
+    }
+  }
+  auto prog = direct_translate(spec, hw, /*greedy_merge=*/false);
+  if (!prog) return fail(CompileStatus::Rejected, prog.error().to_string(), spec);
+  if (auto split = split_wide_extracts(*prog, hw)) *prog = std::move(*split);
+  auto staged = assign_stages(*prog, hw);
+  if (!staged) {
+    CompileStatus status = staged.error().code == "too-many-stages" ||
+                                   staged.error().code == "too-many-tcam"
+                               ? CompileStatus::ResourceExceeded
+                               : CompileStatus::Rejected;
+    return fail(status, staged.error().to_string(), spec);
+  }
+  return finish(std::move(*staged), hw, spec, watch);
+}
+
+CompileResult compile_dpparsergen(const ParserSpec& spec, const HwProfile& hw) {
+  Stopwatch watch;
+  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec);
+  if (hw.arch != Arch::SingleTable)
+    return fail(CompileStatus::Rejected,
+                "unsupported-arch: DPParserGen only targets single-TCAM-table parsers", spec);
+
+  // Documented input restrictions.
+  for (const auto& st : spec.states) {
+    std::set<int> own;
+    for (const auto& ex : st.extracts) own.insert(ex.field);
+    for (const auto& p : st.key) {
+      if (p.kind == KeyPart::Kind::Lookahead)
+        return fail(CompileStatus::Rejected, "lookahead-unsupported: state '" + st.name + "'", spec);
+      if (!own.count(p.field))
+        return fail(CompileStatus::Rejected,
+                    "key-not-own-field: state '" + st.name +
+                        "' keys on a field extracted elsewhere",
+                    spec);
+    }
+    int kw = st.key_width();
+    std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : kw == 0 ? 0 : ((std::uint64_t{1} << kw) - 1);
+    for (const auto& r : st.rules) {
+      if (!r.is_default() && r.mask != full)
+        return fail(CompileStatus::Rejected,
+                    "wildcard-unsupported: state '" + st.name + "' uses a masked entry", spec);
+      if (!r.is_default() && r.next == kAccept)
+        return fail(CompileStatus::Rejected,
+                    "accept-on-value: state '" + st.name + "' transitions to accept on a value",
+                    spec);
+    }
+  }
+
+  // Greedy (suboptimal) merging, then fixed-order key splitting.
+  TcamProgram prog;
+  prog.name = spec.name;
+  prog.fields = spec.fields;
+  prog.start_table = 0;
+  prog.start_state = spec.start;
+  prog.max_iterations = 64;
+  int next_id = static_cast<int>(spec.states.size());
+
+  for (std::size_t s = 0; s < spec.states.size(); ++s) {
+    const State& st = spec.states[s];
+    int kw = st.key_width();
+    std::vector<Rule> rules = st.rules;
+    if (rules.empty()) rules.push_back(Rule{0, 0, kReject});
+    rules = greedy_merge_rules(rules, kw);
+
+    auto layout = direct_layout(spec, st, hw);
+    if (!layout)
+      return fail(CompileStatus::Rejected, "window-exceeded: state '" + st.name + "'", spec);
+
+    if (kw <= hw.key_limit_bits) {
+      if (!layout->empty()) prog.layouts[{0, static_cast<int>(s)}] = StateLayout{*layout};
+      int prio = 0;
+      for (const auto& r : rules) {
+        prog.entries.push_back(TcamEntry{0, static_cast<int>(s), prio++, r.value & r.mask, r.mask,
+                                         st.extracts, 0, r.next});
+      }
+      continue;
+    }
+
+    // Fixed left-to-right chunk split (the V1 strategy of Figure 4): a
+    // decision tree over chunks in declaration order. Each chunk level
+    // expands every rule's chunk cube into *concrete* values — this
+    // expansion is exactly where the suboptimal entry blow-up of Figure 4's
+    // V1 comes from — and children with identical residual rule lists are
+    // shared. Keys whose chunk value matches no expansion fall through a
+    // default edge carrying only the catch-all rules, which keeps priority
+    // semantics exact.
+    struct Chunk {
+      int lo, len;  // bit range within the key, MSB-first
+    };
+    std::vector<Chunk> chunks;
+    for (int b = 0; b < kw; b += hw.key_limit_bits)
+      chunks.push_back(Chunk{b, std::min(hw.key_limit_bits, kw - b)});
+
+    auto chunk_layout = [&](const Chunk& c) {
+      std::vector<KeyPart> parts;
+      int at = 0;
+      for (const auto& p : *layout) {
+        int plo = std::max(c.lo - at, 0);
+        int phi = std::min(c.lo + c.len - at, p.len);
+        if (phi > plo) parts.push_back(KeyPart{p.kind, p.field, p.lo + plo, phi - plo});
+        at += p.len;
+      }
+      return parts;
+    };
+    auto chunk_cond = [&](const Rule& r, const Chunk& ch) {
+      int shift = kw - ch.lo - ch.len;
+      std::uint64_t cm = ch.len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << ch.len) - 1);
+      return std::pair<std::uint64_t, std::uint64_t>{(r.value >> shift) & (r.mask >> shift) & cm,
+                                                     (r.mask >> shift) & cm};
+    };
+
+    bool overflow = false;
+    // Recursive tree builder; returns the state id implementing `pending`
+    // from chunk `c` onward. Children are deduplicated per (c, pending).
+    std::map<std::pair<std::size_t, std::vector<Rule>>, int> memo;
+    std::function<int(std::size_t, const std::vector<Rule>&, int)> build =
+        [&](std::size_t c, const std::vector<Rule>& pending, int forced_id) -> int {
+      auto key = std::make_pair(c, pending);
+      if (forced_id < 0) {
+        auto it = memo.find(key);
+        if (it != memo.end()) return it->second;
+      }
+      int id = forced_id >= 0 ? forced_id : next_id++;
+      memo[key] = id;
+      const Chunk& ch = chunks[c];
+      prog.layouts[{0, id}] = StateLayout{chunk_layout(ch)};
+      int prio = 0;
+      if (c + 1 == chunks.size()) {
+        // Last chunk: one entry per rule; TCAM priority resolves overlap.
+        for (const auto& r : pending) {
+          auto [cv, cm] = chunk_cond(r, ch);
+          prog.entries.push_back(TcamEntry{0, id, prio++, cv, cm, st.extracts, 0, r.next});
+          if (cm == 0) break;  // catch-all: nothing below can fire
+        }
+        return id;
+      }
+      // Expand concrete chunk values covered by non-catch-all rules.
+      std::vector<std::uint64_t> values;
+      std::uint64_t full = ch.len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << ch.len) - 1);
+      for (const auto& r : pending) {
+        auto [cv, cm] = chunk_cond(r, ch);
+        if (cm == 0) continue;
+        std::uint64_t free = full & ~cm;
+        int free_bits = std::popcount(free);
+        if (free_bits > 6) {
+          overflow = true;
+          return id;
+        }
+        // Enumerate the cube cv + subsets of free bits.
+        std::uint64_t sub = 0;
+        do {
+          std::uint64_t v = cv | sub;
+          if (std::find(values.begin(), values.end(), v) == values.end()) values.push_back(v);
+          sub = (sub - free) & free;
+        } while (sub != 0);
+      }
+      if (values.size() > 64) {
+        overflow = true;
+        return id;
+      }
+      for (std::uint64_t v : values) {
+        std::vector<Rule> residual;
+        bool saturated = false;
+        for (const auto& r : pending) {
+          auto [cv, cm] = chunk_cond(r, ch);
+          if ((v & cm) != cv) continue;
+          residual.push_back(r);
+          // If the rule's remaining chunks are unconstrained, it ends the
+          // residual list (catch-all from here on).
+          std::uint64_t rest_mask = r.mask & ~(((ch.len >= 64 ? ~std::uint64_t{0}
+                                                              : ((std::uint64_t{1} << ch.len) - 1)))
+                                               << (kw - ch.lo - ch.len));
+          if (rest_mask == 0) {
+            saturated = true;
+            break;
+          }
+        }
+        (void)saturated;
+        int child = build(c + 1, residual, -1);
+        prog.entries.push_back(TcamEntry{0, id, prio++, v, full, {}, 0, child});
+      }
+      // Values outside the expansion match only chunk-level catch-alls.
+      std::vector<Rule> defaults;
+      for (const auto& r : pending) {
+        auto [cv, cm] = chunk_cond(r, ch);
+        if (cm == 0) defaults.push_back(r);
+      }
+      if (!defaults.empty()) {
+        int child = build(c + 1, defaults, -1);
+        prog.entries.push_back(TcamEntry{0, id, prio++, 0, 0, {}, 0, child});
+      }
+      return id;
+    };
+    build(0, rules, static_cast<int>(s));
+    if (overflow)
+      return fail(CompileStatus::ResourceExceeded,
+                  "split-explosion: state '" + st.name +
+                      "' expands beyond the splitter's cube budget",
+                  spec);
+  }
+
+  // The DP clustering step: fold unconditional extract states (Figure 1's
+  // entry saving) — reuse of the generic pass is faithful here because
+  // clustering is the part Gibb et al. do well.
+  TcamProgram clustered = inline_terminal_extracts(prog, hw);
+  return finish(std::move(clustered), hw, spec, watch);
+}
+
+}  // namespace parserhawk::baseline

@@ -1,0 +1,48 @@
+// Baseline parser compilers (§7 "Baseline selection").
+//
+// Three baselines, all producing runnable TcamPrograms through the same
+// CompileResult interface as ParserHawk so the benchmark harnesses can
+// diff-test and measure everything uniformly:
+//
+//  * compile_tofino_proxy — stands in for the closed-source Tofino SDE
+//    parser compiler. Rule-per-entry translation with the documented
+//    limitations (§7.2): no R4-like transition-key splitting (wide keys are
+//    rejected with "wide-tran-key"), no dead/redundant rule elimination,
+//    no terminal-extract inlining.
+//  * compile_ipu_proxy — stands in for the closed-source Intel IPU
+//    compiler: same translation, pipelined placement, plus its documented
+//    failure modes: loops are rejected ("parser-loop-rej"; it cannot unroll)
+//    and duplicate (value, mask) conditions with different targets are
+//    rejected ("conflict-transition").
+//  * compile_dpparsergen — a from-scratch reimplementation of Gibb et
+//    al.'s dynamic-programming parser generator: state clustering is done
+//    well (its contribution), but rule merging is a greedy pairwise
+//    algorithm and key splitting uses a fixed left-to-right chunk order,
+//    both suboptimal (the V1 strategies of Figure 4). Input restrictions
+//    are enforced as documented: single-TCAM targets only, no lookahead in
+//    the source, no wildcard entries, keys only over fields extracted in
+//    the same state.
+//
+// These proxies are substitutions for gated artifacts (see DESIGN.md §2);
+// they reproduce the *documented contract* of the originals, which is what
+// the paper's comparisons exercise.
+#pragma once
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "synth/compiler.h"
+
+namespace parserhawk::baseline {
+
+CompileResult compile_tofino_proxy(const ParserSpec& spec, const HwProfile& hw);
+
+CompileResult compile_ipu_proxy(const ParserSpec& spec, const HwProfile& hw);
+
+CompileResult compile_dpparsergen(const ParserSpec& spec, const HwProfile& hw);
+
+/// Greedy pairwise rule merging as DPParserGen performs it: repeatedly
+/// merge the first pair of same-target rules whose (value, mask) differ in
+/// exactly one cared bit. Exposed for unit tests and the Figure 4 bench.
+std::vector<Rule> greedy_merge_rules(std::vector<Rule> rules, int key_width);
+
+}  // namespace parserhawk::baseline

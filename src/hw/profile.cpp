@@ -1,0 +1,90 @@
+#include "hw/profile.h"
+
+namespace parserhawk {
+
+std::string to_string(Arch arch) {
+  switch (arch) {
+    case Arch::SingleTable: return "single-table";
+    case Arch::Pipelined: return "pipelined";
+    case Arch::Interleaved: return "interleaved";
+  }
+  return "unknown";
+}
+
+HwProfile tofino() {
+  HwProfile p;
+  p.name = "tofino";
+  p.arch = Arch::SingleTable;
+  // Limits follow the public Tofino parser documentation scale: a 32-bit
+  // match key, 256 TCAM entries, wide per-entry extraction, and a buffered
+  // input window the parser can inspect ahead of the cursor (the shifted
+  // packet bytes a state can source its match registers from).
+  p.key_limit_bits = 32;
+  p.tcam_entry_limit = 256;
+  p.lookahead_limit_bits = 128;
+  p.stage_limit = 1;
+  p.extract_limit_bits = 256;  // chained multi-extractor budget per state
+  p.allows_loops = true;
+  return p;
+}
+
+HwProfile ipu() {
+  HwProfile p;
+  p.name = "ipu";
+  p.arch = Arch::Pipelined;
+  p.key_limit_bits = 32;
+  p.tcam_entry_limit = 16;  // per stage
+  p.lookahead_limit_bits = 128;
+  p.stage_limit = 16;
+  p.extract_limit_bits = 128;
+  p.allows_loops = false;
+  return p;
+}
+
+HwProfile trident() {
+  HwProfile p;
+  p.name = "trident";
+  p.arch = Arch::Interleaved;
+  p.key_limit_bits = 32;
+  p.tcam_entry_limit = 32;  // per stage within a sub-parser
+  p.lookahead_limit_bits = 32;
+  p.stage_limit = 8;
+  p.extract_limit_bits = 128;
+  p.allows_loops = false;
+  return p;
+}
+
+HwProfile parametrized(int key_limit_bits, int lookahead_limit_bits, int extract_limit_bits,
+                       int tcam_entry_limit) {
+  HwProfile p;
+  p.name = "param(k=" + std::to_string(key_limit_bits) + ",la=" + std::to_string(lookahead_limit_bits) +
+           ",ex=" + std::to_string(extract_limit_bits) + ")";
+  p.arch = Arch::SingleTable;
+  p.key_limit_bits = key_limit_bits;
+  p.tcam_entry_limit = tcam_entry_limit;
+  p.lookahead_limit_bits = lookahead_limit_bits;
+  p.stage_limit = 1;
+  p.extract_limit_bits = extract_limit_bits;
+  p.allows_loops = true;
+  return p;
+}
+
+Result<bool> validate(const HwProfile& profile) {
+  auto err = [&](const std::string& what) {
+    return Result<bool>::err("invalid-profile", profile.name + ": " + what);
+  };
+  if (profile.key_limit_bits <= 0 || profile.key_limit_bits > 64)
+    return err("key limit must be in [1,64]");
+  if (profile.tcam_entry_limit <= 0) return err("TCAM entry limit must be positive");
+  if (profile.lookahead_limit_bits < 0) return err("negative lookahead limit");
+  if (profile.extract_limit_bits <= 0) return err("extraction limit must be positive");
+  if (profile.pipelined() && profile.stage_limit <= 0)
+    return err("pipelined device needs a positive stage limit");
+  if (profile.arch == Arch::SingleTable && !profile.allows_loops)
+    return err("single-table device must allow revisits");
+  if (profile.pipelined() && profile.allows_loops)
+    return err("pipelined device cannot loop back");
+  return true;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,64 @@
+// Hardware model: device profiles for line-rate programmable parsers (§3.1).
+//
+// ParserHawk is retargetable: the synthesizer's generic FSM encoding is
+// shared, and everything device-specific is captured here as data —
+// architecture kind plus numeric resource limits (§5.1.2). Adding a device
+// means adding a profile, not touching the synthesis core.
+#pragma once
+
+#include <string>
+
+#include "support/result.h"
+
+namespace parserhawk {
+
+/// The three parser organizations of Figure 2.
+enum class Arch {
+  SingleTable,  ///< one TCAM table, entries revisitable (Tofino)
+  Pipelined,    ///< one TCAM table per stage, strictly forward (Intel IPU)
+  Interleaved,  ///< pipelined sub-parsers interleaved with the MAU pipeline (Trident)
+};
+
+std::string to_string(Arch arch);
+
+/// Resource limits of one target device (§5.1.2).
+struct HwProfile {
+  std::string name;
+  Arch arch = Arch::SingleTable;
+
+  /// Max state-transition key bits per TCAM entry (`keyLimit`).
+  int key_limit_bits = 32;
+  /// Max TCAM entries: total for SingleTable, per stage otherwise
+  /// (`tcamLimit`).
+  int tcam_entry_limit = 256;
+  /// Max lookahead window in bits (`lookaheadLimit`).
+  int lookahead_limit_bits = 32;
+  /// Max parser stages (`stageLimit`); ignored for SingleTable.
+  int stage_limit = 1;
+  /// Max bits extracted by one entry (`extraction length limit`, §5.1.2).
+  int extract_limit_bits = 128;
+  /// Whether an entry may be visited more than once while parsing a packet
+  /// (single-table loop-back, §3.1).
+  bool allows_loops = true;
+
+  bool pipelined() const { return arch != Arch::SingleTable; }
+};
+
+/// Barefoot Tofino: one big revisitable TCAM (Figure 2a).
+HwProfile tofino();
+
+/// Intel IPU: pipelined TCAM tables, no revisits (Figure 2b).
+HwProfile ipu();
+
+/// Broadcom Trident-style interleaved parser (Figure 2c); modeled for the
+/// interpreter/tests, not evaluated by the paper.
+HwProfile trident();
+
+/// Parameterized single-table profile used by Table 4's hardware sweep.
+HwProfile parametrized(int key_limit_bits, int lookahead_limit_bits, int extract_limit_bits,
+                       int tcam_entry_limit = 1024);
+
+/// Sanity-check a profile (positive limits, stage/arch consistency).
+Result<bool> validate(const HwProfile& profile);
+
+}  // namespace parserhawk

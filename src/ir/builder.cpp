@@ -1,0 +1,126 @@
+#include "ir/builder.h"
+
+#include <stdexcept>
+
+namespace parserhawk {
+
+SpecBuilder& SpecBuilder::field(const std::string& name, int width) {
+  spec_.fields.push_back(Field{name, width, false});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::varbit_field(const std::string& name, int max_width) {
+  spec_.fields.push_back(Field{name, max_width, true});
+  return *this;
+}
+
+int SpecBuilder::field_or_throw(const std::string& name) const {
+  int idx = spec_.field_index(name);
+  if (idx < 0) throw std::invalid_argument("SpecBuilder: unknown field '" + name + "'");
+  return idx;
+}
+
+int SpecBuilder::ensure_state(const std::string& name) {
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    if (pending_[i].name == name) return static_cast<int>(i);
+  pending_.push_back(PendingState{name, {}, {}, {}});
+  return static_cast<int>(pending_.size()) - 1;
+}
+
+StateBuilder SpecBuilder::state(const std::string& name) {
+  return StateBuilder(this, ensure_state(name));
+}
+
+SpecBuilder& SpecBuilder::start(const std::string& name) {
+  start_name_ = name;
+  return *this;
+}
+
+KeyPart SpecBuilder::slice(const std::string& field_name, int lo, int len) const {
+  return KeyPart{KeyPart::Kind::FieldSlice, field_or_throw(field_name), lo, len};
+}
+
+KeyPart SpecBuilder::whole(const std::string& field_name) const {
+  int idx = field_or_throw(field_name);
+  return KeyPart{KeyPart::Kind::FieldSlice, idx, 0, spec_.fields[static_cast<std::size_t>(idx)].width};
+}
+
+Result<ParserSpec> SpecBuilder::build() const {
+  ParserSpec out = spec_;
+  out.states.clear();
+
+  auto resolve_next = [&](const std::string& name) -> int {
+    if (name == "accept") return kAccept;
+    if (name == "reject") return kReject;
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+      if (pending_[i].name == name) return static_cast<int>(i);
+    return kReject - 1;  // marker for "unknown"
+  };
+
+  for (const auto& ps : pending_) {
+    State st;
+    st.name = ps.name;
+    st.extracts = ps.extracts;
+    st.key = ps.key;
+    int kw = st.key_width();
+    std::uint64_t full = kw >= 64 ? ~std::uint64_t{0}
+                                  : ((std::uint64_t{1} << kw) - 1);
+    for (const auto& pr : ps.rules) {
+      int next = resolve_next(pr.next);
+      if (next == kReject - 1)
+        return Result<ParserSpec>::err(
+            "invalid-spec", "state '" + ps.name + "' transitions to unknown state '" + pr.next + "'");
+      st.rules.push_back(Rule{pr.value, pr.exact ? full : pr.mask, next});
+    }
+    out.states.push_back(std::move(st));
+  }
+
+  out.start = 0;
+  if (!start_name_.empty()) {
+    out.start = out.state_index(start_name_);
+    if (out.start < 0)
+      return Result<ParserSpec>::err("invalid-spec", "unknown start state '" + start_name_ + "'");
+  }
+
+  if (auto v = validate(out); !v) return Result<ParserSpec>::err(v.error().code, v.error().message);
+  return out;
+}
+
+StateBuilder& StateBuilder::extract(const std::string& field_name) {
+  auto& ps = owner_->pending_[static_cast<std::size_t>(index_)];
+  ps.extracts.push_back(ExtractOp{owner_->field_or_throw(field_name), -1, 0, 0});
+  return *this;
+}
+
+StateBuilder& StateBuilder::extract_var(const std::string& field_name, const std::string& len_field,
+                                        int scale, int base) {
+  auto& ps = owner_->pending_[static_cast<std::size_t>(index_)];
+  ps.extracts.push_back(
+      ExtractOp{owner_->field_or_throw(field_name), owner_->field_or_throw(len_field), scale, base});
+  return *this;
+}
+
+StateBuilder& StateBuilder::select(std::vector<KeyPart> parts) {
+  owner_->pending_[static_cast<std::size_t>(index_)].key = std::move(parts);
+  return *this;
+}
+
+StateBuilder& StateBuilder::when(std::uint64_t value, std::uint64_t mask, const std::string& next) {
+  owner_->pending_[static_cast<std::size_t>(index_)].rules.push_back(
+      SpecBuilder::PendingRule{value, mask, false, next});
+  return *this;
+}
+
+StateBuilder& StateBuilder::when_exact(std::uint64_t value, const std::string& next) {
+  owner_->pending_[static_cast<std::size_t>(index_)].rules.push_back(
+      SpecBuilder::PendingRule{value, 0, true, next});
+  return *this;
+}
+
+StateBuilder& StateBuilder::otherwise(const std::string& next) {
+  owner_->pending_[static_cast<std::size_t>(index_)].rules.push_back(
+      SpecBuilder::PendingRule{0, 0, false, next});
+  return *this;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,112 @@
+// SpecBuilder: fluent construction of ParserSpec programs.
+//
+// Benchmarks, tests and the rewrite engine build parse graphs
+// programmatically; the builder resolves field/state names lazily so states
+// can transition to states declared later (forward references), exactly as
+// in P4 source order.
+//
+//   SpecBuilder b("parse_ethernet");
+//   b.field("etherType", 16);
+//   b.state("start")
+//       .extract("etherType")
+//       .select({field_slice(b, "etherType", 0, 16)})
+//       .when(0x0800, 0xffff, "parse_ipv4")
+//       .otherwise("accept");
+//   ParserSpec spec = b.build().value();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace parserhawk {
+
+class SpecBuilder;
+
+/// Builder handle for one state; returned by SpecBuilder::state().
+class StateBuilder {
+ public:
+  /// Append a fixed-size extract of `field_name`.
+  StateBuilder& extract(const std::string& field_name);
+
+  /// Append a varbit extract whose runtime bit length is
+  /// `base + scale * value(len_field)`.
+  StateBuilder& extract_var(const std::string& field_name, const std::string& len_field,
+                            int scale, int base);
+
+  /// Set the transition key (concatenation of parts, MSB-first).
+  StateBuilder& select(std::vector<KeyPart> parts);
+
+  /// Add a ternary rule: match when (key ^ value) & mask == 0.
+  /// `next` is a state name, "accept" or "reject".
+  StateBuilder& when(std::uint64_t value, std::uint64_t mask, const std::string& next);
+
+  /// Add an exact-match rule (mask = all ones over the key width).
+  StateBuilder& when_exact(std::uint64_t value, const std::string& next);
+
+  /// Add the catch-all default rule (mask 0). Also used for keyless states.
+  StateBuilder& otherwise(const std::string& next);
+
+ private:
+  friend class SpecBuilder;
+  StateBuilder(SpecBuilder* owner, int index) : owner_(owner), index_(index) {}
+  SpecBuilder* owner_;
+  int index_;
+};
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string name) { spec_.name = std::move(name); }
+
+  /// Declare a fixed-width field.
+  SpecBuilder& field(const std::string& name, int width);
+
+  /// Declare a varbit field with the given maximum width.
+  SpecBuilder& varbit_field(const std::string& name, int max_width);
+
+  /// Declare (or get) the state `name`. The first declared state is the
+  /// start state unless start() overrides it.
+  StateBuilder state(const std::string& name);
+
+  /// Override the start state.
+  SpecBuilder& start(const std::string& name);
+
+  /// Resolve all name references and validate. Returns the finished spec or
+  /// a diagnostic (unknown names, structural violations).
+  Result<ParserSpec> build() const;
+
+  /// Key-part helpers (free-function style, bound to this builder's fields).
+  KeyPart slice(const std::string& field_name, int lo, int len) const;
+  KeyPart whole(const std::string& field_name) const;
+  static KeyPart lookahead(int offset, int len) {
+    return KeyPart{KeyPart::Kind::Lookahead, -1, offset, len};
+  }
+
+ private:
+  friend class StateBuilder;
+
+  struct PendingRule {
+    std::uint64_t value;
+    std::uint64_t mask;
+    bool exact;  ///< mask recomputed to all-ones at build time
+    std::string next;
+  };
+  struct PendingState {
+    std::string name;
+    std::vector<ExtractOp> extracts;
+    std::vector<KeyPart> key;
+    std::vector<PendingRule> rules;
+  };
+
+  int field_or_throw(const std::string& name) const;
+  int ensure_state(const std::string& name);
+
+  ParserSpec spec_;                    // fields filled eagerly, states at build()
+  std::vector<PendingState> pending_;  // states with unresolved next-names
+  std::string start_name_;
+};
+
+}  // namespace parserhawk

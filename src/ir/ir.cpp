@@ -1,0 +1,150 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+namespace parserhawk {
+
+int ParserSpec::field_index(const std::string& field_name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == field_name) return static_cast<int>(i);
+  return -1;
+}
+
+int ParserSpec::state_index(const std::string& state_name) const {
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (states[i].name == state_name) return static_cast<int>(i);
+  return -1;
+}
+
+namespace {
+
+Result<bool> validate_state(const ParserSpec& spec, int sid) {
+  const State& st = spec.state(sid);
+  auto err = [&](const std::string& what) {
+    return Result<bool>::err("invalid-spec", "state '" + st.name + "': " + what);
+  };
+
+  for (const auto& ex : st.extracts) {
+    if (ex.field < 0 || ex.field >= static_cast<int>(spec.fields.size()))
+      return err("extract references unknown field");
+    const Field& f = spec.fields[static_cast<std::size_t>(ex.field)];
+    if (f.varbit) {
+      if (ex.len_field < 0 || ex.len_field >= static_cast<int>(spec.fields.size()))
+        return err("varbit extract of '" + f.name + "' needs a length field");
+      if (spec.fields[static_cast<std::size_t>(ex.len_field)].varbit)
+        return err("varbit length source must be a fixed-size field");
+    } else if (ex.len_field != -1) {
+      return err("fixed-size extract of '" + f.name + "' must not carry a length source");
+    }
+  }
+
+  int kw = 0;
+  for (const auto& p : st.key) {
+    if (p.len <= 0) return err("key part with non-positive width");
+    if (p.kind == KeyPart::Kind::FieldSlice) {
+      if (p.field < 0 || p.field >= static_cast<int>(spec.fields.size()))
+        return err("key references unknown field");
+      const Field& f = spec.fields[static_cast<std::size_t>(p.field)];
+      if (f.varbit) return err("varbit field '" + f.name + "' used in a transition key");
+      if (p.lo < 0 || p.lo + p.len > f.width)
+        return err("key slice out of bounds of field '" + f.name + "'");
+    } else {
+      if (p.lo < 0) return err("negative lookahead offset");
+    }
+    kw += p.len;
+  }
+  if (kw > 64) return err("transition key wider than 64 bits");
+
+  std::uint64_t key_mask = kw == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+  for (const auto& r : st.rules) {
+    if ((r.mask & ~key_mask) != 0) return err("rule mask wider than the key");
+    if ((r.value & ~key_mask) != 0) return err("rule value wider than the key");
+    if (is_real_state(r.next) && r.next >= static_cast<int>(spec.states.size()))
+      return err("rule transitions to unknown state");
+  }
+  if (st.key.empty() && !st.rules.empty()) {
+    for (const auto& r : st.rules)
+      if (!r.is_default()) return err("non-default rule in a state without a key");
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> validate(const ParserSpec& spec) {
+  if (spec.states.empty()) return Result<bool>::err("invalid-spec", "parser has no states");
+  if (spec.start < 0 || spec.start >= static_cast<int>(spec.states.size()))
+    return Result<bool>::err("invalid-spec", "start state out of range");
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    const Field& f = spec.fields[i];
+    if (f.width <= 0)
+      return Result<bool>::err("invalid-spec", "field '" + f.name + "' has non-positive width");
+    for (std::size_t j = i + 1; j < spec.fields.size(); ++j)
+      if (spec.fields[j].name == f.name)
+        return Result<bool>::err("invalid-spec", "duplicate field name '" + f.name + "'");
+  }
+  for (std::size_t i = 0; i < spec.states.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.states.size(); ++j)
+      if (spec.states[j].name == spec.states[i].name)
+        return Result<bool>::err("invalid-spec", "duplicate state name '" + spec.states[i].name + "'");
+    if (auto r = validate_state(spec, static_cast<int>(i)); !r) return r;
+  }
+  return true;
+}
+
+std::string state_name(const ParserSpec& spec, int id) {
+  if (id == kAccept) return "accept";
+  if (id == kReject) return "reject";
+  if (id >= 0 && id < static_cast<int>(spec.states.size()))
+    return spec.states[static_cast<std::size_t>(id)].name;
+  return "<invalid:" + std::to_string(id) + ">";
+}
+
+std::string to_string(const ParserSpec& spec) {
+  std::ostringstream os;
+  os << "parser " << spec.name << " {\n";
+  for (const auto& f : spec.fields) {
+    os << "  field " << f.name << " : ";
+    if (f.varbit) os << "varbit<" << f.width << ">";
+    else os << f.width;
+    os << ";\n";
+  }
+  for (std::size_t i = 0; i < spec.states.size(); ++i) {
+    const State& st = spec.states[i];
+    os << "  state " << st.name << (static_cast<int>(i) == spec.start ? " /*start*/" : "") << " {\n";
+    for (const auto& ex : st.extracts) {
+      os << "    extract(" << spec.fields[static_cast<std::size_t>(ex.field)].name;
+      if (ex.len_field >= 0)
+        os << ", len = " << ex.len_base << " + " << ex.len_scale << " * "
+           << spec.fields[static_cast<std::size_t>(ex.len_field)].name;
+      os << ");\n";
+    }
+    if (!st.key.empty()) {
+      os << "    transition select(";
+      for (std::size_t k = 0; k < st.key.size(); ++k) {
+        const KeyPart& p = st.key[k];
+        if (k) os << ", ";
+        if (p.kind == KeyPart::Kind::Lookahead)
+          os << "lookahead<" << p.lo << ", " << p.len << ">";
+        else
+          os << spec.fields[static_cast<std::size_t>(p.field)].name << "[" << p.lo << ":" << (p.lo + p.len) << "]";
+      }
+      os << ") {\n";
+      for (const auto& r : st.rules) {
+        if (r.is_default()) os << "      default";
+        else os << "      0x" << std::hex << r.value << " &&& 0x" << r.mask << std::dec;
+        os << " : " << state_name(spec, r.next) << ";\n";
+      }
+      os << "    }\n";
+    } else if (!st.rules.empty()) {
+      os << "    transition " << state_name(spec, st.rules.front().next) << ";\n";
+    } else {
+      os << "    transition reject;\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,120 @@
+// Parse-graph intermediate representation.
+//
+// A parser specification (§4 of the paper) is a finite state machine:
+// each state extracts an ordered list of packet fields, builds a transition
+// key out of already-extracted field slices and/or lookahead bits, and
+// selects the next state with a prioritized list of ternary (value, mask)
+// rules — the same shape a TCAM row matches in hardware.
+//
+// This IR is the common input to the interpreters (src/sim), the analyzer
+// (src/analysis), the synthesizer (src/synth), the baseline compilers
+// (src/baseline) and the rewrite engine (src/rewrite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace parserhawk {
+
+/// Sentinel state ids. Non-negative ids index ParserSpec::states.
+inline constexpr int kAccept = -1;
+inline constexpr int kReject = -2;
+
+/// True for a real (indexable) state id.
+inline bool is_real_state(int id) { return id >= 0; }
+
+/// A packet header field.
+struct Field {
+  std::string name;
+  /// Bit width; for varbit fields this is the maximum width.
+  int width = 0;
+  /// Size determined at run time (paper's VarField, §6.6 / Opt6).
+  bool varbit = false;
+};
+
+/// One extraction step inside a state: deposit the next bits of the input
+/// into `field`. For varbit fields the runtime length in bits is
+/// `len_base + len_scale * value(len_field)` clamped to [0, field.width]
+/// (e.g. IPv4 options: base -160, scale 32, len_field = ihl).
+struct ExtractOp {
+  int field = -1;
+  int len_field = -1;  ///< -1 for fixed-size fields
+  int len_scale = 0;
+  int len_base = 0;
+};
+
+/// One component of a state's transition key. Components are concatenated
+/// MSB-first in declaration order to form the key value.
+struct KeyPart {
+  enum class Kind {
+    FieldSlice,  ///< bits [lo, lo+len) of an already-extracted field
+    Lookahead,   ///< bits [lo, lo+len) ahead of the current cursor
+  };
+  Kind kind = Kind::FieldSlice;
+  int field = -1;  ///< field index (FieldSlice only)
+  int lo = 0;      ///< slice start within the field, or lookahead offset
+  int len = 0;     ///< slice width in bits
+
+  friend bool operator==(const KeyPart&, const KeyPart&) = default;
+};
+
+/// A prioritized ternary transition rule: matches when
+/// (key ^ value) & mask == 0. A default (catch-all) rule has mask == 0.
+struct Rule {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+  int next = kReject;
+
+  bool matches(std::uint64_t key) const { return ((key ^ value) & mask) == 0; }
+  bool is_default() const { return mask == 0; }
+
+  friend auto operator<=>(const Rule&, const Rule&) = default;
+};
+
+/// One parser state.
+struct State {
+  std::string name;
+  std::vector<ExtractOp> extracts;
+  std::vector<KeyPart> key;  ///< empty key => only a default rule is meaningful
+  std::vector<Rule> rules;   ///< checked in order; no match => reject
+
+  /// Total key width in bits (sum of part widths).
+  int key_width() const {
+    int w = 0;
+    for (const auto& p : key) w += p.len;
+    return w;
+  }
+};
+
+/// A full parser specification.
+struct ParserSpec {
+  std::string name;
+  std::vector<Field> fields;
+  std::vector<State> states;
+  int start = 0;
+
+  const State& state(int id) const { return states.at(static_cast<std::size_t>(id)); }
+  State& state(int id) { return states.at(static_cast<std::size_t>(id)); }
+
+  /// Index of the field with `name`, or -1.
+  int field_index(const std::string& field_name) const;
+  /// Index of the state with `name`, or -1.
+  int state_index(const std::string& state_name) const;
+};
+
+/// Structural validation: indices in range, key widths <= 64, slice bounds
+/// inside field widths, varbit length sources are fixed fields, rule masks/
+/// values fit the key width, start state exists. Deeper semantic checks
+/// (key fields extracted before use, reachability) live in src/analysis.
+Result<bool> validate(const ParserSpec& spec);
+
+/// Human-readable dump (round-trips through the .hawk front-end grammar).
+std::string to_string(const ParserSpec& spec);
+
+/// Name for a state id including sentinels ("accept"/"reject").
+std::string state_name(const ParserSpec& spec, int id);
+
+}  // namespace parserhawk

@@ -1,0 +1,54 @@
+// Front-end for the "hawk" parser-description language — a P4-subset
+// covering exactly the constructs the paper's specifications use: header
+// field declarations (fixed and varbit), parser states with ordered
+// extracts, `transition select` over field slices and lookahead windows,
+// ternary entries written with P4's `&&&` mask operator, and the
+// accept/reject sentinels.
+//
+//   parser ethernet {
+//     field dst : 48;
+//     field src : 48;
+//     field etherType : 16;
+//     field ipv4 : 32;
+//     field options : varbit<320>;
+//
+//     state start {
+//       extract(dst);
+//       extract(src);
+//       extract(etherType);
+//       transition select(etherType) {
+//         0x0800 : parse_ipv4;
+//         0x8100 &&& 0xff00 : parse_vlan;   // ternary entry
+//         default : accept;
+//       }
+//     }
+//     state parse_ipv4 {
+//       extract(ipv4);
+//       extract(options, len = 32 * ihl - 160);   // varbit length expr
+//       transition accept;
+//     }
+//     state parse_vlan { transition select(etherType[0:4], lookahead<0, 8>) {
+//         default : reject;
+//     } }
+//   }
+//
+// The state named "start" is the start state (the first state otherwise).
+// Slices are written field[lo:hi] with hi exclusive; lookahead<off, len>
+// peeks len bits at off bits past the cursor. `//` and `/* */` comments.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace parserhawk::lang {
+
+/// Parse hawk source text into the IR. Errors carry line/column context.
+Result<ParserSpec> parse_source(const std::string& source);
+
+/// Emit hawk source for a spec; parse_source(emit_source(s)) reproduces s
+/// up to state/field ordering.
+std::string emit_source(const ParserSpec& spec);
+
+}  // namespace parserhawk::lang

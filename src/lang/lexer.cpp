@@ -1,0 +1,174 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace parserhawk::lang {
+
+std::string to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::Identifier: return "identifier";
+    case TokKind::Number: return "number";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Less: return "'<'";
+    case TokKind::Greater: return "'>'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Semicolon: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Equals: return "'='";
+    case TokKind::Star: return "'*'";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::MaskOp: return "'&&&'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  std::size_t i = 0;
+  auto fail = [&](const std::string& what) {
+    return Result<std::vector<Token>>::err(
+        "lex-error", what + " at line " + std::to_string(line) + ", column " + std::to_string(column));
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      advance(2);
+      bool closed = false;
+      while (i + 1 < source.size()) {
+        if (source[i] == '*' && source[i + 1] == '/') {
+          advance(2);
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) return fail("unterminated block comment");
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_'))
+        advance();
+      tok.kind = TokKind::Identifier;
+      tok.text = source.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < source.size() && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        base = 16;
+        advance(2);
+      } else if (c == '0' && i + 1 < source.size() && (source[i + 1] == 'b' || source[i + 1] == 'B')) {
+        base = 2;
+        advance(2);
+      }
+      std::uint64_t value = 0;
+      bool any = false;
+      while (i < source.size()) {
+        char d = source[i];
+        int digit;
+        if (d == '_') {
+          advance();
+          continue;
+        }
+        if (d >= '0' && d <= '9') digit = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') digit = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') digit = d - 'A' + 10;
+        else break;
+        if (digit >= base) return fail("digit out of range for base");
+        value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+        any = true;
+        advance();
+      }
+      if (base != 10 && !any) return fail("literal prefix with no digits");
+      if (base == 10 && !any) {
+        // plain "0"-style literal consumed above? '0' alone lands here
+        value = 0;
+        any = true;
+      }
+      tok.kind = TokKind::Number;
+      tok.value = value;
+      tok.text = source.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '&') {
+      if (i + 2 < source.size() && source[i + 1] == '&' && source[i + 2] == '&') {
+        advance(3);
+        tok.kind = TokKind::MaskOp;
+        out.push_back(std::move(tok));
+        continue;
+      }
+      return fail("stray '&' (did you mean '&&&'?)");
+    }
+
+    TokKind kind;
+    switch (c) {
+      case '{': kind = TokKind::LBrace; break;
+      case '}': kind = TokKind::RBrace; break;
+      case '(': kind = TokKind::LParen; break;
+      case ')': kind = TokKind::RParen; break;
+      case '[': kind = TokKind::LBracket; break;
+      case ']': kind = TokKind::RBracket; break;
+      case '<': kind = TokKind::Less; break;
+      case '>': kind = TokKind::Greater; break;
+      case ':': kind = TokKind::Colon; break;
+      case ';': kind = TokKind::Semicolon; break;
+      case ',': kind = TokKind::Comma; break;
+      case '=': kind = TokKind::Equals; break;
+      case '*': kind = TokKind::Star; break;
+      case '+': kind = TokKind::Plus; break;
+      case '-': kind = TokKind::Minus; break;
+      default: return fail(std::string("unexpected character '") + c + "'");
+    }
+    advance();
+    tok.kind = kind;
+    out.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  end.column = column;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace parserhawk::lang

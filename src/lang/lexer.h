@@ -1,0 +1,54 @@
+// Lexer for the hawk parser-description language: identifiers, numeric
+// literals (decimal / 0x / 0b), the punctuation the grammar uses, and the
+// `&&&` ternary-mask operator. Tracks line/column for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace parserhawk::lang {
+
+enum class TokKind {
+  Identifier,
+  Number,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Colon,
+  Semicolon,
+  Comma,
+  Equals,
+  Star,
+  Plus,
+  Minus,
+  MaskOp,  ///< "&&&"
+  End,
+};
+
+std::string to_string(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;          ///< identifier spelling / literal spelling
+  std::uint64_t value = 0;   ///< numeric value (Number only)
+  int line = 1;
+  int column = 1;
+
+  std::string location() const {
+    return "line " + std::to_string(line) + ", column " + std::to_string(column);
+  }
+};
+
+/// Tokenize; fails on unterminated comments, malformed literals or stray
+/// characters.
+Result<std::vector<Token>> tokenize(const std::string& source);
+
+}  // namespace parserhawk::lang

@@ -1,0 +1,352 @@
+#include <optional>
+
+#include "lang/lang.h"
+#include "lang/lexer.h"
+#include "ir/builder.h"
+
+namespace parserhawk::lang {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. All methods return
+/// false after setting `error_`; the public entry point converts that into
+/// a Result.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParserSpec> run() {
+    if (!parse_parser()) return Result<ParserSpec>::err("parse-error", error_);
+    auto spec = builder_->build();
+    if (!spec) return Result<ParserSpec>::err(spec.error().code, spec.error().message);
+    if (spec->state_index("start") >= 0) {
+      SpecBuilder copy = *builder_;
+      copy.start("start");
+      return copy.build();
+    }
+    return spec;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t at = std::min(pos_ + static_cast<std::size_t>(ahead), tokens_.size() - 1);
+    return tokens_[at];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool check(TokKind kind) const { return peek().kind == kind; }
+  bool match(TokKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what + " (" + peek().location() + ", got " + describe(peek()) + ")";
+    return false;
+  }
+  static std::string describe(const Token& tok) {
+    if (tok.kind == TokKind::Identifier) return "'" + tok.text + "'";
+    if (tok.kind == TokKind::Number) return "'" + tok.text + "'";
+    return to_string(tok.kind);
+  }
+  bool expect(TokKind kind, const std::string& context) {
+    if (match(kind)) return true;
+    return fail("expected " + to_string(kind) + " " + context);
+  }
+  bool expect_keyword(const std::string& word) {
+    if (check(TokKind::Identifier) && peek().text == word) {
+      advance();
+      return true;
+    }
+    return fail("expected '" + word + "'");
+  }
+  bool at_keyword(const std::string& word) const {
+    return check(TokKind::Identifier) && peek().text == word;
+  }
+
+  bool parse_parser() {
+    if (!expect_keyword("parser")) return false;
+    if (!check(TokKind::Identifier)) return fail("expected parser name");
+    builder_.emplace(advance().text);
+    if (!expect(TokKind::LBrace, "after parser name")) return false;
+    while (!check(TokKind::RBrace)) {
+      if (at_keyword("field")) {
+        if (!parse_field()) return false;
+      } else if (at_keyword("state")) {
+        if (!parse_state()) return false;
+      } else {
+        return fail("expected 'field' or 'state'");
+      }
+    }
+    advance();  // '}'
+    if (!check(TokKind::End)) return fail("trailing input after parser body");
+    return true;
+  }
+
+  bool parse_field() {
+    advance();  // 'field'
+    if (!check(TokKind::Identifier)) return fail("expected field name");
+    std::string name = advance().text;
+    if (!expect(TokKind::Colon, "after field name")) return false;
+    if (at_keyword("varbit")) {
+      advance();
+      if (!expect(TokKind::Less, "after 'varbit'")) return false;
+      if (!check(TokKind::Number)) return fail("expected varbit max width");
+      int width = static_cast<int>(advance().value);
+      if (!expect(TokKind::Greater, "after varbit width")) return false;
+      builder_->varbit_field(name, width);
+    } else if (check(TokKind::Number)) {
+      builder_->field(name, static_cast<int>(advance().value));
+    } else {
+      return fail("expected field width or 'varbit<..>'");
+    }
+    return expect(TokKind::Semicolon, "after field declaration");
+  }
+
+  bool parse_state() {
+    advance();  // 'state'
+    if (!check(TokKind::Identifier)) return fail("expected state name");
+    std::string name = advance().text;
+    if (name == "accept" || name == "reject")
+      return fail("'" + name + "' is a reserved state name");
+    StateBuilder state = builder_->state(name);
+    if (!expect(TokKind::LBrace, "after state name")) return false;
+    bool saw_transition = false;
+    while (!check(TokKind::RBrace)) {
+      if (at_keyword("extract")) {
+        if (saw_transition) return fail("extract after transition");
+        if (!parse_extract(state)) return false;
+      } else if (at_keyword("transition")) {
+        if (saw_transition) return fail("multiple transitions in one state");
+        saw_transition = true;
+        if (!parse_transition(state)) return false;
+      } else {
+        return fail("expected 'extract' or 'transition'");
+      }
+    }
+    advance();  // '}'
+    if (!saw_transition) state.otherwise("reject");
+    return true;
+  }
+
+  bool parse_extract(StateBuilder& state) {
+    advance();  // 'extract'
+    if (!expect(TokKind::LParen, "after 'extract'")) return false;
+    if (!check(TokKind::Identifier)) return fail("expected field name in extract");
+    std::string field = advance().text;
+    if (match(TokKind::Comma)) {
+      // varbit length expression: len = [scale *] lenField [(+|-) base]
+      if (!expect_keyword("len")) return false;
+      if (!expect(TokKind::Equals, "after 'len'")) return false;
+      int scale = 1, base = 0;
+      if (check(TokKind::Number)) {
+        scale = static_cast<int>(advance().value);
+        if (!expect(TokKind::Star, "after length scale")) return false;
+      }
+      if (!check(TokKind::Identifier)) return fail("expected length field");
+      std::string len_field = advance().text;
+      if (match(TokKind::Plus)) {
+        if (!check(TokKind::Number)) return fail("expected length offset");
+        base = static_cast<int>(advance().value);
+      } else if (match(TokKind::Minus)) {
+        if (!check(TokKind::Number)) return fail("expected length offset");
+        base = -static_cast<int>(advance().value);
+      }
+      try {
+        state.extract_var(field, len_field, scale, base);
+      } catch (const std::invalid_argument& e) {
+        return fail(e.what());
+      }
+    } else {
+      try {
+        state.extract(field);
+      } catch (const std::invalid_argument& e) {
+        return fail(e.what());
+      }
+    }
+    if (!expect(TokKind::RParen, "after extract arguments")) return false;
+    return expect(TokKind::Semicolon, "after extract");
+  }
+
+  bool parse_transition(StateBuilder& state) {
+    advance();  // 'transition'
+    if (at_keyword("select")) {
+      advance();
+      if (!expect(TokKind::LParen, "after 'select'")) return false;
+      std::vector<KeyPart> parts;
+      do {
+        auto part = parse_key_part();
+        if (!part) return false;
+        parts.push_back(*part);
+      } while (match(TokKind::Comma));
+      if (!expect(TokKind::RParen, "after select key")) return false;
+      state.select(std::move(parts));
+      if (!expect(TokKind::LBrace, "before select entries")) return false;
+      while (!check(TokKind::RBrace)) {
+        if (!parse_entry(state)) return false;
+      }
+      advance();  // '}'
+      return true;
+    }
+    // Unconditional transition.
+    if (!check(TokKind::Identifier)) return fail("expected transition target");
+    std::string target = advance().text;
+    state.otherwise(target);
+    return expect(TokKind::Semicolon, "after transition target");
+  }
+
+  std::optional<KeyPart> parse_key_part() {
+    if (at_keyword("lookahead")) {
+      advance();
+      if (!expect(TokKind::Less, "after 'lookahead'")) return std::nullopt;
+      if (!check(TokKind::Number)) {
+        fail("expected lookahead offset");
+        return std::nullopt;
+      }
+      int off = static_cast<int>(advance().value);
+      if (!expect(TokKind::Comma, "between lookahead offset and width")) return std::nullopt;
+      if (!check(TokKind::Number)) {
+        fail("expected lookahead width");
+        return std::nullopt;
+      }
+      int len = static_cast<int>(advance().value);
+      if (!expect(TokKind::Greater, "after lookahead")) return std::nullopt;
+      return SpecBuilder::lookahead(off, len);
+    }
+    if (!check(TokKind::Identifier)) {
+      fail("expected field or lookahead in select key");
+      return std::nullopt;
+    }
+    std::string field = advance().text;
+    try {
+      if (match(TokKind::LBracket)) {
+        if (!check(TokKind::Number)) {
+          fail("expected slice start");
+          return std::nullopt;
+        }
+        int lo = static_cast<int>(advance().value);
+        if (!expect(TokKind::Colon, "inside slice")) return std::nullopt;
+        if (!check(TokKind::Number)) {
+          fail("expected slice end");
+          return std::nullopt;
+        }
+        int hi = static_cast<int>(advance().value);
+        if (!expect(TokKind::RBracket, "after slice")) return std::nullopt;
+        if (hi <= lo) {
+          fail("slice end must be greater than slice start");
+          return std::nullopt;
+        }
+        return builder_->slice(field, lo, hi - lo);
+      }
+      return builder_->whole(field);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+      return std::nullopt;
+    }
+  }
+
+  bool parse_entry(StateBuilder& state) {
+    if (at_keyword("default")) {
+      advance();
+      if (!expect(TokKind::Colon, "after 'default'")) return false;
+      if (!check(TokKind::Identifier)) return fail("expected entry target");
+      state.otherwise(advance().text);
+      return expect(TokKind::Semicolon, "after entry");
+    }
+    if (!check(TokKind::Number)) return fail("expected entry value or 'default'");
+    std::uint64_t value = advance().value;
+    std::optional<std::uint64_t> mask;
+    if (match(TokKind::MaskOp)) {
+      if (!check(TokKind::Number)) return fail("expected mask after '&&&'");
+      mask = advance().value;
+    }
+    if (!expect(TokKind::Colon, "after entry condition")) return false;
+    if (!check(TokKind::Identifier)) return fail("expected entry target");
+    std::string target = advance().text;
+    if (mask)
+      state.when(value, *mask, target);
+    else
+      state.when_exact(value, target);
+    return expect(TokKind::Semicolon, "after entry");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::optional<SpecBuilder> builder_;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<ParserSpec> parse_source(const std::string& source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return Result<ParserSpec>::err(tokens.error().code, tokens.error().message);
+  Parser parser(std::move(*tokens));
+  return parser.run();
+}
+
+std::string emit_source(const ParserSpec& spec) {
+  std::string out = "parser " + spec.name + " {\n";
+  for (const auto& f : spec.fields) {
+    out += "  field " + f.name + " : ";
+    out += f.varbit ? "varbit<" + std::to_string(f.width) + ">" : std::to_string(f.width);
+    out += ";\n";
+  }
+  // Emit the start state first so the "first state is start" convention
+  // round-trips specs whose start is not named "start".
+  std::vector<int> order;
+  order.push_back(spec.start);
+  for (int s = 0; s < static_cast<int>(spec.states.size()); ++s)
+    if (s != spec.start) order.push_back(s);
+
+  for (int s : order) {
+    const State& st = spec.states[static_cast<std::size_t>(s)];
+    out += "  state " + st.name + " {\n";
+    for (const auto& ex : st.extracts) {
+      const Field& f = spec.fields[static_cast<std::size_t>(ex.field)];
+      out += "    extract(" + f.name;
+      if (ex.len_field >= 0) {
+        out += ", len = " + std::to_string(ex.len_scale) + " * " +
+               spec.fields[static_cast<std::size_t>(ex.len_field)].name;
+        if (ex.len_base > 0) out += " + " + std::to_string(ex.len_base);
+        if (ex.len_base < 0) out += " - " + std::to_string(-ex.len_base);
+      }
+      out += ");\n";
+    }
+    if (st.rules.size() == 1 && st.rules[0].is_default()) {
+      out += "    transition " + state_name(spec, st.rules[0].next) + ";\n";
+    } else if (!st.rules.empty()) {
+      out += "    transition select(";
+      for (std::size_t k = 0; k < st.key.size(); ++k) {
+        const KeyPart& p = st.key[k];
+        if (k) out += ", ";
+        if (p.kind == KeyPart::Kind::Lookahead) {
+          out += "lookahead<" + std::to_string(p.lo) + ", " + std::to_string(p.len) + ">";
+        } else {
+          const Field& f = spec.fields[static_cast<std::size_t>(p.field)];
+          out += f.name;
+          if (p.lo != 0 || p.len != f.width)
+            out += "[" + std::to_string(p.lo) + ":" + std::to_string(p.lo + p.len) + "]";
+        }
+      }
+      out += ") {\n";
+      int kw = st.key_width();
+      std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : kw == 0 ? 0 : ((std::uint64_t{1} << kw) - 1);
+      for (const auto& r : st.rules) {
+        out += "      ";
+        if (r.is_default()) {
+          out += "default";
+        } else {
+          out += std::to_string(r.value);
+          if (r.mask != full) out += " &&& " + std::to_string(r.mask);
+        }
+        out += " : " + state_name(spec, r.next) + ";\n";
+      }
+      out += "    }\n";
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace parserhawk::lang

@@ -1,0 +1,302 @@
+#include "postopt/postopt.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace parserhawk {
+
+namespace {
+
+int extract_bits(const TcamProgram& prog, const std::vector<ExtractOp>& extracts) {
+  int bits = 0;
+  for (const auto& ex : extracts) bits += prog.fields.at(static_cast<std::size_t>(ex.field)).width;
+  return bits;
+}
+
+/// Renumber entry priorities within each (table, state) to 0..k-1
+/// preserving order.
+void compact_priorities(TcamProgram& prog) {
+  std::map<std::pair<int, int>, int> counter;
+  std::stable_sort(prog.entries.begin(), prog.entries.end(), [](const TcamEntry& a, const TcamEntry& b) {
+    return std::tie(a.table, a.state, a.entry) < std::tie(b.table, b.state, b.entry);
+  });
+  for (auto& e : prog.entries) e.entry = counter[{e.table, e.state}]++;
+}
+
+}  // namespace
+
+TcamProgram inline_terminal_extracts(const TcamProgram& prog, const HwProfile& profile) {
+  TcamProgram cur = prog;
+  for (bool changed = true; changed;) {
+    changed = false;
+    // Find a candidate: exactly one row, unconditional, extracting state.
+    std::map<std::pair<int, int>, std::vector<std::size_t>> rows_by_state;
+    for (std::size_t i = 0; i < cur.entries.size(); ++i)
+      rows_by_state[{cur.entries[i].table, cur.entries[i].state}].push_back(i);
+
+    for (const auto& [loc, rows] : rows_by_state) {
+      if (rows.size() != 1) continue;
+      const TcamEntry victim = cur.entries[rows[0]];
+      if (victim.mask != 0) continue;
+      if (victim.extracts.empty()) continue;  // nothing to inline; leave for dead-state cleanup
+      if (loc == std::make_pair(cur.start_table, cur.start_state)) continue;
+      if (victim.next_table == loc.first && victim.next_state == loc.second) continue;  // self loop
+
+      // All predecessors must absorb the extracts within the device limit.
+      std::vector<std::size_t> preds;
+      bool ok = true;
+      for (std::size_t i = 0; i < cur.entries.size(); ++i) {
+        if (i == rows[0]) continue;
+        const TcamEntry& e = cur.entries[i];
+        if (e.next_table == loc.first && e.next_state == loc.second) {
+          std::vector<ExtractOp> merged = e.extracts;
+          merged.insert(merged.end(), victim.extracts.begin(), victim.extracts.end());
+          if (extract_bits(cur, merged) > profile.extract_limit_bits) {
+            ok = false;
+            break;
+          }
+          preds.push_back(i);
+        }
+      }
+      if (!ok) continue;
+
+      for (std::size_t i : preds) {
+        TcamEntry& e = cur.entries[i];
+        e.extracts.insert(e.extracts.end(), victim.extracts.begin(), victim.extracts.end());
+        e.next_table = victim.next_table;
+        e.next_state = victim.next_state;
+      }
+      cur.entries.erase(cur.entries.begin() + static_cast<std::ptrdiff_t>(rows[0]));
+      cur.layouts.erase(loc);
+      changed = true;
+      break;  // indices shifted; restart the scan
+    }
+  }
+  compact_priorities(cur);
+  return cur;
+}
+
+Result<TcamProgram> split_wide_extracts(const TcamProgram& prog, const HwProfile& profile) {
+  TcamProgram cur = prog;
+  // Fresh state ids start above everything in use.
+  int next_state_id = 0;
+  for (const auto& e : cur.entries) next_state_id = std::max({next_state_id, e.state + 1, e.next_state + 1});
+
+  std::vector<TcamEntry> added;
+  for (auto& e : cur.entries) {
+    if (extract_bits(cur, e.extracts) <= profile.extract_limit_bits) continue;
+    // Greedily take whole fields into per-row chunks.
+    std::vector<std::vector<ExtractOp>> chunks(1);
+    int used = 0;
+    for (const auto& ex : e.extracts) {
+      int w = cur.fields.at(static_cast<std::size_t>(ex.field)).width;
+      if (w > profile.extract_limit_bits)
+        return Result<TcamProgram>::err(
+            "extract-too-wide", "field '" + cur.fields[static_cast<std::size_t>(ex.field)].name +
+                                    "' is wider than the per-entry extraction limit");
+      if (used + w > profile.extract_limit_bits) {
+        chunks.emplace_back();
+        used = 0;
+      }
+      chunks.back().push_back(ex);
+      used += w;
+    }
+    // Row keeps the first chunk and continues into fresh pass-through
+    // states for the rest; the chain is built back-to-front.
+    int next_t = e.next_table;
+    int next_s = e.next_state;
+    for (std::size_t c = chunks.size() - 1; c >= 1; --c) {
+      int sid = next_state_id++;
+      TcamEntry cont;
+      cont.table = e.table;  // flat program: stage assignment comes later
+      cont.state = sid;
+      cont.entry = 0;
+      cont.mask = 0;
+      cont.extracts = chunks[c];
+      cont.next_table = next_t;
+      cont.next_state = next_s;
+      added.push_back(cont);
+      next_t = cont.table;
+      next_s = sid;
+    }
+    e.extracts = chunks[0];
+    e.next_table = next_t;
+    e.next_state = next_s;
+  }
+  cur.entries.insert(cur.entries.end(), added.begin(), added.end());
+  compact_priorities(cur);
+  return cur;
+}
+
+Result<TcamProgram> assign_stages(const TcamProgram& prog, const HwProfile& profile) {
+  TcamProgram cur = prog;
+
+  // Collect states and edges of the (flat) program.
+  std::set<int> states;
+  for (const auto& e : cur.entries) states.insert(e.state);
+  states.insert(cur.start_state);
+
+  // --- Row spilling: a state with more rows than a stage can hold
+  // continues into the next state through a fall-through default row. ---
+  int next_state_id = 0;
+  for (const auto& e : cur.entries) next_state_id = std::max({next_state_id, e.state + 1, e.next_state + 1});
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::map<int, std::vector<std::size_t>> rows_of;
+    for (std::size_t i = 0; i < cur.entries.size(); ++i) rows_of[cur.entries[i].state].push_back(i);
+    for (auto& [state, rows] : rows_of) {
+      if (static_cast<int>(rows.size()) <= profile.tcam_entry_limit) continue;
+      std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+        return cur.entries[a].entry < cur.entries[b].entry;
+      });
+      int keep = profile.tcam_entry_limit - 1;  // one slot for the fall-through
+      int cont_id = next_state_id++;
+      for (std::size_t i = static_cast<std::size_t>(keep); i < rows.size(); ++i)
+        cur.entries[rows[i]].state = cont_id;
+      TcamEntry fall;
+      fall.table = 0;
+      fall.state = state;
+      fall.entry = 1 << 20;  // lowest priority; compacted below
+      fall.mask = 0;
+      fall.next_table = 0;
+      fall.next_state = cont_id;
+      cur.entries.push_back(fall);
+      // The continuation matches on the same key composition.
+      if (auto it = cur.layouts.find({0, state}); it != cur.layouts.end())
+        cur.layouts[{0, cont_id}] = it->second;
+      compact_priorities(cur);
+      changed = true;
+      break;
+    }
+  }
+
+  // --- Longest-path leveling (rejects cycles). ---
+  states.clear();
+  std::map<int, std::vector<int>> succ;
+  for (const auto& e : cur.entries) {
+    states.insert(e.state);
+    if (is_real_state(e.next_state)) succ[e.state].push_back(e.next_state);
+  }
+  states.insert(cur.start_state);
+
+  std::map<int, int> level;
+  {
+    std::map<int, int> mark;  // 0 white, 1 grey, 2 black
+    bool cyclic = false;
+    std::function<int(int)> depth = [&](int s) -> int {
+      if (mark[s] == 1) {
+        cyclic = true;
+        return 0;
+      }
+      auto it = level.find(s);
+      if (mark[s] == 2 && it != level.end()) return it->second;
+      mark[s] = 1;
+      int d = 0;
+      for (int t : succ[s]) d = std::max(d, depth(t) + 1);
+      mark[s] = 2;
+      level[s] = d;
+      return d;
+    };
+    for (int s : states) depth(s);
+    if (cyclic)
+      return Result<TcamProgram>::err("parser-loop",
+                                      "program has a cycle; unroll loops before pipelining");
+  }
+  // Convert "height" to ASAP stage index.
+  std::map<int, int> stage;
+  {
+    std::function<void(int, int)> place = [&](int s, int at) {
+      auto it = stage.find(s);
+      if (it != stage.end() && it->second >= at) return;
+      stage[s] = at;
+      for (int t : succ[s]) place(t, at + 1);
+    };
+    place(cur.start_state, 0);
+    for (int s : states)
+      if (!stage.count(s)) place(s, 0);  // unreachable leftovers
+  }
+
+  // --- Capacity legalization: per-stage entry budget. ---
+  std::map<int, int> rows_per_state;
+  for (const auto& e : cur.entries) ++rows_per_state[e.state];
+  for (int round = 0; round < profile.stage_limit * static_cast<int>(states.size()) + 8; ++round) {
+    std::map<int, int> load;
+    for (int s : states) load[stage[s]] += rows_per_state[s];
+    int bad_stage = -1;
+    for (const auto& [st, n] : load)
+      if (n > profile.tcam_entry_limit) {
+        bad_stage = st;
+        break;
+      }
+    if (bad_stage < 0) break;
+    // Push the smallest non-start state of the stage one stage later.
+    int victim = -1;
+    for (int s : states)
+      if (stage[s] == bad_stage && s != cur.start_state &&
+          (victim < 0 || rows_per_state[s] < rows_per_state[victim]))
+        victim = s;
+    if (victim < 0)
+      return Result<TcamProgram>::err("too-many-tcam", "a single stage cannot hold the start state's rows");
+    std::function<void(int, int)> push = [&](int s, int at) {
+      if (stage[s] >= at) return;
+      stage[s] = at;
+      for (int t : succ[s]) push(t, at + 1);
+    };
+    push(victim, bad_stage + 1);
+  }
+
+  int max_stage = 0;
+  for (int s : states) max_stage = std::max(max_stage, stage[s]);
+  if (max_stage >= profile.stage_limit)
+    return Result<TcamProgram>::err("too-many-stages",
+                                    "needs " + std::to_string(max_stage + 1) + " stages, device has " +
+                                        std::to_string(profile.stage_limit));
+
+  // --- Apply. ---
+  std::map<std::pair<int, int>, StateLayout> new_layouts;
+  for (const auto& [key, layout] : cur.layouts) new_layouts[{stage[key.second], key.second}] = layout;
+  cur.layouts = std::move(new_layouts);
+  for (auto& e : cur.entries) {
+    e.table = stage[e.state];
+    if (is_real_state(e.next_state)) e.next_table = stage[e.next_state];
+  }
+  cur.start_table = stage[cur.start_state];
+  compact_priorities(cur);
+  return cur;
+}
+
+Result<TcamProgram> restore_varbit_extracts(const TcamProgram& prog, const ParserSpec& original) {
+  TcamProgram cur = prog;
+  std::map<int, ExtractOp> varbit_ops;
+  for (const auto& st : original.states)
+    for (const auto& ex : st.extracts) {
+      if (ex.len_field < 0) continue;
+      auto it = varbit_ops.find(ex.field);
+      if (it != varbit_ops.end() &&
+          (it->second.len_field != ex.len_field || it->second.len_scale != ex.len_scale ||
+           it->second.len_base != ex.len_base))
+        return Result<TcamProgram>::err(
+            "varbit-ambiguous", "field '" + original.fields[static_cast<std::size_t>(ex.field)].name +
+                                    "' extracted with two different length formulas");
+      varbit_ops[ex.field] = ex;
+    }
+  for (std::size_t f = 0; f < original.fields.size() && f < cur.fields.size(); ++f)
+    cur.fields[f].varbit = original.fields[f].varbit;
+  for (auto& e : cur.entries)
+    for (auto& ex : e.extracts) {
+      auto it = varbit_ops.find(ex.field);
+      if (it != varbit_ops.end()) ex = it->second;
+    }
+  return cur;
+}
+
+TcamProgram restore_field_widths(const TcamProgram& prog, const std::vector<Field>& original_fields) {
+  TcamProgram cur = prog;
+  for (std::size_t f = 0; f < original_fields.size() && f < cur.fields.size(); ++f)
+    cur.fields[f].width = original_fields[f].width;
+  return cur;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,57 @@
+// Post-synthesis optimization (§5.3).
+//
+// The synthesis phase deliberately works on a restricted implementation
+// shape (one extraction bundle per row, flat single-table layout, fixed
+// field widths). These passes lift the result onto real hardware:
+//
+//  * inline_terminal_extracts — the paper's "recursively merge parser
+//    states that do field extraction and have only 1 default state
+//    transition rule with their adjacent states". A state whose whole
+//    behavior is one unconditional extract-and-go row is folded into every
+//    row that targets it, deleting one TCAM entry per such state (and one
+//    pipeline stage on pipelined devices).
+//  * split_wide_extracts — a row that extracts more bits than the device's
+//    extraction-length limit is split into a chain of extraction rows
+//    ("divide a parser state that extracts a large-size packet field into
+//    multiple ones").
+//  * assign_stages — place states of a single-table program into pipeline
+//    stages for pipelined devices: longest-path leveling, strictly-forward
+//    transitions, per-stage entry capacity with row spilling (a state with
+//    too many rows continues into the next stage through a fall-through
+//    default row).
+//  * restore_varbit_extracts / restore_field_widths — invert Opt6/Opt2.
+#pragma once
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "support/result.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+/// Fold single-row unconditional extract states into their predecessors'
+/// rows, respecting the device's extraction-length limit. Runs to a
+/// fixpoint. The start state is never folded (it has no predecessor).
+TcamProgram inline_terminal_extracts(const TcamProgram& prog, const HwProfile& profile);
+
+/// Split rows whose extract set exceeds the extraction-length limit into a
+/// chain of rows across fresh states (field-granular: fails if one field is
+/// wider than the limit).
+Result<TcamProgram> split_wide_extracts(const TcamProgram& prog, const HwProfile& profile);
+
+/// Assign pipeline stages to a flat (all table-0) program for a pipelined
+/// device: ASAP leveling + capacity legalization + row spilling. Fails on
+/// cyclic programs ("parser-loop") and when more than profile.stage_limit
+/// stages would be needed ("too-many-stages").
+Result<TcamProgram> assign_stages(const TcamProgram& prog, const HwProfile& profile);
+
+/// Opt6 inverse: re-attach runtime-length extraction for fields that are
+/// varbit in `original`. Fails if a varbit field is extracted with two
+/// different length formulas in the original spec.
+Result<TcamProgram> restore_varbit_extracts(const TcamProgram& prog, const ParserSpec& original);
+
+/// Opt2 inverse: restore original field widths (the synthesized rows only
+/// ever matched on relevant bits, which are unaffected).
+TcamProgram restore_field_widths(const TcamProgram& prog, const std::vector<Field>& original_fields);
+
+}  // namespace parserhawk

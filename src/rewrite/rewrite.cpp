@@ -1,0 +1,307 @@
+#include "rewrite/rewrite.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+namespace parserhawk::rewrite {
+
+namespace {
+
+/// Indices of states that have at least one non-default rule.
+std::vector<int> keyed_states(const ParserSpec& spec) {
+  std::vector<int> out;
+  for (std::size_t s = 0; s < spec.states.size(); ++s)
+    for (const auto& r : spec.states[s].rules)
+      if (!r.is_default()) {
+        out.push_back(static_cast<int>(s));
+        break;
+      }
+  return out;
+}
+
+}  // namespace
+
+ParserSpec add_redundant_entries(const ParserSpec& spec, Rng& rng, int count) {
+  ParserSpec out = spec;
+  std::vector<int> targets = keyed_states(out);
+  if (targets.empty()) return out;
+  for (int i = 0; i < count; ++i) {
+    int s = targets[static_cast<std::size_t>(rng.below(targets.size()))];
+    State& st = out.state(s);
+    std::vector<std::size_t> nondefault;
+    for (std::size_t r = 0; r < st.rules.size(); ++r)
+      if (!st.rules[r].is_default()) nondefault.push_back(r);
+    std::size_t pick = nondefault[static_cast<std::size_t>(rng.below(nondefault.size()))];
+    // Insert the duplicate at any position *after* the original: shadowed,
+    // same target, so removing it never changes semantics.
+    std::size_t at = pick + 1 + static_cast<std::size_t>(rng.below(st.rules.size() - pick));
+    st.rules.insert(st.rules.begin() + static_cast<std::ptrdiff_t>(at), st.rules[pick]);
+  }
+  return out;
+}
+
+ParserSpec add_unreachable_entries(const ParserSpec& spec, Rng& rng, int count) {
+  ParserSpec out = spec;
+  std::vector<int> targets = keyed_states(out);
+  if (targets.empty()) return out;
+  for (int i = 0; i < count; ++i) {
+    int s = targets[static_cast<std::size_t>(rng.below(targets.size()))];
+    State& st = out.state(s);
+    std::vector<std::size_t> nondefault;
+    for (std::size_t r = 0; r < st.rules.size(); ++r)
+      if (!st.rules[r].is_default()) nondefault.push_back(r);
+    std::size_t pick = nondefault[static_cast<std::size_t>(rng.below(nondefault.size()))];
+    Rule ghost = st.rules[pick];
+    // Same condition, different destination, inserted directly below the
+    // original: it can never fire.
+    ghost.next = ghost.next == kReject ? kAccept : kReject;
+    st.rules.insert(st.rules.begin() + static_cast<std::ptrdiff_t>(pick) + 1, ghost);
+  }
+  return out;
+}
+
+ParserSpec split_entries(const ParserSpec& spec, Rng& rng, int count) {
+  ParserSpec out = spec;
+  for (int i = 0; i < count; ++i) {
+    // Find a rule with at least one free (uncared) bit inside the key.
+    std::vector<std::pair<int, std::size_t>> candidates;
+    for (std::size_t s = 0; s < out.states.size(); ++s) {
+      const State& st = out.states[s];
+      int kw = st.key_width();
+      std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : kw == 0 ? 0 : ((std::uint64_t{1} << kw) - 1);
+      for (std::size_t r = 0; r < st.rules.size(); ++r) {
+        const Rule& rule = st.rules[r];
+        if (rule.is_default()) continue;
+        if ((full & ~rule.mask) != 0) candidates.emplace_back(static_cast<int>(s), r);
+      }
+    }
+    if (candidates.empty()) return out;
+    auto [s, r] = candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+    State& st = out.state(s);
+    Rule rule = st.rules[r];
+    int kw = st.key_width();
+    std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+    std::uint64_t free = full & ~rule.mask;
+    // Pin the highest free bit both ways.
+    std::uint64_t bit = std::uint64_t{1} << (63 - std::countl_zero(free));
+    Rule zero = rule, one = rule;
+    zero.mask |= bit;
+    one.mask |= bit;
+    one.value |= bit;
+    st.rules[r] = zero;
+    st.rules.insert(st.rules.begin() + static_cast<std::ptrdiff_t>(r) + 1, one);
+  }
+  return out;
+}
+
+ParserSpec merge_entries(const ParserSpec& spec) {
+  ParserSpec out = spec;
+  for (auto& st : out.states) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t r = 0; r + 1 < st.rules.size(); ++r) {
+        Rule& a = st.rules[r];
+        Rule& b = st.rules[r + 1];
+        if (a.is_default() || b.is_default()) continue;
+        if (a.next != b.next || a.mask != b.mask) continue;
+        std::uint64_t diff = (a.value ^ b.value) & a.mask;
+        if (std::popcount(diff) != 1) continue;
+        a.mask &= ~diff;
+        a.value &= a.mask;
+        st.rules.erase(st.rules.begin() + static_cast<std::ptrdiff_t>(r) + 1);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<ParserSpec> split_transition_key(const ParserSpec& spec, int state, int split_at) {
+  if (state < 0 || state >= static_cast<int>(spec.states.size()))
+    return Result<ParserSpec>::err("bad-state", "state index out of range");
+  const State& st = spec.state(state);
+  int kw = st.key_width();
+  if (kw < 2) return Result<ParserSpec>::err("key-too-narrow", "cannot split a <2-bit key");
+  if (split_at < 0) split_at = kw / 2;
+  if (split_at <= 0 || split_at >= kw)
+    return Result<ParserSpec>::err("bad-split", "split point outside the key");
+  std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+  for (const auto& r : st.rules)
+    if (!r.is_default() && r.mask != full)
+      return Result<ParserSpec>::err("masked-rules", "split requires exact-match rules");
+
+  // Slice the key part list at bit `split_at`.
+  auto slice_parts = [&](int lo, int hi) {
+    std::vector<KeyPart> parts;
+    int at = 0;
+    for (const auto& p : st.key) {
+      int plo = std::max(lo - at, 0);
+      int phi = std::min(hi - at, p.len);
+      if (phi > plo) parts.push_back(KeyPart{p.kind, p.field, p.lo + plo, phi - plo});
+      at += p.len;
+    }
+    return parts;
+  };
+
+  ParserSpec out = spec;
+  State& head = out.state(state);
+  head.key = slice_parts(0, split_at);
+
+  int default_next = kReject;
+  for (const auto& r : st.rules)
+    if (r.is_default()) {
+      default_next = r.next;
+      break;
+    }
+
+  // Group exact rules by key prefix; one continuation state per prefix.
+  head.rules.clear();
+  std::map<std::uint64_t, std::vector<Rule>> groups;
+  std::vector<std::uint64_t> order;
+  int suffix_w = kw - split_at;
+  std::uint64_t suffix_mask = suffix_w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << suffix_w) - 1);
+  for (const auto& r : st.rules) {
+    if (r.is_default()) continue;
+    std::uint64_t prefix = r.value >> suffix_w;
+    if (!groups.count(prefix)) order.push_back(prefix);
+    groups[prefix].push_back(Rule{r.value & suffix_mask, suffix_mask, r.next});
+  }
+  std::uint64_t prefix_full = split_at >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << split_at) - 1);
+  for (std::uint64_t prefix : order) {
+    State cont;
+    cont.name = st.name + "_k" + std::to_string(prefix);
+    cont.key = slice_parts(split_at, kw);
+    cont.rules = groups[prefix];
+    cont.rules.push_back(Rule{0, 0, default_next});
+    int cont_id = static_cast<int>(out.states.size());
+    out.states.push_back(std::move(cont));
+    out.state(state).rules.push_back(Rule{prefix, prefix_full, cont_id});
+  }
+  out.state(state).rules.push_back(Rule{0, 0, default_next});
+  return out;
+}
+
+ParserSpec merge_split_key(const ParserSpec& spec) {
+  ParserSpec cur = spec;
+  for (bool changed = true; changed;) {
+    changed = false;
+    // In-degree over live graph.
+    std::vector<int> deg(cur.states.size(), 0);
+    for (const auto& st : cur.states)
+      for (const auto& r : st.rules)
+        if (is_real_state(r.next)) ++deg[static_cast<std::size_t>(r.next)];
+
+    for (std::size_t s = 0; s < cur.states.size() && !changed; ++s) {
+      State& head = cur.states[s];
+      if (head.key.empty() || head.rules.size() < 2) continue;
+      int prefix_w = head.key_width();
+      std::uint64_t prefix_full =
+          prefix_w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << prefix_w) - 1);
+      // All non-default rules must be exact and lead to extract-free,
+      // single-predecessor states sharing one key structure and one
+      // trailing default target.
+      int default_next = kReject;
+      bool ok = true;
+      std::vector<const Rule*> prefix_rules;
+      for (const auto& r : head.rules) {
+        if (r.is_default()) {
+          default_next = r.next;
+          continue;
+        }
+        if (r.mask != prefix_full || !is_real_state(r.next) ||
+            deg[static_cast<std::size_t>(r.next)] != 1 || r.next == static_cast<int>(s) ||
+            r.next == cur.start) {
+          ok = false;
+          break;
+        }
+        prefix_rules.push_back(&r);
+      }
+      if (!ok || prefix_rules.empty()) continue;
+      const State& first = cur.state(prefix_rules[0]->next);
+      if (!first.extracts.empty() || first.key.empty()) continue;
+      int suffix_w = first.key_width();
+      std::uint64_t suffix_full =
+          suffix_w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << suffix_w) - 1);
+      if (prefix_w + suffix_w > 64) continue;
+      for (const Rule* pr : prefix_rules) {
+        const State& cont = cur.state(pr->next);
+        if (!cont.extracts.empty() || !(cont.key == first.key)) ok = false;
+        if (cont.rules.empty() || !cont.rules.back().is_default() ||
+            cont.rules.back().next != default_next)
+          ok = false;
+        for (const auto& cr : cont.rules)
+          if (!cr.is_default() && cr.mask != suffix_full) ok = false;
+        if (!ok) break;
+      }
+      if (!ok) continue;
+
+      // Fold.
+      State merged = head;
+      merged.key.insert(merged.key.end(), first.key.begin(), first.key.end());
+      merged.rules.clear();
+      std::set<int> absorbed;
+      std::uint64_t wide_full = prefix_w + suffix_w >= 64
+                                    ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << (prefix_w + suffix_w)) - 1);
+      for (const Rule* pr : prefix_rules) {
+        const State& cont = cur.state(pr->next);
+        absorbed.insert(pr->next);
+        for (const auto& cr : cont.rules) {
+          if (cr.is_default()) continue;
+          merged.rules.push_back(
+              Rule{(pr->value << suffix_w) | cr.value, wide_full, cr.next});
+        }
+      }
+      merged.rules.push_back(Rule{0, 0, default_next});
+      cur.states[s] = std::move(merged);
+      std::vector<bool> keep(cur.states.size(), true);
+      for (int a : absorbed) keep[static_cast<std::size_t>(a)] = false;
+      // Compact.
+      std::vector<int> remap(cur.states.size(), -1);
+      ParserSpec next_spec;
+      next_spec.name = cur.name;
+      next_spec.fields = cur.fields;
+      for (std::size_t i = 0; i < cur.states.size(); ++i) {
+        if (!keep[i]) continue;
+        remap[i] = static_cast<int>(next_spec.states.size());
+        next_spec.states.push_back(cur.states[i]);
+      }
+      for (auto& st2 : next_spec.states)
+        for (auto& r2 : st2.rules)
+          if (is_real_state(r2.next)) r2.next = remap[static_cast<std::size_t>(r2.next)];
+      next_spec.start = remap[static_cast<std::size_t>(cur.start)];
+      cur = std::move(next_spec);
+      changed = true;
+    }
+  }
+  return cur;
+}
+
+ParserSpec split_states(const ParserSpec& spec, Rng& rng, int count) {
+  ParserSpec out = spec;
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> candidates;
+    for (std::size_t s = 0; s < out.states.size(); ++s)
+      if (out.states[s].extracts.size() >= 2) candidates.push_back(static_cast<int>(s));
+    if (candidates.empty()) return out;
+    int s = candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+    State& st = out.state(s);
+    std::size_t cut = 1 + static_cast<std::size_t>(rng.below(st.extracts.size() - 1));
+    State tail;
+    tail.name = st.name + "_tail";
+    tail.extracts.assign(st.extracts.begin() + static_cast<std::ptrdiff_t>(cut), st.extracts.end());
+    tail.key = st.key;
+    tail.rules = st.rules;
+    st.extracts.resize(cut);
+    st.key.clear();
+    int tail_id = static_cast<int>(out.states.size());
+    st.rules = {Rule{0, 0, tail_id}};
+    out.states.push_back(std::move(tail));
+  }
+  return out;
+}
+
+}  // namespace parserhawk::rewrite

@@ -1,0 +1,61 @@
+// Semantic-preserving rewrite rules (Figure 21).
+//
+// The paper mutates each benchmark with ±R1..±R5 to model the many ways
+// developers write the same parser: redundant entries left behind during
+// maintenance (R1), unreachable entries (R2), entries split into exact
+// matches instead of masked families (R3), transition keys split across
+// states because the author knows one device's width limit (R4), and
+// states split per extraction (R5). ParserHawk's resource usage must be
+// invariant under all of them; the baselines' is not (§7.2).
+//
+// The + direction adds the artifact; the - direction removes it:
+//   +R1 add_redundant_entries    / -R1 prune (src/synth/normalize)
+//   +R2 add_unreachable_entries  / -R2 prune
+//   +R3 split_entries            / -R3 merge_entries
+//   +R4 split_transition_key     / -R4 merge_split_key
+//   +R5 split_states             / -R5 merge_extract_chains
+//
+// Every rewrite preserves §4 semantics; tests check this by differential
+// sampling.
+#pragma once
+
+#include "ir/ir.h"
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace parserhawk::rewrite {
+
+/// +R1: duplicate up to `count` existing non-default rules at a lower
+/// priority (they can never fire; same target, so also redundant).
+ParserSpec add_redundant_entries(const ParserSpec& spec, Rng& rng, int count = 2);
+
+/// +R2: insert up to `count` rules that are fully shadowed by an existing
+/// higher-priority rule but transition somewhere *else* — the pattern that
+/// trips the IPU proxy's "conflict-transition" check.
+ParserSpec add_unreachable_entries(const ParserSpec& spec, Rng& rng, int count = 2);
+
+/// +R3: expand up to `count` masked rules into two half-cube rules each
+/// (one free mask bit pinned both ways).
+ParserSpec split_entries(const ParserSpec& spec, Rng& rng, int count = 2);
+
+/// -R3: conservatively merge adjacent same-target rules whose values
+/// differ in exactly one cared bit.
+ParserSpec merge_entries(const ParserSpec& spec);
+
+/// +R4: split `state`'s transition key at bit `split_at` (default: middle):
+/// the state keeps the key prefix and dispatches to fresh per-prefix
+/// continuation states matching the suffix. Requires all non-default rules
+/// of the state to be exact matches. Fails otherwise.
+Result<ParserSpec> split_transition_key(const ParserSpec& spec, int state, int split_at = -1);
+
+/// -R4: recognize the split pattern produced above (exact-prefix dispatch
+/// into single-predecessor, extract-free suffix states) and fold it back
+/// into one wide-key state. Returns the spec unchanged when no instance of
+/// the pattern exists.
+ParserSpec merge_split_key(const ParserSpec& spec);
+
+/// +R5: split up to `count` multi-extract states into an extract-prefix
+/// state chained to the remainder by a default transition.
+ParserSpec split_states(const ParserSpec& spec, Rng& rng, int count = 1);
+
+}  // namespace parserhawk::rewrite

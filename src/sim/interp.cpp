@@ -1,0 +1,174 @@
+#include "sim/interp.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/bitstream.h"
+
+namespace parserhawk {
+
+std::string to_string(ParseOutcome outcome) {
+  switch (outcome) {
+    case ParseOutcome::Accepted: return "accept";
+    case ParseOutcome::Rejected: return "reject";
+    case ParseOutcome::Exhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Runtime width of one extract op given already-parsed values.
+/// Returns -1 when the varbit length source is unavailable.
+int runtime_width(const std::vector<Field>& fields, const ExtractOp& ex, const OutputDict& dict) {
+  const Field& f = fields.at(static_cast<std::size_t>(ex.field));
+  if (!f.varbit) return f.width;
+  auto it = dict.find(ex.len_field);
+  if (it == dict.end()) return -1;
+  long long len = ex.len_base + static_cast<long long>(ex.len_scale) * static_cast<long long>(it->second.to_u64());
+  return static_cast<int>(std::clamp(len, 0LL, static_cast<long long>(f.width)));
+}
+
+/// Perform one extract; false => out of input (caller rejects).
+bool do_extract(const std::vector<Field>& fields, const ExtractOp& ex, Bitstream& in, OutputDict& dict) {
+  int width = runtime_width(fields, ex, dict);
+  if (width < 0) return false;
+  auto bits = in.read(width);
+  if (!bits) return false;
+  dict[ex.field] = std::move(*bits);
+  return true;
+}
+
+/// Evaluate a transition key over parsed fields + lookahead.
+///
+/// `missing_is_zero` selects the hardware flavor: TCAM match registers read
+/// as zero when never written (implementation side), whereas a P4
+/// specification that selects on a never-extracted field rejects (spec
+/// side). Lookahead past the end of the packet rejects on both sides.
+std::optional<std::uint64_t> eval_key(const std::vector<Field>& fields, const std::vector<KeyPart>& parts,
+                                      const Bitstream& in, const OutputDict& dict,
+                                      bool missing_is_zero) {
+  (void)fields;
+  std::uint64_t key = 0;
+  for (const auto& p : parts) {
+    if (p.kind == KeyPart::Kind::FieldSlice) {
+      auto it = dict.find(p.field);
+      if (it == dict.end() || p.lo + p.len > it->second.size()) {
+        if (!missing_is_zero) return std::nullopt;
+        key = key << p.len;  // unwritten match register: zeros
+        continue;
+      }
+      key = (key << p.len) | it->second.slice(p.lo, p.len).to_u64();
+    } else {
+      auto peeked = in.peek(p.lo, p.len);
+      if (!peeked) return std::nullopt;
+      key = (key << p.len) | peeked->to_u64();
+    }
+  }
+  return key;
+}
+
+ParseResult finish(ParseOutcome outcome, OutputDict dict, const Bitstream& in, int iterations) {
+  ParseResult r;
+  r.outcome = outcome;
+  r.dict = std::move(dict);
+  r.bits_consumed = in.position();
+  r.iterations = iterations;
+  return r;
+}
+
+}  // namespace
+
+ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations) {
+  Bitstream in(input);
+  OutputDict dict;
+  int state = spec.start;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    if (state == kAccept) return finish(ParseOutcome::Accepted, std::move(dict), in, iter);
+    if (state == kReject) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    const State& st = spec.state(state);
+    for (const auto& ex : st.extracts)
+      if (!do_extract(spec.fields, ex, in, dict))
+        return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    if (st.rules.empty()) {
+      state = kReject;
+      continue;
+    }
+    std::uint64_t key = 0;
+    if (!st.key.empty()) {
+      auto k = eval_key(spec.fields, st.key, in, dict, /*missing_is_zero=*/false);
+      if (!k) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+      key = *k;
+    }
+    int next = kReject;
+    for (const auto& r : st.rules)
+      if (r.matches(key)) {
+        next = r.next;
+        break;
+      }
+    state = next;
+  }
+
+  ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
+                     : state == kReject ? ParseOutcome::Rejected
+                                        : ParseOutcome::Exhausted;
+  return finish(out, std::move(dict), in, max_iterations);
+}
+
+ParseResult run_impl(const TcamProgram& prog, const BitVec& input) {
+  Bitstream in(input);
+  OutputDict dict;
+  int table = prog.start_table;
+  int state = prog.start_state;
+
+  for (int iter = 0; iter < prog.max_iterations; ++iter) {
+    if (state == kAccept) return finish(ParseOutcome::Accepted, std::move(dict), in, iter);
+    if (state == kReject) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    const StateLayout* layout = prog.layout_of(table, state);
+    std::uint64_t key = 0;
+    if (layout && !layout->key.empty()) {
+      auto k = eval_key(prog.fields, layout->key, in, dict, /*missing_is_zero=*/true);
+      if (!k) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+      key = *k;
+    }
+
+    const TcamEntry* winner = nullptr;
+    for (const TcamEntry* row : prog.rows_of(table, state))
+      if (row->matches(key)) {
+        winner = row;
+        break;
+      }
+    if (winner == nullptr) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    for (const auto& ex : winner->extracts)
+      if (!do_extract(prog.fields, ex, in, dict))
+        return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    table = winner->next_table;
+    state = winner->next_state;
+  }
+
+  ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
+                     : state == kReject ? ParseOutcome::Rejected
+                                        : ParseOutcome::Exhausted;
+  return finish(out, std::move(dict), in, prog.max_iterations);
+}
+
+std::string to_string(const OutputDict& dict, const std::vector<Field>& fields) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [fid, value] : dict) {
+    if (!first) os << ", ";
+    first = false;
+    os << fields.at(static_cast<std::size_t>(fid)).name << "=" << value.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace parserhawk

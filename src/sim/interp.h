@@ -1,0 +1,73 @@
+// Executable semantics: the reference interpreters for specifications and
+// TCAM implementations, and the parse-result data model.
+//
+// Spec side (Figure 7): a state extracts its fields, then evaluates its
+// transition key over the freshly-extracted values, then takes the first
+// matching rule.
+//
+// Impl side (Figure 6): a TCAM row's condition is evaluated first — over
+// previously extracted fields and/or lookahead bits — and only the winning
+// row's ExtractSet runs, followed by its transition. This ordering
+// difference is fundamental to the compilation problem: the implementation
+// must re-stage the specification's extract-then-match behavior into
+// match-then-extract rows.
+//
+// Correctness (§4): Impl is correct iff Impl(I) == Spec(I) — same output
+// dictionary and same accept/reject outcome — for all inputs I.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/ir.h"
+#include "support/bitvec.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+/// The output dictionary OD: field index -> extracted value. Fields never
+/// extracted on the taken path are absent.
+using OutputDict = std::map<int, BitVec>;
+
+enum class ParseOutcome {
+  Accepted,
+  Rejected,
+  Exhausted,  ///< K iterations elapsed in a real state (loop bound hit)
+};
+
+std::string to_string(ParseOutcome outcome);
+
+struct ParseResult {
+  ParseOutcome outcome = ParseOutcome::Rejected;
+  OutputDict dict;
+  int bits_consumed = 0;
+  int iterations = 0;
+
+  friend bool operator==(const ParseResult& a, const ParseResult& b) {
+    return a.outcome == b.outcome && a.dict == b.dict;
+  }
+};
+
+/// Equivalence per §4: same outcome, and the same dictionary whenever the
+/// packet is accepted. On rejected packets the dictionary is unobservable
+/// (the device drops the packet), so match-then-extract implementations may
+/// legitimately have extracted fewer fields than the specification when the
+/// input runs out mid-state.
+inline bool equivalent(const ParseResult& a, const ParseResult& b) {
+  if (a.outcome != b.outcome) return false;
+  return a.outcome != ParseOutcome::Accepted || a.dict == b.dict;
+}
+
+/// Run a specification on `input`, taking at most `max_iterations` state
+/// transitions. Out-of-input extraction or lookahead rejects; a missing
+/// matching rule rejects (P4 semantics).
+ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations = 64);
+
+/// Run a compiled TCAM program on `input` (Figure 6 pseudo-code). The row
+/// bound K comes from `prog.max_iterations`.
+ParseResult run_impl(const TcamProgram& prog, const BitVec& input);
+
+/// Render an output dictionary using `fields` for names.
+std::string to_string(const OutputDict& dict, const std::vector<Field>& fields);
+
+}  // namespace parserhawk

@@ -1,0 +1,135 @@
+#include "sim/testgen.h"
+
+#include <algorithm>
+#include <map>
+
+namespace parserhawk {
+
+namespace {
+
+/// Append random bits until `bits` holds at least `n` bits.
+void grow_to(BitVec& bits, int n, Rng& rng) {
+  while (bits.size() < n) bits.push_back(rng.chance(0.5));
+}
+
+}  // namespace
+
+BitVec generate_path_input(const ParserSpec& spec, Rng& rng, int max_iterations, int min_bits) {
+  BitVec input;
+  std::map<int, int> field_pos;  // field -> wire position where it was extracted
+  std::map<int, int> field_len;  // runtime length actually extracted
+  int cursor = 0;
+  int state = spec.start;
+
+  for (int iter = 0; iter < max_iterations && is_real_state(state); ++iter) {
+    const State& st = spec.state(state);
+    for (const auto& ex : st.extracts) {
+      const Field& f = spec.fields[static_cast<std::size_t>(ex.field)];
+      int width = f.width;
+      if (f.varbit) {
+        auto it = field_len.find(ex.len_field);
+        std::uint64_t lv = 0;
+        if (it != field_pos.end() && field_pos.count(ex.len_field)) {
+          int lp = field_pos[ex.len_field];
+          int ll = field_len[ex.len_field];
+          grow_to(input, lp + ll, rng);
+          lv = input.slice(lp, ll).to_u64();
+        }
+        long long len = ex.len_base + static_cast<long long>(ex.len_scale) * static_cast<long long>(lv);
+        width = static_cast<int>(std::clamp(len, 0LL, static_cast<long long>(f.width)));
+      }
+      grow_to(input, cursor + width, rng);
+      field_pos[ex.field] = cursor;
+      field_len[ex.field] = width;
+      cursor += width;
+    }
+
+    if (st.rules.empty()) break;
+    const Rule& chosen = st.rules[static_cast<std::size_t>(rng.below(st.rules.size()))];
+
+    // Back-patch the bits that the chosen rule's (value, mask) constrains.
+    // Key parts are concatenated MSB-first, so walk from the key's MSB.
+    int kw = st.key_width();
+    int key_bit = 0;  // 0 = key MSB
+    for (const auto& p : st.key) {
+      for (int j = 0; j < p.len; ++j, ++key_bit) {
+        int mask_shift = kw - 1 - key_bit;
+        if (((chosen.mask >> mask_shift) & 1u) == 0) continue;
+        bool bit = (chosen.value >> mask_shift) & 1u;
+        int pos;
+        if (p.kind == KeyPart::Kind::FieldSlice) {
+          auto it = field_pos.find(p.field);
+          if (it == field_pos.end()) continue;  // never extracted on this walk
+          if (p.lo + j >= field_len[p.field]) continue;
+          pos = it->second + p.lo + j;
+        } else {
+          pos = cursor + p.lo + j;
+        }
+        grow_to(input, pos + 1, rng);
+        input.set(pos, bit);
+      }
+    }
+
+    // Re-evaluate with priority semantics: an earlier rule may now match.
+    std::uint64_t key = 0;
+    bool key_ok = true;
+    for (const auto& p : st.key) {
+      std::uint64_t v = 0;
+      if (p.kind == KeyPart::Kind::FieldSlice) {
+        auto it = field_pos.find(p.field);
+        if (it == field_pos.end() || p.lo + p.len > field_len[p.field]) {
+          key_ok = false;
+          break;
+        }
+        v = input.slice(it->second + p.lo, p.len).to_u64();
+      } else {
+        grow_to(input, cursor + p.lo + p.len, rng);
+        v = input.slice(cursor + p.lo, p.len).to_u64();
+      }
+      key = (key << p.len) | v;
+    }
+    if (!key_ok) break;
+
+    int next = kReject;
+    for (const auto& r : st.rules)
+      if (r.matches(key)) {
+        next = r.next;
+        break;
+      }
+    state = next;
+  }
+
+  grow_to(input, min_bits, rng);
+  return input;
+}
+
+std::optional<DiffMismatch> differential_test(const ParserSpec& spec, const TcamProgram& prog,
+                                              const DiffTestOptions& options) {
+  Rng rng(options.seed);
+
+  auto check = [&](const BitVec& input) -> std::optional<DiffMismatch> {
+    ParseResult s = run_spec(spec, input, options.max_iterations);
+    ParseResult i = run_impl(prog, input);
+    if (!equivalent(s, i)) return DiffMismatch{input, std::move(s), std::move(i)};
+    return std::nullopt;
+  };
+
+  for (int n = 0; n < options.samples; ++n) {
+    BitVec input;
+    if (n % 2 == 0) {
+      input = generate_path_input(spec, rng, options.max_iterations, options.input_bits);
+    } else {
+      int len = options.input_bits > 0 ? options.input_bits : rng.range(0, 256);
+      input = BitVec::random(len, [&rng] { return rng(); });
+    }
+    if (auto mismatch = check(input)) return mismatch;
+
+    if (options.include_truncated && input.size() > 0) {
+      BitVec cut = input.slice(0, rng.range(0, input.size()));
+      if (auto mismatch = check(cut)) return mismatch;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace parserhawk

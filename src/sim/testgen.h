@@ -1,0 +1,47 @@
+// Test input generation and the differential tester (§7.1, Figure 22).
+//
+// Uniformly random bitstreams almost never hit a 16-bit EtherType
+// constant, so the generator also performs *path-directed* sampling: it
+// walks the specification graph, picks a transition rule per state at
+// random, and back-patches the input bits that the rule's (value, mask)
+// condition constrains. This reaches deep states with high probability and
+// is reused to seed the CEGIS test set (§5.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sim/interp.h"
+#include "support/rng.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+/// Generate an input by a random walk over `spec`. The result is padded
+/// with random bits to at least `min_bits` (0 = no padding).
+BitVec generate_path_input(const ParserSpec& spec, Rng& rng, int max_iterations = 64,
+                           int min_bits = 0);
+
+/// A spec/impl disagreement found by the differential tester.
+struct DiffMismatch {
+  BitVec input;
+  ParseResult spec_result;
+  ParseResult impl_result;
+};
+
+struct DiffTestOptions {
+  int samples = 256;              ///< total inputs tried
+  std::uint64_t seed = 1;
+  int input_bits = 0;             ///< fixed length for uniform samples (0 = path length)
+  bool include_truncated = true;  ///< also replay truncated variants
+  int max_iterations = 64;        ///< spec-side K (impl uses prog.max_iterations)
+};
+
+/// Figure 22: sample the input space, run both sides, compare dictionaries
+/// and outcomes. Returns the first mismatch, or nullopt when all samples
+/// agree. Mixes uniform random inputs with path-directed inputs.
+std::optional<DiffMismatch> differential_test(const ParserSpec& spec, const TcamProgram& prog,
+                                              const DiffTestOptions& options = {});
+
+}  // namespace parserhawk

@@ -1,0 +1,484 @@
+#include "suite/suite.h"
+
+#include "ir/builder.h"
+
+namespace parserhawk::suite {
+
+ParserSpec parse_ethernet() {
+  SpecBuilder b("parse_ethernet");
+  b.field("eth_dst", 48).field("eth_src", 48).field("eth_type", 16);
+  b.field("ipv4_hdr", 32).field("ipv6_hdr", 32);
+  b.state("start")
+      .extract("eth_dst")
+      .extract("eth_src")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x0800, "parse_ipv4")
+      .when_exact(0x86dd, "parse_ipv6")
+      .otherwise("accept");
+  b.state("parse_ipv4").extract("ipv4_hdr").otherwise("accept");
+  b.state("parse_ipv6").extract("ipv6_hdr").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec parse_icmp() {
+  SpecBuilder b("parse_icmp");
+  b.field("eth_type", 16).field("ip_ver", 8).field("ip_proto", 8);
+  b.field("icmp_type", 8).field("icmp_code", 8).field("tcp_ports", 32);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x0800, "parse_ipv4")
+      .otherwise("accept");
+  b.state("parse_ipv4")
+      .extract("ip_ver")
+      .extract("ip_proto")
+      .select({b.whole("ip_proto")})
+      .when_exact(1, "parse_icmp")
+      .when_exact(6, "parse_tcp")
+      .otherwise("accept");
+  b.state("parse_icmp").extract("icmp_type").extract("icmp_code").otherwise("accept");
+  b.state("parse_tcp").extract("tcp_ports").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec parse_mpls() {
+  SpecBuilder b("parse_mpls");
+  // 32-bit MPLS word: label(20) tc(3) bos(1) ttl(8); bit 23 is BOS.
+  b.field("eth_type", 16).field("mpls_word", 32).field("payload", 32);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x8847, "parse_label")
+      .otherwise("accept");
+  b.state("parse_label")
+      .extract("mpls_word")
+      .select({b.slice("mpls_word", 23, 1)})
+      .when_exact(0, "parse_label")
+      .otherwise("parse_payload");
+  b.state("parse_payload").extract("payload").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec parse_mpls_unrolled(int depth) {
+  SpecBuilder b("parse_mpls_unrolled");
+  b.field("eth_type", 16).field("mpls_word", 32).field("payload", 32);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x8847, "label0")
+      .otherwise("accept");
+  for (int i = 0; i < depth; ++i) {
+    std::string name = "label" + std::to_string(i);
+    // The last copy keeps looping (partial unroll with a loop tail).
+    std::string next = i + 1 < depth ? "label" + std::to_string(i + 1) : name;
+    b.state(name)
+        .extract("mpls_word")
+        .select({b.slice("mpls_word", 23, 1)})
+        .when_exact(0, next)
+        .otherwise("parse_payload");
+  }
+  b.state("parse_payload").extract("payload").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec large_tran_key() {
+  SpecBuilder b("large_tran_key");
+  b.field("tkey", 48).field("a", 16).field("c", 16);
+  b.state("start")
+      .extract("tkey")
+      .select({b.whole("tkey")})
+      .when_exact(0x08002a104e22ull, "na")
+      .when_exact(0x08002a104e23ull, "na")
+      .when_exact(0x86dd2a104e22ull, "nc")
+      .otherwise("accept");
+  b.state("na").extract("a").otherwise("accept");
+  b.state("nc").extract("c").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec multi_key_same_field() {
+  SpecBuilder b("multi_key_same_field");
+  b.field("hdr", 16).field("x", 8).field("y", 8);
+  b.state("start")
+      .extract("hdr")
+      .select({b.slice("hdr", 0, 4)})
+      .when_exact(0xA, "second")
+      .otherwise("accept");
+  b.state("second")
+      .select({b.slice("hdr", 8, 4)})
+      .when_exact(0x5, "px")
+      .when_exact(0x6, "py")
+      .otherwise("accept");
+  b.state("px").extract("x").otherwise("accept");
+  b.state("py").extract("y").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec multi_keys_diff_fields() {
+  SpecBuilder b("multi_keys_diff_fields");
+  b.field("outer", 8).field("inner", 8).field("deep", 16);
+  b.state("start")
+      .extract("outer")
+      .select({b.whole("outer")})
+      .when_exact(0x11, "mid")
+      .when_exact(0x22, "mid")
+      .otherwise("accept");
+  b.state("mid")
+      .extract("inner")
+      .select({b.whole("outer"), b.whole("inner")})
+      .when_exact(0x1133, "deepst")
+      .when_exact(0x2233, "deepst")
+      .otherwise("accept");
+  b.state("deepst").extract("deep").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec pure_extraction_states() {
+  SpecBuilder b("pure_extraction_states");
+  for (int i = 0; i < 6; ++i) b.field("h" + std::to_string(i), 48);
+  for (int i = 0; i < 6; ++i) {
+    std::string name = i == 0 ? "start" : "s" + std::to_string(i);
+    std::string next = i + 1 < 6 ? "s" + std::to_string(i + 1) : "accept";
+    b.state(name).extract("h" + std::to_string(i)).otherwise(next);
+  }
+  return b.build().value();
+}
+
+ParserSpec sai_v1() {
+  SpecBuilder b("sai_v1");
+  b.field("eth_type", 16).field("vlan_tci", 16).field("vlan_type", 16);
+  b.field("ip_proto", 8).field("l4", 32).field("icmp", 16);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x8100, "parse_vlan")
+      .when_exact(0x0800, "parse_ip")
+      .otherwise("accept");
+  b.state("parse_vlan")
+      .extract("vlan_tci")
+      .extract("vlan_type")
+      .select({b.whole("vlan_type")})
+      .when_exact(0x0800, "parse_ip")
+      .otherwise("accept");
+  b.state("parse_ip")
+      .extract("ip_proto")
+      .select({b.whole("ip_proto")})
+      .when_exact(6, "parse_l4")
+      .when_exact(17, "parse_l4")
+      .when_exact(1, "parse_icmp")
+      .otherwise("accept");
+  b.state("parse_l4").extract("l4").otherwise("accept");
+  b.state("parse_icmp").extract("icmp").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec sai_v2() {
+  SpecBuilder b("sai_v2");
+  b.field("eth_type", 16).field("vlan_tci", 16).field("vlan_type", 16);
+  b.field("ip_proto", 8).field("gre_proto", 16).field("inner_type", 16);
+  b.field("tcp", 32).field("udp", 32).field("icmp", 16).field("inner_ip", 32);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x8100, "parse_vlan")
+      .when_exact(0x0800, "parse_ip")
+      .when_exact(0x86dd, "parse_ip")
+      .otherwise("accept");
+  b.state("parse_vlan")
+      .extract("vlan_tci")
+      .extract("vlan_type")
+      .select({b.whole("vlan_type")})
+      .when_exact(0x0800, "parse_ip")
+      .when_exact(0x86dd, "parse_ip")
+      .otherwise("accept");
+  b.state("parse_ip")
+      .extract("ip_proto")
+      .select({b.whole("ip_proto")})
+      .when_exact(6, "parse_tcp")
+      .when_exact(17, "parse_udp")
+      .when_exact(1, "parse_icmp")
+      .when_exact(47, "parse_gre")
+      .otherwise("accept");
+  b.state("parse_tcp").extract("tcp").otherwise("accept");
+  b.state("parse_udp").extract("udp").otherwise("accept");
+  b.state("parse_icmp").extract("icmp").otherwise("accept");
+  b.state("parse_gre")
+      .extract("gre_proto")
+      .select({b.whole("gre_proto")})
+      .when_exact(0x6558, "parse_inner_eth")
+      .otherwise("accept");
+  b.state("parse_inner_eth")
+      .extract("inner_type")
+      .select({b.whole("inner_type")})
+      .when_exact(0x0800, "parse_inner_ip")
+      .otherwise("accept");
+  b.state("parse_inner_ip").extract("inner_ip").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec dash_v2() {
+  SpecBuilder b("dash_v2");
+  // A long chain of narrow dispatches (1-bit keys), the DASH shape: many
+  // states, tiny search space.
+  for (int i = 0; i < 8; ++i) b.field("t" + std::to_string(i), 8);
+  b.field("tail", 16);
+  for (int i = 0; i < 8; ++i) {
+    std::string name = i == 0 ? "start" : "d" + std::to_string(i);
+    std::string next = i + 1 < 8 ? "d" + std::to_string(i + 1) : "fin";
+    b.state(name)
+        .extract("t" + std::to_string(i))
+        .select({b.slice("t" + std::to_string(i), 0, 1)})
+        .when_exact(0, next)
+        .otherwise("accept");
+  }
+  b.state("fin").extract("tail").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec finance_origin() {
+  SpecBuilder b("finance_origin");
+  b.field("eth_type", 16).field("vni", 24).field("origin_tag", 16);
+  b.field("exch_seq", 32).field("internal_meta", 16).field("premium_meta", 16);
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x6558, "parse_origin")  // tunneled traffic carries an origin tag
+      .otherwise("accept");
+  b.state("parse_origin")
+      .extract("vni")
+      .extract("origin_tag")
+      .select({b.whole("origin_tag")})
+      .when(0x1000, 0xF000, "parse_exchange")  // 0x1***: exchange feeds (CME-style)
+      .when(0x2000, 0xF000, "parse_internal")  // 0x2***: internal services
+      .when_exact(0x3001, "parse_premium")     // premium customers, exact tag
+      .when_exact(0x3002, "parse_premium")
+      .otherwise("accept");
+  b.state("parse_exchange").extract("exch_seq").otherwise("accept");
+  b.state("parse_internal").extract("internal_meta").otherwise("accept");
+  b.state("parse_premium").extract("premium_meta").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec ipv4_options() {
+  SpecBuilder b("ipv4_options");
+  b.field("ihl", 4).field("proto", 8);
+  b.varbit_field("options", 40);
+  b.field("l4", 16);
+  b.state("start")
+      .extract("ihl")
+      .extract("proto")
+      // options length: (ihl - 5) * 8 bits in this reduced header model
+      .extract_var("options", "ihl", 8, -40)
+      .select({b.whole("proto")})
+      .when_exact(6, "parse_l4")
+      .otherwise("accept");
+  b.state("parse_l4").extract("l4").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec figure3_program() {
+  SpecBuilder b("figure3");
+  b.field("tranKey", 4).field("n1", 4).field("n2", 4).field("n3", 4);
+  b.state("start")
+      .extract("tranKey")
+      .select({b.whole("tranKey")})
+      .when_exact(15, "N1")
+      .when_exact(11, "N1")
+      .when_exact(7, "N1")
+      .when_exact(3, "N1")
+      .when_exact(14, "N2")
+      .when_exact(2, "N3")
+      .otherwise("accept");
+  b.state("N1").extract("n1").otherwise("accept");
+  b.state("N2").extract("n2").otherwise("accept");
+  b.state("N3").extract("n3").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec me1_entry_merging() {
+  // {1..7} -> N1, default accept. The optimal TCAM program shadows key 0
+  // with a higher-priority accept entry and covers N1 with the single cube
+  // 0***, something no rule-*merging* algorithm can produce: it requires
+  // entries whose match sets overlap, resolved by priority. The synthesis
+  // search finds it; DPParserGen's exact cover needs three cubes.
+  SpecBuilder b("me1_entry_merging");
+  b.field("k", 4).field("n1", 4);
+  auto st = b.state("start").extract("k").select({b.whole("k")});
+  for (int v = 1; v <= 7; ++v) st.when_exact(static_cast<std::uint64_t>(v), "N1");
+  st.otherwise("accept");
+  b.state("N1").extract("n1").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec me2_key_splitting() {
+  SpecBuilder b("me2_key_splitting");
+  b.field("k", 16).field("p", 8);
+  b.state("start")
+      .extract("k")
+      .select({b.whole("k")})
+      .when_exact(0x0800, "pay")
+      .when_exact(0x0801, "pay")
+      .when_exact(0x86dd, "pay")
+      .otherwise("accept");
+  b.state("pay").extract("p").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec me3_redundant_entries() {
+  SpecBuilder b("me3_redundant_entries");
+  b.field("k", 8).field("p", 8);
+  auto st = b.state("start").extract("k").select({b.whole("k")});
+  // Ten entries that all lead to the same place; one wildcard suffices.
+  for (int v = 0; v < 10; ++v) st.when_exact(static_cast<std::uint64_t>(v), "pay");
+  st.otherwise("pay");
+  b.state("pay").extract("p").otherwise("accept");
+  return b.build().value();
+}
+
+std::vector<Benchmark> base_suite() {
+  return {
+      {"Parse Ethernet", parse_ethernet(), false},
+      {"Parse icmp", parse_icmp(), false},
+      {"Parse MPLS", parse_mpls(), true},
+      {"Large tran key", large_tran_key(), false},
+      {"Multi-key (same pkt field)", multi_key_same_field(), false},
+      {"Multi-keys (diff pkt fields)", multi_keys_diff_fields(), false},
+      {"Pure Extraction states", pure_extraction_states(), false},
+      {"Sai V1", sai_v1(), false},
+      {"Sai V2", sai_v2(), false},
+      {"Dash V2", dash_v2(), false},
+      {"Finance origin", finance_origin(), false},
+      {"IPv4 options (varbit)", ipv4_options(), false},
+  };
+}
+
+}  // namespace parserhawk::suite
+
+namespace parserhawk::suite::subsets {
+
+ParserSpec switch_p4_style() {
+  SpecBuilder b("switch_p4_style");
+  b.field("eth_type", 16);
+  b.field("vlan0_tci", 16).field("vlan0_type", 16);
+  b.field("vlan1_tci", 16).field("vlan1_type", 16);
+  b.field("ip4_ihl", 8).field("ip4_proto", 8);
+  b.field("ip6_nexthdr", 8);
+  b.field("mpls_word", 32);
+  b.field("gre_proto", 16);
+  b.field("udp_dport", 16).field("tcp_hdr", 32);
+  b.field("icmp_hdr", 16).field("vxlan_vni", 24);
+  b.field("inner_eth", 16).field("payload", 16);
+
+  b.state("start")
+      .extract("eth_type")
+      .select({b.whole("eth_type")})
+      .when_exact(0x8100, "parse_vlan0")
+      .when_exact(0x0800, "parse_ipv4")
+      .when_exact(0x86dd, "parse_ipv6")
+      .when_exact(0x8847, "parse_mpls")
+      .otherwise("accept");
+  b.state("parse_vlan0")
+      .extract("vlan0_tci")
+      .extract("vlan0_type")
+      .select({b.whole("vlan0_type")})
+      .when_exact(0x8100, "parse_vlan1")
+      .when_exact(0x0800, "parse_ipv4")
+      .when_exact(0x86dd, "parse_ipv6")
+      .otherwise("accept");
+  b.state("parse_vlan1")
+      .extract("vlan1_tci")
+      .extract("vlan1_type")
+      .select({b.whole("vlan1_type")})
+      .when_exact(0x0800, "parse_ipv4")
+      .when_exact(0x86dd, "parse_ipv6")
+      .otherwise("accept");
+  b.state("parse_ipv4")
+      .extract("ip4_ihl")
+      .extract("ip4_proto")
+      .select({b.whole("ip4_proto")})
+      .when_exact(6, "parse_tcp")
+      .when_exact(17, "parse_udp")
+      .when_exact(1, "parse_icmp")
+      .when_exact(47, "parse_gre")
+      .otherwise("accept");
+  b.state("parse_ipv6")
+      .extract("ip6_nexthdr")
+      .select({b.whole("ip6_nexthdr")})
+      .when_exact(6, "parse_tcp")
+      .when_exact(17, "parse_udp")
+      .when_exact(58, "parse_icmp")
+      .otherwise("accept");
+  b.state("parse_mpls")
+      .extract("mpls_word")
+      .select({b.slice("mpls_word", 23, 1)})
+      .when_exact(0, "parse_mpls")
+      .otherwise("parse_payload");
+  b.state("parse_gre")
+      .extract("gre_proto")
+      .select({b.whole("gre_proto")})
+      .when_exact(0x6558, "parse_inner_eth")
+      .otherwise("accept");
+  b.state("parse_udp")
+      .extract("udp_dport")
+      .select({b.whole("udp_dport")})
+      .when_exact(4789, "parse_vxlan")
+      .otherwise("accept");
+  b.state("parse_tcp").extract("tcp_hdr").otherwise("accept");
+  b.state("parse_icmp").extract("icmp_hdr").otherwise("accept");
+  b.state("parse_vxlan")
+      .extract("vxlan_vni")
+      .otherwise("parse_inner_eth");
+  b.state("parse_inner_eth")
+      .extract("inner_eth")
+      .select({b.whole("inner_eth")})
+      .when_exact(0x0800, "parse_payload")
+      .otherwise("accept");
+  b.state("parse_payload").extract("payload").otherwise("accept");
+  return b.build().value();
+}
+
+ParserSpec random_subset(const ParserSpec& population, Rng& rng, int k) {
+  const int n = static_cast<int>(population.states.size());
+  k = std::max(1, std::min(k, n));
+
+  // Random BFS from a random root over transition edges.
+  std::vector<int> chosen;
+  std::vector<bool> in(static_cast<std::size_t>(n), false);
+  std::vector<int> frontier{static_cast<int>(rng.below(static_cast<std::uint64_t>(n)))};
+  in[static_cast<std::size_t>(frontier[0])] = true;
+  chosen.push_back(frontier[0]);
+  while (!frontier.empty() && static_cast<int>(chosen.size()) < k) {
+    std::size_t pick = static_cast<std::size_t>(rng.below(frontier.size()));
+    int s = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    for (const auto& r : population.states[static_cast<std::size_t>(s)].rules) {
+      if (!is_real_state(r.next) || in[static_cast<std::size_t>(r.next)]) continue;
+      if (static_cast<int>(chosen.size()) >= k) break;
+      in[static_cast<std::size_t>(r.next)] = true;
+      chosen.push_back(r.next);
+      frontier.push_back(r.next);
+    }
+  }
+
+  // Rebuild: keep chosen states (root first); exits leave to accept.
+  std::vector<int> remap(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < chosen.size(); ++i)
+    remap[static_cast<std::size_t>(chosen[i])] = static_cast<int>(i);
+  ParserSpec out;
+  out.name = population.name + "_subset" + std::to_string(chosen.size());
+  out.fields = population.fields;
+  for (int s : chosen) {
+    State st = population.states[static_cast<std::size_t>(s)];
+    for (auto& r : st.rules) {
+      if (!is_real_state(r.next)) continue;
+      int mapped = remap[static_cast<std::size_t>(r.next)];
+      r.next = mapped >= 0 ? mapped : kAccept;
+    }
+    out.states.push_back(std::move(st));
+  }
+  out.start = 0;
+  return out;
+}
+
+}  // namespace parserhawk::suite::subsets

@@ -1,0 +1,102 @@
+// Benchmark suite (§7 "Benchmarks").
+//
+// Programmatic builders for every program family in Table 3/4/5 plus the
+// synthetic finance parser motivating §2.2. The paper's exact sources
+// (switch.p4 / sai.p4 / dash.p4 subsets) are gated GitHub artifacts; these
+// are reduced parse graphs from the same families — state counts, key
+// widths and loopiness match the class of each row (see DESIGN.md §2 and
+// EXPERIMENTS.md for the mapping).
+//
+// The ±R variants of Table 3 are produced by applying src/rewrite mutators
+// to these bases inside the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/rng.h"
+
+namespace parserhawk::suite {
+
+/// Ethernet dispatch: dst/src/type extraction, 3-way select on EtherType.
+ParserSpec parse_ethernet();
+
+/// Ethernet -> IPv4 -> {ICMP, TCP, default} (the paper's Parse icmp).
+ParserSpec parse_icmp();
+
+/// MPLS label stack: loops on the bottom-of-stack bit (single-TCAM targets
+/// keep the loop; pipelined targets unroll).
+ParserSpec parse_mpls();
+
+/// parse_mpls hand-unrolled `depth` times with a looping tail — the
+/// "+ unroll loop" variant.
+ParserSpec parse_mpls_unrolled(int depth = 3);
+
+/// A 48-bit transition key: wider than the commercial proxies' keyLimit, so
+/// they reject with "wide-tran-key" while ParserHawk splits it.
+ParserSpec large_tran_key();
+
+/// Two states keying on different slices of the same packet field.
+ParserSpec multi_key_same_field();
+
+/// Chained dispatches keyed on different fields.
+ParserSpec multi_keys_diff_fields();
+
+/// Six extract-only states (the Pure Extraction states row): collapses to
+/// one entry on Tofino; the extraction-length limit spreads it over
+/// pipeline stages on the IPU.
+ParserSpec pure_extraction_states();
+
+/// Reduced SONiC SAI parser, small variant (~6 states).
+ParserSpec sai_v1();
+
+/// Reduced SONiC SAI parser, larger variant (~9 states, two dispatch
+/// levels, VLAN + tunnel paths).
+ParserSpec sai_v2();
+
+/// Reduced DASH pipeline parser: a long chain of narrow dispatches.
+ParserSpec dash_v2();
+
+/// Synthetic financial-traffic parser (§2.2): classify packet origin
+/// (exchange / internal / premium customer) before further parsing.
+ParserSpec finance_origin();
+
+/// IPv4 with options: the varbit benchmark exercising Opt6.
+ParserSpec ipv4_options();
+
+/// Motivating examples of Table 4. ME-1 rewards priority shadowing that
+/// rule-merging algorithms cannot express; ME-2 needs key splitting; ME-3
+/// is full of redundant entries.
+ParserSpec me1_entry_merging();
+ParserSpec me2_key_splitting();
+ParserSpec me3_redundant_entries();
+
+/// The Figure 3 program (used by the Figure 4 bench).
+ParserSpec figure3_program();
+
+struct Benchmark {
+  std::string name;
+  ParserSpec spec;
+  bool loopy = false;
+};
+
+/// The base benchmark set (without ±R variants).
+std::vector<Benchmark> base_suite();
+
+}  // namespace parserhawk::suite
+
+namespace parserhawk::suite::subsets {
+
+/// A switch.p4-scale parse graph (~14 states: VLAN stacking, IPv4/IPv6,
+/// tunnels, L4 fan-out) used as the population for random-subset
+/// benchmarks, the paper's §7 methodology: "benchmarks are created by
+/// randomly selecting a subset of 2-9 parser states from switch.p4".
+ParserSpec switch_p4_style();
+
+/// Extract a connected `k`-state subgraph rooted at a random state:
+/// transitions leaving the subset are rewired to accept. The result is a
+/// valid, self-contained parser of exactly min(k, reachable) states.
+ParserSpec random_subset(const ParserSpec& population, Rng& rng, int k);
+
+}  // namespace parserhawk::suite::subsets

@@ -1,0 +1,53 @@
+// Bitstream: a read cursor over a BitVec.
+//
+// Models the parser's extraction pointer (`pos` in the paper's Figure 6/9):
+// `read(w)` consumes w bits, `peek(offset, w)` implements lookahead without
+// consuming. Reads past the end return nullopt, which both interpreters map
+// to an implicit transition to the reject state (atomic per-field
+// extraction; see DESIGN.md §4).
+#pragma once
+
+#include <optional>
+
+#include "support/bitvec.h"
+
+namespace parserhawk {
+
+class Bitstream {
+ public:
+  explicit Bitstream(BitVec data) : data_(std::move(data)) {}
+
+  /// Bits not yet consumed.
+  int remaining() const { return data_.size() - pos_; }
+
+  /// Current extraction pointer (bits consumed so far).
+  int position() const { return pos_; }
+
+  /// Total number of bits in the underlying vector.
+  int size() const { return data_.size(); }
+
+  /// Consume `width` bits. Returns nullopt (and consumes nothing) if fewer
+  /// than `width` bits remain.
+  std::optional<BitVec> read(int width) {
+    if (width < 0 || width > remaining()) return std::nullopt;
+    BitVec out = data_.slice(pos_, width);
+    pos_ += width;
+    return out;
+  }
+
+  /// Lookahead: bits [position()+offset, position()+offset+width) without
+  /// consuming. Returns nullopt if the window runs past the end.
+  std::optional<BitVec> peek(int offset, int width) const {
+    if (offset < 0 || width < 0 || offset + width > remaining()) return std::nullopt;
+    return data_.slice(pos_ + offset, width);
+  }
+
+  /// Underlying data (whole packet).
+  const BitVec& data() const { return data_; }
+
+ private:
+  BitVec data_;
+  int pos_ = 0;
+};
+
+}  // namespace parserhawk

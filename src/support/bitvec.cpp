@@ -1,0 +1,126 @@
+#include "support/bitvec.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace parserhawk {
+
+namespace {
+// Position of wire bit i inside its word: bit 0 -> word 0 bit 63.
+inline int word_index(int i) { return i / 64; }
+inline int bit_offset(int i) { return 63 - (i % 64); }
+}  // namespace
+
+BitVec::BitVec(int width) {
+  if (width < 0) throw std::invalid_argument("BitVec: negative width");
+  size_ = width;
+  words_.assign((width + kWordBits - 1) / kWordBits, 0);
+}
+
+BitVec BitVec::from_u64(std::uint64_t value, int width) {
+  if (width < 0 || width > 64) throw std::invalid_argument("BitVec::from_u64: width out of [0,64]");
+  BitVec v(width);
+  for (int i = 0; i < width; ++i) {
+    bool bit = (value >> (width - 1 - i)) & 1u;
+    v.set(i, bit);
+  }
+  return v;
+}
+
+std::optional<BitVec> BitVec::parse_binary(const std::string& text) {
+  std::size_t start = 0;
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'b' || text[1] == 'B')) start = 2;
+  if (start >= text.size()) return std::nullopt;
+  BitVec v;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] == '_') continue;  // allow 0b1010_1010 style grouping
+    if (text[i] != '0' && text[i] != '1') return std::nullopt;
+    v.push_back(text[i] == '1');
+  }
+  if (v.empty()) return std::nullopt;
+  return v;
+}
+
+bool BitVec::get(int i) const {
+  assert(i >= 0 && i < size_);
+  return (words_[word_index(i)] >> bit_offset(i)) & 1u;
+}
+
+void BitVec::set(int i, bool value) {
+  assert(i >= 0 && i < size_);
+  std::uint64_t m = std::uint64_t{1} << bit_offset(i);
+  if (value)
+    words_[word_index(i)] |= m;
+  else
+    words_[word_index(i)] &= ~m;
+}
+
+void BitVec::ensure_capacity(int bits) {
+  std::size_t words_needed = (bits + kWordBits - 1) / kWordBits;
+  if (words_.size() < words_needed) words_.resize(words_needed, 0);
+}
+
+void BitVec::push_back(bool bit) {
+  ensure_capacity(size_ + 1);
+  ++size_;
+  set(size_ - 1, bit);
+}
+
+void BitVec::append(const BitVec& other) {
+  for (int i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+void BitVec::append_u64(std::uint64_t value, int width) {
+  append(from_u64(value, width));
+}
+
+BitVec BitVec::slice(int lo, int len) const {
+  if (lo < 0 || len < 0 || lo + len > size_) throw std::out_of_range("BitVec::slice");
+  BitVec out(len);
+  for (int i = 0; i < len; ++i) out.set(i, get(lo + i));
+  return out;
+}
+
+std::uint64_t BitVec::to_u64() const {
+  if (size_ > 64) throw std::invalid_argument("BitVec::to_u64: wider than 64 bits");
+  std::uint64_t out = 0;
+  for (int i = 0; i < size_; ++i) out = (out << 1) | std::uint64_t(get(i));
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s = "0b";
+  s.reserve(static_cast<std::size_t>(size_) + 2);
+  for (int i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+BitVec BitVec::random(int width, const std::function<std::uint64_t()>& next_word) {
+  BitVec v(width);
+  for (int base = 0; base < width; base += 64) {
+    std::uint64_t w = next_word();
+    int n = std::min(64, width - base);
+    for (int j = 0; j < n; ++j) v.set(base + j, (w >> j) & 1u);
+  }
+  return v;
+}
+
+bool operator==(const BitVec& a, const BitVec& b) {
+  if (a.size_ != b.size_) return false;
+  for (int i = 0; i < a.size_; ++i)
+    if (a.get(i) != b.get(i)) return false;
+  return true;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(size_));
+  for (int i = 0; i < size_; ++i) mix(get(i) ? 0x9e3779b97f4a7c15ull + i : i);
+  return h;
+}
+
+}  // namespace parserhawk

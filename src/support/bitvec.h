@@ -1,0 +1,93 @@
+// BitVec: an arbitrary-width bit vector in wire order.
+//
+// Bit 0 is the first bit on the wire, which is the most significant bit of
+// the first header field. All slicing and numeric conversions follow this
+// convention: `slice(0, 16).to_u64()` of an Ethernet frame yields the first
+// 16 bits of the destination MAC interpreted MSB-first.
+//
+// BitVec is the common currency between the front-end (field values in
+// transition entries), the interpreters (bitstream contents, output
+// dictionaries), and the synthesizer (counterexample inputs decoded from Z3
+// models).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parserhawk {
+
+class BitVec {
+ public:
+  /// Empty vector of zero bits.
+  BitVec() = default;
+
+  /// `width` zero bits.
+  explicit BitVec(int width);
+
+  /// The low `width` bits of `value`, laid out MSB-first in wire order.
+  /// Requires 0 <= width <= 64.
+  static BitVec from_u64(std::uint64_t value, int width);
+
+  /// Parse a literal like "0b1010" / "1010" (wire order, bit 0 first).
+  /// Returns nullopt on any character outside {0,1} (after an optional
+  /// "0b" prefix) or on an empty payload.
+  static std::optional<BitVec> parse_binary(const std::string& text);
+
+  /// Number of bits.
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bit at wire position `i` (0 = first on wire). Requires 0 <= i < size().
+  bool get(int i) const;
+
+  /// Set bit at wire position `i`. Requires 0 <= i < size().
+  void set(int i, bool value);
+
+  /// Append a single bit at the end (later on the wire).
+  void push_back(bool bit);
+
+  /// Append all bits of `other` after this vector's bits.
+  void append(const BitVec& other);
+
+  /// Append the low `width` bits of `value`, MSB-first.
+  void append_u64(std::uint64_t value, int width);
+
+  /// Bits [lo, lo+len) in wire order. Requires the range to be in bounds.
+  BitVec slice(int lo, int len) const;
+
+  /// Interpret the whole vector as an unsigned integer, MSB-first.
+  /// Requires size() <= 64.
+  std::uint64_t to_u64() const;
+
+  /// "0b..."-style string in wire order.
+  std::string to_string() const;
+
+  /// Uniformly random vector of `width` bits drawn from `next_word`,
+  /// a callable returning uint64_t (see Rng::operator()).
+  static BitVec random(int width, const std::function<std::uint64_t()>& next_word);
+
+  friend bool operator==(const BitVec& a, const BitVec& b);
+  friend bool operator!=(const BitVec& a, const BitVec& b) { return !(a == b); }
+
+  /// FNV-1a style hash over contents (for use as unordered_map key).
+  std::size_t hash() const;
+
+ private:
+  static constexpr int kWordBits = 64;
+  // words_[0] bit 63 is wire bit 0 (MSB-first packing keeps to_u64 cheap
+  // for the common <=64-bit case).
+  std::vector<std::uint64_t> words_;
+  int size_ = 0;
+
+  void ensure_capacity(int bits);
+};
+
+}  // namespace parserhawk
+
+template <>
+struct std::hash<parserhawk::BitVec> {
+  std::size_t operator()(const parserhawk::BitVec& v) const noexcept { return v.hash(); }
+};

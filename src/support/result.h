@@ -1,0 +1,62 @@
+// Result<T>: value-or-error return type used across the library.
+//
+// The Core Guidelines prefer error codes/expected-style types over
+// exceptions for anticipated, recoverable failures (E.3, I.10). Compilation
+// failure is an ordinary outcome for a parser compiler — the paper's Table 3
+// is full of red "rejected" cells — so every compiler entry point returns a
+// Result rather than throwing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace parserhawk {
+
+/// Error payload: a short machine-checkable code plus human-readable detail.
+struct Error {
+  std::string code;     ///< e.g. "wide-tran-key", "parser-loop-rej"
+  std::string message;  ///< free-form explanation
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  static Result err(std::string code, std::string message) {
+    return Result(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access; throws std::logic_error when called on an error Result
+  /// (programming bug, not a recoverable condition).
+  T& value() {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error on ok result");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace parserhawk

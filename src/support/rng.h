@@ -1,0 +1,37 @@
+// Deterministic RNG used by test generation and the differential tester.
+//
+// A thin splitmix64 wrapper: reproducible across platforms (unlike
+// std::mt19937_64 seeded through seed_seq), trivially seedable per test so
+// failures replay exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace parserhawk {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) : state_(seed) {}
+
+  /// Next 64 random bits (splitmix64).
+  std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int range(int lo, int hi) { return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1))); }
+
+  /// Bernoulli draw with probability p (0..1).
+  bool chance(double p) { return static_cast<double>((*this)() >> 11) * 0x1.0p-53 < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parserhawk

@@ -1,0 +1,54 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace parserhawk {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) throw std::invalid_argument("TextTable: row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto render_sep = [&] {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) line += std::string(width[c] + 2, '-') + "|";
+    return line + "\n";
+  };
+
+  std::string out = render_line(headers_) + render_sep();
+  for (const auto& row : rows_) out += row.empty() ? render_sep() : render_line(row);
+  return out;
+}
+
+std::string fmt_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_seconds(double seconds, bool timed_out) {
+  return timed_out ? ">" + fmt_double(seconds, 0) : fmt_double(seconds, 2);
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,39 @@
+// TextTable: aligned plain-text tables for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures; this
+// printer renders them with the same row/column layout the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parserhawk {
+
+class TextTable {
+ public:
+  /// Column headers; fixes the column count for all later rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add one row. Rows shorter than the header are right-padded with "";
+  /// longer rows are a programming error and throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Render with single-space-padded, pipe-separated columns.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` places after the point.
+std::string fmt_double(double value, int digits = 2);
+
+/// Format seconds like the paper: "5.13", ">86400" when capped.
+std::string fmt_seconds(double seconds, bool timed_out);
+
+}  // namespace parserhawk

@@ -1,0 +1,53 @@
+// Wall-clock stopwatch and deadline used by the synthesis budget search.
+//
+// The paper imposes a 24-hour compilation timeout; our harness scales that
+// to seconds (DESIGN.md §5). Deadline is threaded through the CEGIS loop so
+// a timed-out "Orig" run aborts cleanly and reports ">timeout" like
+// Table 3's red cells.
+#pragma once
+
+#include <chrono>
+
+namespace parserhawk {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+class Deadline {
+ public:
+  /// A deadline `budget_sec` seconds from now. Non-positive budget means
+  /// "no deadline" (never expires).
+  explicit Deadline(double budget_sec) : budget_sec_(budget_sec) {}
+
+  static Deadline none() { return Deadline(0); }
+
+  bool expired() const { return budget_sec_ > 0 && watch_.elapsed_sec() >= budget_sec_; }
+
+  /// Seconds left; +inf when unlimited, clamped at 0 when expired.
+  double remaining_sec() const {
+    if (budget_sec_ <= 0) return 1e30;
+    double r = budget_sec_ - watch_.elapsed_sec();
+    return r > 0 ? r : 0;
+  }
+
+  double budget_sec() const { return budget_sec_; }
+
+ private:
+  double budget_sec_;
+  Stopwatch watch_;
+};
+
+}  // namespace parserhawk

@@ -1,0 +1,332 @@
+#include "synth/chain_synth.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace parserhawk {
+
+int eval_semantics(const std::vector<Rule>& semantics, std::uint64_t key) {
+  for (const auto& r : semantics)
+    if (r.matches(key)) return r.next;
+  return kReject;
+}
+
+int eval_chain(const ChainSolution& solution, std::uint64_t key) {
+  int layer = 0;
+  int aux = 0;
+  for (;;) {
+    std::uint64_t masked = 0;
+    const ChainRow* fired = nullptr;
+    for (const auto& row : solution.rows) {
+      if (row.layer != layer || row.aux != aux) continue;
+      masked = layer < static_cast<int>(solution.alloc_masks.size())
+                   ? key & solution.alloc_masks[static_cast<std::size_t>(layer)]
+                   : key;
+      if ((masked & row.mask) == row.value) {
+        if (fired == nullptr || row.priority < fired->priority) fired = &row;
+      }
+    }
+    // rows are scanned in priority order via the min-priority winner above
+    if (fired == nullptr) return kReject;
+    if (fired->is_exit) return fired->exit_target;
+    ++layer;
+    aux = fired->next_aux;
+  }
+}
+
+namespace {
+
+/// One symbolic row slot.
+struct Slot {
+  int layer;
+  int aux;
+  int priority;
+  z3::expr used;
+  z3::expr value;
+  z3::expr mask;
+  z3::expr is_exit;
+  z3::expr exit_target;
+  z3::expr next_aux;
+};
+
+struct Encoding {
+  z3::context& ctx;
+  const ChainProblem& problem;
+  const ChainShape& shape;
+  std::vector<Slot> slots;
+  std::vector<z3::expr> alloc;  // per-layer mask (const or var)
+
+  /// Slots of state (layer, aux) in priority order.
+  std::vector<const Slot*> state_slots(int layer, int aux) const {
+    std::vector<const Slot*> out;
+    for (const auto& s : slots)
+      if (s.layer == layer && s.aux == aux) out.push_back(&s);
+    return out;
+  }
+};
+
+unsigned bvw(const ChainProblem& p) { return static_cast<unsigned>(std::max(p.key_width, 1)); }
+
+z3::expr popcount_le(z3::context& ctx, const z3::expr& bv, int width, int limit) {
+  z3::expr sum = ctx.int_val(0);
+  for (int i = 0; i < width; ++i)
+    sum = sum + z3::ite(bv.extract(static_cast<unsigned>(i), static_cast<unsigned>(i)) ==
+                            ctx.bv_val(1, 1),
+                        ctx.int_val(1), ctx.int_val(0));
+  return sum <= ctx.int_val(limit);
+}
+
+Encoding build_encoding(z3::context& ctx, const ChainProblem& problem, const ChainShape& shape,
+                        z3::solver& solver, ChainStats& stats) {
+  Encoding enc{ctx, problem, shape, {}, {}};
+  const unsigned w = bvw(problem);
+  const int layers = shape.layers;
+
+  // Allocation masks.
+  double space_bits = 0;
+  for (int l = 0; l < layers; ++l) {
+    if (!shape.alloc_masks.empty()) {
+      enc.alloc.push_back(ctx.bv_val(shape.alloc_masks[static_cast<std::size_t>(l)], w));
+    } else {
+      z3::expr a = ctx.bv_const(("alloc_" + std::to_string(l)).c_str(), w);
+      solver.add(popcount_le(ctx, a, problem.key_width, shape.key_limit));
+      enc.alloc.push_back(a);
+      space_bits += problem.key_width;
+    }
+  }
+
+  // Row slots: every chain state gets up to `row_budget` slots; the total
+  // number of *used* slots is capped by the budget.
+  auto aux_count = [&](int l) { return l == 0 ? 1 : shape.aux_counts[static_cast<std::size_t>(l)]; };
+  z3::expr total_used = ctx.int_val(0);
+  for (int l = 0; l < layers; ++l) {
+    for (int a = 0; a < aux_count(l); ++a) {
+      int per_state = std::min(shape.row_budget, 8);
+      for (int r = 0; r < per_state; ++r) {
+        std::string tag = "L" + std::to_string(l) + "A" + std::to_string(a) + "R" + std::to_string(r);
+        Slot s{l,
+               a,
+               r,
+               ctx.bool_const(("u" + tag).c_str()),
+               ctx.bv_const(("v" + tag).c_str(), w),
+               ctx.bv_const(("m" + tag).c_str(), w),
+               ctx.bool_const(("e" + tag).c_str()),
+               ctx.int_const(("x" + tag).c_str()),
+               ctx.int_const(("n" + tag).c_str())};
+        // Structural constraints.
+        solver.add(z3::implies(s.used, (s.mask & ~enc.alloc[static_cast<std::size_t>(l)]) ==
+                                           ctx.bv_val(0, w)));
+        if (shape.restrict_masks) {
+          solver.add(s.mask == ctx.bv_val(0, w) || s.mask == enc.alloc[static_cast<std::size_t>(l)]);
+        } else if (!shape.mask_candidates.empty()) {
+          z3::expr_vector mask_ok(ctx);
+          mask_ok.push_back(s.mask == ctx.bv_val(0, w));
+          mask_ok.push_back(s.mask == enc.alloc[static_cast<std::size_t>(l)]);
+          for (std::uint64_t m : shape.mask_candidates)
+            mask_ok.push_back(s.mask == (ctx.bv_val(m, w) & enc.alloc[static_cast<std::size_t>(l)]));
+          solver.add(z3::mk_or(mask_ok));
+        }
+        solver.add((s.value & ~s.mask) == ctx.bv_val(0, w));  // canonical value
+        if (l == layers - 1) solver.add(s.is_exit);
+        // Exit targets restricted to the semantic range.
+        z3::expr_vector exit_ok(ctx);
+        for (int t : problem.exit_targets) exit_ok.push_back(s.exit_target == ctx.int_val(t));
+        solver.add(z3::implies(s.used && s.is_exit, z3::mk_or(exit_ok)));
+        if (l + 1 < layers) {
+          solver.add(s.next_aux >= 0 && s.next_aux < ctx.int_val(aux_count(l + 1)));
+        }
+        // Opt4: values drawn from the constant pool (defaults always allowed).
+        if (!shape.value_candidates.empty()) {
+          z3::expr_vector val_ok(ctx);
+          val_ok.push_back(s.mask == ctx.bv_val(0, w));  // catch-all row
+          for (std::uint64_t c : shape.value_candidates)
+            val_ok.push_back(s.value == (ctx.bv_val(c, w) & s.mask));
+          solver.add(z3::implies(s.used, z3::mk_or(val_ok)));
+          space_bits += std::log2(static_cast<double>(shape.value_candidates.size() + 1)) +
+                        problem.key_width;  // value choice + free mask
+        } else {
+          space_bits += 2.0 * problem.key_width;
+        }
+        space_bits += std::log2(static_cast<double>(problem.exit_targets.size() + aux_count(l + 1 < layers ? l + 1 : l))) + 1;
+        total_used = total_used + z3::ite(s.used, ctx.int_val(1), ctx.int_val(0));
+        enc.slots.push_back(std::move(s));
+      }
+      // Used slots are contiguous in priority order (symmetry breaking).
+      for (int r = 1; r < std::min(shape.row_budget, 8); ++r) {
+        const Slot& hi = enc.slots[enc.slots.size() - static_cast<std::size_t>(r)];
+        const Slot& lo = enc.slots[enc.slots.size() - static_cast<std::size_t>(r) - 1];
+        solver.add(z3::implies(hi.used, lo.used));
+      }
+    }
+  }
+  solver.add(total_used <= ctx.int_val(shape.row_budget));
+  stats.search_space_bits = space_bits;
+  return enc;
+}
+
+/// Chain evaluation as an Int-valued expression over a (symbolic or
+/// constant) key expression.
+z3::expr eval_expr(const Encoding& enc, const z3::expr& key) {
+  z3::context& ctx = enc.ctx;
+  auto aux_count = [&](int l) {
+    return l == 0 ? 1 : enc.shape.aux_counts[static_cast<std::size_t>(l)];
+  };
+  // Build from the last layer backwards.
+  std::vector<std::vector<z3::expr>> layer_eval(static_cast<std::size_t>(enc.shape.layers));
+  for (int l = enc.shape.layers - 1; l >= 0; --l) {
+    z3::expr masked = key & enc.alloc[static_cast<std::size_t>(l)];
+    for (int a = 0; a < aux_count(l); ++a) {
+      z3::expr res = ctx.int_val(kReject);
+      auto slots = enc.state_slots(l, a);
+      for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+        const Slot& s = **it;
+        z3::expr fired = s.used && ((masked & s.mask) == s.value);
+        z3::expr step = s.exit_target;
+        if (l + 1 < enc.shape.layers) {
+          z3::expr cont = ctx.int_val(kReject);
+          for (int na = aux_count(l + 1) - 1; na >= 0; --na)
+            cont = z3::ite(s.next_aux == ctx.int_val(na),
+                           layer_eval[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(na)],
+                           cont);
+          step = z3::ite(s.is_exit, s.exit_target, cont);
+        }
+        res = z3::ite(fired, step, res);
+      }
+      layer_eval[static_cast<std::size_t>(l)].push_back(res);
+    }
+  }
+  return layer_eval[0][0];
+}
+
+/// f_S as an Int-valued expression over a symbolic key.
+z3::expr semantics_expr(z3::context& ctx, const ChainProblem& problem, const z3::expr& key) {
+  const unsigned w = bvw(problem);
+  z3::expr out = ctx.int_val(kReject);
+  for (auto it = problem.semantics.rbegin(); it != problem.semantics.rend(); ++it) {
+    z3::expr cond = ((key ^ ctx.bv_val(it->value, w)) & ctx.bv_val(it->mask, w)) == ctx.bv_val(0, w);
+    out = z3::ite(cond, ctx.int_val(it->next), out);
+  }
+  return out;
+}
+
+ChainSolution extract_solution(const Encoding& enc, const z3::model& model) {
+  ChainSolution sol;
+  for (std::size_t l = 0; l < enc.alloc.size(); ++l)
+    sol.alloc_masks.push_back(model.eval(enc.alloc[l], true).get_numeral_uint64());
+  for (const auto& s : enc.slots) {
+    if (!z3::eq(model.eval(s.used, true), enc.ctx.bool_val(true))) continue;
+    ChainRow row;
+    row.layer = s.layer;
+    row.aux = s.aux;
+    row.priority = s.priority;
+    row.value = model.eval(s.value, true).get_numeral_uint64();
+    row.mask = model.eval(s.mask, true).get_numeral_uint64();
+    row.is_exit = s.layer == static_cast<int>(enc.alloc.size()) - 1 ||
+                  z3::eq(model.eval(s.is_exit, true), enc.ctx.bool_val(true));
+    row.exit_target = static_cast<int>(model.eval(s.exit_target, true).get_numeral_int64());
+    row.next_aux = static_cast<int>(model.eval(s.next_aux, true).get_numeral_int64());
+    sol.rows.push_back(row);
+  }
+  return sol;
+}
+
+}  // namespace
+
+std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const ChainShape& shape,
+                                              const Deadline& deadline, ChainStats& stats) {
+  // Keyless states have a trivial one-row solution.
+  if (problem.key_width == 0) {
+    ChainSolution sol;
+    sol.alloc_masks.assign(1, 0);
+    sol.rows.push_back(ChainRow{0, 0, 0, 0, 0, true, eval_semantics(problem.semantics, 0), 0});
+    return sol;
+  }
+
+  z3::context ctx;
+  z3::solver synth(ctx);
+  Encoding enc = build_encoding(ctx, problem, shape, synth, stats);
+
+  // Seed examples: every rule's value plus the boundary keys.
+  std::vector<std::uint64_t> examples;
+  const std::uint64_t full =
+      problem.key_width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << problem.key_width) - 1);
+  for (const auto& r : problem.semantics) examples.push_back(r.value & full);
+  examples.push_back(0);
+  examples.push_back(full);
+  // One-bit neighbors of every constant: cheap examples that kill most
+  // wrong masks before the expensive verify/refine loop starts.
+  {
+    std::vector<std::uint64_t> neighbors;
+    for (const auto& r : problem.semantics)
+      for (int b = 0; b < problem.key_width && neighbors.size() < 192; ++b)
+        neighbors.push_back((r.value ^ (std::uint64_t{1} << b)) & full);
+    examples.insert(examples.end(), neighbors.begin(), neighbors.end());
+  }
+  std::sort(examples.begin(), examples.end());
+  examples.erase(std::unique(examples.begin(), examples.end()), examples.end());
+
+  const unsigned w = bvw(problem);
+  for (std::uint64_t k : examples)
+    synth.add(eval_expr(enc, ctx.bv_val(k, w)) ==
+              ctx.int_val(eval_semantics(problem.semantics, k)));
+
+  for (int round = 0; round < 48; ++round) {
+    if (deadline.expired()) return std::nullopt;
+    stats.cegis_rounds = round + 1;
+
+    ++stats.synth_queries;
+    synth.set("timeout", static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
+    if (synth.check() != z3::sat) return std::nullopt;
+    ChainSolution candidate = extract_solution(enc, synth.get_model());
+
+    // Verification: does the candidate agree with f_S over the whole key
+    // space? The candidate is concrete, so this is a plain BV query.
+    ++stats.verify_queries;
+    z3::solver verify(ctx);
+    z3::expr k = ctx.bv_const("k", w);
+    // Re-encode the candidate concretely (cheap: few rows).
+    {
+      z3::expr spec_next = semantics_expr(ctx, problem, k);
+      // Build chain eval for concrete rows.
+      auto aux_count = [&](int l) {
+        return l == 0 ? 1 : shape.aux_counts[static_cast<std::size_t>(l)];
+      };
+      std::vector<std::vector<z3::expr>> layer_eval(static_cast<std::size_t>(shape.layers));
+      for (int l = shape.layers - 1; l >= 0; --l) {
+        z3::expr masked = k & ctx.bv_val(candidate.alloc_masks[static_cast<std::size_t>(l)], w);
+        for (int a = 0; a < aux_count(l); ++a) {
+          z3::expr res = ctx.int_val(kReject);
+          std::vector<const ChainRow*> rows;
+          for (const auto& row : candidate.rows)
+            if (row.layer == l && row.aux == a) rows.push_back(&row);
+          std::sort(rows.begin(), rows.end(),
+                    [](const ChainRow* x, const ChainRow* y) { return x->priority < y->priority; });
+          for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+            const ChainRow& row = **it;
+            z3::expr fired = (masked & ctx.bv_val(row.mask, w)) == ctx.bv_val(row.value, w);
+            z3::expr step = ctx.int_val(row.exit_target);
+            if (!row.is_exit && l + 1 < shape.layers)
+              step = layer_eval[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(row.next_aux)];
+            res = z3::ite(fired, step, res);
+          }
+          layer_eval[static_cast<std::size_t>(l)].push_back(res);
+        }
+      }
+      verify.add(layer_eval[0][0] != spec_next);
+    }
+    verify.set("timeout", static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
+    z3::check_result vr = verify.check();
+    if (vr == z3::unsat) return candidate;
+    if (vr != z3::sat) return std::nullopt;  // timeout mid-verify
+
+    std::uint64_t cex = verify.get_model().eval(k, true).get_numeral_uint64();
+    synth.add(eval_expr(enc, ctx.bv_val(cex, w)) ==
+              ctx.int_val(eval_semantics(problem.semantics, cex)));
+  }
+  return std::nullopt;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,109 @@
+// Per-state chain synthesis: the CEGIS core of the OPT pipeline.
+//
+// After normalization and extraction preallocation (Opt3), compiling one
+// parser state S reduces to synthesizing a *chain* of TCAM states that
+// implements S's transition function f_S : key -> next-state exactly, under
+// the device's key-width limit. Layer 0 is the state itself; further layers
+// are auxiliary match-only states introduced when the key must be split
+// (the R4 problem of Figure 21 / step 2 of Figure 4). Each layer owns an
+// allocation mask saying which key bits it may inspect (fixed slices when
+// Opt5 grouping is on, synthesized subject to a popcount bound when off).
+//
+// Rows carry symbolic (value, mask, next); values are drawn from the
+// specification's constant pool when Opt4 is on. The row budget is the
+// outer minimization knob: the compiler calls synthesize_chain with
+// increasing budgets and takes the first SAT, which yields the
+// minimum-entry implementation for the chain shape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/timer.h"
+
+namespace parserhawk {
+
+/// The semantic problem for one spec state.
+struct ChainProblem {
+  int spec_state = -1;
+  /// Width of the candidate key in bits.
+  int key_width = 0;
+  /// f_S as a prioritized rule list over the candidate key (first match
+  /// wins; no match = reject).
+  std::vector<Rule> semantics;
+  /// Exits the chain may produce (range of f_S; always includes every rule
+  /// target). Values are spec state ids, kAccept or kReject.
+  std::vector<int> exit_targets;
+};
+
+/// The search-space shape for one attempt.
+struct ChainShape {
+  /// Per-layer allocation masks over the candidate key. Non-empty => fixed
+  /// (Opt5 on). Empty => `layers` symbolic masks, each with popcount <=
+  /// key_limit (Opt5 off).
+  std::vector<std::uint64_t> alloc_masks;
+  int layers = 1;
+  /// Auxiliary states per layer (index 0 is always 1: the entry state).
+  std::vector<int> aux_counts;
+  /// Total row budget across the whole chain.
+  int row_budget = 1;
+  /// Opt4: restrict row values to this candidate pool (empty = free).
+  std::vector<std::uint64_t> value_candidates;
+  /// keyLimit of the device (bounds symbolic masks).
+  int key_limit = 64;
+  /// Opt4.2 (§6.4.2): restrict every row's mask to all-ones-over-the-layer
+  /// or catch-all. Solves instantly when the spec's targets are distinct;
+  /// the compiler races this variant against the candidate-mask variant.
+  bool restrict_masks = false;
+  /// Opt4.2 candidate masks: pairwise-XOR-derived merge masks (the mask
+  /// that would unify two same-target constants). When non-empty and
+  /// restrict_masks is false, each row's mask is confined to
+  /// {0, layer-alloc} union {alloc & m : m in mask_candidates} — the paper's
+  /// restricted mask search. Empty with restrict_masks=false => free masks.
+  std::vector<std::uint64_t> mask_candidates;
+};
+
+/// One concrete synthesized row.
+struct ChainRow {
+  int layer = 0;
+  int aux = 0;        ///< state index within the layer
+  int priority = 0;   ///< row order within the state
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+  bool is_exit = true;
+  int exit_target = kReject;  ///< valid when is_exit
+  int next_aux = 0;           ///< target state in layer+1 when !is_exit
+};
+
+struct ChainSolution {
+  std::vector<ChainRow> rows;
+  std::vector<std::uint64_t> alloc_masks;  ///< concrete, one per layer
+};
+
+struct ChainStats {
+  int cegis_rounds = 0;
+  int synth_queries = 0;
+  int verify_queries = 0;
+  /// log2 of the candidate space explored (the paper's "Search Space
+  /// (bits)" metric, accumulated by the compiler).
+  double search_space_bits = 0;
+};
+
+/// Attempt to synthesize a chain of the given shape implementing the
+/// problem exactly (verified over the full key space). Returns nullopt on
+/// UNSAT, round exhaustion or deadline expiry (deadline also sets
+/// stats.cegis_rounds to the rounds actually used).
+std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const ChainShape& shape,
+                                              const Deadline& deadline, ChainStats& stats);
+
+/// Concrete evaluation of f_S on one key (reference semantics used by the
+/// CEGIS example phase and by tests).
+int eval_semantics(const std::vector<Rule>& semantics, std::uint64_t key);
+
+/// Concrete evaluation of a synthesized chain on one key; returns the exit
+/// target (kReject when some state has no matching row).
+int eval_chain(const ChainSolution& solution, std::uint64_t key);
+
+}  // namespace parserhawk

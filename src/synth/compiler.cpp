@@ -1,0 +1,550 @@
+#include "synth/compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+
+#include "analysis/analysis.h"
+#include "postopt/postopt.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "synth/chain_synth.h"
+#include "synth/global_synth.h"
+#include "synth/normalize.h"
+#include "synth/verify.h"
+
+namespace parserhawk {
+
+std::string to_string(CompileStatus status) {
+  switch (status) {
+    case CompileStatus::Success: return "success";
+    case CompileStatus::Rejected: return "rejected";
+    case CompileStatus::ResourceExceeded: return "resource-exceeded";
+    case CompileStatus::Timeout: return "timeout";
+    case CompileStatus::NoSolution: return "no-solution";
+    case CompileStatus::InternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One bit of a chain key with its provenance (either a bit of an
+/// already-extracted field, or a lookahead bit relative to the state-entry
+/// cursor).
+struct KeyBit {
+  KeyPart::Kind kind;
+  int field;  ///< FieldSlice only
+  int pos;    ///< bit within the field, or absolute lookahead offset
+  friend bool operator==(const KeyBit&, const KeyBit&) = default;
+};
+
+/// Translate a spec state's key into chain-key bits evaluated *before* the
+/// state's extraction (rows match first, then extract). Returns nullopt
+/// when a lookahead-translated bit would exceed the device's window.
+std::optional<std::vector<KeyBit>> chain_key_bits(const ParserSpec& spec, const State& st,
+                                                  const HwProfile& hw) {
+  std::map<int, int> own_offset;  // field -> bit offset from state-entry cursor
+  int total = 0;
+  for (const auto& ex : st.extracts) {
+    own_offset[ex.field] = total;
+    total += spec.fields[static_cast<std::size_t>(ex.field)].width;
+  }
+  std::vector<KeyBit> bits;
+  for (const auto& p : st.key) {
+    for (int j = 0; j < p.len; ++j) {
+      if (p.kind == KeyPart::Kind::FieldSlice) {
+        auto it = own_offset.find(p.field);
+        if (it == own_offset.end()) {
+          bits.push_back(KeyBit{KeyPart::Kind::FieldSlice, p.field, p.lo + j});
+        } else {
+          int off = it->second + p.lo + j;
+          if (off >= hw.lookahead_limit_bits) return std::nullopt;
+          bits.push_back(KeyBit{KeyPart::Kind::Lookahead, -1, off});
+        }
+      } else {
+        int off = total + p.lo + j;  // spec lookahead is relative to the post-extract cursor
+        if (off >= hw.lookahead_limit_bits) return std::nullopt;
+        bits.push_back(KeyBit{KeyPart::Kind::Lookahead, -1, off});
+      }
+    }
+  }
+  return bits;
+}
+
+/// Figure 21 R5-style split applied when a state's key cannot be evaluated
+/// through lookahead: the state becomes extract-state -> match-state, after
+/// which all own-field references are plain dictionary reads.
+Result<ParserSpec> defer_wide_lookahead(const ParserSpec& spec, const HwProfile& hw) {
+  ParserSpec cur = spec;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t s = 0; s < cur.states.size(); ++s) {
+      State& st = cur.states[s];
+      if (st.extracts.empty() || st.key.empty()) continue;
+      if (chain_key_bits(cur, st, hw)) continue;
+      // Pure-lookahead keys that are too wide cannot be deferred.
+      bool uses_own_field = false;
+      for (const auto& p : st.key)
+        if (p.kind == KeyPart::Kind::FieldSlice)
+          for (const auto& ex : st.extracts)
+            if (ex.field == p.field) uses_own_field = true;
+      if (!uses_own_field)
+        return Result<ParserSpec>::err("lookahead-too-wide",
+                                       "state '" + st.name + "' looks ahead past the device window");
+      State match;
+      match.name = st.name + "_match";
+      match.key = st.key;
+      match.rules = st.rules;
+      st.key.clear();
+      st.rules = {Rule{0, 0, static_cast<int>(cur.states.size())}};
+      cur.states.push_back(std::move(match));
+      changed = true;
+      break;
+    }
+  }
+  return cur;
+}
+
+/// Lift a rule list over the original chain-key bits onto an extended bit
+/// list (identity mapping when the lists are equal).
+std::vector<Rule> lift_rules(const std::vector<Rule>& rules, const std::vector<KeyBit>& orig,
+                             const std::vector<KeyBit>& ext) {
+  std::vector<int> at(orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    auto it = std::find(ext.begin(), ext.end(), orig[i]);
+    at[i] = static_cast<int>(it - ext.begin());
+  }
+  const int ow = static_cast<int>(orig.size());
+  const int ew = static_cast<int>(ext.size());
+  std::vector<Rule> out;
+  for (const auto& r : rules) {
+    Rule lifted{0, 0, r.next};
+    for (int i = 0; i < ow; ++i) {
+      std::uint64_t vb = (r.value >> (ow - 1 - i)) & 1u;
+      std::uint64_t mb = (r.mask >> (ow - 1 - i)) & 1u;
+      lifted.value |= vb << (ew - 1 - at[static_cast<std::size_t>(i)]);
+      lifted.mask |= mb << (ew - 1 - at[static_cast<std::size_t>(i)]);
+    }
+    out.push_back(lifted);
+  }
+  return out;
+}
+
+/// Compress selected bits (alloc mask over the chain key) into layout
+/// KeyParts, merging contiguous runs from the same source.
+std::vector<KeyPart> layout_from_alloc(const std::vector<KeyBit>& bits, std::uint64_t alloc) {
+  const int kw = static_cast<int>(bits.size());
+  std::vector<KeyPart> parts;
+  for (int b = 0; b < kw;) {
+    if (!((alloc >> (kw - 1 - b)) & 1u)) {
+      ++b;
+      continue;
+    }
+    int e = b;
+    while (e + 1 < kw && ((alloc >> (kw - 1 - (e + 1))) & 1u) && bits[static_cast<std::size_t>(e + 1)].kind == bits[static_cast<std::size_t>(b)].kind &&
+           bits[static_cast<std::size_t>(e + 1)].field == bits[static_cast<std::size_t>(b)].field &&
+           bits[static_cast<std::size_t>(e + 1)].pos == bits[static_cast<std::size_t>(e)].pos + 1)
+      ++e;
+    parts.push_back(KeyPart{bits[static_cast<std::size_t>(b)].kind, bits[static_cast<std::size_t>(b)].field,
+                            bits[static_cast<std::size_t>(b)].pos, e - b + 1});
+    b = e + 1;
+  }
+  return parts;
+}
+
+/// Pack a kw-bit value down to the bits selected by `alloc` (MSB-first).
+std::uint64_t pack_bits(std::uint64_t value, std::uint64_t alloc, int kw) {
+  std::uint64_t out = 0;
+  for (int b = kw - 1; b >= 0; --b)
+    if ((alloc >> b) & 1u) out = (out << 1) | ((value >> b) & 1u);
+  return out;
+}
+
+/// Candidate layer partitions (orders) of the chain key for splitting.
+std::vector<std::vector<std::uint64_t>> split_orders(int kw, int limit, bool all_orders) {
+  std::vector<std::uint64_t> chunks;
+  for (int b = 0; b < kw; b += limit) {
+    int len = std::min(limit, kw - b);
+    std::uint64_t m = (len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << len) - 1))
+                      << (kw - b - len);
+    chunks.push_back(m);
+  }
+  std::vector<std::vector<std::uint64_t>> orders;
+  std::sort(chunks.begin(), chunks.end());
+  if (all_orders && chunks.size() <= 2) {
+    do {
+      orders.push_back(chunks);
+    } while (std::next_permutation(chunks.begin(), chunks.end()));
+  } else {
+    // Three or more layers: the permutation space explodes; race only the
+    // declaration order and its reverse.
+    orders.push_back(chunks);
+    if (all_orders) {
+      std::vector<std::uint64_t> rev(chunks.rbegin(), chunks.rend());
+      orders.push_back(rev);
+    }
+  }
+  return orders;
+}
+
+struct StatePlan {
+  int spec_state;
+  std::vector<KeyBit> key_bits;
+  ChainSolution solution;
+  int layers = 1;
+  std::vector<int> aux_counts;
+  double search_space_bits = 0;
+};
+
+CompileResult fail(CompileStatus status, std::string reason, const ParserSpec& reference,
+                   const SynthStats& stats) {
+  CompileResult r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.reference = reference;
+  r.stats = stats;
+  return r;
+}
+
+}  // namespace
+
+CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
+  Stopwatch watch;
+  SynthStats stats;
+  Deadline deadline(opts.timeout_sec);
+
+  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
+  if (auto v = validate(hw); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
+
+  // Reference semantics: unroll loops for loop-free targets.
+  ParserSpec reference = spec;
+  {
+    SpecAnalysis a = analyze(spec, opts.max_iterations);
+    if (a.has_loop && !hw.allows_loops) {
+      auto unrolled = unroll_loops(spec, opts.loop_unroll_depth);
+      if (!unrolled)
+        return fail(CompileStatus::Rejected, unrolled.error().to_string(), spec, stats);
+      reference = std::move(*unrolled);
+    }
+  }
+
+  bool had_varbit = false;
+  for (const auto& f : spec.fields) had_varbit |= f.varbit;
+  ParserSpec work = had_varbit ? varbit_to_fixed(reference) : reference;
+  std::string note;
+  if (had_varbit && !opts.opt6_varbit_as_fixed)
+    note = "varbit approximated as fixed-size (the naive encoding does not model runtime lengths); ";
+
+  TcamProgram flat;
+  if (opts.opt3_preallocate) {
+    // ---------------- OPT pipeline: per-state chain synthesis. ----------
+    ParserSpec canon = canonicalize(work);
+    auto deferred = defer_wide_lookahead(canon, hw);
+    if (!deferred) return fail(CompileStatus::Rejected, deferred.error().to_string(), reference, stats);
+    canon = std::move(*deferred);
+
+    std::vector<StatePlan> plans;
+    for (std::size_t s = 0; s < canon.states.size(); ++s) {
+      const State& st = canon.states[s];
+      auto orig_bits = chain_key_bits(canon, st, hw);
+      if (!orig_bits)
+        return fail(CompileStatus::Rejected, "lookahead-too-wide: state '" + st.name + "'",
+                    reference, stats);
+
+      // Opt1 off: widen the candidate key to whole fields / whole windows.
+      std::vector<KeyBit> bits = *orig_bits;
+      if (!opts.opt1_spec_guided_keys) {
+        std::set<std::pair<int, int>> have;
+        for (const auto& b : bits) have.insert({b.kind == KeyPart::Kind::Lookahead ? -1 : b.field, b.pos});
+        std::vector<KeyBit> extended = bits;
+        for (const auto& b : *orig_bits) {
+          if (static_cast<int>(extended.size()) >= 64) break;
+          if (b.kind == KeyPart::Kind::FieldSlice) {
+            for (int j = 0; j < canon.fields[static_cast<std::size_t>(b.field)].width &&
+                            static_cast<int>(extended.size()) < 64;
+                 ++j)
+              if (have.insert({b.field, j}).second)
+                extended.push_back(KeyBit{KeyPart::Kind::FieldSlice, b.field, j});
+          }
+        }
+        bits = std::move(extended);
+      }
+
+      ChainProblem problem;
+      problem.spec_state = static_cast<int>(s);
+      problem.key_width = static_cast<int>(bits.size());
+      problem.semantics = lift_rules(st.rules, *orig_bits, bits);
+      std::set<int> targets{kReject};
+      for (const auto& r : st.rules) targets.insert(r.next);
+      problem.exit_targets.assign(targets.begin(), targets.end());
+
+      // Value candidates (Opt4): the state's own constants plus
+      // concatenation-style variants are subsumed by mask conjunction.
+      std::vector<std::uint64_t> candidates;
+      std::vector<std::uint64_t> mask_candidates;
+      if (opts.opt4_constant_synthesis) {
+        std::set<std::uint64_t> cs;
+        for (const auto& r : problem.semantics)
+          if (!r.is_default()) cs.insert(r.value);
+        candidates.assign(cs.begin(), cs.end());
+        if (candidates.empty()) candidates.push_back(0);
+        // §6.4.2: masks that merge two same-target constants. Pairwise XOR
+        // covers k-member cube families too (any two antipodal members of a
+        // cube produce the cube's mask).
+        std::set<std::uint64_t> ms;
+        std::map<int, std::vector<Rule>> by_target;
+        for (const auto& r : problem.semantics)
+          if (!r.is_default()) by_target[r.next].push_back(r);
+        for (const auto& [t, rs] : by_target)
+          for (std::size_t i = 0; i < rs.size(); ++i)
+            for (std::size_t j = i + 1; j < rs.size() && ms.size() < 64; ++j)
+              // The mask unifying two ternary entries: keep the bits both
+              // care about and agree on.
+              ms.insert(rs[i].mask & rs[j].mask & ~(rs[i].value ^ rs[j].value));
+        // Masks the specification itself uses (wildcard entries must be
+        // reproducible verbatim).
+        for (const auto& r : problem.semantics)
+          if (!r.is_default()) ms.insert(r.mask);
+        mask_candidates.assign(ms.begin(), ms.end());
+      }
+
+      // Shape family.
+      const int kw = problem.key_width;
+      std::vector<ChainShape> shapes;
+      auto push_shape = [&](std::vector<std::uint64_t> masks, int layers, int aux) {
+        ChainShape sh;
+        sh.alloc_masks = std::move(masks);
+        sh.layers = layers;
+        sh.aux_counts.assign(static_cast<std::size_t>(layers), aux);
+        sh.aux_counts[0] = 1;
+        sh.value_candidates = candidates;
+        sh.mask_candidates = mask_candidates;
+        sh.key_limit = hw.key_limit_bits;
+        shapes.push_back(std::move(sh));
+      };
+      if (kw == 0) {
+        push_shape({0}, 1, 1);
+      } else if (opts.opt5_key_grouping) {
+        if (kw <= hw.key_limit_bits) {
+          std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+          push_shape({full}, 1, 1);
+        } else {
+          for (auto& order : split_orders(kw, hw.key_limit_bits, opts.opt7_parallel))
+            for (int aux : {1, 2, 4})
+              push_shape(order, static_cast<int>(order.size()), aux);
+        }
+      } else {
+        int layers = (kw + hw.key_limit_bits - 1) / hw.key_limit_bits;
+        for (int aux : layers > 1 ? std::vector<int>{1, 2, 4} : std::vector<int>{1})
+          push_shape({}, layers, aux);  // symbolic masks
+      }
+
+      // Budget-minimizing search: first SAT at the lowest budget wins.
+      StatePlan plan;
+      plan.spec_state = static_cast<int>(s);
+      plan.key_bits = bits;
+      bool solved = false;
+      int lb = std::max<std::size_t>(1, targets.size() - (targets.count(kReject) ? 1 : 0));
+      int max_aux_total = 0;
+      for (const auto& sh : shapes)
+        max_aux_total = std::max(max_aux_total,
+                                 std::accumulate(sh.aux_counts.begin(), sh.aux_counts.end(), 0));
+      int cap = static_cast<int>(st.rules.size()) + 1 + 2 * max_aux_total + 2;
+      // Two-pass budget search implementing §6.4.2's mask strategy: the
+      // all-ones-mask pass converges almost instantly and yields an entry
+      // upper bound B; the free-mask pass then only has to beat B, so it
+      // never grinds through UNSAT proofs at budgets it cannot improve.
+      auto attempt = [&](ChainShape sh, int budget) -> bool {
+        sh.row_budget = budget;
+        ChainStats cs;
+        ++stats.budget_attempts;
+        auto sol = synthesize_chain(problem, sh, deadline, cs);
+        stats.cegis_rounds += cs.cegis_rounds;
+        stats.synth_queries += cs.synth_queries;
+        stats.verify_queries += cs.verify_queries;
+        if (!sol) return false;
+        plan.solution = std::move(*sol);
+        plan.layers = sh.layers;
+        plan.aux_counts = sh.aux_counts;
+        plan.search_space_bits = cs.search_space_bits;
+        return true;
+      };
+      int best_budget = cap + 1;
+      for (int budget = lb; budget <= cap && !solved; ++budget) {
+        for (auto sh : shapes) {
+          if (deadline.expired())
+            return fail(CompileStatus::Timeout, "synthesis budget exhausted", reference, stats);
+          sh.restrict_masks = true;
+          if (attempt(sh, budget)) {
+            solved = true;
+            best_budget = budget;
+            break;
+          }
+        }
+      }
+      // The improvement pass uses candidate masks when Opt4 is on (cheap
+      // at any key width); fully free masks only below 25 bits, where
+      // CEGIS still converges. When the all-ones pass found nothing
+      // (wildcard-heavy specs), best_budget is cap+1 and this pass covers
+      // the whole budget range.
+      if (!mask_candidates.empty() || problem.key_width <= 24) {
+        for (int budget = lb; budget < best_budget; ++budget) {
+          bool improved = false;
+          for (auto sh : shapes) {
+            if (deadline.expired()) break;  // keep any restricted-pass solution
+            sh.restrict_masks = false;
+            if (attempt(sh, budget)) {
+              improved = true;
+              solved = true;
+              break;
+            }
+          }
+          if (improved) break;
+        }
+      }
+      if (!solved) {
+        if (deadline.expired())
+          return fail(CompileStatus::Timeout, "synthesis budget exhausted", reference, stats);
+        return fail(CompileStatus::NoSolution,
+                    "no chain implements state '" + st.name + "' within the key-split budget",
+                    reference, stats);
+      }
+      stats.search_space_bits += plan.search_space_bits;
+      plans.push_back(std::move(plan));
+    }
+
+    // ---------------- Assemble the flat program. ----------
+    flat.name = spec.name;
+    flat.fields = canon.fields;
+    flat.start_table = 0;
+    flat.start_state = canon.start;
+    int next_id = static_cast<int>(canon.states.size());
+    for (auto& plan : plans) {
+      const State& st = canon.states[static_cast<std::size_t>(plan.spec_state)];
+      // Ids for aux states: (layer >= 1, aux index) -> fresh id.
+      std::map<std::pair<int, int>, int> aux_id;
+      for (int l = 1; l < plan.layers; ++l)
+        for (int a = 0; a < plan.aux_counts[static_cast<std::size_t>(l)]; ++a)
+          aux_id[{l, a}] = next_id++;
+      auto state_id = [&](int layer, int aux) {
+        return layer == 0 ? plan.spec_state : aux_id[{layer, aux}];
+      };
+      for (int l = 0; l < plan.layers; ++l) {
+        std::uint64_t amask = l < static_cast<int>(plan.solution.alloc_masks.size())
+                                  ? plan.solution.alloc_masks[static_cast<std::size_t>(l)]
+                                  : 0;
+        std::vector<KeyPart> parts = layout_from_alloc(plan.key_bits, amask);
+        int aux_count = l == 0 ? 1 : plan.aux_counts[static_cast<std::size_t>(l)];
+        for (int a = 0; a < aux_count; ++a)
+          if (!parts.empty()) flat.layouts[{0, state_id(l, a)}] = StateLayout{parts};
+      }
+      const int kw = static_cast<int>(plan.key_bits.size());
+      for (const auto& row : plan.solution.rows) {
+        TcamEntry e;
+        e.table = 0;
+        e.state = state_id(row.layer, row.aux);
+        e.entry = row.priority;
+        std::uint64_t amask = plan.solution.alloc_masks[static_cast<std::size_t>(row.layer)];
+        e.value = pack_bits(row.value, amask, kw);
+        e.mask = pack_bits(row.mask, amask, kw);
+        e.next_table = 0;
+        if (row.is_exit) {
+          e.next_state = row.exit_target;
+          e.extracts = st.extracts;  // exit rows perform the state's extraction
+        } else {
+          e.next_state = state_id(row.layer + 1, row.next_aux);
+        }
+        flat.entries.push_back(std::move(e));
+      }
+    }
+    int max_layers = 1;
+    for (const auto& plan : plans) max_layers = std::max(max_layers, plan.layers);
+    flat.max_iterations = std::max(64, opts.max_iterations * (max_layers + 1) + 8);
+  } else {
+    // ---------------- Naive global pipeline ("Orig"). ----------
+    ParserSpec naive_spec = work;
+    if (analyze(naive_spec, opts.max_iterations).has_loop && !hw.allows_loops) {
+      // already unrolled above via `reference`
+    }
+    ChainStats cs;
+    auto result = global_synthesize(naive_spec, hw, opts, deadline, cs);
+    stats.cegis_rounds += cs.cegis_rounds;
+    stats.synth_queries += cs.synth_queries;
+    stats.verify_queries += cs.verify_queries;
+    stats.search_space_bits = cs.search_space_bits;
+    if (!result) {
+      if (deadline.expired())
+        return fail(CompileStatus::Timeout, "synthesis budget exhausted", reference, stats);
+      return fail(CompileStatus::NoSolution, "global synthesis found no implementation", reference,
+                  stats);
+    }
+    flat = std::move(result->program);
+    flat.name = spec.name;
+  }
+
+  // ---------------- Post-synthesis optimization. ----------
+  TcamProgram optimized = inline_terminal_extracts(flat, hw);
+  auto split = split_wide_extracts(optimized, hw);
+  if (!split) return fail(CompileStatus::ResourceExceeded, split.error().to_string(), reference, stats);
+  optimized = std::move(*split);
+  if (hw.pipelined()) {
+    auto staged = assign_stages(optimized, hw);
+    if (!staged)
+      return fail(CompileStatus::ResourceExceeded, staged.error().to_string(), reference, stats);
+    optimized = std::move(*staged);
+  }
+
+  if (auto v = validate(optimized, hw); !v)
+    return fail(CompileStatus::ResourceExceeded, v.error().to_string(), reference, stats);
+
+  // ---------------- Verification (CEGIS verify phase + Figure 22). ------
+  {
+    VerifyOptions vo;
+    vo.max_iterations_spec = opts.max_iterations;
+    vo.max_iterations_impl = optimized.max_iterations;
+    VerifyOutcome vr = verify_equivalence(work, optimized, vo);
+    if (vr.kind == VerifyOutcome::Kind::Counterexample)
+      return fail(CompileStatus::InternalError,
+                  "verification counterexample: " + vr.counterexample.to_string(), reference, stats);
+    stats.formally_verified = vr.kind == VerifyOutcome::Kind::Equivalent;
+  }
+
+  // ---------------- Restore Opt6/Opt2 transforms & final diff test. -----
+  if (had_varbit) {
+    auto restored = restore_varbit_extracts(optimized, reference);
+    if (!restored)
+      return fail(CompileStatus::Rejected, restored.error().to_string(), reference, stats);
+    optimized = std::move(*restored);
+  }
+  optimized = restore_field_widths(optimized, reference.fields);
+
+  {
+    DiffTestOptions dt;
+    dt.samples = 64;
+    dt.seed = opts.seed;
+    dt.max_iterations = optimized.max_iterations;
+    dt.input_bits = analyze(had_varbit ? varbit_to_fixed(reference) : reference,
+                            opts.max_iterations)
+                        .max_input_bits;
+    if (auto mismatch = differential_test(reference, optimized, dt))
+      return fail(CompileStatus::InternalError,
+                  "differential test mismatch on " + mismatch->input.to_string(), reference, stats);
+  }
+
+  CompileResult out;
+  out.status = CompileStatus::Success;
+  out.reason = note;
+  out.program = std::move(optimized);
+  out.usage = measure(out.program);
+  out.reference = std::move(reference);
+  stats.seconds = watch.elapsed_sec();
+  out.stats = stats;
+  return out;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,65 @@
+// ParserHawk's public compilation entry point (§5, Figure 8).
+//
+// Pipeline: front-end analysis & normalization -> synthesis (per-state
+// chain CEGIS when Opt3 preallocation is on; the naive global encoding
+// otherwise) -> post-synthesis optimization -> stage assignment for
+// pipelined devices -> bounded formal verification + differential test ->
+// restoration of varbit/width transforms.
+//
+// Failures are ordinary values with the same failure vocabulary as the
+// paper's Table 3 red cells ("wide-tran-key", "parser-loop-rej",
+// "too-many-stages", ...).
+#pragma once
+
+#include <string>
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "sim/interp.h"
+#include "synth/options.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+enum class CompileStatus {
+  Success,
+  Rejected,          ///< invalid input specification
+  ResourceExceeded,  ///< no implementation fits the device limits
+  Timeout,           ///< wall-clock budget exhausted
+  NoSolution,        ///< search space exhausted without a solution
+  InternalError,     ///< a synthesized program failed its own verification
+};
+
+std::string to_string(CompileStatus status);
+
+struct SynthStats {
+  double seconds = 0;
+  /// The paper's "Search Space (bits)" column: log2 of the candidate space
+  /// of the successful synthesis configuration.
+  double search_space_bits = 0;
+  int cegis_rounds = 0;
+  int synth_queries = 0;
+  int verify_queries = 0;
+  /// Entry-budget values attempted by the minimization search.
+  int budget_attempts = 0;
+  /// Whether the bounded formal equivalence check conclusively passed.
+  bool formally_verified = false;
+};
+
+struct CompileResult {
+  CompileStatus status = CompileStatus::NoSolution;
+  std::string reason;  ///< failure code/detail; empty on success
+  TcamProgram program;
+  ResourceUsage usage;
+  SynthStats stats;
+  /// Semantics the output was verified against: the input spec, after loop
+  /// unrolling when the target cannot loop.
+  ParserSpec reference;
+
+  bool ok() const { return status == CompileStatus::Success; }
+};
+
+/// Compile `spec` for the device `hw`.
+CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts = {});
+
+}  // namespace parserhawk

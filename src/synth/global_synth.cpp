@@ -1,0 +1,410 @@
+#include "synth/global_synth.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <cstdlib>
+#include <cstdio>
+
+#include "analysis/analysis.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+#include "synth/verify.h"
+
+namespace parserhawk {
+
+namespace {
+
+/// Candidate key bit: bit `bit` of field `field` (wire order within the
+/// field).
+struct CandBit {
+  int field;
+  int bit;
+};
+
+/// Symbolic row of one implementation state.
+struct GRow {
+  z3::expr used;
+  z3::expr value;
+  z3::expr mask;
+  z3::expr next;
+  z3::expr xtr;  ///< does this row's ExtractSet include the state's field?
+};
+
+constexpr int kAcceptId = -1;  // mirrors ir sentinels in the Int encoding
+constexpr int kRejectId = -2;
+
+/// All cursor positions any implementation could reach: subset sums of
+/// field widths, bounded by the input length.
+std::vector<int> possible_positions(const ParserSpec& spec, int input_bits) {
+  std::set<int> sums{0};
+  for (const auto& f : spec.fields) {
+    std::set<int> next = sums;
+    for (int s : sums)
+      if (s + f.width <= input_bits) next.insert(s + f.width);
+    sums = std::move(next);
+    if (sums.size() > 512) break;  // cap; larger programs time out anyway
+  }
+  return {sums.begin(), sums.end()};
+}
+
+}  // namespace
+
+std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const HwProfile& profile,
+                                                   const SynthOptions& options,
+                                                   const Deadline& deadline, ChainStats& stats) {
+  SpecAnalysis analysis = analyze(spec, options.max_iterations);
+  const int input_bits = std::max(1, analysis.max_input_bits);
+  const int num_fields = static_cast<int>(spec.fields.size());
+
+  // Candidate key bits (Opt1 restricts to spec-used bits).
+  std::vector<CandBit> bits;
+  for (int f = 0; f < num_fields; ++f) {
+    for (int j = 0; j < spec.fields[static_cast<std::size_t>(f)].width; ++j) {
+      bool used = analysis.key_usage[static_cast<std::size_t>(f)].bits[static_cast<std::size_t>(j)];
+      if (options.opt1_spec_guided_keys && !used) continue;
+      bits.push_back(CandBit{f, j});
+      if (bits.size() == 64) break;
+    }
+    if (bits.size() == 64) break;
+  }
+  const int kw = std::max(1, static_cast<int>(bits.size()));
+  const unsigned w = static_cast<unsigned>(kw);
+
+  // Impl skeleton: one state per extraction op (at least one per spec
+  // state); synthesis chooses which field each state extracts.
+  int num_states = 0;
+  for (const auto& st : spec.states) num_states += std::max<std::size_t>(1, st.extracts.size());
+  const int rows_per_state =
+      std::min(6, 1 + static_cast<int>(std::max_element(spec.states.begin(), spec.states.end(),
+                                                        [](const State& a, const State& b) {
+                                                          return a.rules.size() < b.rules.size();
+                                                        })
+                                           ->rules.size()));
+  const int K = std::min(16, std::max(options.max_iterations, num_states + 2));
+
+  // Opt4 constant pool: spec rule values scattered to candidate positions.
+  std::vector<std::uint64_t> pool;
+  if (options.opt4_constant_synthesis) {
+    for (std::size_t s = 0; s < spec.states.size(); ++s) {
+      const State& st = spec.states[s];
+      int skw = st.key_width();
+      for (const auto& r : st.rules) {
+        if (r.is_default()) continue;
+        std::uint64_t mapped = 0;
+        int key_bit = 0;
+        for (const auto& p : st.key) {
+          for (int j = 0; j < p.len; ++j, ++key_bit) {
+            if (p.kind != KeyPart::Kind::FieldSlice) continue;
+            bool bitval = (r.value >> (skw - 1 - key_bit)) & 1u;
+            if (!bitval) continue;
+            for (std::size_t b = 0; b < bits.size(); ++b)
+              if (bits[b].field == p.field && bits[b].bit == p.lo + j)
+                mapped |= std::uint64_t{1} << (kw - 1 - static_cast<int>(b));
+          }
+        }
+        pool.push_back(mapped);
+      }
+    }
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  }
+
+  const std::vector<int> positions = possible_positions(spec, input_bits);
+
+  // ---------- Static (per-run) symbolic structure. ----------
+  z3::context ctx;
+  z3::solver synth(ctx);
+
+  std::vector<z3::expr> alloc;    // per state: candidate-bit mask
+  std::vector<z3::expr> ext;      // per state: extracted field or -1
+  std::vector<std::vector<GRow>> rows(static_cast<std::size_t>(num_states));
+
+  double space_bits = 0;
+  for (int i = 0; i < num_states; ++i) {
+    z3::expr a = ctx.bv_const(("alloc" + std::to_string(i)).c_str(), w);
+    z3::expr sum = ctx.int_val(0);
+    for (int b = 0; b < kw; ++b)
+      sum = sum + z3::ite(a.extract(static_cast<unsigned>(b), static_cast<unsigned>(b)) == ctx.bv_val(1, 1),
+                          ctx.int_val(1), ctx.int_val(0));
+    synth.add(sum <= ctx.int_val(profile.key_limit_bits));
+    if (options.opt5_key_grouping) {
+      // Bits of one field are allocated together.
+      for (std::size_t b = 1; b < bits.size(); ++b)
+        if (bits[b].field == bits[b - 1].field) {
+          unsigned hi = static_cast<unsigned>(kw - 1 - static_cast<int>(b - 1));
+          unsigned lo = static_cast<unsigned>(kw - 1 - static_cast<int>(b));
+          synth.add(a.extract(hi, hi) == a.extract(lo, lo));
+        }
+    } else {
+      space_bits += kw;
+    }
+    alloc.push_back(a);
+
+    z3::expr e = ctx.int_const(("ext" + std::to_string(i)).c_str());
+    synth.add(e >= ctx.int_val(-1) && e < ctx.int_val(num_fields));
+    space_bits += std::log2(static_cast<double>(num_fields + 1));
+    ext.push_back(e);
+
+    for (int r = 0; r < rows_per_state; ++r) {
+      std::string tag = "s" + std::to_string(i) + "r" + std::to_string(r);
+      GRow row{ctx.bool_const(("u" + tag).c_str()), ctx.bv_const(("v" + tag).c_str(), w),
+               ctx.bv_const(("m" + tag).c_str(), w), ctx.int_const(("n" + tag).c_str()),
+               ctx.bool_const(("x" + tag).c_str())};
+      synth.add((row.mask & ~a) == ctx.bv_val(0, w));
+      synth.add((row.value & ~row.mask) == ctx.bv_val(0, w));
+      synth.add((row.next >= ctx.int_val(0) && row.next < ctx.int_val(num_states)) ||
+                row.next == ctx.int_val(kAcceptId) || row.next == ctx.int_val(kRejectId));
+      if (!pool.empty()) {
+        z3::expr_vector ok(ctx);
+        ok.push_back(row.mask == ctx.bv_val(0, w));
+        for (std::uint64_t c : pool) ok.push_back(row.value == (ctx.bv_val(c, w) & row.mask));
+        synth.add(z3::implies(row.used, z3::mk_or(ok)));
+        space_bits += std::log2(static_cast<double>(pool.size() + 1)) + kw;
+      } else {
+        space_bits += 2.0 * kw;
+      }
+      space_bits += std::log2(static_cast<double>(num_states + 2)) + 1;
+      if (r > 0) synth.add(z3::implies(row.used, rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(r - 1)].used));
+      rows[static_cast<std::size_t>(i)].push_back(std::move(row));
+    }
+  }
+  stats.search_space_bits = space_bits;
+
+  z3::expr total_used = ctx.int_val(0);
+  for (const auto& sr : rows)
+    for (const auto& r : sr) total_used = total_used + z3::ite(r.used, ctx.int_val(1), ctx.int_val(0));
+  z3::expr budget = ctx.int_const("budget");
+  synth.add(total_used <= budget);
+
+  // ---------- Per-test unrolled encoding (Figure 9). ----------
+  int test_counter = 0;
+  auto add_test = [&](const BitVec& input, const ParseResult& expected) {
+    int t = test_counter++;
+    auto nm = [&](const std::string& base, int a, int b = -1) {
+      return base + "_" + std::to_string(t) + "_" + std::to_string(a) +
+             (b >= 0 ? "_" + std::to_string(b) : "");
+    };
+    std::vector<z3::expr> cur, pos;
+    std::vector<std::vector<z3::expr>> vpos(static_cast<std::size_t>(K + 1));
+    for (int l = 0; l <= K; ++l) {
+      cur.push_back(ctx.int_const(nm("cur", l).c_str()));
+      pos.push_back(ctx.int_const(nm("pos", l).c_str()));
+      for (int f = 0; f < num_fields; ++f)
+        vpos[static_cast<std::size_t>(l)].push_back(ctx.int_const(nm("vp", l, f).c_str()));
+    }
+    synth.add(cur[0] == ctx.int_val(0));
+    synth.add(pos[0] == ctx.int_val(0));
+    for (int f = 0; f < num_fields; ++f) synth.add(vpos[0][static_cast<std::size_t>(f)] == ctx.int_val(-1));
+
+    for (int l = 0; l < K; ++l) {
+      // Raw key value at this iteration: candidate bit b reads the input at
+      // the field's latest extraction position (concrete input => the OR
+      // ranges only over positions whose bit is 1).
+      z3::expr kraw = ctx.bv_val(0, w);
+      if (!bits.empty()) {
+        std::vector<z3::expr> kbits;
+        for (std::size_t b = 0; b < bits.size(); ++b) {
+          z3::expr_vector ors(ctx);
+          for (int p : positions) {
+            int wire = p + bits[b].bit;
+            if (wire < input.size() && input.get(wire))
+              ors.push_back(vpos[static_cast<std::size_t>(l)][static_cast<std::size_t>(bits[b].field)] ==
+                            ctx.int_val(p));
+          }
+          kbits.push_back(ors.empty() ? ctx.bool_val(false) : z3::mk_or(ors));
+        }
+        z3::expr acc = z3::ite(kbits[0], ctx.bv_val(1, 1), ctx.bv_val(0, 1));
+        for (std::size_t b = 1; b < kbits.size(); ++b)
+          acc = z3::concat(acc, z3::ite(kbits[b], ctx.bv_val(1, 1), ctx.bv_val(0, 1)));
+        if (static_cast<int>(bits.size()) == kw) kraw = acc;
+        else kraw = z3::concat(acc, ctx.bv_val(0, static_cast<unsigned>(kw - static_cast<int>(bits.size()))));
+      }
+
+      // Sentinels are absorbing.
+      for (int sentinel : {kAcceptId, kRejectId}) {
+        z3::expr at = cur[static_cast<std::size_t>(l)] == ctx.int_val(sentinel);
+        synth.add(z3::implies(at, cur[static_cast<std::size_t>(l + 1)] == ctx.int_val(sentinel)));
+        synth.add(z3::implies(at, pos[static_cast<std::size_t>(l + 1)] == pos[static_cast<std::size_t>(l)]));
+        for (int f = 0; f < num_fields; ++f)
+          synth.add(z3::implies(at, vpos[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(f)] ==
+                                        vpos[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)]));
+      }
+
+      for (int i = 0; i < num_states; ++i) {
+        z3::expr at = cur[static_cast<std::size_t>(l)] == ctx.int_val(i);
+        z3::expr nomatch = ctx.bool_val(true);
+        z3::expr width = ctx.int_val(0);
+        for (int f = 0; f < num_fields; ++f)
+          width = z3::ite(ext[static_cast<std::size_t>(i)] == ctx.int_val(f),
+                          ctx.int_val(spec.fields[static_cast<std::size_t>(f)].width), width);
+        for (const auto& row : rows[static_cast<std::size_t>(i)]) {
+          z3::expr match = row.used && ((kraw & row.mask) == row.value);
+          z3::expr fired = at && nomatch && match;
+          synth.add(z3::implies(fired, cur[static_cast<std::size_t>(l + 1)] == row.next));
+          // Per-row ExtractSet (Figure 6): either the state's assigned
+          // field or nothing.
+          synth.add(z3::implies(fired && row.xtr,
+                                pos[static_cast<std::size_t>(l + 1)] ==
+                                    pos[static_cast<std::size_t>(l)] + width));
+          synth.add(z3::implies(fired && !row.xtr,
+                                pos[static_cast<std::size_t>(l + 1)] == pos[static_cast<std::size_t>(l)]));
+          for (int f = 0; f < num_fields; ++f) {
+            z3::expr cur_vp = vpos[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)];
+            z3::expr nxt_vp = vpos[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(f)];
+            z3::expr updates = row.xtr && ext[static_cast<std::size_t>(i)] == ctx.int_val(f);
+            synth.add(z3::implies(fired && updates, nxt_vp == pos[static_cast<std::size_t>(l)]));
+            synth.add(z3::implies(fired && !updates, nxt_vp == cur_vp));
+          }
+          nomatch = nomatch && !match;
+        }
+        synth.add(z3::implies(at && nomatch,
+                              cur[static_cast<std::size_t>(l + 1)] == ctx.int_val(kRejectId)));
+        synth.add(z3::implies(at && nomatch,
+                              pos[static_cast<std::size_t>(l + 1)] == pos[static_cast<std::size_t>(l)]));
+        for (int f = 0; f < num_fields; ++f)
+          synth.add(z3::implies(at && nomatch,
+                                vpos[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(f)] ==
+                                    vpos[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)]));
+      }
+    }
+
+    // Final-state obligations.
+    if (expected.outcome == ParseOutcome::Accepted)
+      synth.add(cur[static_cast<std::size_t>(K)] == ctx.int_val(kAcceptId));
+    else if (expected.outcome == ParseOutcome::Rejected)
+      synth.add(cur[static_cast<std::size_t>(K)] == ctx.int_val(kRejectId));
+    else
+      return;  // exhausted expectations are not encoded
+
+    if (expected.outcome != ParseOutcome::Accepted) return;  // dict unobservable on reject
+    for (int f = 0; f < num_fields; ++f) {
+      auto it = expected.dict.find(f);
+      z3::expr vp = vpos[static_cast<std::size_t>(K)][static_cast<std::size_t>(f)];
+      if (it == expected.dict.end()) {
+        synth.add(vp == ctx.int_val(-1));
+        continue;
+      }
+      // Accept any extraction position where the input bits equal the
+      // expected value.
+      z3::expr_vector ok(ctx);
+      const BitVec& val = it->second;
+      for (int p : positions) {
+        if (p + val.size() > input.size()) continue;
+        if (input.slice(p, val.size()) == val) ok.push_back(vp == ctx.int_val(p));
+      }
+      synth.add(ok.empty() ? ctx.bool_val(false) : z3::mk_or(ok));
+    }
+  };
+
+  // ---------- Model extraction. ----------
+  auto build_program = [&](const z3::model& model) {
+    TcamProgram prog;
+    prog.name = spec.name + "_naive";
+    prog.fields = spec.fields;
+    prog.start_table = 0;
+    prog.start_state = 0;
+    prog.max_iterations = std::max(K + 2, 2 * num_states + 4);
+    for (int i = 0; i < num_states; ++i) {
+      std::uint64_t amask = model.eval(alloc[static_cast<std::size_t>(i)], true).get_numeral_uint64();
+      // Layout: contiguous runs of selected candidate bits within a field.
+      StateLayout layout;
+      for (std::size_t b = 0; b < bits.size();) {
+        bool sel = (amask >> (kw - 1 - static_cast<int>(b))) & 1u;
+        if (!sel) {
+          ++b;
+          continue;
+        }
+        std::size_t e = b;
+        while (e + 1 < bits.size() && bits[e + 1].field == bits[b].field &&
+               bits[e + 1].bit == bits[e].bit + 1 &&
+               ((amask >> (kw - 1 - static_cast<int>(e + 1))) & 1u))
+          ++e;
+        layout.key.push_back(KeyPart{KeyPart::Kind::FieldSlice, bits[b].field, bits[b].bit,
+                                     static_cast<int>(e - b) + 1});
+        b = e + 1;
+      }
+      if (!layout.key.empty()) prog.layouts[{0, i}] = layout;
+
+      int efield = static_cast<int>(model.eval(ext[static_cast<std::size_t>(i)], true).get_numeral_int64());
+      int prio = 0;
+      for (const auto& row : rows[static_cast<std::size_t>(i)]) {
+        if (!z3::eq(model.eval(row.used, true), ctx.bool_val(true))) continue;
+        TcamEntry e;
+        e.table = 0;
+        e.state = i;
+        e.entry = prio++;
+        std::uint64_t v = model.eval(row.value, true).get_numeral_uint64();
+        std::uint64_t m = model.eval(row.mask, true).get_numeral_uint64();
+        // Pack to the selected bits (layout order == candidate order).
+        std::uint64_t pv = 0, pm = 0;
+        for (int b = 0; b < kw; ++b) {
+          if (!((amask >> (kw - 1 - b)) & 1u)) continue;
+          pv = (pv << 1) | ((v >> (kw - 1 - b)) & 1u);
+          pm = (pm << 1) | ((m >> (kw - 1 - b)) & 1u);
+        }
+        e.value = pv;
+        e.mask = pm;
+        if (efield >= 0 && z3::eq(model.eval(row.xtr, true), ctx.bool_val(true)))
+          e.extracts.push_back(ExtractOp{efield, -1, 0, 0});
+        int nx = static_cast<int>(model.eval(row.next, true).get_numeral_int64());
+        e.next_table = 0;
+        e.next_state = nx == kAcceptId ? kAccept : nx == kRejectId ? kReject : nx;
+        prog.entries.push_back(std::move(e));
+      }
+    }
+    return prog;
+  };
+
+  // ---------- CEGIS with an outer entry-budget search. ----------
+  Rng rng(options.seed);
+  std::vector<std::pair<BitVec, ParseResult>> tests;
+  {
+    BitVec seed_input = generate_path_input(spec, rng, options.max_iterations, input_bits);
+    tests.emplace_back(seed_input, run_spec(spec, seed_input, options.max_iterations));
+    add_test(tests.back().first, tests.back().second);
+  }
+
+  for (int T = num_states; T <= num_states * rows_per_state; ++T) {
+    ++stats.cegis_rounds;
+    for (int round = 0; round < options.max_cegis_rounds; ++round) {
+      if (deadline.expired()) return std::nullopt;
+      ++stats.synth_queries;
+      synth.push();
+      synth.add(budget == ctx.int_val(T));
+      synth.set("timeout",
+                static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
+      z3::check_result cr = synth.check();
+      if (cr != z3::sat) {
+        synth.pop();
+        if (cr == z3::unknown) return std::nullopt;  // timeout
+        break;                                       // UNSAT at this budget: grow
+      }
+      TcamProgram candidate = build_program(synth.get_model());
+      synth.pop();
+      if (std::getenv("PH_DEBUG_NAIVE")) {
+        std::fprintf(stderr, "--- T=%d round=%d candidate:\n%s", T, round,
+                     to_string(candidate).c_str());
+      }
+
+      ++stats.verify_queries;
+      VerifyOptions vo;
+      vo.input_bits = input_bits;
+      vo.max_iterations_spec = options.max_iterations;
+      vo.max_iterations_impl = candidate.max_iterations;
+      VerifyOutcome vr = verify_equivalence(spec, candidate, vo);
+      if (vr.kind == VerifyOutcome::Kind::Equivalent)
+        return GlobalSynthResult{std::move(candidate), stats};
+      if (vr.kind == VerifyOutcome::Kind::Inconclusive) return std::nullopt;
+      tests.emplace_back(vr.counterexample, run_spec(spec, vr.counterexample, options.max_iterations));
+      add_test(tests.back().first, tests.back().second);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,40 @@
+// Naive whole-program synthesis: the paper's unoptimized encoding ("Orig"
+// in Table 3), used when Opt3 preallocation is disabled.
+//
+// Everything is symbolic at once, exactly as §6 warns: per-state extraction
+// assignment (Extract), per-bit key allocation masks (Alloc), free
+// value/mask constants per TCAM row, and symbolic next-state pointers. The
+// CEGIS synthesis phase unrolls the parser K iterations over each concrete
+// test input, tracking symbolic current-state, cursor and per-field
+// extraction positions (Figure 9's formulas); the verification phase is the
+// shared symbolic-execution equivalence check of verify.h. The search space
+// this encoding hands to Z3 grows exponentially with the program, which is
+// what the optimization flags in SynthOptions claw back.
+#pragma once
+
+#include <optional>
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "support/timer.h"
+#include "synth/chain_synth.h"  // ChainStats
+#include "synth/options.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+struct GlobalSynthResult {
+  TcamProgram program;
+  ChainStats stats;
+};
+
+/// Synthesize a flat (single-table) implementation of `spec` with the naive
+/// global encoding. The spec must be varbit-free (apply varbit_to_fixed) —
+/// the caller handles loop unrolling for pipelined targets and stage
+/// assignment afterwards. Returns nullopt on UNSAT/timeout (stats still
+/// describe the attempt).
+std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const HwProfile& profile,
+                                                   const SynthOptions& options,
+                                                   const Deadline& deadline, ChainStats& stats);
+
+}  // namespace parserhawk

@@ -1,0 +1,324 @@
+#include "synth/normalize.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "analysis/analysis.h"
+#include "rewrite/rewrite.h"
+
+namespace parserhawk {
+
+namespace {
+
+/// Rebuild a spec keeping only states flagged in `keep`, remapping ids.
+ParserSpec compact(const ParserSpec& spec, const std::vector<bool>& keep) {
+  std::vector<int> remap(spec.states.size(), -1);
+  ParserSpec out;
+  out.name = spec.name;
+  out.fields = spec.fields;
+  for (std::size_t i = 0; i < spec.states.size(); ++i) {
+    if (!keep[i]) continue;
+    remap[i] = static_cast<int>(out.states.size());
+    out.states.push_back(spec.states[i]);
+  }
+  for (auto& st : out.states)
+    for (auto& r : st.rules)
+      if (is_real_state(r.next)) r.next = remap[static_cast<std::size_t>(r.next)];
+  out.start = remap[static_cast<std::size_t>(spec.start)];
+  return out;
+}
+
+/// Count live in-edges of each state (excluding self loops for merge
+/// decisions is handled by the caller).
+std::vector<int> in_degrees(const ParserSpec& spec) {
+  std::vector<int> deg(spec.states.size(), 0);
+  for (const auto& st : spec.states)
+    for (const auto& r : st.rules)
+      if (is_real_state(r.next)) ++deg[static_cast<std::size_t>(r.next)];
+  return deg;
+}
+
+/// Z3 next-state function of a rule list over a symbolic key, with states
+/// mapped through `to_id` (identity when empty).
+z3::expr next_fn(z3::context& ctx, const z3::expr& key, const State& st,
+                 const std::vector<int>& block_of) {
+  auto map_id = [&](int next) {
+    if (!is_real_state(next) || block_of.empty()) return next;
+    return block_of[static_cast<std::size_t>(next)] + 1000;  // offset: avoid clashing with sentinels
+  };
+  int kw = st.key_width();
+  z3::expr out = ctx.int_val(map_id(kReject));
+  for (auto it = st.rules.rbegin(); it != st.rules.rend(); ++it) {
+    z3::expr cond = ctx.bool_val(true);
+    if (kw > 0) {
+      z3::expr v = ctx.bv_val(static_cast<std::uint64_t>(it->value), static_cast<unsigned>(kw));
+      z3::expr m = ctx.bv_val(static_cast<std::uint64_t>(it->mask), static_cast<unsigned>(kw));
+      cond = ((key ^ v) & m) == ctx.bv_val(0, static_cast<unsigned>(kw));
+    } else {
+      cond = ctx.bool_val(true);
+    }
+    out = z3::ite(cond, ctx.int_val(map_id(it->next)), out);
+  }
+  return out;
+}
+
+/// Are the transition functions of s and t equivalent modulo the block
+/// partition? Requires identical key structure (checked by the caller).
+bool transitions_equivalent(const ParserSpec& spec, int s, int t, const std::vector<int>& block_of) {
+  const State& a = spec.state(s);
+  const State& b = spec.state(t);
+  int kw = a.key_width();
+  z3::context ctx;
+  z3::solver solver(ctx);
+  z3::expr key = kw > 0 ? ctx.bv_const("k", static_cast<unsigned>(kw)) : ctx.bool_const("unused_k");
+  solver.add(next_fn(ctx, key, a, block_of) != next_fn(ctx, key, b, block_of));
+  return solver.check() == z3::unsat;
+}
+
+}  // namespace
+
+ParserSpec prune_dead_rules(const ParserSpec& spec) {
+  ParserSpec cur = spec;
+  // Iterate: removing one redundant rule can expose another.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t s = 0; s < cur.states.size() && !changed; ++s) {
+      State& st = cur.states[s];
+      // Scan from the lowest priority upward so defaults survive when a
+      // specific rule duplicates them.
+      for (int r = static_cast<int>(st.rules.size()) - 1; r >= 0; --r) {
+        if (rule_is_redundant(cur, static_cast<int>(s), r)) {
+          st.rules.erase(st.rules.begin() + r);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  SpecAnalysis a = analyze(cur);
+  return compact(cur, a.state_reachable);
+}
+
+ParserSpec merge_extract_chains(const ParserSpec& spec) {
+  ParserSpec cur = spec;
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::vector<int> deg = in_degrees(cur);
+    for (std::size_t s = 0; s < cur.states.size(); ++s) {
+      State& st = cur.states[s];
+      if (st.rules.size() != 1 || !st.rules[0].is_default()) continue;
+      int next = st.rules[0].next;
+      if (!is_real_state(next) || next == static_cast<int>(s)) continue;
+      if (next == cur.start) continue;
+      if (deg[static_cast<std::size_t>(next)] != 1) continue;
+      const State& succ = cur.state(next);
+      // Successor keys that look ahead are offset-relative to the cursor
+      // after *its own* extracts only when the parts are lookahead; merging
+      // keeps the cursor identical at the decision point, so copying is
+      // sound for all part kinds.
+      st.extracts.insert(st.extracts.end(), succ.extracts.begin(), succ.extracts.end());
+      st.key = succ.key;
+      st.rules = succ.rules;
+      std::vector<bool> keep(cur.states.size(), true);
+      keep[static_cast<std::size_t>(next)] = false;
+      cur = compact(cur, keep);
+      changed = true;
+      break;
+    }
+  }
+  return cur;
+}
+
+ParserSpec quotient_bisimulation(const ParserSpec& spec) {
+  const int n = static_cast<int>(spec.states.size());
+  if (n <= 1) return spec;
+
+  // Initial partition by (extracts, key) signature.
+  std::vector<int> block(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<std::pair<std::vector<ExtractOp>, std::vector<KeyPart>>> sigs;
+    auto ex_eq = [](const ExtractOp& a, const ExtractOp& b) {
+      return a.field == b.field && a.len_field == b.len_field && a.len_scale == b.len_scale &&
+             a.len_base == b.len_base;
+    };
+    for (int s = 0; s < n; ++s) {
+      const State& st = spec.state(s);
+      int found = -1;
+      for (std::size_t b2 = 0; b2 < sigs.size(); ++b2) {
+        if (sigs[b2].second == st.key && sigs[b2].first.size() == st.extracts.size() &&
+            std::equal(sigs[b2].first.begin(), sigs[b2].first.end(), st.extracts.begin(), ex_eq)) {
+          found = static_cast<int>(b2);
+          break;
+        }
+      }
+      if (found < 0) {
+        found = static_cast<int>(sigs.size());
+        sigs.emplace_back(st.extracts, st.key);
+      }
+      block[static_cast<std::size_t>(s)] = found;
+    }
+  }
+
+  // Refine: split blocks whose members' transition functions differ.
+  for (bool changed = true; changed;) {
+    changed = false;
+    int nblocks = *std::max_element(block.begin(), block.end()) + 1;
+    for (int b = 0; b < nblocks && !changed; ++b) {
+      std::vector<int> members;
+      for (int s = 0; s < n; ++s)
+        if (block[static_cast<std::size_t>(s)] == b) members.push_back(s);
+      if (members.size() < 2) continue;
+      // Keep the first member; move inequivalent members to a fresh block.
+      std::vector<int> moved;
+      for (std::size_t i = 1; i < members.size(); ++i)
+        if (!transitions_equivalent(spec, members[0], members[i], block)) moved.push_back(members[i]);
+      if (!moved.empty() && moved.size() < members.size()) {
+        for (int s : moved) block[static_cast<std::size_t>(s)] = nblocks;
+        changed = true;
+      }
+    }
+  }
+
+  // Build the quotient: representative = lowest-id member of each block.
+  std::vector<int> rep_of_block(static_cast<std::size_t>(n), -1);
+  std::vector<bool> keep(static_cast<std::size_t>(n), false);
+  for (int s = 0; s < n; ++s) {
+    int b = block[static_cast<std::size_t>(s)];
+    if (rep_of_block[static_cast<std::size_t>(b)] < 0) {
+      rep_of_block[static_cast<std::size_t>(b)] = s;
+      keep[static_cast<std::size_t>(s)] = true;
+    }
+  }
+  ParserSpec redirected = spec;
+  for (auto& st : redirected.states)
+    for (auto& r : st.rules)
+      if (is_real_state(r.next))
+        r.next = rep_of_block[static_cast<std::size_t>(block[static_cast<std::size_t>(r.next)])];
+  redirected.start = rep_of_block[static_cast<std::size_t>(block[static_cast<std::size_t>(spec.start)])];
+  return compact(redirected, keep);
+}
+
+Result<ParserSpec> unroll_loops(const ParserSpec& spec, int depth) {
+  if (depth < 1) return Result<ParserSpec>::err("bad-unroll-depth", "depth must be >= 1");
+  SpecAnalysis a = analyze(spec);
+  if (!a.has_loop) return spec;
+
+  const int n = static_cast<int>(spec.states.size());
+
+  // Tarjan-free SCC via Kosaraju (n is small).
+  std::vector<std::vector<int>> fwd(static_cast<std::size_t>(n)), rev(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s)
+    for (const auto& r : spec.states[static_cast<std::size_t>(s)].rules)
+      if (is_real_state(r.next)) {
+        fwd[static_cast<std::size_t>(s)].push_back(r.next);
+        rev[static_cast<std::size_t>(r.next)].push_back(s);
+      }
+  std::vector<int> order;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::function<void(int)> dfs1 = [&](int u) {
+    seen[static_cast<std::size_t>(u)] = true;
+    for (int v : fwd[static_cast<std::size_t>(u)])
+      if (!seen[static_cast<std::size_t>(v)]) dfs1(v);
+    order.push_back(u);
+  };
+  for (int s = 0; s < n; ++s)
+    if (!seen[static_cast<std::size_t>(s)]) dfs1(s);
+  std::vector<int> scc(static_cast<std::size_t>(n), -1);
+  int nscc = 0;
+  std::function<void(int, int)> dfs2 = [&](int u, int c) {
+    scc[static_cast<std::size_t>(u)] = c;
+    for (int v : rev[static_cast<std::size_t>(u)])
+      if (scc[static_cast<std::size_t>(v)] < 0) dfs2(v, c);
+  };
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    if (scc[static_cast<std::size_t>(*it)] < 0) dfs2(*it, nscc++);
+
+  std::vector<bool> in_cycle(static_cast<std::size_t>(n), false);
+  std::vector<int> scc_size(static_cast<std::size_t>(nscc), 0);
+  for (int s = 0; s < n; ++s) ++scc_size[static_cast<std::size_t>(scc[static_cast<std::size_t>(s)])];
+  for (int s = 0; s < n; ++s) {
+    if (scc_size[static_cast<std::size_t>(scc[static_cast<std::size_t>(s)])] > 1) in_cycle[static_cast<std::size_t>(s)] = true;
+    for (const auto& r : spec.states[static_cast<std::size_t>(s)].rules)
+      if (r.next == s) in_cycle[static_cast<std::size_t>(s)] = true;  // self loop
+  }
+
+  // New state table: acyclic states keep one copy; cyclic states get
+  // `depth` copies.
+  ParserSpec out;
+  out.name = spec.name;
+  out.fields = spec.fields;
+  std::map<std::pair<int, int>, int> id_of;  // (orig state, copy) -> new id
+  for (int s = 0; s < n; ++s) {
+    int copies = in_cycle[static_cast<std::size_t>(s)] ? depth : 1;
+    for (int d = 0; d < copies; ++d) {
+      id_of[{s, d}] = static_cast<int>(out.states.size());
+      State st = spec.states[static_cast<std::size_t>(s)];
+      if (copies > 1) st.name += "_u" + std::to_string(d);
+      out.states.push_back(std::move(st));
+    }
+  }
+  auto target = [&](int from, int from_copy, int to) -> int {
+    if (!is_real_state(to)) return to;
+    bool cyc_from = in_cycle[static_cast<std::size_t>(from)];
+    bool cyc_to = in_cycle[static_cast<std::size_t>(to)];
+    if (!cyc_to) return id_of[{to, 0}];
+    if (!cyc_from) return id_of[{to, 0}];
+    if (scc[static_cast<std::size_t>(from)] != scc[static_cast<std::size_t>(to)] && !(from == to))
+      return id_of[{to, 0}];
+    // Intra-SCC (or self-loop) edge: advance one copy; off the end => reject.
+    int next_copy = from_copy + 1;
+    if (next_copy >= depth) return kReject;
+    return id_of[{to, next_copy}];
+  };
+  for (int s = 0; s < n; ++s) {
+    int copies = in_cycle[static_cast<std::size_t>(s)] ? depth : 1;
+    for (int d = 0; d < copies; ++d) {
+      State& st = out.states[static_cast<std::size_t>(id_of[{s, d}])];
+      for (auto& r : st.rules) r.next = target(s, d, r.next);
+    }
+  }
+  out.start = id_of[{spec.start, 0}];
+  return out;
+}
+
+ParserSpec shrink_irrelevant_fields(const ParserSpec& spec) {
+  SpecAnalysis a = analyze(spec);
+  ParserSpec out = spec;
+  for (std::size_t f = 0; f < out.fields.size(); ++f)
+    if (a.irrelevant_field[f] && !out.fields[f].varbit) out.fields[f].width = 1;
+  return out;
+}
+
+ParserSpec varbit_to_fixed(const ParserSpec& spec) {
+  ParserSpec out = spec;
+  for (auto& f : out.fields) f.varbit = false;
+  for (auto& st : out.states)
+    for (auto& ex : st.extracts) {
+      ex.len_field = -1;
+      ex.len_scale = 0;
+      ex.len_base = 0;
+    }
+  return out;
+}
+
+ParserSpec canonicalize(const ParserSpec& spec) {
+  ParserSpec cur = spec;
+  for (int round = 0; round < 8; ++round) {
+    ParserSpec next = quotient_bisimulation(
+        merge_extract_chains(rewrite::merge_split_key(prune_dead_rules(cur))));
+    if (next.states.size() == cur.states.size()) {
+      std::size_t rules_before = 0, rules_after = 0;
+      for (const auto& st : cur.states) rules_before += st.rules.size();
+      for (const auto& st : next.states) rules_after += st.rules.size();
+      if (rules_before == rules_after) return next;
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,61 @@
+// Specification normalization passes run before synthesis.
+//
+// ParserHawk "only cares about the semantics instead of the written style
+// of the input parser program" (§3.3). These passes canonicalize away the
+// written style: dead/redundant rules (the ±R1/±R2 rewrites of Figure 21),
+// split entries (±R3), split states (±R5) and unrolled loops all collapse
+// to the same normal form, which is why ParserHawk's resource usage is
+// invariant under Figure 21's mutations while the baselines' is not.
+//
+// All passes are semantics-preserving w.r.t. §4 equivalence (same outcome;
+// same dictionary on accepted inputs), except unroll_loops, which bounds
+// loop iterations for loop-free targets and therefore defines the reference
+// semantics the compiled parser is verified against.
+#pragma once
+
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace parserhawk {
+
+/// Remove rules that can never fire, rules whose removal preserves each
+/// state's transition function, and states unreachable afterwards.
+/// Exactness comes from the Z3 checks in src/analysis.
+ParserSpec prune_dead_rules(const ParserSpec& spec);
+
+/// Merge a state whose whole rule list is one default transition into its
+/// unique successor (the inverse of Figure 21's R5 state split). Repeats to
+/// a fixpoint, so chains of pure-extraction states collapse.
+ParserSpec merge_extract_chains(const ParserSpec& spec);
+
+/// Bisimulation quotient: collapse states with identical extraction
+/// behavior and equivalent transition functions (partition refinement with
+/// Z3 checks). This is what re-rolls a hand-unrolled MPLS loop back into a
+/// single looping state for single-table targets (§6.7.1's loop-aware
+/// search).
+ParserSpec quotient_bisimulation(const ParserSpec& spec);
+
+/// Unroll every cycle up to `depth` iterations for loop-free (pipelined)
+/// targets. States in a non-trivial SCC get one copy per iteration;
+/// intra-SCC transitions advance to the next copy and fall off to reject
+/// after `depth` copies. Fails when depth < 1.
+Result<ParserSpec> unroll_loops(const ParserSpec& spec, int depth);
+
+/// Opt2: shrink fields irrelevant to all transition decisions to 1 bit.
+/// Used by the global (naive) encoding to cut the symbolic input width;
+/// `restore_field_widths` undoes it on the synthesized program's field
+/// table.
+ParserSpec shrink_irrelevant_fields(const ParserSpec& spec);
+
+/// Opt6: model varbit fields as fixed-size (their maximum width) during
+/// synthesis. `restore_varbit_extracts` puts the runtime-length extraction
+/// back into a synthesized program.
+ParserSpec varbit_to_fixed(const ParserSpec& spec);
+
+/// Convenience: run the style-canonicalization passes (prune, split-key
+/// re-merge, extract-chain merge, bisimulation quotient) to a joint
+/// fixpoint. After this pass the ±R1..±R5 variants of one program share a
+/// single normal form.
+ParserSpec canonicalize(const ParserSpec& spec);
+
+}  // namespace parserhawk

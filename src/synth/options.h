@@ -1,0 +1,64 @@
+// Synthesis configuration: one flag per paper optimization (§6) so the
+// Table 5 ablation is a configuration, not a code fork.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parserhawk {
+
+struct SynthOptions {
+  /// Opt1 (§6.1): restrict candidate key bits to those the specification
+  /// itself uses in transitions.
+  bool opt1_spec_guided_keys = true;
+  /// Opt2 (§6.2): shrink fields irrelevant to transitions to 1 bit during
+  /// synthesis; restore widths afterwards.
+  bool opt2_bitwidth_min = true;
+  /// Opt3 (§6.3): preallocate field extraction to parser states instead of
+  /// synthesizing the assignment. Off => the naive global encoding.
+  bool opt3_preallocate = true;
+  /// Opt4 (§6.4): constant synthesis — draw values from spec constants,
+  /// adjacent-state concatenations and width-limited subranges; restrict
+  /// masks to all-ones when every rule transitions to a distinct state.
+  bool opt4_constant_synthesis = true;
+  /// Opt5 (§6.5): treat the bits of one field used by one state as an
+  /// indivisible key group instead of per-bit allocation.
+  bool opt5_key_grouping = true;
+  /// Opt6 (§6.6): treat varbit fields as fixed-size during synthesis and
+  /// restore variable extraction afterwards.
+  bool opt6_varbit_as_fixed = true;
+  /// Opt7 (§6.7): portfolio parallelism — loop-aware vs loop-free variants
+  /// and alternative key-split orders raced against each other.
+  bool opt7_parallel = true;
+
+  /// K: max state transitions modeled during synthesis & verification.
+  int max_iterations = 8;
+  /// Loop unrolling depth used when the target cannot loop (IPU).
+  int loop_unroll_depth = 4;
+  /// Wall-clock budget in seconds (0 = unlimited). Stands in for the
+  /// paper's 24 h timeout.
+  double timeout_sec = 0;
+  /// Give up after this many CEGIS refinement rounds per query.
+  int max_cegis_rounds = 128;
+  /// Random seed for the initial test-case pair (§5.2).
+  std::uint64_t seed = 1;
+  /// Portfolio threads (1 = run subproblems sequentially, still
+  /// first-success-wins).
+  int num_threads = 1;
+
+  /// All optimizations off: the naive encoding used for the "Orig" columns
+  /// of Table 3.
+  static SynthOptions naive() {
+    SynthOptions o;
+    o.opt1_spec_guided_keys = false;
+    o.opt2_bitwidth_min = false;
+    o.opt3_preallocate = false;
+    o.opt4_constant_synthesis = false;
+    o.opt5_key_grouping = false;
+    o.opt6_varbit_as_fixed = false;
+    o.opt7_parallel = false;
+    return o;
+  }
+};
+
+}  // namespace parserhawk

@@ -1,0 +1,293 @@
+#include "synth/verify.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "sim/interp.h"
+
+namespace parserhawk {
+
+namespace {
+
+/// A fully-explored execution path: guard over the symbolic input, final
+/// outcome, and concrete bit ranges for every extracted field.
+struct Terminal {
+  z3::expr guard;
+  ParseOutcome outcome;
+  std::map<int, std::pair<int, int>> dict;  // field -> (wire pos, len)
+};
+
+struct Config {
+  z3::expr guard;
+  int pos;
+  int iter;
+  std::map<int, std::pair<int, int>> dict;
+  // Machine location: spec uses state only; impl uses (table, state).
+  int table;
+  int state;
+};
+
+/// Wire-order slice [pos, pos+len) of the symbolic input (BV bit 0 = last
+/// wire bit).
+z3::expr input_slice(const z3::expr& input, int total_bits, int pos, int len) {
+  unsigned hi = static_cast<unsigned>(total_bits - 1 - pos);
+  unsigned lo = static_cast<unsigned>(total_bits - pos - len);
+  return input.extract(hi, lo);
+}
+
+bool statically_false(const z3::expr& e) { return e.simplify().is_false(); }
+
+/// Build the key expression for `parts`, or nullopt when evaluation rejects
+/// (spec-side missing field, or out-of-input lookahead on either side).
+/// `missing_is_zero` mirrors sim::eval_key: implementation-side TCAM match
+/// registers read as zero when the field was never extracted.
+std::optional<z3::expr> key_expr(z3::context& ctx, const z3::expr& input, int total_bits,
+                                 const std::vector<KeyPart>& parts, const Config& c,
+                                 bool missing_is_zero) {
+  std::optional<z3::expr> key;
+  auto append = [&key](const z3::expr& piece) { key = key ? z3::concat(*key, piece) : piece; };
+  for (const auto& p : parts) {
+    int pos, len = p.len;
+    if (p.kind == KeyPart::Kind::FieldSlice) {
+      auto it = c.dict.find(p.field);
+      if (it == c.dict.end() || p.lo + p.len > it->second.second) {
+        if (!missing_is_zero) return std::nullopt;
+        append(ctx.bv_val(0, static_cast<unsigned>(len)));
+        continue;
+      }
+      pos = it->second.first + p.lo;
+    } else {
+      pos = c.pos + p.lo;
+    }
+    if (pos + len > total_bits) return std::nullopt;
+    append(input_slice(input, total_bits, pos, len));
+  }
+  if (!key) key = ctx.bv_val(0, 1);  // unused
+  return key;
+}
+
+/// Explore all paths of the specification.
+/// `extract` applies one op; returns false when input is exhausted.
+template <typename StepFn>
+std::vector<Terminal> explore(z3::context& ctx, int total_bits, int max_iterations, int max_configs,
+                              Config initial, const StepFn& step, bool& exploded) {
+  std::vector<Terminal> terminals;
+  std::vector<Config> work{std::move(initial)};
+  int visited = 0;
+  while (!work.empty()) {
+    if (++visited > max_configs) {
+      exploded = true;
+      return terminals;
+    }
+    Config c = std::move(work.back());
+    work.pop_back();
+    if (statically_false(c.guard)) continue;
+    if (c.state == kAccept || c.state == kReject) {
+      terminals.push_back(Terminal{c.guard,
+                                   c.state == kAccept ? ParseOutcome::Accepted : ParseOutcome::Rejected,
+                                   c.dict});
+      continue;
+    }
+    if (c.iter >= max_iterations) {
+      terminals.push_back(Terminal{c.guard, ParseOutcome::Exhausted, c.dict});
+      continue;
+    }
+    step(c, terminals, work);
+  }
+  (void)ctx;
+  (void)total_bits;
+  return terminals;
+}
+
+}  // namespace
+
+VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl,
+                                 const VerifyOptions& options) {
+  for (const auto& f : spec.fields)
+    if (f.varbit)
+      throw std::invalid_argument("verify_equivalence: varbit fields present; run varbit_to_fixed");
+  for (const auto& f : impl.fields)
+    if (f.varbit) throw std::invalid_argument("verify_equivalence: impl has varbit fields");
+
+  int n_bits = options.input_bits;
+  if (n_bits == 0) n_bits = analyze(spec, options.max_iterations_spec).max_input_bits;
+  n_bits = std::max(n_bits, 1);
+
+  z3::context ctx;
+  z3::expr input = ctx.bv_const("I", static_cast<unsigned>(n_bits));
+  bool exploded = false;
+
+  // ---- Specification side: extract, then match, then transition. ----
+  auto spec_step = [&](const Config& c, std::vector<Terminal>& terminals,
+                       std::vector<Config>& work) {
+    const State& st = spec.state(c.state);
+    Config after = c;
+    for (const auto& ex : st.extracts) {
+      int w = spec.fields[static_cast<std::size_t>(ex.field)].width;
+      if (after.pos + w > n_bits) {
+        terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
+        return;
+      }
+      after.dict[ex.field] = {after.pos, w};
+      after.pos += w;
+    }
+    if (st.rules.empty()) {
+      terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
+      return;
+    }
+    auto key = key_expr(ctx, input, n_bits, st.key, after, /*missing_is_zero=*/false);
+    if (!key) {
+      terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
+      return;
+    }
+    int kw = st.key_width();
+    z3::expr nomatch = after.guard;
+    for (const auto& r : st.rules) {
+      z3::expr match = kw == 0 ? ctx.bool_val(true)
+                               : ((*key ^ ctx.bv_val(r.value, static_cast<unsigned>(kw))) &
+                                  ctx.bv_val(r.mask, static_cast<unsigned>(kw))) ==
+                                     ctx.bv_val(0, static_cast<unsigned>(kw));
+      Config next = after;
+      next.guard = nomatch && match;
+      next.state = r.next;
+      next.iter = c.iter + 1;
+      if (!statically_false(next.guard)) work.push_back(std::move(next));
+      nomatch = nomatch && !match;
+      if (statically_false(nomatch)) return;
+    }
+    terminals.push_back(Terminal{nomatch, ParseOutcome::Rejected, after.dict});
+  };
+
+  // ---- Implementation side: match first, then the winner extracts. ----
+  auto impl_step = [&](const Config& c, std::vector<Terminal>& terminals,
+                       std::vector<Config>& work) {
+    const StateLayout* layout = impl.layout_of(c.table, c.state);
+    std::vector<KeyPart> parts = layout ? layout->key : std::vector<KeyPart>{};
+    auto key = key_expr(ctx, input, n_bits, parts, c, /*missing_is_zero=*/true);
+    if (!key) {
+      terminals.push_back(Terminal{c.guard, ParseOutcome::Rejected, c.dict});
+      return;
+    }
+    int kw = 0;
+    for (const auto& p : parts) kw += p.len;
+
+    auto rows = impl.rows_of(c.table, c.state);
+    z3::expr nomatch = c.guard;
+    for (const TcamEntry* row : rows) {
+      z3::expr match = kw == 0 ? ctx.bool_val(true)
+                               : ((*key ^ ctx.bv_val(row->value, static_cast<unsigned>(kw))) &
+                                  ctx.bv_val(row->mask, static_cast<unsigned>(kw))) ==
+                                     ctx.bv_val(0, static_cast<unsigned>(kw));
+      Config next = c;
+      next.guard = nomatch && match;
+      nomatch = nomatch && !match;
+      if (!statically_false(next.guard)) {
+        bool ran_out = false;
+        for (const auto& ex : row->extracts) {
+          int w = impl.fields[static_cast<std::size_t>(ex.field)].width;
+          if (next.pos + w > n_bits) {
+            terminals.push_back(Terminal{next.guard, ParseOutcome::Rejected, next.dict});
+            ran_out = true;
+            break;
+          }
+          next.dict[ex.field] = {next.pos, w};
+          next.pos += w;
+        }
+        if (!ran_out) {
+          next.table = row->next_table;
+          next.state = row->next_state;
+          next.iter = c.iter + 1;
+          work.push_back(std::move(next));
+        }
+      }
+      if (statically_false(nomatch)) return;
+    }
+    terminals.push_back(Terminal{nomatch, ParseOutcome::Rejected, c.dict});
+  };
+
+  Config spec_init{ctx.bool_val(true), 0, 0, {}, 0, spec.start};
+  Config impl_init{ctx.bool_val(true), 0, 0, {}, impl.start_table, impl.start_state};
+  std::vector<Terminal> spec_terms = explore(ctx, n_bits, options.max_iterations_spec,
+                                             options.max_configs, spec_init, spec_step, exploded);
+  std::vector<Terminal> impl_terms = explore(ctx, n_bits, options.max_iterations_impl,
+                                             options.max_configs, impl_init, impl_step, exploded);
+  if (exploded) {
+    VerifyOutcome out;
+    out.kind = VerifyOutcome::Kind::Inconclusive;
+    out.detail = "path configuration bound exceeded";
+    return out;
+  }
+
+  // ---- Product comparison. ----
+  z3::expr_vector mismatches(ctx);
+  for (const auto& ts : spec_terms) {
+    if (ts.outcome == ParseOutcome::Exhausted) continue;
+    for (const auto& ti : impl_terms) {
+      if (ti.outcome == ParseOutcome::Exhausted) continue;
+      z3::expr both = ts.guard && ti.guard;
+      if (statically_false(both)) continue;
+      if (ts.outcome != ti.outcome) {
+        mismatches.push_back(both);
+        continue;
+      }
+      if (ts.outcome != ParseOutcome::Accepted) continue;  // rejected: dict unobservable
+      z3::expr_vector diffs(ctx);
+      bool static_diff = false;
+      for (const auto& [field, range] : ts.dict) {
+        auto it = ti.dict.find(field);
+        if (it == ti.dict.end()) {
+          static_diff = true;
+          break;
+        }
+        if (it->second == range) continue;  // same bits by construction
+        diffs.push_back(input_slice(input, n_bits, range.first, range.second) !=
+                        input_slice(input, n_bits, it->second.first, it->second.second));
+      }
+      if (!static_diff)
+        for (const auto& [field, range] : ti.dict)
+          if (!ts.dict.count(field)) {
+            static_diff = true;
+            break;
+          }
+      if (static_diff) {
+        mismatches.push_back(both);
+      } else if (!diffs.empty()) {
+        mismatches.push_back(both && z3::mk_or(diffs));
+      }
+    }
+  }
+
+  VerifyOutcome out;
+  if (mismatches.empty()) {
+    out.kind = VerifyOutcome::Kind::Equivalent;
+    return out;
+  }
+  z3::solver solver(ctx);
+  solver.add(z3::mk_or(mismatches));
+  z3::check_result r = solver.check();
+  if (r == z3::unsat) {
+    out.kind = VerifyOutcome::Kind::Equivalent;
+    return out;
+  }
+  if (r != z3::sat) {
+    out.kind = VerifyOutcome::Kind::Inconclusive;
+    out.detail = "solver returned unknown";
+    return out;
+  }
+  z3::model model = solver.get_model();
+  BitVec cex(n_bits);
+  for (int i = 0; i < n_bits; ++i) {
+    z3::expr bit = model.eval(input_slice(input, n_bits, i, 1), true);
+    cex.set(i, bit.get_numeral_uint64() != 0);
+  }
+  out.kind = VerifyOutcome::Kind::Counterexample;
+  out.counterexample = std::move(cex);
+  return out;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,56 @@
+// Bounded formal equivalence of a specification and a TCAM implementation
+// (the CEGIS verification phase, §5.2, plus the final whole-program check).
+//
+// Both sides are symbolically executed over one shared symbolic input
+// bitvector I of N bits. Because field widths are fixed during synthesis
+// (Opt6), every execution path has *concrete* extraction positions, so each
+// terminal configuration is (path guard over I, outcome, field -> concrete
+// bit range). Equivalence then reduces to one pure-bitvector Z3 query over
+// all terminal pairs: a SAT model is a counterexample input.
+//
+// Semantics checked is §4 equivalence as implemented by sim::equivalent:
+// same outcome everywhere, same dictionary on accepted inputs. Terminals
+// that exhaust the iteration bound are excluded (the bound is a simulation
+// artifact; callers pick bounds large enough that real programs never hit
+// them on N-bit inputs).
+#pragma once
+
+#include <optional>
+
+#include "ir/ir.h"
+#include "support/bitvec.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+struct VerifyOptions {
+  /// Symbolic input width; 0 = derive from the spec's max consumption.
+  int input_bits = 0;
+  /// Iteration bound for the specification side.
+  int max_iterations_spec = 8;
+  /// Iteration bound for the implementation side (chains take several
+  /// implementation iterations per specification state).
+  int max_iterations_impl = 48;
+  /// Abort (treat as inconclusive) beyond this many path configurations.
+  int max_configs = 20000;
+};
+
+struct VerifyOutcome {
+  enum class Kind {
+    Equivalent,
+    Counterexample,
+    Inconclusive,  ///< config explosion or solver timeout
+  };
+  Kind kind = Kind::Inconclusive;
+  BitVec counterexample;  ///< valid when kind == Counterexample
+  std::string detail;
+};
+
+/// Check Impl(I) == Spec(I) for all I of the derived/requested width.
+/// Throws std::invalid_argument if the spec still contains varbit fields
+/// (run varbit_to_fixed first; varbit restoration is validated by the
+/// differential tester instead).
+VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl,
+                                 const VerifyOptions& options = {});
+
+}  // namespace parserhawk

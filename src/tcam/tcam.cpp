@@ -1,0 +1,127 @@
+#include "tcam/tcam.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace parserhawk {
+
+std::vector<const TcamEntry*> TcamProgram::rows_of(int table, int state) const {
+  std::vector<const TcamEntry*> out;
+  for (const auto& e : entries)
+    if (e.table == table && e.state == state) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const TcamEntry* a, const TcamEntry* b) { return a->entry < b->entry; });
+  return out;
+}
+
+const StateLayout* TcamProgram::layout_of(int table, int state) const {
+  auto it = layouts.find({table, state});
+  return it == layouts.end() ? nullptr : &it->second;
+}
+
+ResourceUsage measure(const TcamProgram& prog) {
+  ResourceUsage u;
+  u.tcam_entries = static_cast<int>(prog.entries.size());
+  std::set<int> tables;
+  std::map<int, int> per_stage;
+  for (const auto& e : prog.entries) {
+    tables.insert(e.table);
+    ++per_stage[e.table];
+  }
+  u.stages = static_cast<int>(tables.size());
+  for (const auto& [t, n] : per_stage) u.max_entries_per_stage = std::max(u.max_entries_per_stage, n);
+  for (const auto& [key, layout] : prog.layouts) u.max_key_bits = std::max(u.max_key_bits, layout.key_width());
+  return u;
+}
+
+namespace {
+
+int extract_bits(const TcamProgram& prog, const TcamEntry& e) {
+  int bits = 0;
+  for (const auto& ex : e.extracts) bits += prog.fields.at(static_cast<std::size_t>(ex.field)).width;
+  return bits;
+}
+
+}  // namespace
+
+Result<bool> validate(const TcamProgram& prog, const HwProfile& profile) {
+  auto err = [&](const std::string& what) {
+    return Result<bool>::err("invalid-impl", prog.name + " on " + profile.name + ": " + what);
+  };
+
+  for (const auto& [key, layout] : prog.layouts) {
+    if (layout.key_width() > profile.key_limit_bits)
+      return err("state (" + std::to_string(key.first) + "," + std::to_string(key.second) +
+                 ") key is " + std::to_string(layout.key_width()) + " bits > keyLimit " +
+                 std::to_string(profile.key_limit_bits));
+    for (const auto& p : layout.key)
+      if (p.kind == KeyPart::Kind::Lookahead && p.lo + p.len > profile.lookahead_limit_bits)
+        return err("lookahead window exceeds " + std::to_string(profile.lookahead_limit_bits) + " bits");
+  }
+
+  std::map<int, int> per_stage;
+  for (const auto& e : prog.entries) {
+    ++per_stage[e.table];
+    if (e.table < 0) return err("negative table id");
+    if (profile.arch == Arch::SingleTable && e.table != 0)
+      return err("single-table device uses only table 0");
+    if (profile.pipelined() && e.table >= profile.stage_limit)
+      return err("stage " + std::to_string(e.table) + " exceeds stageLimit " +
+                 std::to_string(profile.stage_limit));
+    if (profile.pipelined() && is_real_state(e.next_state) && e.next_table <= e.table)
+      return err("pipelined transitions must move to a strictly later stage");
+    if (extract_bits(prog, e) > profile.extract_limit_bits)
+      return err("entry extracts more than " + std::to_string(profile.extract_limit_bits) + " bits");
+    const StateLayout* layout = prog.layout_of(e.table, e.state);
+    int kw = layout ? layout->key_width() : 0;
+    std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+    if ((e.mask & ~full) != 0 || (e.value & ~full) != 0)
+      return err("entry condition wider than its state's key");
+  }
+
+  if (profile.arch == Arch::SingleTable) {
+    if (static_cast<int>(prog.entries.size()) > profile.tcam_entry_limit)
+      return err("uses " + std::to_string(prog.entries.size()) + " entries > tcamLimit " +
+                 std::to_string(profile.tcam_entry_limit));
+  } else {
+    for (const auto& [stage, n] : per_stage)
+      if (n > profile.tcam_entry_limit)
+        return err("stage " + std::to_string(stage) + " uses " + std::to_string(n) +
+                   " entries > per-stage tcamLimit " + std::to_string(profile.tcam_entry_limit));
+  }
+  return true;
+}
+
+std::string to_string(const TcamProgram& prog) {
+  std::ostringstream os;
+  os << "tcam_program " << prog.name << " start=(" << prog.start_table << "," << prog.start_state
+     << ")\n";
+  for (const auto& [key, layout] : prog.layouts) {
+    os << "  layout (" << key.first << "," << key.second << "): ";
+    for (const auto& p : layout.key) {
+      if (p.kind == KeyPart::Kind::Lookahead)
+        os << "la<" << p.lo << "," << p.len << "> ";
+      else
+        os << prog.fields.at(static_cast<std::size_t>(p.field)).name << "[" << p.lo << ":" << (p.lo + p.len)
+           << "] ";
+    }
+    os << "(" << layout.key_width() << "b)\n";
+  }
+  for (const auto& e : prog.entries) {
+    os << "  row (" << e.table << "," << e.state << "," << e.entry << ") match v=0x" << std::hex
+       << e.value << " m=0x" << e.mask << std::dec << " extract{";
+    for (std::size_t i = 0; i < e.extracts.size(); ++i) {
+      if (i) os << ",";
+      os << prog.fields.at(static_cast<std::size_t>(e.extracts[i].field)).name;
+    }
+    os << "} -> ";
+    if (e.next_state == kAccept) os << "accept";
+    else if (e.next_state == kReject) os << "reject";
+    else os << "(" << e.next_table << "," << e.next_state << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace parserhawk

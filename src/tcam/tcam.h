@@ -1,0 +1,92 @@
+// TCAM implementation model (§4, Figure 6).
+//
+// A compiled parser is a set of TCAM rows. Each row belongs to a
+// (table, state) pair — `table` is the pipeline stage for pipelined
+// devices and always 0 for single-table devices — and carries a ternary
+// (value, mask) condition over that state's transition-key layout, the set
+// of fields to extract when the row fires, and the (table, state) to
+// transition to. This is exactly the paper's row format
+// (TID, SID, EID, Condition, ExtractSet, Tran).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/profile.h"
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace parserhawk {
+
+/// One TCAM row.
+struct TcamEntry {
+  int table = 0;  ///< TID: pipeline stage (0 on single-table devices)
+  int state = 0;  ///< SID: parser state within the table
+  int entry = 0;  ///< EID: priority within (table,state); lower fires first
+
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;  ///< condition: (key ^ value) & mask == 0
+
+  std::vector<ExtractOp> extracts;  ///< ExtractSet, in extraction order
+
+  int next_table = 0;
+  int next_state = kReject;  ///< Tran: state id, kAccept or kReject
+
+  bool matches(std::uint64_t key) const { return ((key ^ value) & mask) == 0; }
+};
+
+/// Transition-key composition for one (table, state).
+struct StateLayout {
+  std::vector<KeyPart> key;
+
+  int key_width() const {
+    int w = 0;
+    for (const auto& p : key) w += p.len;
+    return w;
+  }
+};
+
+/// A complete compiled parser: rows + per-state key layouts + the field
+/// table of the specification it implements.
+struct TcamProgram {
+  std::string name;
+  std::vector<Field> fields;
+  std::map<std::pair<int, int>, StateLayout> layouts;
+  std::vector<TcamEntry> entries;
+  int start_table = 0;
+  int start_state = 0;
+  /// K: max state transitions the interpreter simulates (Figure 6).
+  int max_iterations = 64;
+
+  /// Rows of (table, state), priority-sorted. Pointers remain valid while
+  /// the program is unmodified.
+  std::vector<const TcamEntry*> rows_of(int table, int state) const;
+
+  /// Layout of (table, state); nullptr when none was declared.
+  const StateLayout* layout_of(int table, int state) const;
+};
+
+/// Resource usage counters — the columns of Tables 3 and 4.
+struct ResourceUsage {
+  int tcam_entries = 0;       ///< total rows
+  int stages = 0;             ///< distinct tables used (1 for single-table)
+  int max_entries_per_stage = 0;
+  int max_key_bits = 0;       ///< widest per-state key
+};
+
+ResourceUsage measure(const TcamProgram& prog);
+
+/// Structural validation against a device profile: key widths within
+/// keyLimit, lookahead within the window, per-entry extraction within the
+/// extraction-length limit, entry counts within tcamLimit (total for
+/// single-table, per stage for pipelined), stage ids within stageLimit,
+/// and strictly-forward transitions on pipelined devices.
+Result<bool> validate(const TcamProgram& prog, const HwProfile& profile);
+
+/// Human-readable row dump (the back-end renders target formats on top).
+std::string to_string(const TcamProgram& prog);
+
+}  // namespace parserhawk

@@ -1,0 +1,65 @@
+// Shared miniature parser specs for unit tests. The full benchmark programs
+// live in src/suite; these are intentionally tiny.
+#pragma once
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+
+namespace parserhawk::testing {
+
+/// Spec1 of Figure 7: extract two 4-bit fields unconditionally.
+inline ParserSpec spec1() {
+  SpecBuilder b("spec1");
+  b.field("field0", 4).field("field1", 4);
+  b.state("state0").extract("field0").otherwise("state1");
+  b.state("state1").extract("field1").otherwise("accept");
+  return b.build().value();
+}
+
+/// Spec2 of Figure 7: extract field1 only when field0[0] == 0.
+inline ParserSpec spec2() {
+  SpecBuilder b("spec2");
+  b.field("field0", 4).field("field1", 4);
+  b.state("state0")
+      .extract("field0")
+      .select({b.slice("field0", 0, 1)})
+      .when_exact(0, "state1")
+      .otherwise("accept");
+  b.state("state1").extract("field1").otherwise("accept");
+  return b.build().value();
+}
+
+/// The Figure 3 motivating program: 4-bit key;
+/// {15,11,7,3} -> N1, 14 -> N2, 2 -> N3, default accept.
+inline ParserSpec figure3() {
+  SpecBuilder b("figure3");
+  b.field("tranKey", 4).field("n1", 4).field("n2", 4).field("n3", 4);
+  b.state("start")
+      .extract("tranKey")
+      .select({b.whole("tranKey")})
+      .when_exact(15, "N1")
+      .when_exact(11, "N1")
+      .when_exact(7, "N1")
+      .when_exact(3, "N1")
+      .when_exact(14, "N2")
+      .when_exact(2, "N3")
+      .otherwise("accept");
+  b.state("N1").extract("n1").otherwise("accept");
+  b.state("N2").extract("n2").otherwise("accept");
+  b.state("N3").extract("n3").otherwise("accept");
+  return b.build().value();
+}
+
+/// MPLS-style loop: read one 8-bit label; low bit 1 = bottom of stack.
+inline ParserSpec mpls_loop() {
+  SpecBuilder b("mpls_loop");
+  b.field("label", 8);
+  b.state("mpls")
+      .extract("label")
+      .select({b.slice("label", 7, 1)})
+      .when_exact(1, "accept")
+      .otherwise("mpls");
+  return b.build().value();
+}
+
+}  // namespace parserhawk::testing

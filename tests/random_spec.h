@@ -1,0 +1,74 @@
+// Random parser-spec generator for end-to-end property tests: small but
+// structurally diverse parse graphs (branching, wildcard entries, shared
+// tails, optional self loops, multi-extract states).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+#include "support/rng.h"
+
+namespace parserhawk::testing {
+
+struct RandomSpecOptions {
+  int max_states = 4;
+  int max_fields = 4;
+  int max_field_width = 8;
+  bool allow_loops = false;
+};
+
+inline ParserSpec random_spec(Rng& rng, const RandomSpecOptions& options = {}) {
+  int num_fields = rng.range(2, options.max_fields);
+  int num_states = rng.range(2, options.max_states);
+
+  SpecBuilder b("random");
+  std::vector<int> width(static_cast<std::size_t>(num_fields));
+  for (int f = 0; f < num_fields; ++f) {
+    width[static_cast<std::size_t>(f)] = rng.range(2, options.max_field_width);
+    b.field("f" + std::to_string(f), width[static_cast<std::size_t>(f)]);
+  }
+
+  // Each state extracts a dedicated field (so every path extracts fields at
+  // most once) plus sometimes a shared extra one.
+  for (int s = 0; s < num_states; ++s) {
+    auto st = b.state("s" + std::to_string(s));
+    int own = s % num_fields;
+    st.extract("f" + std::to_string(own));
+
+    auto target = [&]() -> std::string {
+      // Forward targets only (unless loops allowed): later state, accept or
+      // reject.
+      int kind = rng.range(0, 5);
+      if (options.allow_loops && kind == 0) return "s" + std::to_string(s);
+      if (kind <= 2 && s + 1 < num_states)
+        return "s" + std::to_string(rng.range(s + 1, num_states - 1));
+      return kind == 3 ? "reject" : "accept";
+    };
+
+    if (rng.chance(0.85)) {
+      int kw = std::min(width[static_cast<std::size_t>(own)], 6);
+      int lo = rng.range(0, width[static_cast<std::size_t>(own)] - kw);
+      st.select({b.slice("f" + std::to_string(own), lo, kw)});
+      std::uint64_t full = (std::uint64_t{1} << kw) - 1;
+      int rules = rng.range(1, 3);
+      for (int r = 0; r < rules; ++r) {
+        std::uint64_t value = rng() & full;
+        if (rng.chance(0.3)) {
+          std::uint64_t mask = rng() & full;
+          st.when(value & mask, mask, target());
+        } else {
+          st.when_exact(value, target());
+        }
+      }
+      st.otherwise(target());
+    } else {
+      st.otherwise(target());
+    }
+  }
+  auto spec = b.build();
+  return spec.value();  // generator invariants keep this valid
+}
+
+}  // namespace parserhawk::testing

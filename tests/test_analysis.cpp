@@ -1,0 +1,189 @@
+#include "analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::mpls_loop;
+using testing::spec1;
+using testing::spec2;
+
+TEST(Analyze, ReachabilityAllForFixtures) {
+  SpecAnalysis a = analyze(figure3());
+  for (bool r : a.state_reachable) EXPECT_TRUE(r);
+}
+
+TEST(Analyze, UnreachableStateDetected) {
+  SpecBuilder b("dead");
+  b.field("k", 4).field("x", 4);
+  b.state("start").extract("k").select({b.whole("k")}).when_exact(1, "accept").otherwise("accept");
+  b.state("island").extract("x").otherwise("accept");  // no incoming edge
+  ParserSpec spec = b.build().value();
+  SpecAnalysis a = analyze(spec);
+  EXPECT_TRUE(a.state_reachable[0]);
+  EXPECT_FALSE(a.state_reachable[1]);
+}
+
+TEST(Analyze, StateBehindDeadRuleIsUnreachable) {
+  // The R2 scenario: the rule leading to 'ghost' can never fire.
+  SpecBuilder b("r2");
+  b.field("k", 2).field("x", 4);
+  b.state("start")
+      .extract("k")
+      .select({b.whole("k")})
+      .when(0, 0b10, "accept")     // covers k in {00,01}
+      .when(0b10, 0b10, "accept")  // covers k in {10,11}
+      .when_exact(0b11, "ghost")   // fully shadowed
+      .otherwise("accept");
+  b.state("ghost").extract("x").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  SpecAnalysis a = analyze(spec);
+  EXPECT_FALSE(a.state_reachable[spec.state_index("ghost")]);
+  EXPECT_TRUE(a.rule_is_dead(0, 2));
+}
+
+TEST(Analyze, LoopDetection) {
+  EXPECT_TRUE(analyze(mpls_loop()).has_loop);
+  EXPECT_FALSE(analyze(spec1()).has_loop);
+  EXPECT_FALSE(analyze(figure3()).has_loop);
+}
+
+TEST(Analyze, LoopThroughDeadRuleDoesNotCount) {
+  SpecBuilder b("fakeloop");
+  b.field("k", 1);
+  b.state("s")
+      .extract("k")
+      .select({b.whole("k")})
+      .when(0, 1, "accept")
+      .when(1, 1, "accept")
+      .when_exact(1, "s")  // dead: shadowed by the two rules above
+      .otherwise("accept");
+  ParserSpec spec = b.build().value();
+  EXPECT_FALSE(analyze(spec).has_loop);
+}
+
+TEST(RuleCanFire, PriorityShadowing) {
+  ParserSpec spec = figure3();
+  for (int r = 0; r < 7; ++r) EXPECT_TRUE(rule_can_fire(spec, 0, r)) << r;
+  // Append a rule strictly covered by rule 0 (value 15 exact).
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 1, Rule{15, 0xF, 1});
+  EXPECT_FALSE(rule_can_fire(spec, 0, 1));
+}
+
+TEST(RuleCanFire, KeylessStateOnlyFirstRuleFires) {
+  ParserSpec spec = spec1();
+  EXPECT_TRUE(rule_can_fire(spec, 0, 0));
+}
+
+TEST(RuleIsRedundant, DuplicateWithSameNext) {
+  ParserSpec spec = figure3();
+  // Duplicate of "15 -> N1" later in the list: removable.
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 4, Rule{15, 0xF, 1});
+  EXPECT_TRUE(rule_is_redundant(spec, 0, 4));
+}
+
+TEST(RuleIsRedundant, LiveRuleIsNot) {
+  ParserSpec spec = figure3();
+  EXPECT_FALSE(rule_is_redundant(spec, 0, 4));  // 14 -> N2
+  EXPECT_FALSE(rule_is_redundant(spec, 0, 6));  // default accept
+}
+
+TEST(RuleIsRedundant, RuleDuplicatingTheDefault) {
+  SpecBuilder b("dupdef");
+  b.field("k", 2);
+  b.state("s")
+      .extract("k")
+      .select({b.whole("k")})
+      .when_exact(1, "accept")  // same target as the default below
+      .otherwise("accept");
+  ParserSpec spec = b.build().value();
+  EXPECT_TRUE(rule_is_redundant(spec, 0, 0));
+}
+
+TEST(Analyze, DeadAndRedundantRuleLists) {
+  ParserSpec spec = figure3();
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 4, Rule{15, 0xF, 1});
+  SpecAnalysis a = analyze(spec);
+  EXPECT_TRUE(a.rule_is_dead(0, 4));
+  bool found = false;
+  for (auto [s, r] : a.redundant_rules) found |= (s == 0 && r == 4);
+  EXPECT_TRUE(found);
+}
+
+TEST(Analyze, KeyUsageMarksOnlyUsedBits) {
+  SpecAnalysis a = analyze(spec2());
+  // spec2 keys on field0[0] only.
+  ASSERT_EQ(a.key_usage.size(), 2u);
+  EXPECT_TRUE(a.key_usage[0].bits[0]);
+  EXPECT_FALSE(a.key_usage[0].bits[1]);
+  EXPECT_FALSE(a.key_usage[1].any());
+}
+
+TEST(Analyze, IrrelevantFields) {
+  SpecAnalysis a = analyze(spec2());
+  EXPECT_FALSE(a.irrelevant_field[0]);  // keyed on
+  EXPECT_TRUE(a.irrelevant_field[1]);   // extracted, never keyed
+}
+
+TEST(Analyze, VarbitLengthSourceIsRelevant) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("opts", 32);
+  b.state("s").extract("len").extract_var("opts", "len", 8, 0).otherwise("accept");
+  SpecAnalysis a = analyze(b.build().value());
+  EXPECT_FALSE(a.irrelevant_field[0]);  // len drives the varbit width
+  EXPECT_TRUE(a.irrelevant_field[1]);
+}
+
+TEST(Analyze, StateConstantsCollected) {
+  SpecAnalysis a = analyze(figure3());
+  const auto& consts = a.state_constants[0];
+  for (std::uint64_t v : {15u, 11u, 7u, 3u, 14u, 2u}) EXPECT_TRUE(consts.count(v)) << v;
+  EXPECT_EQ(consts.size(), 6u);
+}
+
+TEST(Analyze, MaxInputBitsLinearChain) {
+  // spec1 consumes exactly 8 bits.
+  EXPECT_EQ(analyze(spec1()).max_input_bits, 8);
+  // figure3: 4-bit key + one 4-bit field.
+  EXPECT_EQ(analyze(figure3()).max_input_bits, 8);
+}
+
+TEST(Analyze, MaxInputBitsGrowsWithLoopBound) {
+  int n4 = analyze(mpls_loop(), 4).max_input_bits;
+  int n8 = analyze(mpls_loop(), 8).max_input_bits;
+  EXPECT_GT(n8, n4);
+  EXPECT_EQ(n4, 4 * 8);
+}
+
+TEST(SubrangeConstants, EnumeratesWindows) {
+  // value 0b1010 (width 4), key limit 2: subranges of width 1 and 2.
+  auto subs = subrange_constants(0b1010, 4, 2);
+  EXPECT_TRUE(subs.count(0b10));
+  EXPECT_TRUE(subs.count(0b01));
+  EXPECT_TRUE(subs.count(0b1));
+  EXPECT_TRUE(subs.count(0b0));
+  // Full value does not fit in 2 bits.
+  EXPECT_FALSE(subs.count(0b1010));
+}
+
+TEST(SubrangeConstants, IncludesFullValueWhenItFits) {
+  auto subs = subrange_constants(0b1010, 4, 4);
+  EXPECT_TRUE(subs.count(0b1010));
+}
+
+TEST(StateMaxBits, CountsExtractsAndLookahead) {
+  ParserSpec spec = spec1();
+  EXPECT_EQ(state_max_bits(spec, 0), 4);
+  SpecBuilder b("la");
+  b.field("f", 4);
+  b.state("s").select({SpecBuilder::lookahead(6, 4)}).otherwise("accept");
+  EXPECT_EQ(state_max_bits(b.build().value(), 0), 10);  // lookahead reach dominates
+}
+
+}  // namespace
+}  // namespace parserhawk

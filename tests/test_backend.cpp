@@ -1,0 +1,71 @@
+#include "backend/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "suite/suite.h"
+
+namespace parserhawk {
+namespace {
+
+TcamProgram sample_program() {
+  // Compile with the deterministic baseline to avoid Z3 variance in pure
+  // formatting tests.
+  return baseline::compile_tofino_proxy(suite::parse_icmp(), tofino()).program;
+}
+
+TEST(Backend, TofinoFormatHasHeaderAndRows) {
+  std::string text = backend::emit_tofino(sample_program());
+  EXPECT_NE(text.find("# tofino parser TCAM configuration"), std::string::npos);
+  EXPECT_NE(text.find("table parser_tcam"), std::string::npos);
+  EXPECT_NE(text.find("entry 0 match"), std::string::npos);
+  EXPECT_NE(text.find("goto accept"), std::string::npos);
+}
+
+TEST(Backend, TofinoFormatNamesExtractedFields) {
+  std::string text = backend::emit_tofino(sample_program());
+  EXPECT_NE(text.find("icmp_type"), std::string::npos);
+  EXPECT_NE(text.find("tcp_ports"), std::string::npos);
+}
+
+TEST(Backend, IpuFormatHasStageBlocks) {
+  CompileResult r = baseline::compile_ipu_proxy(suite::parse_icmp(), ipu());
+  ASSERT_TRUE(r.ok());
+  std::string text = backend::emit_ipu(r.program);
+  EXPECT_NE(text.find("stage 0"), std::string::npos);
+  EXPECT_NE(text.find("stage 1"), std::string::npos);
+  EXPECT_NE(text.find("# ipu pipelined parser configuration"), std::string::npos);
+}
+
+TEST(Backend, EmitDispatchesOnArch) {
+  TcamProgram p = sample_program();
+  EXPECT_EQ(backend::emit(p, tofino()), backend::emit_tofino(p));
+  CompileResult r = baseline::compile_ipu_proxy(suite::parse_icmp(), ipu());
+  EXPECT_EQ(backend::emit(r.program, ipu()), backend::emit_ipu(r.program));
+}
+
+TEST(Backend, HexWidthsFollowKeyWidth) {
+  // 16-bit keys render as 4 hex digits.
+  std::string text = backend::emit_tofino(sample_program());
+  EXPECT_NE(text.find("0x0800/0xffff"), std::string::npos);
+}
+
+TEST(Backend, VarbitExtractAnnotated) {
+  CompileResult r = baseline::compile_tofino_proxy(suite::ipv4_options(), tofino());
+  ASSERT_TRUE(r.ok());
+  std::string text = backend::emit_tofino(r.program);
+  EXPECT_NE(text.find("options(var:ihl)"), std::string::npos);
+}
+
+TEST(Backend, OneLinePerEntry) {
+  TcamProgram p = sample_program();
+  std::string text = backend::emit_tofino(p);
+  std::size_t lines = 0;
+  for (std::size_t pos = text.find("entry "); pos != std::string::npos;
+       pos = text.find("entry ", pos + 1))
+    ++lines;
+  EXPECT_EQ(lines, p.entries.size());
+}
+
+}  // namespace
+}  // namespace parserhawk

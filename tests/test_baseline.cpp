@@ -1,0 +1,208 @@
+#include "baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/testgen.h"
+#include "suite/suite.h"
+
+namespace parserhawk {
+namespace {
+
+using baseline::compile_dpparsergen;
+using baseline::compile_ipu_proxy;
+using baseline::compile_tofino_proxy;
+using baseline::greedy_merge_rules;
+using testing::figure3;
+using testing::mpls_loop;
+
+void expect_runs_correctly(const CompileResult& r, const ParserSpec& spec) {
+  ASSERT_TRUE(r.ok()) << r.reason;
+  DiffTestOptions dt;
+  dt.samples = 200;
+  dt.max_iterations = r.program.max_iterations;
+  auto mismatch = differential_test(spec, r.program, dt);
+  EXPECT_FALSE(mismatch.has_value())
+      << "input " << mismatch->input.to_string() << "\n"
+      << to_string(r.program);
+}
+
+TEST(GreedyMerge, MergesOneBitNeighbors) {
+  std::vector<Rule> rules = {Rule{0b10, 0b11, 1}, Rule{0b11, 0b11, 1}, Rule{0, 0, kAccept}};
+  auto merged = greedy_merge_rules(rules, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].mask, 0b10u);
+  EXPECT_EQ(merged[0].value, 0b10u);
+}
+
+TEST(GreedyMerge, KeepsDifferentTargetsApart) {
+  std::vector<Rule> rules = {Rule{0b10, 0b11, 1}, Rule{0b11, 0b11, 2}};
+  EXPECT_EQ(greedy_merge_rules(rules, 2).size(), 2u);
+}
+
+TEST(GreedyMerge, MergesFigure3FamilyFully) {
+  // {15,11,7,3} -> same target: pairwise one-bit merging collapses to one
+  // rule with mask 0b0011.
+  std::vector<Rule> rules = {Rule{15, 0xF, 1}, Rule{11, 0xF, 1}, Rule{7, 0xF, 1}, Rule{3, 0xF, 1}};
+  auto merged = greedy_merge_rules(rules, 4);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].mask, 0b0011u);
+}
+
+TEST(GreedyMerge, OrderSensitivityLeavesResidue) {
+  // A set where greedy pairing strands one rule: {0,3} can only merge via
+  // two-bit flips, so nothing merges even though {0,1,2,3} as a whole would
+  // be one wildcard rule if 1 and 2 were present.
+  std::vector<Rule> rules = {Rule{0b00, 0b11, 1}, Rule{0b11, 0b11, 1}};
+  EXPECT_EQ(greedy_merge_rules(rules, 2).size(), 2u);
+}
+
+TEST(TofinoProxy, CompilesFigure3RulePerEntry) {
+  ParserSpec spec = figure3();
+  CompileResult r = compile_tofino_proxy(spec, tofino());
+  expect_runs_correctly(r, spec);
+  // 7 dispatch rules + 3 terminal extract states (no inlining, no merging).
+  EXPECT_EQ(r.usage.tcam_entries, 10);
+}
+
+TEST(TofinoProxy, KeepsRedundantEntries) {
+  ParserSpec spec = figure3();
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 4, Rule{15, 0xF, 1});
+  CompileResult r = compile_tofino_proxy(spec, tofino());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.usage.tcam_entries, 11);  // one more than the clean version
+}
+
+TEST(TofinoProxy, RejectsWideKeys) {
+  CompileResult r = compile_tofino_proxy(suite::large_tran_key(), tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("wide-tran-key"), std::string::npos);
+}
+
+TEST(TofinoProxy, HandlesLoops) {
+  ParserSpec spec = mpls_loop();
+  CompileResult r = compile_tofino_proxy(spec, tofino());
+  expect_runs_correctly(r, spec);
+}
+
+TEST(TofinoProxy, TooManyEntriesFails) {
+  HwProfile hw = tofino();
+  hw.tcam_entry_limit = 4;
+  CompileResult r = compile_tofino_proxy(figure3(), hw);
+  EXPECT_EQ(r.status, CompileStatus::ResourceExceeded);
+}
+
+TEST(IpuProxy, RejectsLoops) {
+  CompileResult r = compile_ipu_proxy(mpls_loop(), ipu());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("parser-loop-rej"), std::string::npos);
+}
+
+TEST(IpuProxy, RejectsConflictTransitions) {
+  ParserSpec spec = figure3();
+  // Unreachable duplicate condition with a different target (the +R2 shape).
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 1, Rule{15, 0xF, 2});
+  CompileResult r = compile_ipu_proxy(spec, ipu());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("conflict-transition"), std::string::npos);
+}
+
+TEST(IpuProxy, CompilesAndStagesDag) {
+  ParserSpec spec = figure3();
+  CompileResult r = compile_ipu_proxy(spec, ipu());
+  expect_runs_correctly(r, spec);
+  EXPECT_GE(r.usage.stages, 2);
+}
+
+TEST(IpuProxy, StageLimitFails) {
+  HwProfile hw = ipu();
+  hw.stage_limit = 1;
+  CompileResult r = compile_ipu_proxy(figure3(), hw);
+  EXPECT_EQ(r.status, CompileStatus::ResourceExceeded);
+}
+
+TEST(DpParserGen, SingleTableOnly) {
+  CompileResult r = compile_dpparsergen(figure3(), ipu());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("unsupported-arch"), std::string::npos);
+}
+
+TEST(DpParserGen, RejectsLookahead) {
+  SpecBuilder b("la");
+  b.field("f", 8);
+  b.state("s").select({SpecBuilder::lookahead(0, 4)}).when_exact(1, "t").otherwise("accept");
+  b.state("t").extract("f").otherwise("accept");
+  CompileResult r = compile_dpparsergen(b.build().value(), tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("lookahead-unsupported"), std::string::npos);
+}
+
+TEST(DpParserGen, RejectsForeignKeyFields) {
+  CompileResult r = compile_dpparsergen(suite::multi_key_same_field(), tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("key-not-own-field"), std::string::npos);
+}
+
+TEST(DpParserGen, RejectsWildcardEntries) {
+  SpecBuilder b("wild");
+  b.field("k", 4).field("p", 4);
+  b.state("s").extract("k").select({b.whole("k")}).when(0b1000, 0b1001, "t").otherwise("accept");
+  b.state("t").extract("p").otherwise("accept");
+  CompileResult r = compile_dpparsergen(b.build().value(), tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("wildcard-unsupported"), std::string::npos);
+}
+
+TEST(DpParserGen, RejectsAcceptOnValue) {
+  SpecBuilder b("aov");
+  b.field("k", 4).field("p", 4);
+  b.state("s").extract("k").select({b.whole("k")}).when_exact(0, "accept").otherwise("t");
+  b.state("t").extract("p").otherwise("accept");
+  CompileResult r = compile_dpparsergen(b.build().value(), tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+  EXPECT_NE(r.reason.find("accept-on-value"), std::string::npos);
+}
+
+TEST(DpParserGen, MergesAndClustersFigure3) {
+  ParserSpec spec = figure3();
+  CompileResult r = compile_dpparsergen(spec, tofino());
+  expect_runs_correctly(r, spec);
+  // Greedy merge collapses {15,11,7,3}; clustering folds the terminal
+  // extract states: 4 dispatch entries remain.
+  EXPECT_EQ(r.usage.tcam_entries, 4);
+}
+
+TEST(DpParserGen, SplitsWideKeysCorrectly) {
+  ParserSpec spec = suite::me2_key_splitting();
+  HwProfile hw = parametrized(/*key=*/8, /*lookahead=*/32, /*extract=*/64);
+  CompileResult r = compile_dpparsergen(spec, hw);
+  expect_runs_correctly(r, spec);
+  EXPECT_GT(r.usage.max_key_bits, 0);
+  EXPECT_LE(r.usage.max_key_bits, 8);
+}
+
+TEST(DpParserGen, SplitIsSuboptimalVsEntryCount) {
+  // With redundant entries in the source, DPParserGen pays for them while
+  // ParserHawk's canonicalization would not (Table 4 ME-3).
+  ParserSpec spec = suite::me3_redundant_entries();
+  CompileResult r = compile_dpparsergen(spec, tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_GT(r.usage.tcam_entries, 1);
+}
+
+TEST(DpParserGen, KeepsLoopsOnSingleTable) {
+  SpecBuilder b("selfloop");
+  b.field("w", 8);
+  b.state("s")
+      .extract("w")
+      .select({b.slice("w", 7, 1)})
+      .when_exact(0, "s")
+      .otherwise("accept");
+  ParserSpec spec = b.build().value();
+  CompileResult r = compile_dpparsergen(spec, tofino());
+  expect_runs_correctly(r, spec);
+}
+
+}  // namespace
+}  // namespace parserhawk

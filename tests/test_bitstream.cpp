@@ -1,0 +1,65 @@
+#include "support/bitstream.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+TEST(Bitstream, ReadConsumes) {
+  Bitstream s(BitVec::from_u64(0xAB, 8));
+  auto first = s.read(4);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->to_u64(), 0xAu);
+  EXPECT_EQ(s.position(), 4);
+  auto second = s.read(4);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->to_u64(), 0xBu);
+  EXPECT_EQ(s.remaining(), 0);
+}
+
+TEST(Bitstream, ReadPastEndFailsWithoutConsuming) {
+  Bitstream s(BitVec::from_u64(0xF, 4));
+  EXPECT_FALSE(s.read(5).has_value());
+  EXPECT_EQ(s.position(), 0);  // nothing consumed on failure
+  EXPECT_TRUE(s.read(4).has_value());
+  EXPECT_FALSE(s.read(1).has_value());
+}
+
+TEST(Bitstream, ZeroWidthReadAlwaysSucceeds) {
+  Bitstream s(BitVec{});
+  auto r = s.read(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 0);
+}
+
+TEST(Bitstream, PeekDoesNotConsume) {
+  Bitstream s(BitVec::from_u64(0b10110011, 8));
+  auto p = s.peek(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_u64(), 0b101u);
+  EXPECT_EQ(s.position(), 0);
+}
+
+TEST(Bitstream, PeekWithOffsetIsRelativeToCursor) {
+  Bitstream s(BitVec::from_u64(0b10110011, 8));
+  ASSERT_TRUE(s.read(4).has_value());
+  auto p = s.peek(2, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_u64(), 0b11u);  // bits 6..7 of the stream
+}
+
+TEST(Bitstream, PeekPastEndFails) {
+  Bitstream s(BitVec::from_u64(0xF, 4));
+  EXPECT_FALSE(s.peek(2, 3).has_value());
+  EXPECT_TRUE(s.peek(2, 2).has_value());
+}
+
+TEST(Bitstream, NegativeWidthRejected) {
+  Bitstream s(BitVec::from_u64(0xF, 4));
+  EXPECT_FALSE(s.read(-1).has_value());
+  EXPECT_FALSE(s.peek(0, -1).has_value());
+  EXPECT_FALSE(s.peek(-1, 2).has_value());
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,176 @@
+#include "support/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVec, ZeroInitializedWidth) {
+  BitVec v(10);
+  EXPECT_EQ(v.size(), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, FromU64IsMsbFirst) {
+  // 0b1010 over 4 bits: wire bit 0 is the MSB (1).
+  BitVec v = BitVec::from_u64(0b1010, 4);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVec, RoundTripU64) {
+  for (std::uint64_t value : {0ull, 1ull, 0xdeadbeefull, 0xffffffffffffffffull}) {
+    EXPECT_EQ(BitVec::from_u64(value, 64).to_u64(), value);
+  }
+  EXPECT_EQ(BitVec::from_u64(0x0800, 16).to_u64(), 0x0800u);
+}
+
+TEST(BitVec, FromU64TruncatesHighBits) {
+  EXPECT_EQ(BitVec::from_u64(0x1f, 4).to_u64(), 0xfu);
+}
+
+TEST(BitVec, FromU64RejectsBadWidth) {
+  EXPECT_THROW(BitVec::from_u64(0, -1), std::invalid_argument);
+  EXPECT_THROW(BitVec::from_u64(0, 65), std::invalid_argument);
+}
+
+TEST(BitVec, SetAndGetAcrossWordBoundary) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(65));
+}
+
+TEST(BitVec, PushBackGrows) {
+  BitVec v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVec, AppendConcatenatesInWireOrder) {
+  BitVec a = BitVec::from_u64(0b101, 3);
+  BitVec b = BitVec::from_u64(0b01, 2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_EQ(a.to_u64(), 0b10101u);
+}
+
+TEST(BitVec, AppendU64) {
+  BitVec v;
+  v.append_u64(0x08, 8);
+  v.append_u64(0x00, 8);
+  EXPECT_EQ(v.to_u64(), 0x0800u);
+}
+
+TEST(BitVec, SliceWireOrder) {
+  BitVec v = BitVec::from_u64(0b11001010, 8);
+  EXPECT_EQ(v.slice(0, 4).to_u64(), 0b1100u);
+  EXPECT_EQ(v.slice(4, 4).to_u64(), 0b1010u);
+  EXPECT_EQ(v.slice(2, 3).to_u64(), 0b001u);
+  EXPECT_EQ(v.slice(8, 0).size(), 0);
+}
+
+TEST(BitVec, SliceOutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.slice(5, 4), std::out_of_range);
+  EXPECT_THROW(v.slice(-1, 2), std::out_of_range);
+}
+
+TEST(BitVec, SliceAcrossWordBoundary) {
+  BitVec v(128);
+  v.set(62, true);
+  v.set(63, true);
+  v.set(64, true);
+  EXPECT_EQ(v.slice(62, 3).to_u64(), 0b111u);
+  EXPECT_EQ(v.slice(60, 8).to_u64(), 0b00111000u);
+}
+
+TEST(BitVec, ToU64OverWidthThrows) {
+  BitVec v(65);
+  EXPECT_THROW(v.to_u64(), std::invalid_argument);
+}
+
+TEST(BitVec, ParseBinary) {
+  auto v = BitVec::parse_binary("0b1010");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_u64(), 0b1010u);
+  EXPECT_EQ(BitVec::parse_binary("101")->to_u64(), 0b101u);
+  EXPECT_EQ(BitVec::parse_binary("0b1010_1010")->to_u64(), 0b10101010u);
+  EXPECT_FALSE(BitVec::parse_binary("0b").has_value());
+  EXPECT_FALSE(BitVec::parse_binary("0b12").has_value());
+  EXPECT_FALSE(BitVec::parse_binary("").has_value());
+}
+
+TEST(BitVec, ToStringRoundTrip) {
+  BitVec v = BitVec::from_u64(0b0110, 4);
+  EXPECT_EQ(v.to_string(), "0b0110");
+  EXPECT_EQ(*BitVec::parse_binary(v.to_string()), v);
+}
+
+TEST(BitVec, EqualityIncludesWidth) {
+  EXPECT_EQ(BitVec::from_u64(5, 4), BitVec::from_u64(5, 4));
+  EXPECT_NE(BitVec::from_u64(5, 4), BitVec::from_u64(5, 5));
+  EXPECT_NE(BitVec::from_u64(5, 4), BitVec::from_u64(4, 4));
+}
+
+TEST(BitVec, HashDistinguishesWidthAndContent) {
+  EXPECT_NE(BitVec::from_u64(5, 4).hash(), BitVec::from_u64(5, 5).hash());
+  EXPECT_NE(BitVec::from_u64(5, 4).hash(), BitVec::from_u64(6, 4).hash());
+  EXPECT_EQ(BitVec::from_u64(5, 4).hash(), BitVec::from_u64(5, 4).hash());
+}
+
+TEST(BitVec, RandomHasRequestedWidth) {
+  Rng rng(42);
+  auto next = [&rng] { return rng(); };
+  for (int w : {0, 1, 63, 64, 65, 200}) {
+    EXPECT_EQ(BitVec::random(w, next).size(), w);
+  }
+}
+
+TEST(BitVec, RandomIsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  auto na = [&a] { return a(); };
+  auto nb = [&b] { return b(); };
+  auto nc = [&c] { return c(); };
+  EXPECT_EQ(BitVec::random(100, na), BitVec::random(100, nb));
+  Rng a2(7);
+  auto na2 = [&a2] { return a2(); };
+  EXPECT_NE(BitVec::random(100, na2), BitVec::random(100, nc));
+}
+
+// Property sweep: slice(i, w).to_u64 equals shifting the full value.
+class BitVecSliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecSliceProperty, SliceMatchesShiftArithmetic) {
+  const int width = 32;
+  const std::uint64_t value = 0xA5C3F019u;
+  BitVec v = BitVec::from_u64(value, width);
+  int lo = GetParam();
+  for (int len = 0; lo + len <= width; ++len) {
+    std::uint64_t expect =
+        len == 0 ? 0 : (value >> (width - lo - len)) & ((len == 64) ? ~0ull : ((1ull << len) - 1));
+    EXPECT_EQ(v.slice(lo, len).to_u64(), expect) << "lo=" << lo << " len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, BitVecSliceProperty, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,102 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+TEST(SpecBuilder, ResolvesForwardReferences) {
+  SpecBuilder b("fwd");
+  b.field("t", 8);
+  b.state("start").extract("t").select({b.whole("t")}).when_exact(1, "later").otherwise("accept");
+  b.state("later").otherwise("accept");
+  auto spec = b.build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->states[0].rules[0].next, spec->state_index("later"));
+}
+
+TEST(SpecBuilder, WhenExactComputesFullMask) {
+  SpecBuilder b("exact");
+  b.field("t", 6);
+  b.state("s").extract("t").select({b.whole("t")}).when_exact(9, "accept").otherwise("reject");
+  auto spec = b.build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->states[0].rules[0].mask, 0b111111u);
+  EXPECT_EQ(spec->states[0].rules[0].value, 9u);
+}
+
+TEST(SpecBuilder, UnknownNextStateFailsBuild) {
+  SpecBuilder b("bad");
+  b.field("t", 4);
+  b.state("s").extract("t").select({b.whole("t")}).when_exact(1, "ghost").otherwise("accept");
+  auto spec = b.build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("ghost"), std::string::npos);
+}
+
+TEST(SpecBuilder, UnknownFieldThrowsEagerly) {
+  SpecBuilder b("bad");
+  EXPECT_THROW(b.state("s").extract("ghost"), std::invalid_argument);
+  EXPECT_THROW((void)b.slice("ghost", 0, 1), std::invalid_argument);
+}
+
+TEST(SpecBuilder, StartOverride) {
+  SpecBuilder b("start");
+  b.field("t", 4);
+  b.state("first").otherwise("accept");
+  b.state("second").extract("t").otherwise("accept");
+  b.start("second");
+  auto spec = b.build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->start, 1);
+}
+
+TEST(SpecBuilder, UnknownStartFailsBuild) {
+  SpecBuilder b("start");
+  b.field("t", 4);
+  b.state("only").otherwise("accept");
+  b.start("ghost");
+  EXPECT_FALSE(b.build().ok());
+}
+
+TEST(SpecBuilder, SliceAndWholeHelpers) {
+  SpecBuilder b("keys");
+  b.field("f", 16);
+  KeyPart s = b.slice("f", 4, 8);
+  EXPECT_EQ(s.kind, KeyPart::Kind::FieldSlice);
+  EXPECT_EQ(s.lo, 4);
+  EXPECT_EQ(s.len, 8);
+  KeyPart w = b.whole("f");
+  EXPECT_EQ(w.len, 16);
+  KeyPart la = SpecBuilder::lookahead(3, 5);
+  EXPECT_EQ(la.kind, KeyPart::Kind::Lookahead);
+  EXPECT_EQ(la.lo, 3);
+  EXPECT_EQ(la.len, 5);
+}
+
+TEST(SpecBuilder, ReopeningAStateAppends) {
+  SpecBuilder b("reopen");
+  b.field("t", 4);
+  b.state("s").extract("t");
+  b.state("s").select({b.whole("t")}).when_exact(2, "accept").otherwise("reject");
+  auto spec = b.build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->states.size(), 1u);
+  EXPECT_EQ(spec->states[0].extracts.size(), 1u);
+  EXPECT_EQ(spec->states[0].rules.size(), 2u);
+}
+
+TEST(SpecBuilder, VarbitExtract) {
+  SpecBuilder b("vb");
+  b.field("ihl", 4).varbit_field("options", 320);
+  b.state("s").extract("ihl").extract_var("options", "ihl", 32, -160).otherwise("accept");
+  auto spec = b.build();
+  ASSERT_TRUE(spec.ok());
+  const ExtractOp& ex = spec->states[0].extracts[1];
+  EXPECT_EQ(ex.len_field, spec->field_index("ihl"));
+  EXPECT_EQ(ex.len_scale, 32);
+  EXPECT_EQ(ex.len_base, -160);
+}
+
+}  // namespace
+}  // namespace parserhawk

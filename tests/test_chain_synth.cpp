@@ -1,0 +1,189 @@
+#include "synth/chain_synth.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+/// The Figure 3 transition function: 4-bit key; {15,11,7,3} -> 1 (N1),
+/// 14 -> 2 (N2), 2 -> 3 (N3), default 0 (accept encoded as state 0 here —
+/// targets are opaque ints to the chain synthesizer).
+ChainProblem figure3_problem() {
+  ChainProblem p;
+  p.key_width = 4;
+  p.semantics = {Rule{15, 0xF, 1}, Rule{11, 0xF, 1}, Rule{7, 0xF, 1}, Rule{3, 0xF, 1},
+                 Rule{14, 0xF, 2}, Rule{2, 0xF, 3},  Rule{0, 0, kAccept}};
+  p.exit_targets = {1, 2, 3, kAccept, kReject};
+  return p;
+}
+
+ChainShape single_layer(int kw, int budget, std::vector<std::uint64_t> candidates = {}) {
+  ChainShape s;
+  std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+  s.alloc_masks = {full};
+  s.layers = 1;
+  s.aux_counts = {1};
+  s.row_budget = budget;
+  s.value_candidates = std::move(candidates);
+  s.key_limit = 64;
+  return s;
+}
+
+void expect_exhaustively_correct(const ChainProblem& p, const ChainSolution& sol) {
+  std::uint64_t space = std::uint64_t{1} << p.key_width;
+  for (std::uint64_t k = 0; k < space; ++k)
+    ASSERT_EQ(eval_chain(sol, k), eval_semantics(p.semantics, k)) << "key " << k;
+}
+
+TEST(EvalSemantics, FirstMatchWins) {
+  std::vector<Rule> rules = {Rule{0b10, 0b10, 5}, Rule{0b11, 0b11, 6}, Rule{0, 0, kAccept}};
+  EXPECT_EQ(eval_semantics(rules, 0b11), 5);  // first rule matches too
+  EXPECT_EQ(eval_semantics(rules, 0b01), kAccept);
+  EXPECT_EQ(eval_semantics({}, 0), kReject);
+}
+
+TEST(ChainSynth, KeylessStateTrivial) {
+  ChainProblem p;
+  p.key_width = 0;
+  p.semantics = {Rule{0, 0, 7}};
+  p.exit_targets = {7, kReject};
+  ChainStats st;
+  auto sol = synthesize_chain(p, single_layer(0, 1), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(eval_chain(*sol, 0), 7);
+  EXPECT_EQ(sol->rows.size(), 1u);
+}
+
+TEST(ChainSynth, Figure3MergesToFourEntries) {
+  // Device B of Figure 4 (4-bit key): the optimal cover is 4 entries —
+  // the {15,11,7,3} family merges under mask 0b0011.
+  ChainProblem p = figure3_problem();
+  ChainStats st;
+  EXPECT_FALSE(synthesize_chain(p, single_layer(4, 3), Deadline::none(), st).has_value());
+  auto sol = synthesize_chain(p, single_layer(4, 4), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->rows.size(), 4u);
+  expect_exhaustively_correct(p, *sol);
+}
+
+TEST(ChainSynth, Figure3WithConstantPool) {
+  // Opt4: values restricted to the spec constants still admit the 4-entry
+  // solution (any member of the merged family works as the value).
+  ChainProblem p = figure3_problem();
+  ChainStats st;
+  auto sol = synthesize_chain(p, single_layer(4, 4, {15, 11, 7, 3, 14, 2}), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  expect_exhaustively_correct(p, *sol);
+}
+
+TEST(ChainSynth, SplitKeyAcrossTwoLayers) {
+  // Device A of Figure 4: at most 2 key bits per entry. The 4-bit function
+  // must split into a layer-0 match on one half and layer-1 matches on the
+  // other; Figure 4's V2 needs 6 entries.
+  ChainProblem p = figure3_problem();
+  ChainShape shape;
+  shape.alloc_masks = {0b0011, 0b1100};  // low half first (V2's ordering)
+  shape.layers = 2;
+  shape.aux_counts = {1, 4};
+  shape.key_limit = 2;
+  ChainStats st;
+  std::optional<ChainSolution> found;
+  int budget = 0;
+  for (budget = 4; budget <= 10 && !found; ++budget) {
+    shape.row_budget = budget;
+    found = synthesize_chain(p, shape, Deadline::none(), st);
+  }
+  ASSERT_TRUE(found.has_value());
+  EXPECT_LE(found->rows.size(), 6u);
+  expect_exhaustively_correct(p, *found);
+}
+
+TEST(ChainSynth, SymbolicAllocFindsRelevantBits) {
+  // Opt5 off: the solver must discover that only the top bit matters.
+  ChainProblem p;
+  p.key_width = 6;
+  p.semantics = {Rule{0b100000, 0b100000, 1}, Rule{0, 0, 2}};
+  p.exit_targets = {1, 2, kReject};
+  ChainShape shape;
+  shape.layers = 1;
+  shape.aux_counts = {1};
+  shape.row_budget = 2;
+  shape.key_limit = 1;  // forces a 1-bit key: only the right bit works
+  ChainStats st;
+  auto sol = synthesize_chain(p, shape, Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->alloc_masks[0], 0b100000u);
+  expect_exhaustively_correct(p, *sol);
+}
+
+TEST(ChainSynth, InsufficientBudgetIsUnsat) {
+  ChainProblem p;
+  p.key_width = 2;
+  p.semantics = {Rule{0, 0b11, 1}, Rule{1, 0b11, 2}, Rule{2, 0b11, 3}, Rule{3, 0b11, 4}};
+  p.exit_targets = {1, 2, 3, 4, kReject};
+  ChainStats st;
+  EXPECT_FALSE(synthesize_chain(p, single_layer(2, 3), Deadline::none(), st).has_value());
+  EXPECT_TRUE(synthesize_chain(p, single_layer(2, 4), Deadline::none(), st).has_value());
+}
+
+TEST(ChainSynth, WildcardSemanticsPreserved) {
+  // Input written with masks (the DPParserGen-hostile style): 1**0 -> 1.
+  ChainProblem p;
+  p.key_width = 4;
+  p.semantics = {Rule{0b1000, 0b1001, 1}, Rule{0, 0, kAccept}};
+  p.exit_targets = {1, kAccept, kReject};
+  ChainStats st;
+  auto sol = synthesize_chain(p, single_layer(4, 2), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  expect_exhaustively_correct(p, *sol);
+}
+
+TEST(ChainSynth, DeadlineAborts) {
+  ChainProblem p = figure3_problem();
+  Deadline expired(1e-9);
+  ChainStats st;
+  EXPECT_FALSE(synthesize_chain(p, single_layer(4, 4), expired, st).has_value());
+}
+
+TEST(ChainSynth, StatsPopulated) {
+  ChainProblem p = figure3_problem();
+  ChainStats st;
+  auto sol = synthesize_chain(p, single_layer(4, 4), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GT(st.synth_queries, 0);
+  EXPECT_GT(st.verify_queries, 0);
+  EXPECT_GT(st.search_space_bits, 0);
+}
+
+// Property sweep: random transition functions over small keys are always
+// implementable with a full budget and exhaustively correct.
+class ChainSynthRandomFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSynthRandomFunction, SynthesizesExactCover) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  // Tiny deterministic PRNG for rule generation.
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  ChainProblem p;
+  p.key_width = 3;
+  int nrules = 2 + static_cast<int>(next() % 3);
+  for (int i = 0; i < nrules; ++i)
+    p.semantics.push_back(
+        Rule{next() % 8, next() % 8, static_cast<int>(next() % 3) + 1});
+  p.semantics.push_back(Rule{0, 0, kAccept});
+  p.exit_targets = {1, 2, 3, kAccept, kReject};
+  ChainStats st;
+  std::optional<ChainSolution> sol;
+  for (int budget = 1; budget <= nrules + 1 && !sol; ++budget)
+    sol = synthesize_chain(p, single_layer(3, budget), Deadline::none(), st);
+  ASSERT_TRUE(sol.has_value());
+  for (std::uint64_t k = 0; k < 8; ++k)
+    EXPECT_EQ(eval_chain(*sol, k), eval_semantics(p.semantics, k)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSynthRandomFunction, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace parserhawk

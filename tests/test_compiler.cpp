@@ -1,0 +1,246 @@
+#include "synth/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/testgen.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::mpls_loop;
+using testing::spec1;
+using testing::spec2;
+
+/// An Ethernet-shaped benchmark: 3-way dispatch on a 16-bit type plus two
+/// terminal payload states.
+ParserSpec ethernet_like() {
+  SpecBuilder b("ethernet_like");
+  b.field("etherType", 16).field("v4", 16).field("v6", 16);
+  b.state("start")
+      .extract("etherType")
+      .select({b.whole("etherType")})
+      .when_exact(0x0800, "parse_v4")
+      .when_exact(0x86dd, "parse_v6")
+      .otherwise("accept");
+  b.state("parse_v4").extract("v4").otherwise("accept");
+  b.state("parse_v6").extract("v6").otherwise("accept");
+  return b.build().value();
+}
+
+void expect_compiles_and_matches(const ParserSpec& spec, const HwProfile& hw,
+                                 const SynthOptions& opts = {}) {
+  CompileResult r = compile(spec, hw, opts);
+  ASSERT_TRUE(r.ok()) << to_string(r.status) << ": " << r.reason;
+  DiffTestOptions dt;
+  dt.samples = 200;
+  dt.max_iterations = r.program.max_iterations;
+  auto mismatch = differential_test(r.reference, r.program, dt);
+  EXPECT_FALSE(mismatch.has_value())
+      << "input " << mismatch->input.to_string() << "\n"
+      << to_string(r.program);
+}
+
+TEST(Compiler, Spec1CompilesToOneFusedEntry) {
+  CompileResult r = compile(spec1(), tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_EQ(r.usage.tcam_entries, 1);  // pure extraction chain fuses fully
+  EXPECT_TRUE(r.stats.formally_verified);
+}
+
+TEST(Compiler, Spec2CompilesWithinThreeEntries) {
+  CompileResult r = compile(spec2(), tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_LE(r.usage.tcam_entries, 3);
+  expect_compiles_and_matches(spec2(), tofino());
+}
+
+TEST(Compiler, EthernetLikeIsThreeEntriesOnTofino) {
+  CompileResult r = compile(ethernet_like(), tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_EQ(r.usage.tcam_entries, 3);  // the paper's Parse Ethernet row
+  expect_compiles_and_matches(ethernet_like(), tofino());
+}
+
+TEST(Compiler, EthernetLikeOnIpu) {
+  CompileResult r = compile(ethernet_like(), ipu());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_GE(r.usage.stages, 1);
+  EXPECT_LE(r.usage.stages, 3);
+  expect_compiles_and_matches(ethernet_like(), ipu());
+}
+
+TEST(Compiler, Figure3MergesEntries) {
+  CompileResult r = compile(figure3(), tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  // 4 transition entries ({15,11,7,3} merged + 14 + 2 + default); the three
+  // payload states fold into them.
+  EXPECT_EQ(r.usage.tcam_entries, 4);
+  expect_compiles_and_matches(figure3(), tofino());
+}
+
+TEST(Compiler, Figure3OnNarrowKeyDeviceSplits) {
+  // Device A of Figure 4: 2-bit transition keys force splitting; V2's
+  // optimum is 6 entries.
+  HwProfile hw = parametrized(/*key=*/2, /*lookahead=*/32, /*extract=*/64);
+  CompileResult r = compile(figure3(), hw);
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_LE(r.usage.tcam_entries, 6);
+  expect_compiles_and_matches(figure3(), hw);
+}
+
+TEST(Compiler, MplsLoopOnTofinoUsesLoopback) {
+  CompileResult r = compile(mpls_loop(), tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_LE(r.usage.tcam_entries, 3);
+  expect_compiles_and_matches(mpls_loop(), tofino());
+}
+
+TEST(Compiler, MplsLoopOnIpuUnrolls) {
+  SynthOptions opts;
+  opts.loop_unroll_depth = 3;
+  CompileResult r = compile(mpls_loop(), ipu(), opts);
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_GT(r.usage.stages, 1);
+  // Reference is the *unrolled* spec.
+  DiffTestOptions dt;
+  dt.samples = 150;
+  dt.max_iterations = r.program.max_iterations;
+  EXPECT_FALSE(differential_test(r.reference, r.program, dt).has_value());
+}
+
+TEST(Compiler, RedundantRulesDoNotCostEntries) {
+  ParserSpec base = figure3();
+  ParserSpec r1 = base;
+  r1.states[0].rules.insert(r1.states[0].rules.begin() + 4, Rule{15, 0xF, 1});  // +R1
+  CompileResult a = compile(base, tofino());
+  CompileResult b = compile(r1, tofino());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.usage.tcam_entries, b.usage.tcam_entries);
+}
+
+TEST(Compiler, ResourceLimitYieldsResourceExceeded) {
+  HwProfile hw = tofino();
+  hw.tcam_entry_limit = 1;
+  CompileResult r = compile(figure3(), hw);
+  EXPECT_EQ(r.status, CompileStatus::ResourceExceeded);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Compiler, EthernetFitsOneStageViaInlining) {
+  // Post-synthesis inlining folds the terminal extract states into the
+  // dispatch rows, so even a 1-stage device suffices for this shape.
+  HwProfile hw = ipu();
+  hw.stage_limit = 1;
+  CompileResult r = compile(ethernet_like(), hw);
+  EXPECT_TRUE(r.ok()) << r.reason;
+  EXPECT_EQ(r.usage.stages, 1);
+}
+
+TEST(Compiler, StageLimitYieldsResourceExceeded) {
+  // Two *dependent* dispatches cannot share a pipeline stage: the second
+  // select needs the first extraction. A 1-stage device must fail.
+  SpecBuilder b("two_hops");
+  b.field("t1", 8).field("t2", 8).field("x", 8);
+  b.state("start")
+      .extract("t1")
+      .select({b.whole("t1")})
+      .when_exact(1, "mid")
+      .otherwise("accept");
+  b.state("mid")
+      .extract("t2")
+      .select({b.whole("t2")})
+      .when_exact(2, "deep")
+      .otherwise("accept");
+  b.state("deep").extract("x").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  HwProfile hw = ipu();
+  hw.stage_limit = 1;
+  CompileResult r = compile(spec, hw);
+  EXPECT_EQ(r.status, CompileStatus::ResourceExceeded);
+  HwProfile ok_hw = ipu();
+  CompileResult r2 = compile(spec, ok_hw);
+  EXPECT_TRUE(r2.ok()) << r2.reason;
+  EXPECT_GE(r2.usage.stages, 2);
+}
+
+TEST(Compiler, InvalidSpecRejected) {
+  ParserSpec bad;
+  bad.name = "bad";
+  CompileResult r = compile(bad, tofino());
+  EXPECT_EQ(r.status, CompileStatus::Rejected);
+}
+
+TEST(Compiler, TimeoutReported) {
+  SynthOptions opts;
+  opts.timeout_sec = 1e-6;
+  CompileResult r = compile(figure3(), tofino(), opts);
+  EXPECT_EQ(r.status, CompileStatus::Timeout);
+}
+
+TEST(Compiler, VarbitRoundTrip) {
+  SpecBuilder b("vb");
+  b.field("len", 2).varbit_field("opts", 12);
+  b.state("s")
+      .extract("len")
+      .extract_var("opts", "len", 4, 0)
+      .select({b.whole("len")})
+      .when_exact(0, "accept")
+      .otherwise("tail");
+  b.state("tail").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  CompileResult r = compile(spec, tofino());
+  ASSERT_TRUE(r.ok()) << r.reason;
+  bool has_varbit_extract = false;
+  for (const auto& e : r.program.entries)
+    for (const auto& ex : e.extracts)
+      if (ex.len_field >= 0) has_varbit_extract = true;
+  EXPECT_TRUE(has_varbit_extract);
+  DiffTestOptions dt;
+  dt.samples = 300;
+  dt.max_iterations = r.program.max_iterations;
+  EXPECT_FALSE(differential_test(spec, r.program, dt).has_value());
+}
+
+TEST(Compiler, StatsAreMeaningful) {
+  CompileResult r = compile(figure3(), tofino());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.stats.seconds, 0);
+  EXPECT_GT(r.stats.search_space_bits, 0);
+  EXPECT_GT(r.stats.synth_queries, 0);
+  EXPECT_GT(r.stats.budget_attempts, 0);
+}
+
+TEST(Compiler, StatusToString) {
+  EXPECT_EQ(to_string(CompileStatus::Success), "success");
+  EXPECT_EQ(to_string(CompileStatus::ResourceExceeded), "resource-exceeded");
+  EXPECT_EQ(to_string(CompileStatus::Timeout), "timeout");
+}
+
+TEST(CompilerNaive, Spec1WithAllOptsOff) {
+  SynthOptions naive = SynthOptions::naive();
+  naive.timeout_sec = 60;
+  CompileResult r = compile(spec1(), tofino(), naive);
+  ASSERT_TRUE(r.ok()) << to_string(r.status) << ": " << r.reason;
+  DiffTestOptions dt;
+  dt.samples = 150;
+  dt.max_iterations = r.program.max_iterations;
+  EXPECT_FALSE(differential_test(spec1(), r.program, dt).has_value());
+}
+
+TEST(CompilerNaive, Spec2WithAllOptsOff) {
+  SynthOptions naive = SynthOptions::naive();
+  naive.timeout_sec = 120;
+  CompileResult r = compile(spec2(), tofino(), naive);
+  ASSERT_TRUE(r.ok()) << to_string(r.status) << ": " << r.reason;
+  DiffTestOptions dt;
+  dt.samples = 150;
+  dt.max_iterations = r.program.max_iterations;
+  EXPECT_FALSE(differential_test(spec2(), r.program, dt).has_value());
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,143 @@
+// Cross-module integration tests: the whole pipeline over the benchmark
+// suite, the Trident-style interleaved architecture, and language-to-
+// hardware round trips.
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "lang/lang.h"
+#include "sim/testgen.h"
+#include "suite/suite.h"
+#include "synth/compiler.h"
+#include "synth/normalize.h"
+
+namespace parserhawk {
+namespace {
+
+TEST(Integration, CanonicalizePreservesEverySuiteBenchmark) {
+  for (const auto& b : suite::base_suite()) {
+    bool varbit = false;
+    for (const auto& f : b.spec.fields) varbit |= f.varbit;
+    ParserSpec work = varbit ? varbit_to_fixed(b.spec) : b.spec;
+    ParserSpec canon = canonicalize(work);
+    Rng rng(0x5EED);
+    for (int i = 0; i < 120; ++i) {
+      BitVec input = generate_path_input(work, rng, 12, 64);
+      ASSERT_TRUE(equivalent(run_spec(work, input, 12), run_spec(canon, input, 12)))
+          << b.name << " input " << input.to_string();
+    }
+  }
+}
+
+TEST(Integration, SuiteCompilesOnTrident) {
+  // The interleaved (Trident-style) profile uses the pipelined compilation
+  // path: forward-only stages of sub-parser TCAMs.
+  HwProfile hw = trident();
+  int compiled = 0;
+  for (const auto& b : suite::base_suite()) {
+    SynthOptions opts;
+    opts.timeout_sec = 60;
+    CompileResult r = compile(b.spec, hw, opts);
+    if (!r.ok()) continue;
+    ++compiled;
+    DiffTestOptions dt;
+    dt.samples = 80;
+    dt.max_iterations = r.program.max_iterations;
+    EXPECT_FALSE(differential_test(r.reference, r.program, dt).has_value()) << b.name;
+  }
+  EXPECT_GE(compiled, 8);  // most of the suite fits the Trident profile
+}
+
+TEST(Integration, HawkSourceToBothBackends) {
+  const char* source = R"(
+parser two_level {
+  field outer : 8;
+  field inner : 8;
+  field body : 16;
+  state start {
+    extract(outer);
+    transition select(outer) { 0x11 : mid; default : accept; }
+  }
+  state mid {
+    extract(inner);
+    transition select(inner) { 0x22 : fin; default : accept; }
+  }
+  state fin {
+    extract(body);
+    transition accept;
+  }
+})";
+  auto spec = lang::parse_source(source);
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  for (const HwProfile& hw : {tofino(), ipu()}) {
+    SynthOptions opts;
+    opts.timeout_sec = 60;
+    CompileResult r = compile(*spec, hw, opts);
+    ASSERT_TRUE(r.ok()) << hw.name << ": " << r.reason;
+    std::string text = backend::emit(r.program, hw);
+    EXPECT_NE(text.find("goto accept"), std::string::npos) << hw.name;
+    DiffTestOptions dt;
+    dt.samples = 150;
+    dt.max_iterations = r.program.max_iterations;
+    EXPECT_FALSE(differential_test(*spec, r.program, dt).has_value()) << hw.name;
+  }
+}
+
+TEST(Integration, CompiledProgramsValidateAgainstTheirProfiles) {
+  for (const auto& b : suite::base_suite()) {
+    for (const HwProfile& hw : {tofino(), ipu()}) {
+      SynthOptions opts;
+      opts.timeout_sec = 60;
+      CompileResult r = compile(b.spec, hw, opts);
+      if (!r.ok()) continue;
+      EXPECT_TRUE(validate(r.program, hw).ok()) << b.name << " on " << hw.name;
+    }
+  }
+}
+
+TEST(Integration, DeterministicRecompilation) {
+  // Same options, same seed: identical resource usage (the search is
+  // deterministic on one thread).
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult a = compile(suite::parse_icmp(), tofino(), opts);
+  CompileResult b = compile(suite::parse_icmp(), tofino(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.usage.tcam_entries, b.usage.tcam_entries);
+  EXPECT_EQ(a.usage.stages, b.usage.stages);
+}
+
+TEST(Integration, AcceptRejectSemanticsSurviveTheWholePipeline) {
+  // A spec that rejects on a specific value: the compiled program must
+  // reproduce rejects exactly, not just accepts.
+  auto spec = lang::parse_source(R"(
+parser strict {
+  field magic : 8;
+  field body : 8;
+  state start {
+    extract(magic);
+    transition select(magic) {
+      0x7f : parse_body;
+      0x00 : reject;
+      default : accept;
+    }
+  }
+  state parse_body { extract(body); transition accept; }
+})");
+  ASSERT_TRUE(spec.ok());
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult r = compile(*spec, tofino(), opts);
+  ASSERT_TRUE(r.ok()) << r.reason;
+  BitVec good = BitVec::from_u64(0x7fAA, 16);
+  BitVec bad = BitVec::from_u64(0x00AA, 16);
+  BitVec other = BitVec::from_u64(0x10AA, 16);
+  EXPECT_EQ(run_impl(r.program, good).outcome, ParseOutcome::Accepted);
+  EXPECT_TRUE(run_impl(r.program, good).dict.count(spec->field_index("body")));
+  EXPECT_EQ(run_impl(r.program, bad).outcome, ParseOutcome::Rejected);
+  EXPECT_EQ(run_impl(r.program, other).outcome, ParseOutcome::Accepted);
+  EXPECT_FALSE(run_impl(r.program, other).dict.count(spec->field_index("body")));
+}
+
+}  // namespace
+}  // namespace parserhawk

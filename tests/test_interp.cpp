@@ -1,0 +1,260 @@
+#include "sim/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::mpls_loop;
+using testing::spec1;
+using testing::spec2;
+
+BitVec bits(std::uint64_t value, int width) { return BitVec::from_u64(value, width); }
+
+TEST(RunSpec, Spec1ExtractsBothFields) {
+  ParseResult r = run_spec(spec1(), bits(0xAB, 8));
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  ASSERT_TRUE(r.dict.count(0));
+  ASSERT_TRUE(r.dict.count(1));
+  EXPECT_EQ(r.dict.at(0).to_u64(), 0xAu);
+  EXPECT_EQ(r.dict.at(1).to_u64(), 0xBu);
+  EXPECT_EQ(r.bits_consumed, 8);
+}
+
+TEST(RunSpec, Spec2ConditionalExtract) {
+  // field0 = 0b0xxx -> also extract field1.
+  ParseResult with = run_spec(spec2(), bits(0x2B, 8));
+  EXPECT_EQ(with.outcome, ParseOutcome::Accepted);
+  EXPECT_TRUE(with.dict.count(1));
+  // field0 = 0b1xxx -> accept without field1.
+  ParseResult without = run_spec(spec2(), bits(0xAB, 8));
+  EXPECT_EQ(without.outcome, ParseOutcome::Accepted);
+  EXPECT_FALSE(without.dict.count(1));
+  EXPECT_EQ(without.bits_consumed, 4);
+}
+
+TEST(RunSpec, ShortInputRejectsAtomically) {
+  ParseResult r = run_spec(spec1(), bits(0xA, 4));
+  EXPECT_EQ(r.outcome, ParseOutcome::Rejected);
+  EXPECT_TRUE(r.dict.count(0));   // field0 completed
+  EXPECT_FALSE(r.dict.count(1));  // field1 never recorded
+}
+
+TEST(RunSpec, EmptyInputRejectsWithEmptyDict) {
+  ParseResult r = run_spec(spec1(), BitVec{});
+  EXPECT_EQ(r.outcome, ParseOutcome::Rejected);
+  EXPECT_TRUE(r.dict.empty());
+}
+
+TEST(RunSpec, Figure3Dispatch) {
+  // tranKey 15 -> N1 (extracts n1 next 4 bits).
+  ParseResult r = run_spec(figure3(), bits(0xF7, 8));
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.at(1).to_u64(), 0x7u);
+  // tranKey 14 -> N2.
+  r = run_spec(figure3(), bits(0xE5, 8));
+  EXPECT_EQ(r.dict.at(2).to_u64(), 0x5u);
+  // tranKey 0 -> default accept, nothing else extracted.
+  r = run_spec(figure3(), bits(0x0F, 8));
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.size(), 1u);
+}
+
+TEST(RunSpec, PriorityFirstMatchWins) {
+  SpecBuilder b("prio");
+  b.field("k", 4).field("x", 4);
+  b.state("s")
+      .extract("k")
+      .select({b.whole("k")})
+      .when(0b1000, 0b1000, "accept")   // any MSB=1
+      .when_exact(0b1111, "reject")     // shadowed by the rule above
+      .otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParseResult r = run_spec(spec, bits(0xF, 4));
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);  // first rule won
+}
+
+TEST(RunSpec, MplsLoopIteratesUntilBottomOfStack) {
+  // Three labels: two with BOS=0, last with BOS=1, then accept.
+  BitVec input;
+  input.append_u64(0x10, 8);  // bos=0
+  input.append_u64(0x20, 8);  // bos=0
+  input.append_u64(0x31, 8);  // bos=1
+  ParseResult r = run_spec(mpls_loop(), input);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.at(0).to_u64(), 0x31u);  // last label retained
+  EXPECT_EQ(r.bits_consumed, 24);
+}
+
+TEST(RunSpec, LoopBoundExhausts) {
+  // All labels BOS=0: parser loops until K and reports Exhausted.
+  BitVec input;
+  for (int i = 0; i < 100; ++i) input.append_u64(0x10, 8);
+  ParseResult r = run_spec(mpls_loop(), input, /*max_iterations=*/8);
+  EXPECT_EQ(r.outcome, ParseOutcome::Exhausted);
+}
+
+TEST(RunSpec, MissingKeyFieldRejects) {
+  // State selects on a field never extracted.
+  ParserSpec s = spec2();
+  s.states[0].extracts.clear();
+  ParseResult r = run_spec(s, bits(0xAB, 8));
+  EXPECT_EQ(r.outcome, ParseOutcome::Rejected);
+}
+
+TEST(RunSpec, NoMatchingRuleRejects) {
+  SpecBuilder b("nodefault");
+  b.field("k", 2);
+  b.state("s").extract("k").select({b.whole("k")}).when_exact(3, "accept");
+  ParserSpec spec = b.build().value();
+  EXPECT_EQ(run_spec(spec, bits(0b11, 2)).outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(run_spec(spec, bits(0b01, 2)).outcome, ParseOutcome::Rejected);
+}
+
+TEST(RunSpec, LookaheadKey) {
+  SpecBuilder b("la");
+  b.field("f", 8);
+  b.state("s")
+      .select({SpecBuilder::lookahead(0, 4)})
+      .when_exact(0xA, "take")
+      .otherwise("accept");
+  b.state("take").extract("f").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParseResult hit = run_spec(spec, bits(0xAB, 8));
+  EXPECT_TRUE(hit.dict.count(0));
+  ParseResult miss = run_spec(spec, bits(0x1B, 8));
+  EXPECT_FALSE(miss.dict.count(0));
+  EXPECT_EQ(miss.outcome, ParseOutcome::Accepted);
+}
+
+TEST(RunSpec, VarbitExtractUsesLengthField) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("payload", 64);
+  b.state("s").extract("len").extract_var("payload", "len", 4, 0).otherwise("accept");
+  ParserSpec spec = b.build().value();
+  // len = 2 -> payload is 8 bits.
+  BitVec input;
+  input.append_u64(2, 4);
+  input.append_u64(0xAB, 8);
+  ParseResult r = run_spec(spec, input);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.at(1).size(), 8);
+  EXPECT_EQ(r.dict.at(1).to_u64(), 0xABu);
+}
+
+TEST(RunSpec, VarbitLengthClampsToMaxWidth) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("payload", 8);
+  b.state("s").extract("len").extract_var("payload", "len", 4, 0).otherwise("accept");
+  ParserSpec spec = b.build().value();
+  BitVec input;
+  input.append_u64(15, 4);  // 60 bits requested, clamped to 8
+  input.append_u64(0xCD, 8);
+  ParseResult r = run_spec(spec, input);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.at(1).size(), 8);
+}
+
+// ---- Impl interpreter ----
+
+TcamProgram impl_for_spec2() {
+  TcamProgram p;
+  p.name = "impl2";
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+TEST(RunImpl, MatchesSpec2OnBothBranches) {
+  TcamProgram p = impl_for_spec2();
+  ParserSpec s = spec2();
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    BitVec input = bits(v, 8);
+    EXPECT_TRUE(equivalent(run_spec(s, input), run_impl(p, input))) << "input=" << v;
+  }
+}
+
+TEST(RunImpl, NoMatchingRowRejects) {
+  TcamProgram p = impl_for_spec2();
+  p.entries.pop_back();  // remove the field0[0]!=0 row
+  ParseResult r = run_impl(p, bits(0xAB, 8));
+  EXPECT_EQ(r.outcome, ParseOutcome::Rejected);
+}
+
+TEST(RunImpl, LookaheadRow) {
+  // Single row: matches lookahead nibble 0xA, extracts both fields at once.
+  TcamProgram p;
+  p.fields = {Field{"f0", 4, false}, Field{"f1", 4, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 0, 4}}};
+  p.entries.push_back(
+      TcamEntry{0, 0, 0, 0xA, 0xF, {ExtractOp{0, -1, 0, 0}, ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 0, 1, 0, 0, {}, 0, kAccept});
+
+  ParseResult hit = run_impl(p, bits(0xAB, 8));
+  EXPECT_EQ(hit.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(hit.dict.at(0).to_u64(), 0xAu);
+  EXPECT_EQ(hit.dict.at(1).to_u64(), 0xBu);
+
+  ParseResult miss = run_impl(p, bits(0x1B, 8));
+  EXPECT_EQ(miss.outcome, ParseOutcome::Accepted);
+  EXPECT_TRUE(miss.dict.empty());
+}
+
+TEST(RunImpl, LoopingSingleEntryMpls) {
+  // One TCAM row loops over MPLS labels until bottom-of-stack (the paper's
+  // single-table looping example, §3.1).
+  TcamProgram p;
+  p.fields = {Field{"label", 8, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 7, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 1, {ExtractOp{0, -1, 0, 0}}, 0, 0});  // bos=0: loop
+  p.entries.push_back(TcamEntry{0, 0, 1, 1, 1, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  p.max_iterations = 64;
+
+  BitVec input;
+  input.append_u64(0x10, 8);
+  input.append_u64(0x20, 8);
+  input.append_u64(0x31, 8);
+  ParseResult r = run_impl(p, input);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r.dict.at(0).to_u64(), 0x31u);
+}
+
+TEST(RunImpl, ExhaustsAtIterationBound) {
+  TcamProgram p;
+  p.fields = {Field{"f", 4, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {}, 0, 0});  // self-loop, no extraction
+  p.max_iterations = 5;
+  ParseResult r = run_impl(p, bits(0, 4));
+  EXPECT_EQ(r.outcome, ParseOutcome::Exhausted);
+  EXPECT_EQ(r.iterations, 5);
+}
+
+TEST(Equivalent, ComparesDictOnlyWhenAccepted) {
+  ParseResult a, b;
+  a.outcome = b.outcome = ParseOutcome::Rejected;
+  a.dict[0] = bits(1, 4);
+  EXPECT_TRUE(equivalent(a, b));
+  a.outcome = b.outcome = ParseOutcome::Accepted;
+  EXPECT_FALSE(equivalent(a, b));
+  b.dict[0] = bits(1, 4);
+  EXPECT_TRUE(equivalent(a, b));
+  b.outcome = ParseOutcome::Rejected;
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(OutputDictToString, NamesFields) {
+  OutputDict d;
+  d[0] = bits(0xA, 4);
+  std::vector<Field> fields = {Field{"etherType", 4, false}};
+  EXPECT_EQ(to_string(d, fields), "{etherType=0b1010}");
+}
+
+}  // namespace
+}  // namespace parserhawk

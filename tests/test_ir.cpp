@@ -1,0 +1,154 @@
+#include "ir/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::spec1;
+using testing::spec2;
+
+TEST(Rule, TernaryMatchSemantics) {
+  Rule r{0b1010, 0b1110, kAccept};
+  EXPECT_TRUE(r.matches(0b1010));
+  EXPECT_TRUE(r.matches(0b1011));  // unmasked low bit free
+  EXPECT_FALSE(r.matches(0b0010));
+  EXPECT_FALSE(r.matches(0b1110));
+}
+
+TEST(Rule, DefaultMatchesEverything) {
+  Rule r{0, 0, kAccept};
+  EXPECT_TRUE(r.is_default());
+  for (std::uint64_t k : {0ull, 5ull, ~0ull}) EXPECT_TRUE(r.matches(k));
+}
+
+TEST(Rule, ValueBitsOutsideMaskAreIgnored) {
+  // (key ^ value) & mask == 0 only inspects masked positions.
+  Rule r{0b1111, 0b1000, kAccept};
+  EXPECT_TRUE(r.matches(0b1000));
+  EXPECT_TRUE(r.matches(0b1011));
+  EXPECT_FALSE(r.matches(0b0111));
+}
+
+TEST(State, KeyWidthSumsParts) {
+  State st;
+  st.key.push_back(KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 12});
+  st.key.push_back(KeyPart{KeyPart::Kind::Lookahead, -1, 4, 8});
+  EXPECT_EQ(st.key_width(), 20);
+}
+
+TEST(ParserSpec, Lookups) {
+  ParserSpec s = spec1();
+  EXPECT_EQ(s.field_index("field0"), 0);
+  EXPECT_EQ(s.field_index("nope"), -1);
+  EXPECT_EQ(s.state_index("state1"), 1);
+  EXPECT_EQ(s.state_index("nope"), -1);
+}
+
+TEST(Validate, AcceptsFixtures) {
+  EXPECT_TRUE(validate(spec1()).ok());
+  EXPECT_TRUE(validate(spec2()).ok());
+  EXPECT_TRUE(validate(figure3()).ok());
+}
+
+TEST(Validate, RejectsEmptySpec) {
+  ParserSpec s;
+  s.name = "empty";
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsBadStartState) {
+  ParserSpec s = spec1();
+  s.start = 99;
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsUnknownFieldInExtract) {
+  ParserSpec s = spec1();
+  s.states[0].extracts[0].field = 42;
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsKeySliceOutOfFieldBounds) {
+  ParserSpec s = spec2();
+  s.states[0].key[0] = KeyPart{KeyPart::Kind::FieldSlice, 0, 2, 4};  // field0 is 4 bits
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsKeyWiderThan64) {
+  SpecBuilder b("wide");
+  b.field("f", 40).field("g", 40);
+  b.state("s0").extract("f").extract("g").select({b.whole("f"), b.whole("g")}).otherwise("accept");
+  EXPECT_FALSE(b.build().ok());
+}
+
+TEST(Validate, RejectsMaskWiderThanKey) {
+  ParserSpec s = figure3();
+  s.states[0].rules[0].mask = 0x1F;  // key is 4 bits
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsTransitionToUnknownState) {
+  ParserSpec s = spec1();
+  s.states[0].rules[0].next = 17;
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsNonDefaultRuleWithoutKey) {
+  ParserSpec s = spec1();
+  s.states[0].rules[0].mask = 1;  // state0 has no key
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsDuplicateFieldNames) {
+  SpecBuilder b("dup");
+  b.field("f", 4).field("f", 8);
+  b.state("s0").extract("f").otherwise("accept");
+  EXPECT_FALSE(b.build().ok());
+}
+
+TEST(Validate, RejectsVarbitInKey) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("opts", 64);
+  b.state("s0").extract("len").extract_var("opts", "len", 8, 0).otherwise("accept");
+  ParserSpec s = b.build().value();
+  s.states[0].key.push_back(KeyPart{KeyPart::Kind::FieldSlice, 1, 0, 4});
+  s.states[0].rules[0] = Rule{0, 0xF, kAccept};
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(Validate, RejectsVarbitWithoutLengthSource) {
+  SpecBuilder b("vb");
+  b.varbit_field("opts", 64);
+  ParserSpec s;
+  s.name = "vb";
+  s.fields.push_back(Field{"opts", 64, true});
+  State st;
+  st.name = "s0";
+  st.extracts.push_back(ExtractOp{0, -1, 0, 0});  // varbit with no len field
+  st.rules.push_back(Rule{0, 0, kAccept});
+  s.states.push_back(st);
+  EXPECT_FALSE(validate(s).ok());
+}
+
+TEST(StateName, SentinelsAndStates) {
+  ParserSpec s = spec1();
+  EXPECT_EQ(state_name(s, kAccept), "accept");
+  EXPECT_EQ(state_name(s, kReject), "reject");
+  EXPECT_EQ(state_name(s, 0), "state0");
+  EXPECT_NE(state_name(s, 99).find("invalid"), std::string::npos);
+}
+
+TEST(ToString, MentionsStatesAndFields) {
+  std::string text = to_string(figure3());
+  EXPECT_NE(text.find("field tranKey : 4;"), std::string::npos);
+  EXPECT_NE(text.find("state N1"), std::string::npos);
+  EXPECT_NE(text.find("default : accept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parserhawk

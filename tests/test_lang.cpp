@@ -1,0 +1,265 @@
+#include "lang/lang.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "suite/suite.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+using lang::emit_source;
+using lang::parse_source;
+using lang::TokKind;
+using lang::tokenize;
+
+// ---- Lexer ----
+
+TEST(Lexer, BasicTokens) {
+  auto toks = tokenize("parser p { field f : 16; }");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 10u);  // incl. End
+  EXPECT_EQ((*toks)[0].kind, TokKind::Identifier);
+  EXPECT_EQ((*toks)[0].text, "parser");
+  EXPECT_EQ((*toks)[6].kind, TokKind::Number);
+  EXPECT_EQ((*toks)[6].value, 16u);
+  EXPECT_EQ(toks->back().kind, TokKind::End);
+}
+
+TEST(Lexer, NumberBases) {
+  auto toks = tokenize("255 0xff 0b11111111 0xAb_Cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].value, 255u);
+  EXPECT_EQ((*toks)[1].value, 255u);
+  EXPECT_EQ((*toks)[2].value, 255u);
+  EXPECT_EQ((*toks)[3].value, 0xABCDu);
+}
+
+TEST(Lexer, MaskOperator) {
+  auto toks = tokenize("0x0800 &&& 0xff00");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].kind, TokKind::MaskOp);
+}
+
+TEST(Lexer, StrayAmpersandFails) {
+  EXPECT_FALSE(tokenize("a & b").ok());
+  EXPECT_FALSE(tokenize("a && b").ok());
+}
+
+TEST(Lexer, Comments) {
+  auto toks = tokenize("a // line comment\n/* block\ncomment */ b");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_EQ((*toks)[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  auto r = tokenize("a /* never closed");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = tokenize("a\nb\n  c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+  EXPECT_EQ((*toks)[2].column, 3);
+}
+
+TEST(Lexer, BadLiteralPrefixFails) { EXPECT_FALSE(tokenize("0x").ok()); }
+
+// ---- Parser ----
+
+constexpr const char* kEthernet = R"(
+parser ethernet {
+  field etherType : 16;
+  field ipv4 : 32;
+  state start {
+    extract(etherType);
+    transition select(etherType) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    transition accept;
+  }
+}
+)";
+
+TEST(LangParser, ParsesEthernet) {
+  auto spec = parse_source(kEthernet);
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->name, "ethernet");
+  EXPECT_EQ(spec->fields.size(), 2u);
+  EXPECT_EQ(spec->states.size(), 2u);
+  EXPECT_EQ(spec->states[0].rules.size(), 2u);
+  EXPECT_EQ(spec->states[0].rules[0].value, 0x0800u);
+  EXPECT_EQ(spec->states[0].rules[0].mask, 0xFFFFu);  // exact entry
+  EXPECT_EQ(spec->states[0].rules[1].mask, 0u);       // default
+}
+
+TEST(LangParser, TernaryEntries) {
+  auto spec = parse_source(R"(
+parser p {
+  field k : 8;
+  state start {
+    extract(k);
+    transition select(k) { 0x80 &&& 0xC0 : t; default : accept; }
+  }
+  state t { transition accept; }
+})");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->states[0].rules[0].mask, 0xC0u);
+}
+
+TEST(LangParser, SlicesAndLookahead) {
+  auto spec = parse_source(R"(
+parser p {
+  field k : 16;
+  state start {
+    extract(k);
+    transition select(k[4:12], lookahead<8, 4>) { default : accept; }
+  }
+})");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  const auto& key = spec->states[0].key;
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0].kind, KeyPart::Kind::FieldSlice);
+  EXPECT_EQ(key[0].lo, 4);
+  EXPECT_EQ(key[0].len, 8);
+  EXPECT_EQ(key[1].kind, KeyPart::Kind::Lookahead);
+  EXPECT_EQ(key[1].lo, 8);
+  EXPECT_EQ(key[1].len, 4);
+}
+
+TEST(LangParser, VarbitWithLengthExpression) {
+  auto spec = parse_source(R"(
+parser p {
+  field ihl : 4;
+  field options : varbit<320>;
+  state start {
+    extract(ihl);
+    extract(options, len = 32 * ihl - 160);
+    transition accept;
+  }
+})");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_TRUE(spec->fields[1].varbit);
+  const auto& ex = spec->states[0].extracts[1];
+  EXPECT_EQ(ex.len_scale, 32);
+  EXPECT_EQ(ex.len_base, -160);
+}
+
+TEST(LangParser, StartStateByName) {
+  auto spec = parse_source(R"(
+parser p {
+  field k : 4;
+  state other { extract(k); transition accept; }
+  state start { transition other; }
+})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->start, spec->state_index("start"));
+}
+
+TEST(LangParser, FirstStateIsStartOtherwise) {
+  auto spec = parse_source(R"(
+parser p {
+  field k : 4;
+  state first { extract(k); transition accept; }
+})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->start, 0);
+}
+
+TEST(LangParser, StateWithoutTransitionRejects) {
+  auto spec = parse_source(R"(
+parser p {
+  field k : 4;
+  state start { extract(k); }
+})");
+  ASSERT_TRUE(spec.ok());
+  BitVec in = BitVec::from_u64(5, 4);
+  EXPECT_EQ(run_spec(*spec, in).outcome, ParseOutcome::Rejected);
+}
+
+TEST(LangParser, ErrorsCarryLocation) {
+  auto spec = parse_source("parser p {\n  field k 16;\n}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(LangParser, UnknownFieldInExtract) {
+  auto spec = parse_source("parser p { state start { extract(ghost); transition accept; } }");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("ghost"), std::string::npos);
+}
+
+TEST(LangParser, UnknownTransitionTarget) {
+  auto spec = parse_source(R"(
+parser p { field k : 4; state start { extract(k); transition nowhere; } })");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(LangParser, ReservedStateNamesRejected) {
+  EXPECT_FALSE(parse_source("parser p { state accept { transition reject; } }").ok());
+  EXPECT_FALSE(parse_source("parser p { state reject { transition accept; } }").ok());
+}
+
+TEST(LangParser, ExtractAfterTransitionFails) {
+  auto spec = parse_source(R"(
+parser p { field k : 4; state start { transition accept; extract(k); } })");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(LangParser, MultipleTransitionsFail) {
+  auto spec = parse_source(R"(
+parser p { state start { transition accept; transition reject; } })");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(LangParser, BackwardSliceFails) {
+  auto spec = parse_source(R"(
+parser p { field k : 8; state start { extract(k);
+  transition select(k[4:2]) { default : accept; } } })");
+  EXPECT_FALSE(spec.ok());
+}
+
+// ---- Emitter round trips ----
+
+void expect_round_trip(const ParserSpec& spec) {
+  auto reparsed = parse_source(emit_source(spec));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << "\n" << emit_source(spec);
+  // Structural equivalence via differential sampling.
+  Rng rng(99);
+  for (int i = 0; i < 150; ++i) {
+    BitVec input = generate_path_input(spec, rng, 12, 64);
+    ASSERT_TRUE(equivalent(run_spec(spec, input, 12), run_spec(*reparsed, input, 12)))
+        << emit_source(spec);
+  }
+}
+
+TEST(LangEmit, RoundTripsSuitePrograms) {
+  expect_round_trip(suite::parse_ethernet());
+  expect_round_trip(suite::parse_icmp());
+  expect_round_trip(suite::parse_mpls());
+  expect_round_trip(suite::finance_origin());
+  expect_round_trip(suite::ipv4_options());
+  expect_round_trip(suite::large_tran_key());
+  expect_round_trip(suite::multi_key_same_field());
+}
+
+TEST(LangEmit, StartStateFirstWhenNotNamedStart) {
+  ParserSpec spec = suite::parse_ethernet();
+  spec.states[0].name = "entry";  // no state named "start" anymore
+  expect_round_trip(spec);
+}
+
+}  // namespace
+}  // namespace parserhawk

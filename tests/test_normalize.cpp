@@ -1,0 +1,254 @@
+#include "synth/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::mpls_loop;
+using testing::spec1;
+using testing::spec2;
+
+/// Check §4 equivalence of two specs over path-directed samples.
+void expect_same_semantics(const ParserSpec& a, const ParserSpec& b, int iters = 16) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    BitVec input = generate_path_input(a, rng, iters, 64);
+    ParseResult ra = run_spec(a, input, iters);
+    ParseResult rb = run_spec(b, input, iters);
+    ASSERT_TRUE(equivalent(ra, rb)) << "input " << input.to_string() << "\n"
+                                    << to_string(a) << "\nvs\n"
+                                    << to_string(b);
+  }
+}
+
+TEST(PruneDeadRules, RemovesShadowedRuleAndGhostState) {
+  ParserSpec spec = figure3();
+  // Shadowed duplicate of 15 -> N1.
+  spec.states[0].rules.insert(spec.states[0].rules.begin() + 4, Rule{15, 0xF, 1});
+  ParserSpec pruned = prune_dead_rules(spec);
+  EXPECT_EQ(pruned.states[0].rules.size(), 7u);
+  expect_same_semantics(spec, pruned);
+}
+
+TEST(PruneDeadRules, DropsUnreachableStates) {
+  SpecBuilder b("r2");
+  b.field("k", 2).field("x", 4);
+  b.state("start")
+      .extract("k")
+      .select({b.whole("k")})
+      .when(0, 0b10, "accept")
+      .when(0b10, 0b10, "accept")
+      .when_exact(0b11, "ghost")
+      .otherwise("accept");
+  b.state("ghost").extract("x").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParserSpec pruned = prune_dead_rules(spec);
+  EXPECT_EQ(pruned.states.size(), 1u);
+  expect_same_semantics(spec, pruned);
+}
+
+TEST(PruneDeadRules, CollapsesRuleDuplicatingDefault) {
+  SpecBuilder b("dupdef");
+  b.field("k", 2);
+  b.state("s").extract("k").select({b.whole("k")}).when_exact(1, "accept").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParserSpec pruned = prune_dead_rules(spec);
+  EXPECT_EQ(pruned.states[0].rules.size(), 1u);
+  expect_same_semantics(spec, pruned);
+}
+
+TEST(PruneDeadRules, KeepsLiveRules) {
+  ParserSpec spec = figure3();
+  ParserSpec pruned = prune_dead_rules(spec);
+  EXPECT_EQ(pruned.states[0].rules.size(), 7u);
+  EXPECT_EQ(pruned.states.size(), 4u);
+}
+
+TEST(MergeExtractChains, CollapsesLinearChain) {
+  ParserSpec spec = spec1();  // state0 -> state1 -> accept, both extract
+  ParserSpec merged = merge_extract_chains(spec);
+  EXPECT_EQ(merged.states.size(), 1u);
+  EXPECT_EQ(merged.states[0].extracts.size(), 2u);
+  expect_same_semantics(spec, merged);
+}
+
+TEST(MergeExtractChains, KeepsBranchingStates) {
+  ParserSpec spec = spec2();
+  ParserSpec merged = merge_extract_chains(spec);
+  EXPECT_EQ(merged.states.size(), 2u);  // branch prevents merging
+  expect_same_semantics(spec, merged);
+}
+
+TEST(MergeExtractChains, RespectsMultiplePredecessors) {
+  // Two states both default into a shared tail: tail must not merge.
+  SpecBuilder b("shared");
+  b.field("k", 2).field("t", 4);
+  b.state("start")
+      .extract("k")
+      .select({b.whole("k")})
+      .when_exact(0, "a")
+      .otherwise("bstate");
+  b.state("a").otherwise("tail");
+  b.state("bstate").otherwise("tail");
+  b.state("tail").extract("t").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParserSpec merged = merge_extract_chains(spec);
+  // 'a' and 'bstate' cannot merge into 'tail' (two predecessors).
+  EXPECT_EQ(merged.states.size(), 4u);
+  expect_same_semantics(spec, merged);
+}
+
+TEST(QuotientBisimulation, MergesIdenticalStates) {
+  // Two states with identical behavior reached on different branches.
+  SpecBuilder b("twins");
+  b.field("k", 2).field("t", 4);
+  b.state("start")
+      .extract("k")
+      .select({b.whole("k")})
+      .when_exact(0, "twin1")
+      .when_exact(1, "twin2")
+      .otherwise("accept");
+  b.state("twin1").extract("t").otherwise("accept");
+  b.state("twin2").extract("t").otherwise("accept");
+  ParserSpec spec = b.build().value();
+  ParserSpec q = quotient_bisimulation(spec);
+  EXPECT_EQ(q.states.size(), 2u);
+  expect_same_semantics(spec, q);
+}
+
+TEST(QuotientBisimulation, RerollsPartiallyUnrolledLoop) {
+  // Partially hand-unrolled MPLS whose tail still loops (the common style:
+  // unroll a few iterations, keep the loop for deeper stacks). All copies
+  // are bisimilar to the looping tail and collapse into one state — the
+  // paper's loop-aware re-rolling (§6.7.1).
+  SpecBuilder b("unrolled");
+  b.field("label", 8);
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "mpls" + std::to_string(i);
+    std::string next = i + 1 < 3 ? "mpls" + std::to_string(i + 1) : "mpls2";  // tail loops
+    b.state(name)
+        .extract("label")
+        .select({b.slice("label", 7, 1)})
+        .when_exact(1, "accept")
+        .otherwise(next);
+  }
+  ParserSpec spec = b.build().value();
+  ParserSpec q = quotient_bisimulation(spec);
+  EXPECT_EQ(q.states.size(), 1u);
+  expect_same_semantics(spec, q, /*iters=*/8);
+}
+
+TEST(QuotientBisimulation, BoundedUnrollDoesNotCollapse) {
+  // A *fully* bounded unroll (last copy rejects on continuation) is NOT
+  // bisimilar across copies: each copy tolerates a different remaining
+  // stack depth, and merging them would change semantics on deep stacks.
+  SpecBuilder b("bounded");
+  b.field("label", 8);
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "mpls" + std::to_string(i);
+    std::string next = i + 1 < 3 ? "mpls" + std::to_string(i + 1) : "reject";
+    b.state(name)
+        .extract("label")
+        .select({b.slice("label", 7, 1)})
+        .when_exact(1, "accept")
+        .otherwise(next);
+  }
+  ParserSpec spec = b.build().value();
+  ParserSpec q = quotient_bisimulation(spec);
+  EXPECT_EQ(q.states.size(), 3u);
+  expect_same_semantics(spec, q, /*iters=*/8);
+}
+
+TEST(QuotientBisimulation, DistinguishesDifferentTargets) {
+  ParserSpec spec = figure3();  // N1..N3 extract different fields
+  ParserSpec q = quotient_bisimulation(spec);
+  EXPECT_EQ(q.states.size(), 4u);
+}
+
+TEST(UnrollLoops, DagIsUntouched) {
+  ParserSpec spec = figure3();
+  auto u = unroll_loops(spec, 4);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->states.size(), spec.states.size());
+}
+
+TEST(UnrollLoops, SelfLoopGetsCopies) {
+  ParserSpec spec = mpls_loop();
+  auto u = unroll_loops(spec, 4);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->states.size(), 4u);
+  EXPECT_FALSE(analyze(*u).has_loop);
+  // Equivalence holds for stacks that fit in the unroll depth.
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    BitVec input = generate_path_input(*u, rng, 8, 40);
+    ParseResult a = run_spec(spec, input, 8);
+    ParseResult b2 = run_spec(*u, input, 8);
+    if (a.outcome == ParseOutcome::Accepted && a.iterations <= 4) {
+      EXPECT_TRUE(equivalent(a, b2)) << input.to_string();
+    }
+  }
+}
+
+TEST(UnrollLoops, RejectsBadDepth) {
+  EXPECT_FALSE(unroll_loops(mpls_loop(), 0).ok());
+}
+
+TEST(UnrollLoops, DeepStackRejectsAfterUnrollBudget) {
+  auto u = unroll_loops(mpls_loop(), 2);
+  ASSERT_TRUE(u.ok());
+  BitVec input;
+  for (int i = 0; i < 5; ++i) input.append_u64(0x10, 8);  // bos never set
+  input.append_u64(0x31, 8);
+  ParseResult r = run_spec(*u, input, 16);
+  EXPECT_EQ(r.outcome, ParseOutcome::Rejected);
+}
+
+TEST(ShrinkIrrelevantFields, ShrinksOnlyIrrelevant) {
+  ParserSpec spec = spec2();
+  ParserSpec shrunk = shrink_irrelevant_fields(spec);
+  EXPECT_EQ(shrunk.fields[0].width, 4);  // keyed on
+  EXPECT_EQ(shrunk.fields[1].width, 1);  // irrelevant
+}
+
+TEST(VarbitToFixed, DropsRuntimeLengths) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("opts", 32);
+  b.state("s").extract("len").extract_var("opts", "len", 8, 0).otherwise("accept");
+  ParserSpec fixed = varbit_to_fixed(b.build().value());
+  EXPECT_FALSE(fixed.fields[1].varbit);
+  EXPECT_EQ(fixed.states[0].extracts[1].len_field, -1);
+}
+
+TEST(Canonicalize, IsIdempotent) {
+  ParserSpec once = canonicalize(figure3());
+  ParserSpec twice = canonicalize(once);
+  EXPECT_EQ(once.states.size(), twice.states.size());
+}
+
+TEST(Canonicalize, NormalizesRewrittenVariantsToSameSize) {
+  // The R1/R5 rewrites of Figure 21 must not change the canonical form's
+  // state count: this is the invariance ParserHawk's Table 3 rows rely on.
+  ParserSpec base = figure3();
+  ParserSpec r1 = base;
+  r1.states[0].rules.insert(r1.states[0].rules.begin() + 4, Rule{15, 0xF, 1});  // +R1
+  ParserSpec cb = canonicalize(base);
+  ParserSpec cr = canonicalize(r1);
+  EXPECT_EQ(cb.states.size(), cr.states.size());
+  std::size_t rb = 0, rr = 0;
+  for (const auto& st : cb.states) rb += st.rules.size();
+  for (const auto& st : cr.states) rr += st.rules.size();
+  EXPECT_EQ(rb, rr);
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,207 @@
+#include "postopt/postopt.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+/// Ethernet-ish flat program: state 0 dispatches on a 4-bit lookahead tag
+/// and the two terminal states each extract one payload field then accept.
+TcamProgram dispatch_program() {
+  TcamProgram p;
+  p.fields = {Field{"tag", 4, false}, Field{"a", 8, false}, Field{"b", 8, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 0, 4}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0x8, 0xF, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 0, 1, 0x6, 0xF, {ExtractOp{0, -1, 0, 0}}, 0, 2});
+  p.entries.push_back(TcamEntry{0, 0, 2, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 0, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 2, 0, 0, 0, {ExtractOp{2, -1, 0, 0}}, 0, kAccept});
+  return p;
+}
+
+void expect_behavior_unchanged(const TcamProgram& before, const TcamProgram& after) {
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    BitVec input = BitVec::random(rng.range(0, 32), [&rng] { return rng(); });
+    ParseResult a = run_impl(before, input);
+    ParseResult b = run_impl(after, input);
+    ASSERT_TRUE(equivalent(a, b)) << input.to_string() << "\n"
+                                  << to_string(before) << "\nvs\n"
+                                  << to_string(after);
+  }
+}
+
+TEST(InlineTerminalExtracts, FoldsTerminalStatesIntoDispatchRows) {
+  TcamProgram p = dispatch_program();
+  TcamProgram inlined = inline_terminal_extracts(p, tofino());
+  EXPECT_EQ(inlined.entries.size(), 3u);  // the paper's 3-entry Ethernet shape
+  expect_behavior_unchanged(p, inlined);
+}
+
+TEST(InlineTerminalExtracts, RespectsExtractionLimit) {
+  TcamProgram p = dispatch_program();
+  HwProfile hw = tofino();
+  hw.extract_limit_bits = 8;  // tag(4)+a(8) would exceed the limit
+  TcamProgram inlined = inline_terminal_extracts(p, hw);
+  EXPECT_EQ(inlined.entries.size(), p.entries.size());
+}
+
+TEST(InlineTerminalExtracts, NeverFoldsStartState) {
+  TcamProgram p;
+  p.fields = {Field{"f", 4, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  TcamProgram inlined = inline_terminal_extracts(p, tofino());
+  EXPECT_EQ(inlined.entries.size(), 1u);
+}
+
+TEST(InlineTerminalExtracts, ChainsOfTerminalsCollapseRecursively) {
+  TcamProgram p;
+  p.fields = {Field{"a", 4, false}, Field{"b", 4, false}, Field{"c", 4, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 0, {ExtractOp{1, -1, 0, 0}}, 0, 2});
+  p.entries.push_back(TcamEntry{0, 2, 0, 0, 0, {ExtractOp{2, -1, 0, 0}}, 0, kAccept});
+  TcamProgram inlined = inline_terminal_extracts(p, tofino());
+  EXPECT_EQ(inlined.entries.size(), 1u);
+  EXPECT_EQ(inlined.entries[0].extracts.size(), 3u);
+  expect_behavior_unchanged(p, inlined);
+}
+
+TEST(InlineTerminalExtracts, SkipsSelfLoops) {
+  TcamProgram p;
+  p.fields = {Field{"f", 8, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});  // self loop
+  TcamProgram inlined = inline_terminal_extracts(p, tofino());
+  EXPECT_EQ(inlined.entries.size(), 2u);
+}
+
+TEST(SplitWideExtracts, SplitsOverLimitRows) {
+  TcamProgram p;
+  p.fields = {Field{"a", 8, false}, Field{"b", 8, false}, Field{"c", 8, false}};
+  p.entries.push_back(TcamEntry{
+      0, 0, 0, 0, 0,
+      {ExtractOp{0, -1, 0, 0}, ExtractOp{1, -1, 0, 0}, ExtractOp{2, -1, 0, 0}}, 0, kAccept});
+  HwProfile hw = tofino();
+  hw.extract_limit_bits = 10;
+  auto split = split_wide_extracts(p, hw);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->entries.size(), 3u);  // one row per 8-bit field
+  expect_behavior_unchanged(p, *split);
+  EXPECT_TRUE(validate(*split, hw).ok());
+}
+
+TEST(SplitWideExtracts, SingleFieldOverLimitFails) {
+  TcamProgram p;
+  p.fields = {Field{"jumbo", 64, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  HwProfile hw = tofino();
+  hw.extract_limit_bits = 32;
+  EXPECT_FALSE(split_wide_extracts(p, hw).ok());
+}
+
+TEST(SplitWideExtracts, NoopWhenWithinLimit) {
+  TcamProgram p = dispatch_program();
+  auto split = split_wide_extracts(p, tofino());
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->entries.size(), p.entries.size());
+}
+
+TEST(AssignStages, LevelsLinearChain) {
+  TcamProgram p = dispatch_program();
+  auto staged = assign_stages(p, ipu());
+  ASSERT_TRUE(staged.ok());
+  ResourceUsage u = measure(*staged);
+  EXPECT_EQ(u.stages, 2);
+  EXPECT_TRUE(validate(*staged, ipu()).ok());
+  expect_behavior_unchanged(p, *staged);
+}
+
+TEST(AssignStages, RejectsLoops) {
+  TcamProgram p;
+  p.fields = {Field{"f", 8, false}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 0, {}, 0, 0});  // back edge
+  auto staged = assign_stages(p, ipu());
+  ASSERT_FALSE(staged.ok());
+  EXPECT_EQ(staged.error().code, "parser-loop");
+}
+
+TEST(AssignStages, SpillsOvercapacityState) {
+  // One state with 5 rows on a device with 3 entries/stage: rows spill into
+  // a continuation state in the next stage via a fall-through default.
+  TcamProgram p;
+  p.fields = {Field{"k", 4, false}, Field{"x", 4, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 0, 4}}};
+  for (int i = 0; i < 5; ++i)
+    p.entries.push_back(TcamEntry{0, 0, i, static_cast<std::uint64_t>(i), 0xF,
+                                  {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  HwProfile hw = ipu();
+  hw.tcam_entry_limit = 3;
+  auto staged = assign_stages(p, hw);
+  ASSERT_TRUE(staged.ok()) << staged.error().to_string();
+  EXPECT_TRUE(validate(*staged, hw).ok());
+  ResourceUsage u = measure(*staged);
+  EXPECT_EQ(u.stages, 2);
+  EXPECT_EQ(u.tcam_entries, 6);  // +1 fall-through entry
+  expect_behavior_unchanged(p, *staged);
+}
+
+TEST(AssignStages, TooManyStagesFails) {
+  // A chain longer than the stage budget.
+  TcamProgram p;
+  p.fields = {Field{"f", 1, false}};
+  const int n = 6;
+  for (int i = 0; i < n; ++i)
+    p.entries.push_back(
+        TcamEntry{0, i, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, i + 1 < n ? i + 1 : kAccept});
+  HwProfile hw = ipu();
+  hw.stage_limit = 3;
+  auto staged = assign_stages(p, hw);
+  ASSERT_FALSE(staged.ok());
+  EXPECT_EQ(staged.error().code, "too-many-stages");
+}
+
+TEST(RestoreVarbit, ReattachesRuntimeLength) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("opts", 32);
+  b.state("s").extract("len").extract_var("opts", "len", 8, 0).otherwise("accept");
+  ParserSpec original = b.build().value();
+
+  TcamProgram p;
+  p.fields = {Field{"len", 4, false}, Field{"opts", 32, false}};
+  p.entries.push_back(
+      TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}, ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  auto restored = restore_varbit_extracts(p, original);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->fields[1].varbit);
+  EXPECT_EQ(restored->entries[0].extracts[1].len_field, 0);
+  EXPECT_EQ(restored->entries[0].extracts[1].len_scale, 8);
+}
+
+TEST(RestoreVarbit, AmbiguousFormulasFail) {
+  SpecBuilder b("vb2");
+  b.field("len", 4).varbit_field("opts", 32);
+  b.state("s1").extract("len").extract_var("opts", "len", 8, 0).otherwise("s2");
+  b.state("s2").extract_var("opts", "len", 4, 0).otherwise("accept");
+  ParserSpec original = b.build().value();
+  TcamProgram p;
+  p.fields = {Field{"len", 4, false}, Field{"opts", 32, false}};
+  EXPECT_FALSE(restore_varbit_extracts(p, original).ok());
+}
+
+TEST(RestoreFieldWidths, RestoresShrunkWidths) {
+  TcamProgram p;
+  p.fields = {Field{"f", 1, false}};
+  std::vector<Field> original = {Field{"f", 48, false}};
+  TcamProgram restored = restore_field_widths(p, original);
+  EXPECT_EQ(restored.fields[0].width, 48);
+}
+
+}  // namespace
+}  // namespace parserhawk

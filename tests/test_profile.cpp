@@ -1,0 +1,72 @@
+#include "hw/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+TEST(Profiles, TofinoShape) {
+  HwProfile p = tofino();
+  EXPECT_EQ(p.arch, Arch::SingleTable);
+  EXPECT_TRUE(p.allows_loops);
+  EXPECT_FALSE(p.pipelined());
+  EXPECT_TRUE(validate(p).ok());
+}
+
+TEST(Profiles, IpuShape) {
+  HwProfile p = ipu();
+  EXPECT_EQ(p.arch, Arch::Pipelined);
+  EXPECT_FALSE(p.allows_loops);
+  EXPECT_TRUE(p.pipelined());
+  EXPECT_GT(p.stage_limit, 1);
+  EXPECT_TRUE(validate(p).ok());
+}
+
+TEST(Profiles, TridentShape) {
+  HwProfile p = trident();
+  EXPECT_EQ(p.arch, Arch::Interleaved);
+  EXPECT_TRUE(validate(p).ok());
+}
+
+TEST(Profiles, ParametrizedCarriesLimits) {
+  HwProfile p = parametrized(8, 2, 10);
+  EXPECT_EQ(p.key_limit_bits, 8);
+  EXPECT_EQ(p.lookahead_limit_bits, 2);
+  EXPECT_EQ(p.extract_limit_bits, 10);
+  EXPECT_TRUE(validate(p).ok());
+}
+
+TEST(ProfileValidate, RejectsBadKeyLimit) {
+  HwProfile p = tofino();
+  p.key_limit_bits = 0;
+  EXPECT_FALSE(validate(p).ok());
+  p.key_limit_bits = 65;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(ProfileValidate, RejectsLoopyPipeline) {
+  HwProfile p = ipu();
+  p.allows_loops = true;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(ProfileValidate, RejectsNonLoopySingleTable) {
+  HwProfile p = tofino();
+  p.allows_loops = false;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(ProfileValidate, RejectsNonPositiveEntryLimit) {
+  HwProfile p = tofino();
+  p.tcam_entry_limit = 0;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(ArchToString, AllValuesNamed) {
+  EXPECT_EQ(to_string(Arch::SingleTable), "single-table");
+  EXPECT_EQ(to_string(Arch::Pipelined), "pipelined");
+  EXPECT_EQ(to_string(Arch::Interleaved), "interleaved");
+}
+
+}  // namespace
+}  // namespace parserhawk

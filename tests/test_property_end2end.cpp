@@ -1,0 +1,143 @@
+// End-to-end property tests: for randomly generated specifications, every
+// compiler in the repository must produce implementations equivalent to
+// the specification, and ParserHawk's resource usage must be invariant
+// under the Figure 21 rewrites and never worse than the baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "random_spec.h"
+#include "rewrite/rewrite.h"
+#include "sim/testgen.h"
+#include "synth/compiler.h"
+#include "synth/normalize.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::random_spec;
+using testing::RandomSpecOptions;
+
+void expect_equivalent(const ParserSpec& reference, const CompileResult& r,
+                       std::uint64_t seed, const std::string& who) {
+  ASSERT_TRUE(r.ok()) << who << " failed on seed " << seed << ": " << r.reason << "\n"
+                      << to_string(reference);
+  DiffTestOptions dt;
+  dt.samples = 150;
+  dt.seed = seed * 7 + 1;
+  dt.max_iterations = r.program.max_iterations;
+  auto mismatch = differential_test(r.reference, r.program, dt);
+  ASSERT_FALSE(mismatch.has_value())
+      << who << " mis-compiled seed " << seed << " on input " << mismatch->input.to_string()
+      << "\nspec:\n"
+      << to_string(reference) << "\nimpl:\n"
+      << to_string(r.program);
+}
+
+class End2EndProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(End2EndProperty, ParserHawkCompilesRandomSpecsCorrectly) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult r = compile(spec, tofino(), opts);
+  expect_equivalent(spec, r, seed, "ParserHawk/tofino");
+}
+
+TEST_P(End2EndProperty, ParserHawkCompilesForIpuToo) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult r = compile(spec, ipu(), opts);
+  expect_equivalent(spec, r, seed, "ParserHawk/ipu");
+}
+
+TEST_P(End2EndProperty, TofinoProxyIsCorrectWhereItCompiles) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 2000;
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  CompileResult r = baseline::compile_tofino_proxy(spec, tofino());
+  if (!r.ok()) return;  // documented rejections are allowed; wrong output is not
+  expect_equivalent(spec, r, seed, "tofino-proxy");
+}
+
+TEST_P(End2EndProperty, ParserHawkNeverUsesMoreEntriesThanProxy) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 3000;
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult ph = compile(spec, tofino(), opts);
+  CompileResult proxy = baseline::compile_tofino_proxy(spec, tofino());
+  if (!ph.ok() || !proxy.ok()) return;
+  EXPECT_LE(ph.usage.tcam_entries, proxy.usage.tcam_entries)
+      << "seed " << seed << "\n"
+      << to_string(spec);
+}
+
+TEST_P(End2EndProperty, ResourcesInvariantUnderRewrites) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 4000;
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult base = compile(spec, tofino(), opts);
+  if (!base.ok()) return;
+
+  Rng mrng(seed + 5);
+  std::vector<ParserSpec> variants = {
+      rewrite::add_redundant_entries(spec, mrng, 2),
+      rewrite::add_unreachable_entries(spec, mrng, 1),
+      rewrite::split_entries(spec, mrng, 1),
+      merge_extract_chains(spec),
+  };
+  for (const auto& variant : variants) {
+    CompileResult r = compile(variant, tofino(), opts);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << "\n" << to_string(variant);
+    EXPECT_EQ(r.usage.tcam_entries, base.usage.tcam_entries)
+        << "seed " << seed << "\nbase:\n"
+        << to_string(spec) << "\nvariant:\n"
+        << to_string(variant);
+  }
+}
+
+TEST_P(End2EndProperty, CanonicalizePreservesSemantics) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 5000;
+  Rng rng(seed);
+  ParserSpec spec = random_spec(rng);
+  ParserSpec canon = canonicalize(spec);
+  Rng srng(seed + 17);
+  for (int i = 0; i < 200; ++i) {
+    BitVec input = generate_path_input(spec, srng, 12, 48);
+    ASSERT_TRUE(equivalent(run_spec(spec, input, 12), run_spec(canon, input, 12)))
+        << "seed " << seed << " input " << input.to_string() << "\n"
+        << to_string(spec) << "\nvs\n"
+        << to_string(canon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, End2EndProperty, ::testing::Range(1, 9));
+
+TEST(End2EndLoops, RandomLoopySpecsOnTofino) {
+  for (int seed = 100; seed < 104; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    RandomSpecOptions o;
+    o.allow_loops = true;
+    ParserSpec spec = random_spec(rng, o);
+    SynthOptions opts;
+    opts.timeout_sec = 60;
+    CompileResult r = compile(spec, tofino(), opts);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.reason << "\n" << to_string(spec);
+    DiffTestOptions dt;
+    dt.samples = 150;
+    dt.max_iterations = r.program.max_iterations;
+    auto mismatch = differential_test(r.reference, r.program, dt);
+    EXPECT_FALSE(mismatch.has_value()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,43 @@
+#include "support/result.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+TEST(Result, OkHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrHoldsError) {
+  auto r = Result<int>::err("wide-tran-key", "key is 16 bits, limit is 8");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "wide-tran-key");
+  EXPECT_NE(r.error().message.find("16 bits"), std::string::npos);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  auto r = Result<int>::err("x", "y");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnOkThrows) {
+  Result<int> r(1);
+  EXPECT_THROW(r.error(), std::logic_error);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(Result, ErrorToString) {
+  Error e{"code", "message"};
+  EXPECT_EQ(e.to_string(), "code: message");
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,157 @@
+#include "rewrite/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "synth/normalize.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::spec1;
+
+void expect_same_semantics(const ParserSpec& a, const ParserSpec& b) {
+  Rng rng(31);
+  for (int i = 0; i < 250; ++i) {
+    BitVec input = generate_path_input(a, rng, 16, 64);
+    ASSERT_TRUE(equivalent(run_spec(a, input, 16), run_spec(b, input, 16)))
+        << "input " << input.to_string() << "\n"
+        << to_string(a) << "\nvs\n"
+        << to_string(b);
+  }
+  // Also sample paths of the rewritten program (it may have new branches).
+  for (int i = 0; i < 250; ++i) {
+    BitVec input = generate_path_input(b, rng, 16, 64);
+    ASSERT_TRUE(equivalent(run_spec(a, input, 16), run_spec(b, input, 16)))
+        << "input " << input.to_string();
+  }
+}
+
+std::size_t total_rules(const ParserSpec& s) {
+  std::size_t n = 0;
+  for (const auto& st : s.states) n += st.rules.size();
+  return n;
+}
+
+TEST(AddRedundantEntries, AddsWithoutChangingSemantics) {
+  ParserSpec base = figure3();
+  Rng rng(1);
+  ParserSpec mutated = rewrite::add_redundant_entries(base, rng, 3);
+  EXPECT_EQ(total_rules(mutated), total_rules(base) + 3);
+  expect_same_semantics(base, mutated);
+}
+
+TEST(AddRedundantEntries, PruneRemovesThemAgain) {
+  ParserSpec base = figure3();
+  Rng rng(2);
+  ParserSpec mutated = rewrite::add_redundant_entries(base, rng, 3);
+  ParserSpec pruned = prune_dead_rules(mutated);
+  EXPECT_EQ(total_rules(pruned), total_rules(prune_dead_rules(base)));
+}
+
+TEST(AddUnreachableEntries, NeverFire) {
+  ParserSpec base = figure3();
+  Rng rng(3);
+  ParserSpec mutated = rewrite::add_unreachable_entries(base, rng, 3);
+  EXPECT_EQ(total_rules(mutated), total_rules(base) + 3);
+  expect_same_semantics(base, mutated);
+}
+
+TEST(SplitEntries, ExpandsMaskedRules) {
+  SpecBuilder b("masked");
+  b.field("k", 4).field("p", 4);
+  b.state("s").extract("k").select({b.whole("k")}).when(0b1000, 0b1000, "t").otherwise("accept");
+  b.state("t").extract("p").otherwise("accept");
+  ParserSpec base = b.build().value();
+  Rng rng(4);
+  ParserSpec mutated = rewrite::split_entries(base, rng, 1);
+  EXPECT_EQ(total_rules(mutated), total_rules(base) + 1);
+  expect_same_semantics(base, mutated);
+}
+
+TEST(SplitEntries, NoopWhenAllExact) {
+  // figure3's rules are exact over the whole key: nothing to split further
+  // once every bit is cared... but the default still has free bits? The
+  // default rule is excluded, so repeated splitting terminates.
+  ParserSpec base = figure3();
+  Rng rng(5);
+  ParserSpec once = rewrite::split_entries(base, rng, 1);
+  expect_same_semantics(base, once);
+}
+
+TEST(MergeEntries, InvertsSplit) {
+  SpecBuilder b("masked");
+  b.field("k", 4).field("p", 4);
+  b.state("s").extract("k").select({b.whole("k")}).when(0b1000, 0b1000, "t").otherwise("accept");
+  b.state("t").extract("p").otherwise("accept");
+  ParserSpec base = b.build().value();
+  Rng rng(6);
+  ParserSpec split = rewrite::split_entries(base, rng, 2);
+  ParserSpec merged = rewrite::merge_entries(split);
+  EXPECT_LT(total_rules(merged), total_rules(split));
+  expect_same_semantics(base, merged);
+}
+
+TEST(SplitTransitionKey, ProducesEquivalentTwoLevelDispatch) {
+  ParserSpec base = figure3();
+  auto split = rewrite::split_transition_key(base, 0, 2);
+  ASSERT_TRUE(split.ok()) << split.error().to_string();
+  EXPECT_GT(split->states.size(), base.states.size());
+  for (const auto& st : split->states) EXPECT_LE(st.key_width(), 2);
+  expect_same_semantics(base, *split);
+}
+
+TEST(SplitTransitionKey, RequiresExactRules) {
+  SpecBuilder b("masked");
+  b.field("k", 4).field("p", 4);
+  b.state("s").extract("k").select({b.whole("k")}).when(0b1000, 0b1000, "t").otherwise("accept");
+  b.state("t").extract("p").otherwise("accept");
+  EXPECT_FALSE(rewrite::split_transition_key(b.build().value(), 0).ok());
+}
+
+TEST(SplitTransitionKey, RejectsNarrowKeys) {
+  EXPECT_FALSE(rewrite::split_transition_key(spec1(), 0).ok());
+}
+
+TEST(MergeSplitKey, InvertsSplitTransitionKey) {
+  ParserSpec base = figure3();
+  auto split = rewrite::split_transition_key(base, 0, 2);
+  ASSERT_TRUE(split.ok());
+  ParserSpec merged = rewrite::merge_split_key(*split);
+  EXPECT_EQ(merged.states.size(), base.states.size());
+  EXPECT_EQ(merged.states[0].key_width(), 4);
+  expect_same_semantics(base, merged);
+}
+
+TEST(MergeSplitKey, NoopOnUnsplitSpec) {
+  ParserSpec base = figure3();
+  ParserSpec merged = rewrite::merge_split_key(base);
+  EXPECT_EQ(merged.states.size(), base.states.size());
+}
+
+TEST(SplitStates, ChainsExtraction) {
+  ParserSpec base = spec1();
+  Rng rng(7);
+  // spec1's states each extract one field; merge first so there is a
+  // 2-extract state to split.
+  ParserSpec merged = merge_extract_chains(base);
+  ASSERT_EQ(merged.states[0].extracts.size(), 2u);
+  ParserSpec split = rewrite::split_states(merged, rng, 1);
+  EXPECT_EQ(split.states.size(), merged.states.size() + 1);
+  expect_same_semantics(merged, split);
+}
+
+TEST(SplitStates, RoundTripsThroughMergeExtractChains) {
+  ParserSpec merged = merge_extract_chains(spec1());
+  Rng rng(8);
+  ParserSpec split = rewrite::split_states(merged, rng, 1);
+  ParserSpec back = merge_extract_chains(split);
+  EXPECT_EQ(back.states.size(), merged.states.size());
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,185 @@
+#include "suite/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+TEST(Suite, AllBenchmarksValidate) {
+  for (const auto& b : suite::base_suite()) {
+    EXPECT_TRUE(validate(b.spec).ok()) << b.name;
+  }
+}
+
+TEST(Suite, LoopFlagsMatchAnalysis) {
+  for (const auto& b : suite::base_suite()) {
+    if (b.spec.fields.empty()) continue;
+    bool varbit = false;
+    for (const auto& f : b.spec.fields) varbit |= f.varbit;
+    if (varbit) continue;  // analyzer loop check fine either way, just run it
+    EXPECT_EQ(analyze(b.spec).has_loop, b.loopy) << b.name;
+  }
+}
+
+TEST(Suite, EthernetDispatch) {
+  ParserSpec spec = suite::parse_ethernet();
+  BitVec pkt;
+  pkt.append_u64(0xAAAABBBBCCCCull, 48);
+  pkt.append_u64(0x111122223333ull, 48);
+  pkt.append_u64(0x0800, 16);
+  pkt.append_u64(0xDEADBEEF, 32);
+  ParseResult r = run_spec(spec, pkt);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_TRUE(r.dict.count(spec.field_index("ipv4_hdr")));
+  EXPECT_FALSE(r.dict.count(spec.field_index("ipv6_hdr")));
+}
+
+TEST(Suite, IcmpPath) {
+  ParserSpec spec = suite::parse_icmp();
+  BitVec pkt;
+  pkt.append_u64(0x0800, 16);
+  pkt.append_u64(0x45, 8);
+  pkt.append_u64(1, 8);  // proto = ICMP
+  pkt.append_u64(0x08, 8);
+  pkt.append_u64(0x00, 8);
+  ParseResult r = run_spec(spec, pkt);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  EXPECT_TRUE(r.dict.count(spec.field_index("icmp_type")));
+  EXPECT_FALSE(r.dict.count(spec.field_index("tcp_ports")));
+}
+
+TEST(Suite, MplsStackDepths) {
+  ParserSpec spec = suite::parse_mpls();
+  for (int depth = 1; depth <= 4; ++depth) {
+    BitVec pkt;
+    pkt.append_u64(0x8847, 16);
+    for (int i = 0; i < depth; ++i) {
+      std::uint64_t word = (0x123 << 20) | (i + 1 == depth ? 0x100 : 0) | 0x40;
+      pkt.append_u64(word, 32);
+    }
+    pkt.append_u64(0xCAFEBABE, 32);
+    ParseResult r = run_spec(spec, pkt, 16);
+    EXPECT_EQ(r.outcome, ParseOutcome::Accepted) << "depth " << depth;
+    EXPECT_TRUE(r.dict.count(spec.field_index("payload")));
+  }
+}
+
+TEST(Suite, MplsUnrolledAgreesWithLoopedOnShallowStacks) {
+  ParserSpec loop = suite::parse_mpls();
+  ParserSpec unrolled = suite::parse_mpls_unrolled(3);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    BitVec input = generate_path_input(loop, rng, 8, 96);
+    ASSERT_TRUE(equivalent(run_spec(loop, input, 12), run_spec(unrolled, input, 12)))
+        << input.to_string();
+  }
+}
+
+TEST(Suite, LargeTranKeyIsWiderThanProxyLimit) {
+  ParserSpec spec = suite::large_tran_key();
+  EXPECT_GT(spec.states[0].key_width(), 32);
+}
+
+TEST(Suite, FinanceOriginClassifies) {
+  ParserSpec spec = suite::finance_origin();
+  auto classify = [&](std::uint64_t tag) {
+    BitVec pkt;
+    pkt.append_u64(0x6558, 16);
+    pkt.append_u64(0xABCDEF, 24);
+    pkt.append_u64(tag, 16);
+    pkt.append_u64(0xFFFFFFFF, 32);  // plenty of payload
+    return run_spec(spec, pkt);
+  };
+  EXPECT_TRUE(classify(0x1234).dict.count(spec.field_index("exch_seq")));
+  EXPECT_TRUE(classify(0x2001).dict.count(spec.field_index("internal_meta")));
+  EXPECT_TRUE(classify(0x3001).dict.count(spec.field_index("premium_meta")));
+  EXPECT_TRUE(classify(0x3002).dict.count(spec.field_index("premium_meta")));
+  ParseResult other = classify(0x4000);
+  EXPECT_EQ(other.outcome, ParseOutcome::Accepted);
+  EXPECT_FALSE(other.dict.count(spec.field_index("exch_seq")));
+}
+
+TEST(Suite, Ipv4OptionsVarbitLengths) {
+  ParserSpec spec = suite::ipv4_options();
+  // ihl = 5: no options.
+  BitVec p1;
+  p1.append_u64(5, 4);
+  p1.append_u64(6, 8);
+  p1.append_u64(0xBEEF, 16);
+  ParseResult r1 = run_spec(spec, p1);
+  EXPECT_EQ(r1.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r1.dict.at(spec.field_index("options")).size(), 0);
+  // ihl = 7: 16 bits of options.
+  BitVec p2;
+  p2.append_u64(7, 4);
+  p2.append_u64(6, 8);
+  p2.append_u64(0xAAAA, 16);
+  p2.append_u64(0xBEEF, 16);
+  ParseResult r2 = run_spec(spec, p2);
+  EXPECT_EQ(r2.outcome, ParseOutcome::Accepted);
+  EXPECT_EQ(r2.dict.at(spec.field_index("options")).size(), 16);
+}
+
+TEST(Suite, Me3IsMassivelyRedundant) {
+  ParserSpec spec = suite::me3_redundant_entries();
+  SpecAnalysis a = analyze(spec);
+  EXPECT_GE(a.redundant_rules.size(), 9u);
+}
+
+TEST(Suite, DashChainIsLongAndNarrow) {
+  ParserSpec spec = suite::dash_v2();
+  EXPECT_GE(spec.states.size(), 9u);
+  for (const auto& st : spec.states) EXPECT_LE(st.key_width(), 1);
+}
+
+TEST(Subsets, PopulationValidatesAndIsSwitchScale) {
+  ParserSpec pop = suite::subsets::switch_p4_style();
+  EXPECT_TRUE(validate(pop).ok());
+  EXPECT_GE(pop.states.size(), 12u);
+  EXPECT_TRUE(analyze(pop).has_loop);  // the MPLS sub-loop
+}
+
+TEST(Subsets, RandomSubsetsAreValidAndConnected) {
+  ParserSpec pop = suite::subsets::switch_p4_style();
+  Rng rng(42);
+  for (int i = 0; i < 30; ++i) {
+    int k = rng.range(2, 9);
+    ParserSpec sub = suite::subsets::random_subset(pop, rng, k);
+    ASSERT_TRUE(validate(sub).ok()) << to_string(sub);
+    EXPECT_LE(sub.states.size(), static_cast<std::size_t>(k));
+    SpecAnalysis a = analyze(sub);
+    for (bool reachable : a.state_reachable) EXPECT_TRUE(reachable);
+  }
+}
+
+TEST(Subsets, SubsetBehaviorMatchesPopulationUntilExit) {
+  // On packets whose population parse never leaves the chosen subset, the
+  // subset parser and the population parser agree exactly.
+  ParserSpec pop = suite::subsets::switch_p4_style();
+  Rng rng(7);
+  ParserSpec sub = suite::subsets::random_subset(pop, rng, 9);
+  Rng srng(13);
+  int checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    BitVec input = generate_path_input(sub, srng, 10, 80);
+    ParseResult s = run_spec(sub, input, 10);
+    if (s.outcome != ParseOutcome::Accepted) continue;
+    ++checked;
+    // Every field the subset parsed must carry the same value in the
+    // population parse (the population may parse further).
+    ParseResult p = run_spec(pop, input, 12);
+    for (const auto& [f, v] : s.dict) {
+      if (!p.dict.count(f)) continue;  // population diverged after exit
+      EXPECT_EQ(p.dict.at(f), v) << "field " << pop.fields[static_cast<std::size_t>(f)].name;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -1,0 +1,51 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "#TCAM"});
+  t.add_row({"Parse Ethernet", "3"});
+  t.add_row({"x", "12"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| Parse Ethernet | 3     |"), std::string::npos);
+  EXPECT_NE(out.find("| x              | 12    |"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTable, OverlongRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorRendersDashes) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::string out = t.to_string();
+  // header separator + explicit separator
+  int dashes = 0;
+  for (std::size_t pos = out.find("|---"); pos != std::string::npos; pos = out.find("|---", pos + 1)) ++dashes;
+  EXPECT_EQ(dashes, 2);
+}
+
+TEST(FmtHelpers, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(309.444, 1), "309.4");
+}
+
+TEST(FmtHelpers, SecondsWithTimeout) {
+  EXPECT_EQ(fmt_seconds(5.13, false), "5.13");
+  EXPECT_EQ(fmt_seconds(86400, true), ">86400");
+}
+
+}  // namespace
+}  // namespace parserhawk

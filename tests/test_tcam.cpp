@@ -1,0 +1,154 @@
+#include "tcam/tcam.h"
+
+#include <gtest/gtest.h>
+
+namespace parserhawk {
+namespace {
+
+/// Table 1 of the paper: the hand-written implementation of Spec2
+/// (extract field0; if field0[0]==0 extract field1).
+TcamProgram table1_impl() {
+  TcamProgram p;
+  p.name = "impl2";
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  // TID 0, SID 0, EID 0: True -> extract field0 -> (0,1)
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  // TID 0, SID 1, EID 0: field0[0]==0 -> extract field1 -> accept
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  // TID 0, SID 1, EID 1: field0[0]!=0 -> {} -> accept
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+TEST(TcamEntry, TernaryMatch) {
+  TcamEntry e;
+  e.value = 0b10;
+  e.mask = 0b11;
+  EXPECT_TRUE(e.matches(0b10));
+  EXPECT_FALSE(e.matches(0b11));
+}
+
+TEST(TcamProgram, RowsOfSortsByPriority) {
+  TcamProgram p = table1_impl();
+  // Scramble insertion order.
+  std::swap(p.entries[1], p.entries[2]);
+  auto rows = p.rows_of(0, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->entry, 0);
+  EXPECT_EQ(rows[1]->entry, 1);
+}
+
+TEST(TcamProgram, RowsOfFiltersTableAndState) {
+  TcamProgram p = table1_impl();
+  EXPECT_EQ(p.rows_of(0, 0).size(), 1u);
+  EXPECT_EQ(p.rows_of(0, 2).size(), 0u);
+  EXPECT_EQ(p.rows_of(1, 0).size(), 0u);
+}
+
+TEST(TcamProgram, LayoutLookup) {
+  TcamProgram p = table1_impl();
+  ASSERT_NE(p.layout_of(0, 1), nullptr);
+  EXPECT_EQ(p.layout_of(0, 1)->key_width(), 1);
+  EXPECT_EQ(p.layout_of(0, 0), nullptr);
+}
+
+TEST(Measure, CountsEntriesAndStages) {
+  TcamProgram p = table1_impl();
+  ResourceUsage u = measure(p);
+  EXPECT_EQ(u.tcam_entries, 3);
+  EXPECT_EQ(u.stages, 1);
+  EXPECT_EQ(u.max_entries_per_stage, 3);
+  EXPECT_EQ(u.max_key_bits, 1);
+}
+
+TEST(Measure, PipelinedStages) {
+  TcamProgram p = table1_impl();
+  p.entries[1].table = 1;
+  p.entries[2].table = 1;
+  ResourceUsage u = measure(p);
+  EXPECT_EQ(u.stages, 2);
+  EXPECT_EQ(u.max_entries_per_stage, 2);
+}
+
+TEST(ValidateVsProfile, AcceptsTable1OnTofino) {
+  EXPECT_TRUE(validate(table1_impl(), tofino()).ok());
+}
+
+TEST(ValidateVsProfile, KeyLimitEnforced) {
+  TcamProgram p = table1_impl();
+  HwProfile hw = parametrized(/*key=*/1, 32, 128);
+  EXPECT_TRUE(validate(p, hw).ok());
+  p.layouts[{0, 1}].key[0].len = 2;  // now 2 bits > limit 1 (also widen field ref)
+  p.fields[0].width = 4;
+  EXPECT_FALSE(validate(p, hw).ok());
+}
+
+TEST(ValidateVsProfile, EntryBudgetTotalForSingleTable) {
+  TcamProgram p = table1_impl();
+  HwProfile hw = tofino();
+  hw.tcam_entry_limit = 2;
+  auto r = validate(p, hw);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("entries"), std::string::npos);
+}
+
+TEST(ValidateVsProfile, EntryBudgetPerStageForPipelined) {
+  TcamProgram p = table1_impl();
+  // Move state 1 (rows and key layout) to stage 1 so the program is
+  // forward-only.
+  p.entries[1].table = 1;
+  p.entries[2].table = 1;
+  p.entries[0].next_table = 1;
+  p.layouts[{1, 1}] = p.layouts[{0, 1}];
+  p.layouts.erase({0, 1});
+  HwProfile hw = ipu();
+  hw.tcam_entry_limit = 2;
+  EXPECT_TRUE(validate(p, hw).ok());  // max 2 per stage
+  hw.tcam_entry_limit = 1;
+  EXPECT_FALSE(validate(p, hw).ok());
+}
+
+TEST(ValidateVsProfile, PipelinedMustMoveForward) {
+  TcamProgram p = table1_impl();
+  // All in stage 0 with a (0 -> 0) real transition: illegal on IPU.
+  EXPECT_FALSE(validate(p, ipu()).ok());
+}
+
+TEST(ValidateVsProfile, SingleTableUsesOnlyTableZero) {
+  TcamProgram p = table1_impl();
+  p.entries[0].table = 1;
+  EXPECT_FALSE(validate(p, tofino()).ok());
+}
+
+TEST(ValidateVsProfile, StageLimitEnforced) {
+  TcamProgram p = table1_impl();
+  p.entries[1].table = 20;
+  p.entries[2].table = 20;
+  p.entries[0].next_table = 20;
+  HwProfile hw = ipu();  // stage_limit 16
+  EXPECT_FALSE(validate(p, hw).ok());
+}
+
+TEST(ValidateVsProfile, ExtractionLimitEnforced) {
+  TcamProgram p = table1_impl();
+  HwProfile hw = tofino();
+  hw.extract_limit_bits = 3;  // field0 is 4 bits
+  EXPECT_FALSE(validate(p, hw).ok());
+}
+
+TEST(ValidateVsProfile, ConditionMustFitKey) {
+  TcamProgram p = table1_impl();
+  p.entries[2].mask = 0b10;  // key of (0,1) is 1 bit
+  EXPECT_FALSE(validate(p, tofino()).ok());
+}
+
+TEST(ToString, DumpsRowsAndLayouts) {
+  std::string text = to_string(table1_impl());
+  EXPECT_NE(text.find("layout (0,1)"), std::string::npos);
+  EXPECT_NE(text.find("row (0,0,0)"), std::string::npos);
+  EXPECT_NE(text.find("accept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parserhawk

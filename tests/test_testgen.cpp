@@ -1,0 +1,119 @@
+#include "sim/testgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.h"
+#include "ir/builder.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::figure3;
+using testing::mpls_loop;
+using testing::spec2;
+
+TEST(PathInput, ReachesDeepStatesOften) {
+  // figure3's N2 is hit only on tranKey==14: uniform sampling hits it with
+  // p=1/16; the path generator must do far better.
+  ParserSpec spec = figure3();
+  Rng rng(123);
+  int n2_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    BitVec input = generate_path_input(spec, rng);
+    ParseResult r = run_spec(spec, input);
+    if (r.dict.count(2)) ++n2_hits;
+  }
+  EXPECT_GT(n2_hits, 10);
+}
+
+TEST(PathInput, CoversAllBranchesOfSpec2) {
+  ParserSpec spec = spec2();
+  Rng rng(7);
+  bool with_f1 = false, without_f1 = false;
+  for (int i = 0; i < 100; ++i) {
+    ParseResult r = run_spec(spec, generate_path_input(spec, rng));
+    if (r.outcome != ParseOutcome::Accepted) continue;
+    (r.dict.count(1) ? with_f1 : without_f1) = true;
+  }
+  EXPECT_TRUE(with_f1);
+  EXPECT_TRUE(without_f1);
+}
+
+TEST(PathInput, HandlesLoops) {
+  ParserSpec spec = mpls_loop();
+  Rng rng(9);
+  std::set<int> lengths;
+  for (int i = 0; i < 200; ++i) {
+    BitVec input = generate_path_input(spec, rng, /*max_iterations=*/8);
+    ParseResult r = run_spec(spec, input, 8);
+    if (r.outcome == ParseOutcome::Accepted) lengths.insert(r.bits_consumed);
+  }
+  EXPECT_GE(lengths.size(), 2u);  // stacks of different depths observed
+}
+
+TEST(PathInput, PadsToMinBits) {
+  ParserSpec spec = spec2();
+  Rng rng(1);
+  BitVec input = generate_path_input(spec, rng, 64, /*min_bits=*/50);
+  EXPECT_GE(input.size(), 50);
+}
+
+TEST(PathInput, DeterministicPerSeed) {
+  ParserSpec spec = figure3();
+  Rng a(5), b(5);
+  EXPECT_EQ(generate_path_input(spec, a), generate_path_input(spec, b));
+}
+
+// A correct hand impl of spec2 (Table 1) must pass the differential test.
+TcamProgram good_impl() {
+  TcamProgram p;
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+TEST(DifferentialTest, PassesCorrectImpl) {
+  DiffTestOptions opts;
+  opts.samples = 200;
+  EXPECT_FALSE(differential_test(spec2(), good_impl(), opts).has_value());
+}
+
+TEST(DifferentialTest, CatchesWrongTransition) {
+  TcamProgram p = good_impl();
+  p.entries[1].next_state = kReject;  // field0[0]==0 now wrongly rejects
+  auto mismatch = differential_test(spec2(), p);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_NE(mismatch->spec_result.outcome, mismatch->impl_result.outcome);
+}
+
+TEST(DifferentialTest, CatchesMissingExtract) {
+  TcamProgram p = good_impl();
+  p.entries[1].extracts.clear();  // field1 never recorded
+  auto mismatch = differential_test(spec2(), p);
+  ASSERT_TRUE(mismatch.has_value());
+}
+
+TEST(DifferentialTest, CatchesFlippedCondition) {
+  TcamProgram p = good_impl();
+  std::swap(p.entries[1].value, p.entries[2].value);  // branch sense inverted
+  EXPECT_TRUE(differential_test(spec2(), p).has_value());
+}
+
+TEST(DifferentialTest, ReportsTheFailingInput) {
+  TcamProgram p = good_impl();
+  p.entries[1].next_state = kReject;
+  auto mismatch = differential_test(spec2(), p);
+  ASSERT_TRUE(mismatch.has_value());
+  // Replaying the reported input must reproduce the disagreement.
+  ParseResult s = run_spec(spec2(), mismatch->input);
+  ParseResult i = run_impl(p, mismatch->input);
+  EXPECT_FALSE(equivalent(s, i));
+}
+
+}  // namespace
+}  // namespace parserhawk
