@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_rewrites.dir/bench_fig21_rewrites.cpp.o"
+  "CMakeFiles/bench_fig21_rewrites.dir/bench_fig21_rewrites.cpp.o.d"
+  "bench_fig21_rewrites"
+  "bench_fig21_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ph_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/ph_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ph_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ph_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/ph_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/postopt/CMakeFiles/ph_postopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/ph_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ph_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ph_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_subsets.dir/bench_random_subsets.cpp.o"
+  "CMakeFiles/bench_random_subsets.dir/bench_random_subsets.cpp.o.d"
+  "bench_random_subsets"
+  "bench_random_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ipu.dir/bench_table3_ipu.cpp.o"
+  "CMakeFiles/bench_table3_ipu.dir/bench_table3_ipu.cpp.o.d"
+  "bench_table3_ipu"
+  "bench_table3_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

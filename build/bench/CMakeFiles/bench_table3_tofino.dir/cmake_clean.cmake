@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tofino.dir/bench_table3_tofino.cpp.o"
+  "CMakeFiles/bench_table3_tofino.dir/bench_table3_tofino.cpp.o.d"
+  "bench_table3_tofino"
+  "bench_table3_tofino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tofino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ph_bench_util.dir/bench_util.cpp.o.d"
+  "libph_bench_util.a"
+  "libph_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_parser.dir/finance_parser.cpp.o"
+  "CMakeFiles/finance_parser.dir/finance_parser.cpp.o.d"
+  "finance_parser"
+  "finance_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawk_compile.dir/hawk_compile.cpp.o"
+  "CMakeFiles/hawk_compile.dir/hawk_compile.cpp.o.d"
+  "hawk_compile"
+  "hawk_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawk_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpls_loop.dir/mpls_loop.cpp.o"
+  "CMakeFiles/mpls_loop.dir/mpls_loop.cpp.o.d"
+  "mpls_loop"
+  "mpls_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpls_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

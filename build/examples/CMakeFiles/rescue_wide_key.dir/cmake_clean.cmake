@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescue_wide_key.dir/rescue_wide_key.cpp.o"
+  "CMakeFiles/rescue_wide_key.dir/rescue_wide_key.cpp.o.d"
+  "rescue_wide_key"
+  "rescue_wide_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescue_wide_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("lang")
+subdirs("analysis")
+subdirs("hw")
+subdirs("tcam")
+subdirs("sim")
+subdirs("postopt")
+subdirs("synth")
+subdirs("backend")
+subdirs("baseline")
+subdirs("rewrite")
+subdirs("suite")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/ph_analysis.dir/analysis.cpp.o.d"
+  "libph_analysis.a"
+  "libph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_backend.dir/backend.cpp.o"
+  "CMakeFiles/ph_backend.dir/backend.cpp.o.d"
+  "libph_backend.a"
+  "libph_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

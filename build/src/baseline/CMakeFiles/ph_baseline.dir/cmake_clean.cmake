@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/ph_baseline.dir/baseline.cpp.o.d"
+  "libph_baseline.a"
+  "libph_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_hw.dir/profile.cpp.o"
+  "CMakeFiles/ph_hw.dir/profile.cpp.o.d"
+  "libph_hw.a"
+  "libph_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

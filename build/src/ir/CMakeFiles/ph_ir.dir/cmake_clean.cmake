@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_ir.dir/builder.cpp.o"
+  "CMakeFiles/ph_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ph_ir.dir/ir.cpp.o"
+  "CMakeFiles/ph_ir.dir/ir.cpp.o.d"
+  "libph_ir.a"
+  "libph_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_lang.dir/lexer.cpp.o"
+  "CMakeFiles/ph_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/ph_lang.dir/parser.cpp.o"
+  "CMakeFiles/ph_lang.dir/parser.cpp.o.d"
+  "libph_lang.a"
+  "libph_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_postopt.dir/postopt.cpp.o"
+  "CMakeFiles/ph_postopt.dir/postopt.cpp.o.d"
+  "libph_postopt.a"
+  "libph_postopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_postopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ph_postopt.
+# This may be replaced when dependencies are built.

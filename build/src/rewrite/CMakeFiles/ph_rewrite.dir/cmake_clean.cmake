@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_rewrite.dir/rewrite.cpp.o"
+  "CMakeFiles/ph_rewrite.dir/rewrite.cpp.o.d"
+  "libph_rewrite.a"
+  "libph_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_sim.dir/interp.cpp.o"
+  "CMakeFiles/ph_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/ph_sim.dir/testgen.cpp.o"
+  "CMakeFiles/ph_sim.dir/testgen.cpp.o.d"
+  "libph_sim.a"
+  "libph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_suite.dir/suite.cpp.o"
+  "CMakeFiles/ph_suite.dir/suite.cpp.o.d"
+  "libph_suite.a"
+  "libph_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_support.dir/bitvec.cpp.o"
+  "CMakeFiles/ph_support.dir/bitvec.cpp.o.d"
+  "CMakeFiles/ph_support.dir/table.cpp.o"
+  "CMakeFiles/ph_support.dir/table.cpp.o.d"
+  "libph_support.a"
+  "libph_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

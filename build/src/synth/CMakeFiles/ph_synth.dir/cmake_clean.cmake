@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_synth.dir/chain_synth.cpp.o"
+  "CMakeFiles/ph_synth.dir/chain_synth.cpp.o.d"
+  "CMakeFiles/ph_synth.dir/compiler.cpp.o"
+  "CMakeFiles/ph_synth.dir/compiler.cpp.o.d"
+  "CMakeFiles/ph_synth.dir/global_synth.cpp.o"
+  "CMakeFiles/ph_synth.dir/global_synth.cpp.o.d"
+  "CMakeFiles/ph_synth.dir/normalize.cpp.o"
+  "CMakeFiles/ph_synth.dir/normalize.cpp.o.d"
+  "CMakeFiles/ph_synth.dir/verify.cpp.o"
+  "CMakeFiles/ph_synth.dir/verify.cpp.o.d"
+  "libph_synth.a"
+  "libph_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/tcam.cpp" "src/tcam/CMakeFiles/ph_tcam.dir/tcam.cpp.o" "gcc" "src/tcam/CMakeFiles/ph_tcam.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ph_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ph_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_tcam.dir/tcam.cpp.o"
+  "CMakeFiles/ph_tcam.dir/tcam.cpp.o.d"
+  "libph_tcam.a"
+  "libph_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postopt.dir/test_postopt.cpp.o"
+  "CMakeFiles/test_postopt.dir/test_postopt.cpp.o.d"
+  "test_postopt"
+  "test_postopt.pdb"
+  "test_postopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/test_chain_synth.cpp.o"
+  "CMakeFiles/test_synth.dir/test_chain_synth.cpp.o.d"
+  "CMakeFiles/test_synth.dir/test_normalize.cpp.o"
+  "CMakeFiles/test_synth.dir/test_normalize.cpp.o.d"
+  "CMakeFiles/test_synth.dir/test_verify.cpp.o"
+  "CMakeFiles/test_synth.dir/test_verify.cpp.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcam.dir/test_tcam.cpp.o"
+  "CMakeFiles/test_tcam.dir/test_tcam.cpp.o.d"
+  "test_tcam"
+  "test_tcam.pdb"
+  "test_tcam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
