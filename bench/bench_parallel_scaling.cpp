@@ -1,0 +1,107 @@
+// Opt7 parallel-portfolio scaling: wall-clock speedup of the Table 3 suite
+// at 1/2/4/8 synthesis threads.
+//
+//   ./build/bench/bench_parallel_scaling            # full Table 3 bases
+//   PH_SCALING_REPS=3 ./build/bench/bench_parallel_scaling
+//
+// The compiled program is identical at every thread count (the
+// deterministic-winner rule; see DESIGN.md §6) — the harness asserts that
+// per row, so a scaling number never hides a semantic divergence. Times are
+// best-of-PH_SCALING_REPS (default 1) per cell.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "synth/compiler.h"
+
+using namespace parserhawk;
+using namespace parserhawk::bench;
+
+namespace {
+
+int reps() {
+  const char* v = std::getenv("PH_SCALING_REPS");
+  int r = v != nullptr ? std::atoi(v) : 1;
+  return r < 1 ? 1 : r;
+}
+
+bool same_program(const TcamProgram& a, const TcamProgram& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const TcamEntry& x = a.entries[i];
+    const TcamEntry& y = b.entries[i];
+    if (x.table != y.table || x.state != y.state || x.entry != y.entry || x.value != y.value ||
+        x.mask != y.mask || x.next_table != y.next_table || x.next_state != y.next_state)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int r = reps();
+
+  // The deterministic-winner rule means losing attempts below the winner
+  // always run to completion, so speedup comes from physical parallelism,
+  // not reduced work: on an N-core machine expect up to ~min(N, states x
+  // shapes)x, and ~1x (pool overhead only) when only one core is available.
+  unsigned hc = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n\n", hc,
+              hc < 4 ? "  (speedup is bounded by physical parallelism; expect ~1x here)" : "");
+
+  TextTable table({"Benchmark", "States", "t(1)", "t(2)", "t(4)", "t(8)", "speedup@4",
+                   "speedup@8", "identical"});
+
+  double geo_sum4 = 0;
+  int geo_n4 = 0;
+  for (const auto& family : table3_families()) {
+    const ParserSpec& spec = family.variants.front().spec;
+    std::vector<double> secs;
+    CompileResult ref;
+    bool identical = true;
+    bool all_ok = true;
+    for (int threads : thread_counts) {
+      SynthOptions opts;
+      opts.timeout_sec = opt_timeout_sec();
+      opts.num_threads = threads;
+      double best = 1e30;
+      CompileResult result;
+      for (int i = 0; i < r; ++i) {
+        Stopwatch watch;
+        result = compile(spec, tofino(), opts);
+        best = std::min(best, watch.elapsed_sec());
+      }
+      secs.push_back(best);
+      if (!result.ok()) all_ok = false;
+      if (threads == 1) {
+        ref = std::move(result);
+      } else if (all_ok && !same_program(ref.program, result.program)) {
+        identical = false;
+      }
+    }
+    auto speedup = [&](double base, double t) {
+      return fmt_double(t > 0 ? base / t : 0.0, 2) + "x";
+    };
+    if (all_ok && secs[2] > 0) {
+      geo_sum4 += std::log(secs[0] / secs[2]);
+      ++geo_n4;
+    }
+    table.add_row({family.name, std::to_string(spec.states.size()), fmt_double(secs[0], 3),
+                   fmt_double(secs[1], 3), fmt_double(secs[2], 3), fmt_double(secs[3], 3),
+                   speedup(secs[0], secs[2]), speedup(secs[0], secs[3]),
+                   all_ok ? (identical ? "yes" : "NO — BUG") : "(failed)"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (geo_n4 > 0)
+    std::printf("geomean speedup @4 threads: %.2fx over %d benchmarks\n",
+                std::exp(geo_sum4 / geo_n4), geo_n4);
+  return 0;
+}

@@ -25,6 +25,11 @@ double orig_timeout_sec() { return env_double("PH_ORIG_TIMEOUT_SEC", 8.0); }
 double opt_timeout_sec() { return env_double("PH_OPT_TIMEOUT_SEC", 60.0); }
 bool skip_orig() { return std::getenv("PH_SKIP_ORIG") != nullptr; }
 
+int num_threads() {
+  int t = static_cast<int>(env_double("PH_THREADS", 1.0));
+  return t < 1 ? 1 : t;
+}
+
 std::vector<RowFamily> table3_families() {
   using namespace parserhawk::suite;
   Rng rng(0xbe7c4);
@@ -130,6 +135,7 @@ PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw) {
   PhRun run;
   SynthOptions opt;
   opt.timeout_sec = opt_timeout_sec();
+  opt.num_threads = num_threads();
   run.opt = compile(spec, hw, opt);
 
   if (!skip_orig()) {

@@ -8,6 +8,8 @@
 //                        paper's ">86400" cells)
 //   PH_OPT_TIMEOUT_SEC   budget for OPT runs (default 60)
 //   PH_SKIP_ORIG=1       skip Orig columns entirely (quick mode)
+//   PH_THREADS           Opt7 portfolio threads for OPT runs (default 1;
+//                        the output program is identical at every value)
 #pragma once
 
 #include <string>
@@ -23,6 +25,7 @@ namespace parserhawk::bench {
 double orig_timeout_sec();
 double opt_timeout_sec();
 bool skip_orig();
+int num_threads();
 
 /// One named mutation of a base benchmark (the ±R rows of Table 3).
 struct Variant {

@@ -1,15 +1,19 @@
 // hawk_compile: the end-to-end command-line compiler driver.
 //
 //   ./build/examples/hawk_compile examples/specs/ethernet.hawk tofino
-//   ./build/examples/hawk_compile examples/specs/mpls.hawk ipu
+//   ./build/examples/hawk_compile examples/specs/mpls.hawk ipu --threads 4
 //
 // Reads a .hawk source file, runs the full pipeline (front-end -> analyzer
 // -> CEGIS synthesis -> post-synthesis optimization -> verification) and
-// prints the target configuration.
+// prints the target configuration. `--threads N` (or PH_THREADS) enables
+// the Opt7 parallel portfolio; the output program is identical at every
+// thread count, only wall-clock changes.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "backend/backend.h"
 #include "lang/lang.h"
@@ -18,13 +22,35 @@
 using namespace parserhawk;
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <spec.hawk> [tofino|ipu]\n", argv[0]);
+  std::vector<std::string> args;
+  int num_threads = 1;
+  if (const char* env = std::getenv("PH_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) num_threads = v;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--threads" || a == "-j") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a count\n", a.c_str());
+        return 2;
+      }
+      num_threads = std::atoi(argv[++i]);
+      if (num_threads < 1) num_threads = 1;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      num_threads = std::atoi(a.c_str() + 10);
+      if (num_threads < 1) num_threads = 1;
+    } else {
+      args.push_back(std::move(a));
+    }
+  }
+  if (args.empty() || args.size() > 2) {
+    std::fprintf(stderr, "usage: %s <spec.hawk> [tofino|ipu] [--threads N]\n", argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(args[0]);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
     return 2;
   }
   std::ostringstream buf;
@@ -35,12 +61,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec.error().to_string().c_str());
     return 1;
   }
-  std::string target = argc == 3 ? argv[2] : "tofino";
+  std::string target = args.size() == 2 ? args[1] : "tofino";
   HwProfile hw = target == "ipu" ? ipu() : tofino();
 
-  std::printf("Compiling '%s' (%zu states) for %s...\n", spec->name.c_str(),
-              spec->states.size(), hw.name.c_str());
-  CompileResult result = compile(*spec, hw);
+  std::printf("Compiling '%s' (%zu states) for %s with %d thread(s)...\n", spec->name.c_str(),
+              spec->states.size(), hw.name.c_str(), num_threads);
+  SynthOptions opts;
+  opts.num_threads = num_threads;
+  CompileResult result = compile(*spec, hw, opts);
   if (!result.ok()) {
     std::printf("FAILED: %s (%s)\n", to_string(result.status).c_str(), result.reason.c_str());
     return 1;

@@ -1,0 +1,53 @@
+// Cooperative cancellation for the Opt7 portfolio race (§6.7).
+//
+// A CancelSource owns a flag; CancelTokens are cheap shared views of it.
+// Workers poll `cancelled()` at loop boundaries (CEGIS rounds, budget
+// steps) and unwind voluntarily — nothing is ever interrupted mid-query,
+// so a cancelled attempt can only be *absent* from the result set, never
+// half-written. That, plus the lowest-variant-index winner rule in the
+// compiler, is what keeps the parallel portfolio deterministic: a variant
+// is only ever cancelled by a SAT variant with a *lower* index, i.e. one
+// that already beat it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace parserhawk {
+
+class CancelToken {
+ public:
+  /// Default token: never cancelled.
+  CancelToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// A token that observes cancellation (as opposed to the never-cancelled
+  /// default).
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag) : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Request cancellation. Idempotent; safe from any thread.
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace parserhawk

@@ -1,0 +1,119 @@
+#include "support/thread_pool.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace parserhawk {
+
+ThreadPool::ThreadPool(int num_threads) {
+  std::size_t n = static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(idle_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t q;
+  {
+    std::lock_guard<std::mutex> lk(idle_mutex_);
+    q = next_queue_++ % queues_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::function<void()>& out, std::size_t home) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Queue& q = *queues_[(home + i) % n];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (i == 0) {  // own queue: newest first
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    } else {  // steal: oldest first
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+    std::lock_guard<std::mutex> ilk(idle_mutex_);
+    --pending_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_acquire(task, self)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(idle_mutex_);
+    // Drain-then-join shutdown: exit only once stop is set AND nothing is
+    // queued, so work submitted before the destructor always runs.
+    if (stop_ && pending_ == 0) return;
+    work_cv_.wait(lk, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+
+  for (auto& t : tasks) {
+    submit([task = std::move(t), batch] {
+      task();
+      std::lock_guard<std::mutex> lk(batch->mutex);
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    });
+  }
+
+  // Participate until the batch drains. Between checks, execute *any*
+  // queued task — our own batch's, a sibling batch's, whatever — so nested
+  // run_all calls from pool workers make progress instead of deadlocking.
+  std::function<void()> task;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(batch->mutex);
+      if (batch->remaining == 0) return;
+    }
+    if (try_acquire(task, 0)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    // Nothing stealable: our remaining tasks are running on workers. Sleep
+    // briefly; the timeout re-polls for new stealable work (a running task
+    // may fan out again) since that work signals work_cv_, not done_cv.
+    std::unique_lock<std::mutex> lk(batch->mutex);
+    batch->done_cv.wait_for(lk, std::chrono::milliseconds(5),
+                            [&] { return batch->remaining == 0; });
+  }
+}
+
+}  // namespace parserhawk

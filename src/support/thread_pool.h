@@ -1,0 +1,73 @@
+// Small work-stealing thread pool backing the Opt7 parallel portfolio.
+//
+// Each worker owns a deque: the owner pushes and pops at the back (LIFO,
+// cache-friendly for nested fan-out) while idle workers steal from the
+// front of other queues (FIFO, oldest-first — which for the compiler's
+// budget-ordered attempt lists means low variant indices start first, so
+// speculation stays close to the sequential search order).
+//
+// run_all() is the structured primitive the synthesizer uses: it blocks
+// until the whole batch finished, and the *calling* thread participates by
+// draining queued tasks while it waits. That makes nested batches safe —
+// a pool task may itself call run_all (per-state races inside the
+// per-state fan-out) without deadlocking, because waiting threads keep
+// executing work instead of sleeping on it.
+//
+// Shutdown is drain-then-join: the destructor completes every task already
+// submitted, so a scoped pool never leaks threads or drops work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parserhawk {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Fire-and-forget submission. The task is guaranteed to run before the
+  /// destructor returns.
+  void submit(std::function<void()> task);
+
+  /// Run every task in `tasks` to completion before returning. The calling
+  /// thread helps drain the pool while it waits; safe to call from inside a
+  /// pool task (nested batches).
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pop from our own queue's back, else steal from the front of another
+  /// queue, scanning from `home`. Returns false when every queue is empty.
+  bool try_acquire(std::function<void()>& out, std::size_t home);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Idle/shutdown coordination: `pending_` counts queued-but-unstarted
+  // tasks; workers sleep on `work_cv_` only when it is zero.
+  std::mutex idle_mutex_;
+  std::condition_variable work_cv_;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;  // round-robin home queue for external submits
+};
+
+}  // namespace parserhawk

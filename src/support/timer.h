@@ -4,9 +4,17 @@
 // to seconds (DESIGN.md §5). Deadline is threaded through the CEGIS loop so
 // a timed-out "Orig" run aborts cleanly and reports ">timeout" like
 // Table 3's red cells.
+//
+// A Deadline may also carry a CancelToken (with_token): the Opt7 portfolio
+// cancels losing variants by tripping the token, and every place that
+// already polls expired() — budget steps, CEGIS rounds — observes it for
+// free. remaining_sec() stays purely time-based so Z3 per-query timeouts
+// never collapse to the "0 = unlimited" trap on cancellation.
 #pragma once
 
 #include <chrono>
+
+#include "support/cancel.h"
 
 namespace parserhawk {
 
@@ -34,7 +42,19 @@ class Deadline {
 
   static Deadline none() { return Deadline(0); }
 
-  bool expired() const { return budget_sec_ > 0 && watch_.elapsed_sec() >= budget_sec_; }
+  /// A copy sharing this deadline's start time and budget that additionally
+  /// reports expiry when `token` is cancelled.
+  Deadline with_token(CancelToken token) const {
+    Deadline d = *this;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  bool cancelled() const { return token_.cancelled(); }
+
+  bool expired() const {
+    return token_.cancelled() || (budget_sec_ > 0 && watch_.elapsed_sec() >= budget_sec_);
+  }
 
   /// Seconds left; +inf when unlimited, clamped at 0 when expired.
   double remaining_sec() const {
@@ -48,6 +68,7 @@ class Deadline {
  private:
   double budget_sec_;
   Stopwatch watch_;
+  CancelToken token_;
 };
 
 }  // namespace parserhawk

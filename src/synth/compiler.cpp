@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "analysis/analysis.h"
 #include "postopt/postopt.h"
 #include "sim/testgen.h"
+#include "support/cancel.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
 #include "synth/chain_synth.h"
 #include "synth/global_synth.h"
@@ -211,27 +216,338 @@ CompileResult fail(CompileStatus status, std::string reason, const ParserSpec& r
   return r;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Per-state synthesis task: everything solve_state needs, precomputed
+// deterministically up front so the work can be handed to a pool worker.
+// ---------------------------------------------------------------------------
 
-CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
-  Stopwatch watch;
+struct StateTask {
+  std::string state_name;
+  std::vector<KeyBit> key_bits;
+  ChainProblem problem;
+  /// Shape family in Opt7 variant order (split orders x aux counts). The
+  /// sequential search scans these in order; the parallel race preserves
+  /// that order as the variant index, so both pick the same winner.
+  std::vector<ChainShape> shapes;
+  int lb = 1;   ///< entry-budget lower bound
+  int cap = 1;  ///< entry-budget upper bound
+  /// Whether the free/candidate-mask improvement pass applies (§6.4.2).
+  bool improvement_pass = false;
+};
+
+struct StateOutcome {
+  bool ok = false;
+  CompileStatus fail_status = CompileStatus::NoSolution;
+  std::string fail_reason;
+  StatePlan plan;
+  /// Per-state counters, merged into the compile-wide SynthStats at join.
   SynthStats stats;
-  Deadline deadline(opts.timeout_sec);
+};
 
-  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
-  if (auto v = validate(hw); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
+/// Build the chain problem + shape family for state `s` of `canon`
+/// (deterministic; no synthesis happens here).
+Result<StateTask> build_state_task(const ParserSpec& canon, std::size_t s, const HwProfile& hw,
+                                   const SynthOptions& opts) {
+  const State& st = canon.states[s];
+  StateTask task;
+  task.state_name = st.name;
 
-  // Reference semantics: unroll loops for loop-free targets.
-  ParserSpec reference = spec;
-  {
-    SpecAnalysis a = analyze(spec, opts.max_iterations);
-    if (a.has_loop && !hw.allows_loops) {
-      auto unrolled = unroll_loops(spec, opts.loop_unroll_depth);
-      if (!unrolled)
-        return fail(CompileStatus::Rejected, unrolled.error().to_string(), spec, stats);
-      reference = std::move(*unrolled);
+  auto orig_bits = chain_key_bits(canon, st, hw);
+  if (!orig_bits)
+    return Result<StateTask>::err("lookahead-too-wide", "state '" + st.name + "'");
+
+  // Opt1 off: widen the candidate key to whole fields / whole windows.
+  std::vector<KeyBit> bits = *orig_bits;
+  if (!opts.opt1_spec_guided_keys) {
+    std::set<std::pair<int, int>> have;
+    for (const auto& b : bits) have.insert({b.kind == KeyPart::Kind::Lookahead ? -1 : b.field, b.pos});
+    std::vector<KeyBit> extended = bits;
+    for (const auto& b : *orig_bits) {
+      if (static_cast<int>(extended.size()) >= 64) break;
+      if (b.kind == KeyPart::Kind::FieldSlice) {
+        for (int j = 0; j < canon.fields[static_cast<std::size_t>(b.field)].width &&
+                        static_cast<int>(extended.size()) < 64;
+             ++j)
+          if (have.insert({b.field, j}).second)
+            extended.push_back(KeyBit{KeyPart::Kind::FieldSlice, b.field, j});
+      }
+    }
+    bits = std::move(extended);
+  }
+  task.key_bits = bits;
+
+  ChainProblem& problem = task.problem;
+  problem.spec_state = static_cast<int>(s);
+  problem.key_width = static_cast<int>(bits.size());
+  problem.semantics = lift_rules(st.rules, *orig_bits, bits);
+  std::set<int> targets{kReject};
+  for (const auto& r : st.rules) targets.insert(r.next);
+  problem.exit_targets.assign(targets.begin(), targets.end());
+
+  // Value candidates (Opt4): the state's own constants plus
+  // concatenation-style variants are subsumed by mask conjunction.
+  std::vector<std::uint64_t> candidates;
+  std::vector<std::uint64_t> mask_candidates;
+  if (opts.opt4_constant_synthesis) {
+    std::set<std::uint64_t> cs;
+    for (const auto& r : problem.semantics)
+      if (!r.is_default()) cs.insert(r.value);
+    candidates.assign(cs.begin(), cs.end());
+    if (candidates.empty()) candidates.push_back(0);
+    // §6.4.2: masks that merge two same-target constants. Pairwise XOR
+    // covers k-member cube families too (any two antipodal members of a
+    // cube produce the cube's mask).
+    std::set<std::uint64_t> ms;
+    std::map<int, std::vector<Rule>> by_target;
+    for (const auto& r : problem.semantics)
+      if (!r.is_default()) by_target[r.next].push_back(r);
+    for (const auto& [t, rs] : by_target)
+      for (std::size_t i = 0; i < rs.size(); ++i)
+        for (std::size_t j = i + 1; j < rs.size() && ms.size() < 64; ++j)
+          // The mask unifying two ternary entries: keep the bits both
+          // care about and agree on.
+          ms.insert(rs[i].mask & rs[j].mask & ~(rs[i].value ^ rs[j].value));
+    // Masks the specification itself uses (wildcard entries must be
+    // reproducible verbatim).
+    for (const auto& r : problem.semantics)
+      if (!r.is_default()) ms.insert(r.mask);
+    mask_candidates.assign(ms.begin(), ms.end());
+  }
+
+  // Shape family.
+  const int kw = problem.key_width;
+  auto push_shape = [&](std::vector<std::uint64_t> masks, int layers, int aux) {
+    ChainShape sh;
+    sh.alloc_masks = std::move(masks);
+    sh.layers = layers;
+    sh.aux_counts.assign(static_cast<std::size_t>(layers), aux);
+    sh.aux_counts[0] = 1;
+    sh.value_candidates = candidates;
+    sh.mask_candidates = mask_candidates;
+    sh.key_limit = hw.key_limit_bits;
+    task.shapes.push_back(std::move(sh));
+  };
+  if (kw == 0) {
+    push_shape({0}, 1, 1);
+  } else if (opts.opt5_key_grouping) {
+    if (kw <= hw.key_limit_bits) {
+      std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
+      push_shape({full}, 1, 1);
+    } else {
+      for (auto& order : split_orders(kw, hw.key_limit_bits, opts.opt7_parallel))
+        for (int aux : {1, 2, 4})
+          push_shape(order, static_cast<int>(order.size()), aux);
+    }
+  } else {
+    int layers = (kw + hw.key_limit_bits - 1) / hw.key_limit_bits;
+    for (int aux : layers > 1 ? std::vector<int>{1, 2, 4} : std::vector<int>{1})
+      push_shape({}, layers, aux);  // symbolic masks
+  }
+
+  task.lb = std::max<int>(1, static_cast<int>(targets.size()) - (targets.count(kReject) ? 1 : 0));
+  int max_aux_total = 0;
+  for (const auto& sh : task.shapes)
+    max_aux_total = std::max(max_aux_total,
+                             std::accumulate(sh.aux_counts.begin(), sh.aux_counts.end(), 0));
+  task.cap = static_cast<int>(st.rules.size()) + 1 + 2 * max_aux_total + 2;
+  task.improvement_pass = !mask_candidates.empty() || problem.key_width <= 24;
+  return task;
+}
+
+// ---------------------------------------------------------------------------
+// Opt7 portfolio race (§6.7).
+// ---------------------------------------------------------------------------
+
+struct AttemptOutcome {
+  std::optional<ChainSolution> sol;
+  ChainStats cs;
+  bool ran = false;
+};
+
+/// Race `attempts` (fully configured shapes) on the pool. The winner is the
+/// LOWEST index that returned a solution — when attempt i succeeds, only
+/// attempts j > i are cancelled, so an attempt that could still beat the
+/// current winner always runs to completion. That makes the winner a pure
+/// function of the attempt list, independent of thread scheduling, which is
+/// what keeps `seed` + `num_threads` fully determining the output program.
+int race_attempts(ThreadPool& pool, const ChainProblem& problem,
+                  const std::vector<ChainShape>& attempts, const Deadline& deadline,
+                  std::vector<AttemptOutcome>& out) {
+  const int n = static_cast<int>(attempts.size());
+  out.assign(static_cast<std::size_t>(n), AttemptOutcome{});
+  std::vector<CancelSource> cancels(static_cast<std::size_t>(n));
+  std::mutex mu;  // serializes the cancellation fan-out on SAT
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back([&, i] {
+      AttemptOutcome& o = out[static_cast<std::size_t>(i)];
+      if (cancels[static_cast<std::size_t>(i)].cancelled()) return;
+      o.ran = true;
+      auto sol = synthesize_chain(problem, attempts[static_cast<std::size_t>(i)],
+                                  deadline.with_token(cancels[static_cast<std::size_t>(i)].token()),
+                                  o.cs);
+      if (sol) {
+        o.sol = std::move(sol);
+        std::lock_guard<std::mutex> lk(mu);
+        for (int j = i + 1; j < n; ++j) cancels[static_cast<std::size_t>(j)].cancel();
+      }
+    });
+  }
+  pool.run_all(std::move(jobs));
+  for (int i = 0; i < n; ++i)
+    if (out[static_cast<std::size_t>(i)].sol) return i;
+  return -1;
+}
+
+/// Budget-minimizing search for one state. pool == nullptr runs the exact
+/// sequential two-pass search (bit-for-bit the num_threads = 1 behavior);
+/// otherwise both passes become first-SAT-cancels-losers races with the
+/// deterministic lowest-variant-index winner rule.
+StateOutcome solve_state(const StateTask& task, const Deadline& deadline, ThreadPool* pool) {
+  StateOutcome out;
+  StatePlan& plan = out.plan;
+  plan.spec_state = task.problem.spec_state;
+  plan.key_bits = task.key_bits;
+  bool solved = false;
+
+  auto adopt = [&](const ChainShape& sh, ChainSolution sol, double space_bits) {
+    plan.solution = std::move(sol);
+    plan.layers = sh.layers;
+    plan.aux_counts = sh.aux_counts;
+    plan.search_space_bits = space_bits;
+    solved = true;
+  };
+
+  if (pool == nullptr) {
+    // ---- Sequential two-pass budget search (today's behavior). ----
+    auto attempt = [&](ChainShape sh, int budget) -> bool {
+      sh.row_budget = budget;
+      ChainStats cs;
+      ++out.stats.budget_attempts;
+      auto sol = synthesize_chain(task.problem, sh, deadline, cs);
+      out.stats.cegis_rounds += cs.cegis_rounds;
+      out.stats.synth_queries += cs.synth_queries;
+      out.stats.verify_queries += cs.verify_queries;
+      if (!sol) return false;
+      adopt(sh, std::move(*sol), cs.search_space_bits);
+      return true;
+    };
+    // Two-pass budget search implementing §6.4.2's mask strategy: the
+    // all-ones-mask pass converges almost instantly and yields an entry
+    // upper bound B; the free-mask pass then only has to beat B, so it
+    // never grinds through UNSAT proofs at budgets it cannot improve.
+    int best_budget = task.cap + 1;
+    for (int budget = task.lb; budget <= task.cap && !solved; ++budget) {
+      for (auto sh : task.shapes) {
+        if (deadline.expired()) {
+          out.fail_status = CompileStatus::Timeout;
+          out.fail_reason = "synthesis budget exhausted";
+          return out;
+        }
+        sh.restrict_masks = true;
+        if (attempt(sh, budget)) {
+          best_budget = budget;
+          break;
+        }
+      }
+    }
+    // The improvement pass uses candidate masks when Opt4 is on (cheap
+    // at any key width); fully free masks only below 25 bits, where
+    // CEGIS still converges. When the all-ones pass found nothing
+    // (wildcard-heavy specs), best_budget is cap+1 and this pass covers
+    // the whole budget range.
+    if (task.improvement_pass) {
+      for (int budget = task.lb; budget < best_budget; ++budget) {
+        bool improved = false;
+        for (auto sh : task.shapes) {
+          if (deadline.expired()) break;  // keep any restricted-pass solution
+          sh.restrict_masks = false;
+          if (attempt(sh, budget)) {
+            improved = true;
+            break;
+          }
+        }
+        if (improved) break;
+      }
+    }
+  } else {
+    // ---- Parallel portfolio: the sequential budget ascent, with the
+    // shape family raced inside each budget. Racing every (budget, shape)
+    // pair at once is a trap: cancellation is cooperative (observed
+    // between CEGIS queries), so a speculative high-budget attempt stuck
+    // inside one long z3 query holds the whole barrier long after the
+    // winner finished. Keeping the race window to one budget's shapes —
+    // comparable-cost attempts — bounds that waste, and the ascent order
+    // is the sequential one, so the winner is unchanged.
+    auto merge = [&](const std::vector<AttemptOutcome>& res) {
+      for (const auto& o : res) {
+        if (!o.ran) continue;
+        ++out.stats.budget_attempts;
+        out.stats.cegis_rounds += o.cs.cegis_rounds;
+        out.stats.synth_queries += o.cs.synth_queries;
+        out.stats.verify_queries += o.cs.verify_queries;
+      }
+    };
+    auto race_budget = [&](int budget, bool restrict_masks) -> bool {
+      std::vector<ChainShape> attempts;
+      attempts.reserve(task.shapes.size());
+      for (ChainShape sh : task.shapes) {
+        sh.row_budget = budget;
+        sh.restrict_masks = restrict_masks;
+        attempts.push_back(std::move(sh));
+      }
+      std::vector<AttemptOutcome> res;
+      int w = race_attempts(*pool, task.problem, attempts, deadline, res);
+      merge(res);
+      if (w < 0) return false;
+      adopt(attempts[static_cast<std::size_t>(w)], std::move(*res[static_cast<std::size_t>(w)].sol),
+            res[static_cast<std::size_t>(w)].cs.search_space_bits);
+      return true;
+    };
+
+    // Restricted pass: budgets ascend exactly as in the sequential search;
+    // within a budget the min-shape-index winner is the sequential winner.
+    int best_budget = task.cap + 1;
+    for (int budget = task.lb; budget <= task.cap && !solved; ++budget) {
+      if (deadline.expired()) {
+        out.fail_status = CompileStatus::Timeout;
+        out.fail_reason = "synthesis budget exhausted";
+        return out;
+      }
+      if (race_budget(budget, true)) best_budget = budget;
+    }
+    // Improvement pass over budgets below the restricted upper bound.
+    if (task.improvement_pass) {
+      for (int budget = task.lb; budget < best_budget; ++budget) {
+        if (deadline.expired()) break;  // keep any restricted-pass solution
+        if (race_budget(budget, false)) break;
+      }
     }
   }
+
+  if (!solved) {
+    if (deadline.expired()) {
+      out.fail_status = CompileStatus::Timeout;
+      out.fail_reason = "synthesis budget exhausted";
+    } else {
+      out.fail_status = CompileStatus::NoSolution;
+      out.fail_reason =
+          "no chain implements state '" + task.state_name + "' within the key-split budget";
+    }
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+/// Compile `spec` against the semantics of `reference` (== spec, or spec
+/// with loops unrolled — the two Opt7 whole-program variants). `pool` is
+/// null for the sequential path.
+CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& reference,
+                              const HwProfile& hw, const SynthOptions& opts,
+                              const Deadline& deadline, ThreadPool* pool) {
+  SynthStats stats;
 
   bool had_varbit = false;
   for (const auto& f : spec.fields) had_varbit |= f.varbit;
@@ -248,174 +564,44 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
     if (!deferred) return fail(CompileStatus::Rejected, deferred.error().to_string(), reference, stats);
     canon = std::move(*deferred);
 
-    std::vector<StatePlan> plans;
+    // Deterministic problem construction up front, then solve: states are
+    // independent chain problems, so with a pool they synthesize
+    // concurrently (and each state's Opt7 variants race internally).
+    std::vector<StateTask> tasks;
     for (std::size_t s = 0; s < canon.states.size(); ++s) {
-      const State& st = canon.states[s];
-      auto orig_bits = chain_key_bits(canon, st, hw);
-      if (!orig_bits)
-        return fail(CompileStatus::Rejected, "lookahead-too-wide: state '" + st.name + "'",
-                    reference, stats);
+      auto task = build_state_task(canon, s, hw, opts);
+      if (!task) return fail(CompileStatus::Rejected, task.error().to_string(), reference, stats);
+      tasks.push_back(std::move(*task));
+    }
 
-      // Opt1 off: widen the candidate key to whole fields / whole windows.
-      std::vector<KeyBit> bits = *orig_bits;
-      if (!opts.opt1_spec_guided_keys) {
-        std::set<std::pair<int, int>> have;
-        for (const auto& b : bits) have.insert({b.kind == KeyPart::Kind::Lookahead ? -1 : b.field, b.pos});
-        std::vector<KeyBit> extended = bits;
-        for (const auto& b : *orig_bits) {
-          if (static_cast<int>(extended.size()) >= 64) break;
-          if (b.kind == KeyPart::Kind::FieldSlice) {
-            for (int j = 0; j < canon.fields[static_cast<std::size_t>(b.field)].width &&
-                            static_cast<int>(extended.size()) < 64;
-                 ++j)
-              if (have.insert({b.field, j}).second)
-                extended.push_back(KeyBit{KeyPart::Kind::FieldSlice, b.field, j});
-          }
-        }
-        bits = std::move(extended);
+    std::vector<StateOutcome> outcomes(tasks.size());
+    if (pool != nullptr && tasks.size() > 1) {
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(tasks.size());
+      for (std::size_t s = 0; s < tasks.size(); ++s)
+        jobs.push_back([&, s] { outcomes[s] = solve_state(tasks[s], deadline, pool); });
+      pool->run_all(std::move(jobs));
+    } else {
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        outcomes[s] = solve_state(tasks[s], deadline, pool);
+        if (!outcomes[s].ok) break;  // sequential fail-fast, as before
       }
+    }
 
-      ChainProblem problem;
-      problem.spec_state = static_cast<int>(s);
-      problem.key_width = static_cast<int>(bits.size());
-      problem.semantics = lift_rules(st.rules, *orig_bits, bits);
-      std::set<int> targets{kReject};
-      for (const auto& r : st.rules) targets.insert(r.next);
-      problem.exit_targets.assign(targets.begin(), targets.end());
-
-      // Value candidates (Opt4): the state's own constants plus
-      // concatenation-style variants are subsumed by mask conjunction.
-      std::vector<std::uint64_t> candidates;
-      std::vector<std::uint64_t> mask_candidates;
-      if (opts.opt4_constant_synthesis) {
-        std::set<std::uint64_t> cs;
-        for (const auto& r : problem.semantics)
-          if (!r.is_default()) cs.insert(r.value);
-        candidates.assign(cs.begin(), cs.end());
-        if (candidates.empty()) candidates.push_back(0);
-        // §6.4.2: masks that merge two same-target constants. Pairwise XOR
-        // covers k-member cube families too (any two antipodal members of a
-        // cube produce the cube's mask).
-        std::set<std::uint64_t> ms;
-        std::map<int, std::vector<Rule>> by_target;
-        for (const auto& r : problem.semantics)
-          if (!r.is_default()) by_target[r.next].push_back(r);
-        for (const auto& [t, rs] : by_target)
-          for (std::size_t i = 0; i < rs.size(); ++i)
-            for (std::size_t j = i + 1; j < rs.size() && ms.size() < 64; ++j)
-              // The mask unifying two ternary entries: keep the bits both
-              // care about and agree on.
-              ms.insert(rs[i].mask & rs[j].mask & ~(rs[i].value ^ rs[j].value));
-        // Masks the specification itself uses (wildcard entries must be
-        // reproducible verbatim).
-        for (const auto& r : problem.semantics)
-          if (!r.is_default()) ms.insert(r.mask);
-        mask_candidates.assign(ms.begin(), ms.end());
-      }
-
-      // Shape family.
-      const int kw = problem.key_width;
-      std::vector<ChainShape> shapes;
-      auto push_shape = [&](std::vector<std::uint64_t> masks, int layers, int aux) {
-        ChainShape sh;
-        sh.alloc_masks = std::move(masks);
-        sh.layers = layers;
-        sh.aux_counts.assign(static_cast<std::size_t>(layers), aux);
-        sh.aux_counts[0] = 1;
-        sh.value_candidates = candidates;
-        sh.mask_candidates = mask_candidates;
-        sh.key_limit = hw.key_limit_bits;
-        shapes.push_back(std::move(sh));
-      };
-      if (kw == 0) {
-        push_shape({0}, 1, 1);
-      } else if (opts.opt5_key_grouping) {
-        if (kw <= hw.key_limit_bits) {
-          std::uint64_t full = kw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << kw) - 1);
-          push_shape({full}, 1, 1);
-        } else {
-          for (auto& order : split_orders(kw, hw.key_limit_bits, opts.opt7_parallel))
-            for (int aux : {1, 2, 4})
-              push_shape(order, static_cast<int>(order.size()), aux);
-        }
-      } else {
-        int layers = (kw + hw.key_limit_bits - 1) / hw.key_limit_bits;
-        for (int aux : layers > 1 ? std::vector<int>{1, 2, 4} : std::vector<int>{1})
-          push_shape({}, layers, aux);  // symbolic masks
-      }
-
-      // Budget-minimizing search: first SAT at the lowest budget wins.
-      StatePlan plan;
-      plan.spec_state = static_cast<int>(s);
-      plan.key_bits = bits;
-      bool solved = false;
-      int lb = std::max<std::size_t>(1, targets.size() - (targets.count(kReject) ? 1 : 0));
-      int max_aux_total = 0;
-      for (const auto& sh : shapes)
-        max_aux_total = std::max(max_aux_total,
-                                 std::accumulate(sh.aux_counts.begin(), sh.aux_counts.end(), 0));
-      int cap = static_cast<int>(st.rules.size()) + 1 + 2 * max_aux_total + 2;
-      // Two-pass budget search implementing §6.4.2's mask strategy: the
-      // all-ones-mask pass converges almost instantly and yields an entry
-      // upper bound B; the free-mask pass then only has to beat B, so it
-      // never grinds through UNSAT proofs at budgets it cannot improve.
-      auto attempt = [&](ChainShape sh, int budget) -> bool {
-        sh.row_budget = budget;
-        ChainStats cs;
-        ++stats.budget_attempts;
-        auto sol = synthesize_chain(problem, sh, deadline, cs);
-        stats.cegis_rounds += cs.cegis_rounds;
-        stats.synth_queries += cs.synth_queries;
-        stats.verify_queries += cs.verify_queries;
-        if (!sol) return false;
-        plan.solution = std::move(*sol);
-        plan.layers = sh.layers;
-        plan.aux_counts = sh.aux_counts;
-        plan.search_space_bits = cs.search_space_bits;
-        return true;
-      };
-      int best_budget = cap + 1;
-      for (int budget = lb; budget <= cap && !solved; ++budget) {
-        for (auto sh : shapes) {
-          if (deadline.expired())
-            return fail(CompileStatus::Timeout, "synthesis budget exhausted", reference, stats);
-          sh.restrict_masks = true;
-          if (attempt(sh, budget)) {
-            solved = true;
-            best_budget = budget;
-            break;
-          }
-        }
-      }
-      // The improvement pass uses candidate masks when Opt4 is on (cheap
-      // at any key width); fully free masks only below 25 bits, where
-      // CEGIS still converges. When the all-ones pass found nothing
-      // (wildcard-heavy specs), best_budget is cap+1 and this pass covers
-      // the whole budget range.
-      if (!mask_candidates.empty() || problem.key_width <= 24) {
-        for (int budget = lb; budget < best_budget; ++budget) {
-          bool improved = false;
-          for (auto sh : shapes) {
-            if (deadline.expired()) break;  // keep any restricted-pass solution
-            sh.restrict_masks = false;
-            if (attempt(sh, budget)) {
-              improved = true;
-              solved = true;
-              break;
-            }
-          }
-          if (improved) break;
-        }
-      }
-      if (!solved) {
-        if (deadline.expired())
-          return fail(CompileStatus::Timeout, "synthesis budget exhausted", reference, stats);
-        return fail(CompileStatus::NoSolution,
-                    "no chain implements state '" + st.name + "' within the key-split budget",
-                    reference, stats);
-      }
-      stats.search_space_bits += plan.search_space_bits;
-      plans.push_back(std::move(plan));
+    // Merge per-state counters (single-threaded join: no atomics needed),
+    // then surface the lowest-index failure — state order, never thread
+    // order — so failures are deterministic too.
+    for (const auto& o : outcomes) {
+      stats.cegis_rounds += o.stats.cegis_rounds;
+      stats.synth_queries += o.stats.synth_queries;
+      stats.verify_queries += o.stats.verify_queries;
+      stats.budget_attempts += o.stats.budget_attempts;
+    }
+    std::vector<StatePlan> plans;
+    for (auto& o : outcomes) {
+      if (!o.ok) return fail(o.fail_status, o.fail_reason, reference, stats);
+      stats.search_space_bits += o.plan.search_space_bits;
+      plans.push_back(std::move(o.plan));
     }
 
     // ---------------- Assemble the flat program. ----------
@@ -468,9 +654,6 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
   } else {
     // ---------------- Naive global pipeline ("Orig"). ----------
     ParserSpec naive_spec = work;
-    if (analyze(naive_spec, opts.max_iterations).has_loop && !hw.allows_loops) {
-      // already unrolled above via `reference`
-    }
     ChainStats cs;
     auto result = global_synthesize(naive_spec, hw, opts, deadline, cs);
     stats.cegis_rounds += cs.cegis_rounds;
@@ -541,10 +724,74 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
   out.reason = note;
   out.program = std::move(optimized);
   out.usage = measure(out.program);
-  out.reference = std::move(reference);
-  stats.seconds = watch.elapsed_sec();
+  out.reference = reference;
   out.stats = stats;
   return out;
+}
+
+/// A failure worth falling through to the unrolled variant for: the
+/// loop-aware encoding conclusively cannot implement the spec. Timeout is
+/// excluded — it is wall-clock-dependent, and folding it into variant
+/// selection would make the output scheduling-sensitive.
+bool deterministic_failure(const CompileResult& r) {
+  return r.status == CompileStatus::NoSolution || r.status == CompileStatus::ResourceExceeded;
+}
+
+}  // namespace
+
+CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
+  Stopwatch watch;
+  SynthStats stats;
+  Deadline deadline(opts.timeout_sec);
+
+  if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
+  if (auto v = validate(hw); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
+
+  // Opt7 worker pool. num_threads <= 1 keeps everything on the calling
+  // thread through the exact sequential code path.
+  std::optional<ThreadPool> pool;
+  if (opts.num_threads > 1) pool.emplace(opts.num_threads);
+  ThreadPool* p = pool ? &*pool : nullptr;
+
+  SpecAnalysis a = analyze(spec, opts.max_iterations);
+  CompileResult result;
+  if (a.has_loop && !hw.allows_loops) {
+    // Loop-free target: the unrolled spec IS the reference semantics.
+    auto unrolled = unroll_loops(spec, opts.loop_unroll_depth);
+    if (!unrolled) return fail(CompileStatus::Rejected, unrolled.error().to_string(), spec, stats);
+    result = compile_variant(spec, *unrolled, hw, opts, deadline, p);
+  } else if (a.has_loop && hw.allows_loops && opts.opt7_parallel) {
+    // Opt7 whole-program race: loop-aware (variant 0) vs unrolled
+    // (variant 1). Variant 0 is the deterministic winner whenever it
+    // succeeds; variant 1 only wins on a conclusive variant-0 failure, so
+    // the outcome is identical at every thread count.
+    auto unrolled = unroll_loops(spec, opts.loop_unroll_depth);
+    if (p != nullptr && unrolled) {
+      CancelSource cancel_alt;
+      CompileResult alt;
+      std::vector<std::function<void()>> jobs;
+      jobs.push_back([&] {
+        result = compile_variant(spec, spec, hw, opts, deadline, p);
+        if (result.ok()) cancel_alt.cancel();
+      });
+      jobs.push_back([&] {
+        alt = compile_variant(spec, *unrolled, hw, opts, deadline.with_token(cancel_alt.token()), p);
+      });
+      p->run_all(std::move(jobs));
+      if (!result.ok() && deterministic_failure(result) && alt.ok()) result = std::move(alt);
+    } else {
+      result = compile_variant(spec, spec, hw, opts, deadline, p);
+      if (!result.ok() && deterministic_failure(result) && unrolled) {
+        CompileResult alt = compile_variant(spec, *unrolled, hw, opts, deadline, p);
+        if (alt.ok()) result = std::move(alt);
+      }
+    }
+  } else {
+    result = compile_variant(spec, spec, hw, opts, deadline, p);
+  }
+
+  result.stats.seconds = watch.elapsed_sec();
+  return result;
 }
 
 }  // namespace parserhawk

@@ -27,8 +27,15 @@ struct SynthOptions {
   /// Opt6 (§6.6): treat varbit fields as fixed-size during synthesis and
   /// restore variable extraction afterwards.
   bool opt6_varbit_as_fixed = true;
-  /// Opt7 (§6.7): portfolio parallelism — loop-aware vs loop-free variants
-  /// and alternative key-split orders raced against each other.
+  /// Opt7 (§6.7): portfolio parallelism — loop-aware vs loop-free
+  /// whole-program variants, alternative key-split orders, aux-state
+  /// counts, and restricted-mask vs candidate-mask passes raced against
+  /// each other with first-SAT-cancels-losers semantics. With
+  /// `num_threads > 1` the race is genuinely concurrent on a work-stealing
+  /// pool (src/support/thread_pool.h); the winner is always the variant
+  /// with the lowest index in the sequential search order, so the output
+  /// program is a pure function of (spec, hw, options) — identical at
+  /// every thread count. See DESIGN.md §6 for the cancellation protocol.
   bool opt7_parallel = true;
 
   /// K: max state transitions modeled during synthesis & verification.
@@ -42,8 +49,11 @@ struct SynthOptions {
   int max_cegis_rounds = 128;
   /// Random seed for the initial test-case pair (§5.2).
   std::uint64_t seed = 1;
-  /// Portfolio threads (1 = run subproblems sequentially, still
-  /// first-success-wins).
+  /// Opt7 portfolio threads. 1 = run subproblems sequentially on the
+  /// calling thread (exactly the pre-parallel code path); > 1 = solve
+  /// independent per-state chain problems concurrently and race their
+  /// Opt7 variants on a pool of this many workers. The compiled program
+  /// is identical for every value (deterministic-winner rule).
   int num_threads = 1;
 
   /// All optimizations off: the naive encoding used for the "Orig" columns

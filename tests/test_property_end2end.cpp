@@ -4,10 +4,13 @@
 // under the Figure 21 rewrites and never worse than the baselines.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "baseline/baseline.h"
 #include "random_spec.h"
 #include "rewrite/rewrite.h"
 #include "sim/testgen.h"
+#include "support/timer.h"
 #include "synth/compiler.h"
 #include "synth/normalize.h"
 
@@ -120,6 +123,61 @@ TEST_P(End2EndProperty, CanonicalizePreservesSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, End2EndProperty, ::testing::Range(1, 9));
+
+TEST(End2EndTimeout, TinyBudgetWithParallelPortfolioTimesOutPromptly) {
+  // A 60-bit transition key forces the multi-layer key-split search — far
+  // more work than a 20 ms budget allows — so the compile must come back
+  // as Timeout, promptly, with every pool worker joined (the pool is
+  // scoped inside compile()), not hang or crash. The wall-clock bound is
+  // ~2x the budget plus scheduling/Z3-query slack.
+  SpecBuilder b("timeout_wide");
+  b.field("k", 60).field("body", 8);
+  auto st = b.state("start").extract("k").select({b.whole("k")});
+  Rng rng(42);
+  for (int i = 0; i < 6; ++i) {
+    std::uint64_t mask = rng() & ((std::uint64_t{1} << 60) - 1);
+    st.when(rng() & mask, mask, i % 2 == 0 ? "more" : "accept");
+  }
+  st.otherwise("reject");
+  b.state("more").extract("body").otherwise("accept");
+  ParserSpec spec = b.build().value();
+
+  for (int threads : {2, 8}) {
+    SynthOptions opts;
+    opts.timeout_sec = 0.02;
+    opts.num_threads = threads;
+    Stopwatch watch;
+    CompileResult r = compile(spec, tofino(), opts);
+    double elapsed = watch.elapsed_sec();
+    EXPECT_EQ(r.status, CompileStatus::Timeout)
+        << "threads=" << threads << ": " << to_string(r.status) << " (" << r.reason << ")";
+    // "Promptly": the budget is 20 ms; losers are cancelled cooperatively
+    // at CEGIS-round boundaries, so allow generous-but-bounded slack for
+    // in-flight Z3 queries on a loaded CI machine. Sanitizer builds
+    // stretch every query, so the bound is overridable (ci/run_tsan.sh).
+    double slack = 2.0;
+    if (const char* s = std::getenv("PH_TIMEOUT_SLACK_SEC")) slack = std::atof(s);
+    EXPECT_LT(elapsed, slack) << "threads=" << threads << " took " << elapsed << "s";
+  }
+
+  // No leaked threads: an immediate follow-up compile with a sane budget
+  // still works (a leaked pool or poisoned deadline would wedge it). A
+  // small spec keeps this instant — what matters is that a *fresh* pool
+  // comes up cleanly right after the timed-out one was torn down.
+  SpecBuilder small("after_timeout");
+  small.field("t", 8);
+  small.state("start")
+      .extract("t")
+      .select({small.whole("t")})
+      .when_exact(0x11, "accept")
+      .otherwise("reject");
+  ParserSpec small_spec = small.build().value();
+  SynthOptions sane;
+  sane.timeout_sec = 60;
+  sane.num_threads = 2;
+  CompileResult ok = compile(small_spec, tofino(), sane);
+  EXPECT_TRUE(ok.ok()) << ok.reason;
+}
 
 TEST(End2EndLoops, RandomLoopySpecsOnTofino) {
   for (int seed = 100; seed < 104; ++seed) {
