@@ -13,6 +13,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("correctness");
   std::printf("=== §7.1 correctness: differential validation of all compiled parsers ===\n\n");
   TextTable table({"Benchmark", "Target", "Compile", "Formally verified", "Diff samples",
                    "Result"});
@@ -22,6 +23,10 @@ int main() {
       SynthOptions opts;
       opts.timeout_sec = opt_timeout_sec();
       CompileResult r = compile(b.spec, hw, opts);
+      report.begin_row();
+      report.set("benchmark", b.name);
+      report.set("target", hw.name);
+      report.add_compile("ph", r);
       if (!r.ok()) {
         table.add_row({b.name, hw.name, failure_cell(r), "", "", ""});
         continue;
@@ -33,6 +38,7 @@ int main() {
       dt.max_iterations = r.program.max_iterations;
       auto mismatch = differential_test(r.reference, r.program, dt);
       bool ok = !mismatch.has_value();
+      report.set("diff_pass", ok);
       if (ok) ++passed;
       table.add_row({b.name, hw.name, "ok", r.stats.formally_verified ? "yes" : "bounded-only",
                      "1000", ok ? "PASS" : "FAIL on " + mismatch->input.to_string()});
@@ -40,5 +46,6 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("%d/%d compiled parsers pass differential validation.\n", passed, total);
+  report.write();
   return passed == total ? 0 : 1;
 }

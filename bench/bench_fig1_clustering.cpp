@@ -4,6 +4,7 @@
 // behavior is unchanged.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "postopt/postopt.h"
 #include "sim/interp.h"
 #include "support/rng.h"
@@ -12,6 +13,7 @@
 using namespace parserhawk;
 
 int main() {
+  bench::JsonReport report("fig1_clustering");
   std::printf("=== Figure 1: state clustering saves TCAM entries ===\n\n");
 
   // S0 --default--> S1 --default--> S2, each extracting one header.
@@ -39,5 +41,11 @@ int main() {
   std::printf("Behavior preserved on %d/%d random packets; saved %zu entries (paper: 1 per "
               "merged transition).\n",
               agree, samples, flat.entries.size() - clustered.entries.size());
+  report.begin_row();
+  report.set("entries_before", static_cast<std::int64_t>(flat.entries.size()));
+  report.set("entries_after", static_cast<std::int64_t>(clustered.entries.size()));
+  report.set("agree", agree);
+  report.set("samples", samples);
+  report.write();
   return clustered.entries.size() < flat.entries.size() && agree == samples ? 0 : 1;
 }

@@ -15,6 +15,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("fig21_rewrites");
   std::printf("=== Figure 21: resource stability under semantic-preserving rewrites ===\n\n");
   Rng rng(0xF16);
 
@@ -42,6 +43,11 @@ int main() {
       opts.timeout_sec = opt_timeout_sec();
       CompileResult ph = compile(spec, tofino(), opts);
       CompileResult proxy = baseline::compile_tofino_proxy(spec, tofino());
+      report.begin_row();
+      report.set("base", base.name);
+      report.set("variant", label);
+      report.add_compile("ph", ph);
+      report.add_compile("proxy", proxy);
       table.add_row({label, tcam_cell(ph), tcam_cell(proxy)});
       if (ph.ok()) {
         if (ph_base < 0) ph_base = ph.usage.tcam_entries;
@@ -55,5 +61,6 @@ int main() {
                 invariant ? "yes" : "NO");
     all_invariant = all_invariant && invariant;
   }
+  report.write();
   return all_invariant ? 0 : 1;
 }

@@ -14,6 +14,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("fig4_motivating");
   std::printf("=== Figure 4: heuristic (V1) vs synthesis (V2) on the Figure 3 program ===\n\n");
   ParserSpec spec = suite::figure3_program();
 
@@ -29,6 +30,11 @@ int main() {
     opts.timeout_sec = opt_timeout_sec();
     CompileResult ph = compile(spec, hw, opts);
     CompileResult dp = baseline::compile_dpparsergen(spec, hw);
+    report.begin_row();
+    report.set("device", dev.name);
+    report.set("key_limit", dev.key_limit);
+    report.add_compile("ph", ph);
+    report.add_compile("dp", dp);
     table.add_row({dev.name, std::to_string(dev.key_limit) + "-bit", tcam_cell(ph),
                    tcam_cell(dp)});
     if (ph.ok() && dp.ok() && ph.usage.tcam_entries > dp.usage.tcam_entries) shape_holds = false;
@@ -37,5 +43,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Synthesis never uses more entries than the heuristic: %s\n",
               shape_holds ? "yes" : "NO");
+  report.write();
   return shape_holds ? 0 : 1;
 }

@@ -20,6 +20,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("fig5_ordering");
   std::printf("=== Figure 5: written-style sensitivity of decoupled compilation ===\n\n");
   ParserSpec base = suite::me2_key_splitting();
   auto sol1 = rewrite::split_transition_key(base, 0, 4);
@@ -44,6 +45,10 @@ int main() {
                              Style{"Sol2 (split at bit 12)", *sol2}}) {
     CompileResult ph = compile(style.spec, hw, opts);
     CompileResult proxy = baseline::compile_tofino_proxy(style.spec, hw);
+    report.begin_row();
+    report.set("style", style.name);
+    report.add_compile("ph", ph);
+    report.add_compile("proxy", proxy);
     table.add_row({style.name, tcam_cell(ph), tcam_cell(proxy)});
     if (ph.ok()) ph_counts.push_back(ph.usage.tcam_entries);
     if (proxy.ok()) proxy_counts.push_back(proxy.usage.tcam_entries);
@@ -54,5 +59,6 @@ int main() {
   bool proxy_varies = proxy_counts.size() != 2 || proxy_counts[0] != proxy_counts[1];
   std::printf("ParserHawk invariant across styles: %s; baseline varies (or fails): %s\n",
               ph_invariant ? "yes" : "NO", proxy_varies ? "yes" : "no");
+  report.write();
   return ph_invariant ? 0 : 1;
 }

@@ -46,6 +46,7 @@ bool same_program(const TcamProgram& a, const TcamProgram& b) {
 }  // namespace
 
 int main() {
+  JsonReport report("parallel_scaling");
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   const int r = reps();
 
@@ -90,6 +91,13 @@ int main() {
     auto speedup = [&](double base, double t) {
       return fmt_double(t > 0 ? base / t : 0.0, 2) + "x";
     };
+    report.begin_row();
+    report.set("benchmark", family.name);
+    report.set("states", static_cast<std::int64_t>(spec.states.size()));
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti)
+      report.set("t" + std::to_string(thread_counts[ti]) + "_sec", secs[ti]);
+    report.set("identical", identical);
+    report.set("all_ok", all_ok);
     if (all_ok && secs[2] > 0) {
       geo_sum4 += std::log(secs[0] / secs[2]);
       ++geo_n4;
@@ -103,5 +111,6 @@ int main() {
   if (geo_n4 > 0)
     std::printf("geomean speedup @4 threads: %.2fx over %d benchmarks\n",
                 std::exp(geo_sum4 / geo_n4), geo_n4);
+  report.write();
   return 0;
 }

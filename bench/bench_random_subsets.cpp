@@ -16,6 +16,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("random_subsets");
   std::printf("=== Random switch.p4-style subset benchmarks (§7 methodology) ===\n\n");
   ParserSpec population = suite::subsets::switch_p4_style();
   std::printf("Population graph: %zu states\n\n", population.states.size());
@@ -48,6 +49,13 @@ int main() {
     }
     if (all_valid && both) ++validated;
 
+    report.begin_row();
+    report.set("subset", spec.name);
+    report.set("states", static_cast<std::int64_t>(spec.states.size()));
+    report.add_compile("tofino", on_tofino);
+    report.add_compile("ipu", on_ipu);
+    report.set("validated", all_valid && both);
+
     table.add_row({spec.name, std::to_string(spec.states.size()), tcam_cell(on_tofino),
                    on_tofino.ok() ? fmt_double(on_tofino.stats.seconds, 2) : "",
                    stages_cell(on_ipu), on_ipu.ok() ? fmt_double(on_ipu.stats.seconds, 2) : "",
@@ -56,5 +64,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("%d/%d subsets compiled on both targets; %d/%d validated.\n", compiled_both, total,
               validated, compiled_both);
+  report.write();
   return compiled_both == total && validated == compiled_both ? 0 : 1;
 }

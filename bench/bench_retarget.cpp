@@ -13,6 +13,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("retarget");
   std::printf("=== §7.3 retargetability: one spec, many devices ===\n\n");
   std::vector<HwProfile> targets = {tofino(), ipu(),
                                     parametrized(/*key=*/16, /*lookahead=*/64, /*extract=*/96)};
@@ -25,6 +26,10 @@ int main() {
       SynthOptions opts;
       opts.timeout_sec = opt_timeout_sec();
       CompileResult r = compile(b.spec, hw, opts);
+      report.begin_row();
+      report.set("benchmark", b.name);
+      report.set("target", hw.name);
+      report.add_compile("ph", r);
       if (r.ok()) {
         ++ok_count;
         cells.push_back(hw.pipelined() ? std::to_string(r.usage.stages) + " stages"
@@ -40,5 +45,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("%d/%d benchmarks compile on every target with the shared synthesis core.\n",
               families_on_all, families);
+  report.write();
   return 0;
 }

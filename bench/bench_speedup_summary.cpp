@@ -17,6 +17,7 @@ using namespace parserhawk;
 using namespace parserhawk::bench;
 
 int main() {
+  JsonReport report("speedup_summary");
   std::printf("=== Speedup summary (abstract / §7.4) ===\n\n");
   TextTable table({"Benchmark", "Target", "OPT (s)", "Orig (s)", "speedup"});
   double log_sum = 0;
@@ -26,6 +27,10 @@ int main() {
   for (const auto& b : suite::base_suite()) {
     for (const HwProfile& hw : {tofino(), ipu()}) {
       PhRun run = run_parserhawk(b.spec, hw);
+      report.begin_row();
+      report.set("benchmark", b.name);
+      report.set("target", hw.name);
+      report.add_run(run);
       if (!run.opt.ok() || !run.orig_ran) continue;
       double orig_time = run.orig_timed_out ? orig_timeout_sec() : run.orig.stats.seconds;
       double speedup = orig_time / std::max(run.opt.stats.seconds, 1e-4);
@@ -50,5 +55,6 @@ int main() {
   } else {
     std::printf("Orig runs skipped (PH_SKIP_ORIG set); no geomean to report.\n");
   }
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace parserhawk::bench;
 
 int main() {
   HwProfile hw = ipu();
+  JsonReport report("table3_ipu");
   std::printf("=== Table 3 (IPU): ParserHawk vs IPU compiler proxy ===\n");
   std::printf("Orig timeout: %.0fs\n\n", orig_timeout_sec());
 
@@ -24,6 +25,12 @@ int main() {
       std::string label = variant.label.empty() ? family.name : "  " + variant.label;
       PhRun run = run_parserhawk(variant.spec, hw);
       CompileResult base = baseline::compile_ipu_proxy(variant.spec, hw);
+
+      report.begin_row();
+      report.set("family", family.name);
+      report.set("variant", variant.label);
+      report.add_run(run);
+      report.add_compile("baseline", base);
 
       ++rows;
       if (run.opt.ok()) ++compiled;
@@ -48,5 +55,6 @@ int main() {
   std::printf("ParserHawk compiled %d/%d rows; baseline failed %d rows; "
               "ParserHawk used strictly fewer stages on %d rows.\n",
               compiled, rows, baseline_failures, ph_fewer);
+  report.write();
   return compiled == rows ? 0 : 1;
 }

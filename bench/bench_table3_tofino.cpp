@@ -18,6 +18,7 @@ using namespace parserhawk::bench;
 
 int main() {
   HwProfile hw = tofino();
+  JsonReport report("table3_tofino");
   std::printf("=== Table 3 (Tofino): ParserHawk vs Tofino compiler proxy ===\n");
   std::printf("Orig timeout: %.0fs (stands in for the paper's 24h budget)\n\n", orig_timeout_sec());
 
@@ -29,6 +30,12 @@ int main() {
       std::string label = variant.label.empty() ? family.name : "  " + variant.label;
       PhRun run = run_parserhawk(variant.spec, hw);
       CompileResult base = baseline::compile_tofino_proxy(variant.spec, hw);
+
+      report.begin_row();
+      report.set("family", family.name);
+      report.set("variant", variant.label);
+      report.add_run(run);
+      report.add_compile("baseline", base);
 
       ++rows;
       if (run.opt.ok()) ++compiled;
@@ -54,5 +61,6 @@ int main() {
   std::printf("ParserHawk compiled %d/%d rows; baseline failed %d rows; "
               "ParserHawk used strictly fewer entries on %d rows.\n",
               compiled, rows, baseline_failures, ph_fewer);
+  report.write();
   return compiled == rows ? 0 : 1;
 }

@@ -29,6 +29,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  JsonReport report("table4");
   std::printf("=== Table 4: ParserHawk vs DPParserGen (parameterized hardware) ===\n\n");
 
   std::vector<Row> rows = {
@@ -58,6 +59,12 @@ int main() {
     CompileResult ph = compile(row.spec, hw, opts);
     CompileResult dp = baseline::compile_dpparsergen(row.spec, hw);
 
+    report.begin_row();
+    report.set("name", row.name);
+    report.set("key_width_limit", row.key_width_limit);
+    report.add_compile("ph", ph);
+    report.add_compile("dp", dp);
+
     if (ph.ok() && dp.ok()) {
       if (ph.usage.tcam_entries > dp.usage.tcam_entries) never_worse = false;
       if (ph.usage.tcam_entries < dp.usage.tcam_entries) ++strictly_better;
@@ -69,5 +76,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("ParserHawk never worse: %s; strictly fewer entries on %d rows.\n",
               never_worse ? "yes" : "NO (regression!)", strictly_better);
+  report.write();
   return never_worse ? 0 : 1;
 }

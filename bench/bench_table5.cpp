@@ -29,6 +29,7 @@ double timed_compile(const ParserSpec& spec, const HwProfile& hw, bool opt4, boo
 }  // namespace
 
 int main() {
+  JsonReport report("table5");
   std::printf("=== Table 5: speedup from Opt4/Opt5 (ablation) ===\n\n");
   struct Program {
     std::string name;
@@ -46,6 +47,8 @@ int main() {
   bool monotone = true;
   for (const auto& p : programs) {
     std::vector<std::string> cells{p.name};
+    report.begin_row();
+    report.set("name", p.name);
     for (const HwProfile& hw : {tofino(), ipu()}) {
       bool ok = true;
       double other = timed_compile(p.spec, hw, /*opt4=*/false, /*opt5=*/false, &ok);
@@ -53,6 +56,9 @@ int main() {
       double plus45 = timed_compile(p.spec, hw, /*opt4=*/true, /*opt5=*/true, &ok);
       // Allow small noise; the trend must hold within 20%.
       if (plus45 > other * 1.2) monotone = false;
+      report.set(hw.name + "_other_sec", other);
+      report.set(hw.name + "_plus5_sec", plus5);
+      report.set(hw.name + "_plus45_sec", plus45);
       cells.push_back(fmt_double(other, 2));
       cells.push_back(fmt_double(plus5, 2));
       cells.push_back(fmt_double(plus45, 2));
@@ -61,5 +67,6 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Fully-optimized no slower than un-ablated: %s\n", monotone ? "yes" : "NO");
+  report.write();
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "bench_util.h"
 
 #include <cstdlib>
+#include <fstream>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/rewrite.h"
 #include "suite/suite.h"
 #include "support/rng.h"
@@ -172,6 +176,104 @@ std::string tcam_cell(const CompileResult& result) {
 
 std::string stages_cell(const CompileResult& result) {
   return result.ok() ? std::to_string(result.usage.stages) : failure_cell(result);
+}
+
+// ---------------------------------------------------------------------------
+// JsonReport
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name)
+    : name_(std::move(bench_name)), path_("BENCH_" + name_ + ".json") {
+  // Benches always collect metrics: the snapshot rides in the sidecar, so a
+  // bench run's Z3/CEGIS telemetry is never lost. Tracing stays opt-in
+  // (per-event buffers cost memory over a long table).
+  obs::Metrics::get().enable();
+  if (std::getenv("PH_TRACE") != nullptr) obs::Tracer::get().enable();
+  obs::set_thread_name("main");
+}
+
+void JsonReport::begin_row() { rows_.emplace_back(); }
+
+void JsonReport::set(const std::string& key, const std::string& v) {
+  if (!rows_.empty()) rows_.back().str(key, v);
+}
+void JsonReport::set(const std::string& key, const char* v) { set(key, std::string(v)); }
+void JsonReport::set(const std::string& key, double v) {
+  if (!rows_.empty()) rows_.back().num(key, v);
+}
+void JsonReport::set(const std::string& key, std::int64_t v) {
+  if (!rows_.empty()) rows_.back().num(key, v);
+}
+void JsonReport::set(const std::string& key, bool v) {
+  if (!rows_.empty()) rows_.back().boolean(key, v);
+}
+
+void JsonReport::add_compile(const std::string& prefix, const CompileResult& r) {
+  set(prefix + "_status", to_string(r.status));
+  set(prefix + "_seconds", r.stats.seconds);
+  if (r.ok()) {
+    set(prefix + "_tcam_entries", r.usage.tcam_entries);
+    set(prefix + "_stages", r.usage.stages);
+  } else {
+    set(prefix + "_failure", failure_cell(r));
+  }
+  set(prefix + "_cegis_rounds", r.stats.cegis_rounds);
+  set(prefix + "_synth_queries", r.stats.synth_queries);
+  set(prefix + "_verify_queries", r.stats.verify_queries);
+  set(prefix + "_budget_attempts", r.stats.budget_attempts);
+  set(prefix + "_formally_verified", r.stats.formally_verified);
+}
+
+void JsonReport::add_run(const PhRun& run) {
+  add_compile("opt", run.opt);
+  if (run.orig_ran) {
+    add_compile("orig", run.orig);
+    set("orig_timed_out", run.orig_timed_out);
+    set("speedup", run.speedup);
+  }
+}
+
+bool JsonReport::write() const {
+  bool ok = true;
+  std::string out = "{\"bench\":" + obs::json_str(name_) + ",\"rows\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i) out += ",";
+    out += rows_[i].render();
+  }
+  out += "],\"metrics\":" + obs::Metrics::get().to_json() + "}\n";
+  std::ofstream f(path_);
+  if (f) {
+    f << out;
+    ok = f.good();
+  } else {
+    ok = false;
+  }
+  if (ok)
+    obs::log_info("bench sidecar written to %s", path_.c_str());
+  else
+    obs::log_error("cannot write bench sidecar %s", path_.c_str());
+
+  if (const char* env = std::getenv("PH_METRICS"))
+    ok = obs::Metrics::get().write_json(env) && ok;
+  if (const char* env = std::getenv("PH_TRACE")) {
+    std::string p = env;
+    bool w = ends_with(p, ".jsonl") ? obs::Tracer::get().write_jsonl(p)
+                                    : obs::Tracer::get().write_chrome_trace(p);
+    if (w)
+      obs::log_info("trace written to %s", p.c_str());
+    else
+      obs::log_error("cannot write trace %s", p.c_str());
+    ok = w && ok;
+  }
+  return ok;
 }
 
 }  // namespace parserhawk::bench

@@ -10,13 +10,19 @@
 //   PH_SKIP_ORIG=1       skip Orig columns entirely (quick mode)
 //   PH_THREADS           Opt7 portfolio threads for OPT runs (default 1;
 //                        the output program is identical at every value)
+//   PH_TRACE=PATH        write a Chrome trace (or JSONL when PATH ends in
+//                        ".jsonl") of the whole bench run
+//   PH_METRICS=PATH      write the metrics-registry JSON sidecar there too
+//                        (a snapshot is always embedded in BENCH_<name>.json)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "hw/profile.h"
 #include "ir/ir.h"
+#include "obs/json.h"
 #include "support/table.h"
 #include "synth/compiler.h"
 
@@ -63,5 +69,43 @@ std::string failure_cell(const CompileResult& result);
 /// "<n>" on success, failure text otherwise.
 std::string tcam_cell(const CompileResult& result);
 std::string stages_cell(const CompileResult& result);
+
+/// Machine-readable bench sidecar: every bench binary mirrors its printed
+/// table into `BENCH_<name>.json` — one JSON object per row (wall time,
+/// status, TCAM rows, ...) plus a final metrics-registry snapshot — so CI
+/// and plotting scripts never scrape the human table.
+///
+/// Constructing a report turns the metrics registry on for the whole run
+/// and honors PH_TRACE; `write()` emits the sidecar (and the PH_TRACE /
+/// PH_METRICS files when those env knobs are set).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Start a new row; set() calls attach to the latest row.
+  void begin_row();
+  void set(const std::string& key, const std::string& v);
+  void set(const std::string& key, const char* v);
+  void set(const std::string& key, double v);
+  void set(const std::string& key, std::int64_t v);
+  void set(const std::string& key, int v) { set(key, static_cast<std::int64_t>(v)); }
+  void set(const std::string& key, bool v);
+
+  /// Standard per-compile fields under "<prefix>_": status, seconds,
+  /// tcam_entries, stages, cegis_rounds, synth/verify queries.
+  void add_compile(const std::string& prefix, const CompileResult& r);
+  /// Both halves of a PhRun (opt always; orig when it ran) + speedup.
+  void add_run(const PhRun& run);
+
+  /// Write BENCH_<name>.json in the working directory. Returns false (and
+  /// logs) when any file cannot be written.
+  bool write() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<obs::JsonObject> rows_;
+};
 
 }  // namespace parserhawk::bench

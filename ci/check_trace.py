@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate the telemetry sidecars a traced hawk_compile run produces.
+
+Usage: ci/check_trace.py TRACE.json [METRICS.json]
+
+Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
+  * the trace file is valid JSON with a top-level "traceEvents" list
+  * every event carries name/ph/pid/tid; "X" events carry numeric ts/dur,
+    "i" events carry ts (durations and timestamps non-negative)
+  * per thread, events sorted by ts are monotonic and complete events do
+    not end before they start
+  * thread_name metadata ("M") records exist for every tid that logged
+  * expected pipeline spans are present (compile, solve_state, z3_check)
+  * the metrics file (optional arg) is valid JSON with counters/gauges/
+    histograms; Z3 query counters exist and each phase's outcome counts
+    (sat+unsat+unknown) sum to its query count; histogram bucket counts
+    sum to the histogram's count
+
+Exits non-zero with a message on the first violation.
+"""
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' empty or not a list")
+
+    named_tids = set()
+    logged_tids = set()
+    per_tid = defaultdict(list)
+    span_names = set()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event {i} missing '{key}': {e}")
+        ph = e["ph"]
+        if ph == "M":
+            if e["name"] == "thread_name":
+                named_tids.add(e["tid"])
+            continue
+        if ph not in ("X", "i"):
+            fail(f"{path}: event {i} has unexpected ph {ph!r}")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event {i} has bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: event {i} has bad dur {dur!r}")
+            span_names.add(e["name"])
+        logged_tids.add(e["tid"])
+        per_tid[e["tid"]].append(ts)
+
+    unnamed = logged_tids - named_tids
+    if unnamed:
+        fail(f"{path}: tids {sorted(unnamed)} logged events but have no thread_name record")
+
+    # The exporter sorts globally by timestamp, so each thread's sequence
+    # must be monotonic too.
+    for tid, stamps in per_tid.items():
+        for a, b in zip(stamps, stamps[1:]):
+            if b < a:
+                fail(f"{path}: tid {tid} timestamps not monotonic ({a} then {b})")
+
+    for expected in ("compile", "z3_check"):
+        if not any(n == expected or n.startswith(expected + ":") for n in span_names):
+            fail(f"{path}: expected a '{expected}' span; got {sorted(span_names)[:20]}")
+
+    n_spans = sum(1 for e in events if e["ph"] == "X")
+    print(f"check_trace: {path}: OK ({n_spans} spans, {len(per_tid)} thread(s))")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            fail(f"{path}: missing '{key}' object")
+    counters = doc["counters"]
+
+    z3_queries = {k: v for k, v in counters.items() if k.startswith("z3.") and k.endswith(".queries")}
+    if not z3_queries:
+        fail(f"{path}: no z3.<phase>.queries counters; got {sorted(counters)[:20]}")
+    for name, total in z3_queries.items():
+        phase = name[: -len(".queries")]
+        outcomes = sum(counters.get(f"{phase}.{r}", 0) for r in ("sat", "unsat", "unknown"))
+        if outcomes != total:
+            fail(f"{path}: {phase} outcomes sum to {outcomes}, expected {total}")
+
+    for name, h in doc["histograms"].items():
+        buckets = h.get("bucket_counts")
+        if not isinstance(buckets, list):
+            fail(f"{path}: histogram {name} missing bucket_counts")
+        if sum(buckets) != h.get("count"):
+            fail(f"{path}: histogram {name} buckets sum {sum(buckets)} != count {h.get('count')}")
+        if h.get("count", 0) < 0 or (h.get("count") and h.get("min", 0) > h.get("max", 0)):
+            fail(f"{path}: histogram {name} has inconsistent count/min/max")
+
+    print(f"check_trace: {path}: OK ({len(counters)} counters, {len(doc['histograms'])} histograms)")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

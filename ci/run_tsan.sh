@@ -15,12 +15,17 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DPARSERHAWK_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_property_end2end
+  --target test_thread_pool test_parallel_determinism test_property_end2end test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp"
 # Sanitizer overhead stretches in-flight z3 queries well past the native
 # promptness bound of the timeout property.
 export PH_TIMEOUT_SLACK_SEC=30
+
+echo "== test_obs (TSan) =="
+# The tracer/metrics concurrent-recording tests (8 writer threads against
+# per-thread buffers merged at flush) are exactly the shape TSan is for.
+"$BUILD_DIR/tests/test_obs"
 
 echo "== test_thread_pool (TSan) =="
 "$BUILD_DIR/tests/test_thread_pool"

@@ -2,12 +2,24 @@
 //
 //   ./build/examples/hawk_compile examples/specs/ethernet.hawk tofino
 //   ./build/examples/hawk_compile examples/specs/mpls.hawk ipu --threads 4
+//   ./build/examples/hawk_compile examples/specs/ethernet.hawk tofino \
+//       --trace-out trace.json --metrics-out metrics.json
 //
 // Reads a .hawk source file, runs the full pipeline (front-end -> analyzer
 // -> CEGIS synthesis -> post-synthesis optimization -> verification) and
 // prints the target configuration. `--threads N` (or PH_THREADS) enables
 // the Opt7 parallel portfolio; the output program is identical at every
 // thread count, only wall-clock changes.
+//
+// Observability (DESIGN.md §7):
+//   --trace-out PATH    span trace of the run; Chrome trace_event JSON
+//                       (Perfetto-loadable), or JSONL when PATH ends in
+//                       ".jsonl". Env fallback: PH_TRACE=PATH.
+//   --metrics-out PATH  counters/histograms sidecar (Z3 queries, CEGIS
+//                       behavior, pool health). Env fallback: PH_METRICS.
+//   --verbose / --quiet log level (also PH_LOG=debug|info|warn|error).
+// Both sidecars are written on failure paths too, so a timed-out or
+// rejected compile still leaves its telemetry behind.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,40 +29,98 @@
 
 #include "backend/backend.h"
 #include "lang/lang.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/compiler.h"
 
 using namespace parserhawk;
 
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Write the trace/metrics sidecars (if requested). Called on every exit
+/// path after synthesis starts, successful or not.
+void write_telemetry(const std::string& trace_out, const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    bool ok = ends_with(trace_out, ".jsonl") ? obs::Tracer::get().write_jsonl(trace_out)
+                                             : obs::Tracer::get().write_chrome_trace(trace_out);
+    if (ok)
+      obs::log_info("trace written to %s", trace_out.c_str());
+    else
+      obs::log_error("cannot write trace to %s", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (obs::Metrics::get().write_json(metrics_out))
+      obs::log_info("metrics written to %s", metrics_out.c_str());
+    else
+      obs::log_error("cannot write metrics to %s", metrics_out.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  obs::log_level_from_env();
+
   std::vector<std::string> args;
   int num_threads = 1;
+  std::string trace_out;
+  std::string metrics_out;
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
     if (v > 0) num_threads = v;
   }
+  if (const char* env = std::getenv("PH_TRACE")) trace_out = env;
+  if (const char* env = std::getenv("PH_METRICS")) metrics_out = env;
+
+  auto need_value = [&](const std::string& a, int i) -> const char* {
+    if (i + 1 >= argc) {
+      obs::log_error("%s requires a value", a.c_str());
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--threads" || a == "-j") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a count\n", a.c_str());
-        return 2;
-      }
-      num_threads = std::atoi(argv[++i]);
+      num_threads = std::atoi(need_value(a, i));
+      ++i;
       if (num_threads < 1) num_threads = 1;
     } else if (a.rfind("--threads=", 0) == 0) {
       num_threads = std::atoi(a.c_str() + 10);
       if (num_threads < 1) num_threads = 1;
+    } else if (a == "--trace-out") {
+      trace_out = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(12);
+    } else if (a == "--metrics-out") {
+      metrics_out = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(14);
+    } else if (a == "--verbose" || a == "-v") {
+      obs::set_log_level(obs::LogLevel::Debug);
+    } else if (a == "--quiet" || a == "-q") {
+      obs::set_log_level(obs::LogLevel::Warn);
     } else {
       args.push_back(std::move(a));
     }
   }
   if (args.empty() || args.size() > 2) {
-    std::fprintf(stderr, "usage: %s <spec.hawk> [tofino|ipu] [--threads N]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--trace-out PATH]\n"
+                 "       [--metrics-out PATH] [--verbose|--quiet]\n",
+                 argv[0]);
     return 2;
   }
   std::ifstream in(args[0]);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
+    obs::log_error("cannot open %s", args[0].c_str());
     return 2;
   }
   std::ostringstream buf;
@@ -58,24 +128,31 @@ int main(int argc, char** argv) {
 
   auto spec = lang::parse_source(buf.str());
   if (!spec) {
-    std::fprintf(stderr, "%s\n", spec.error().to_string().c_str());
+    obs::log_error("%s", spec.error().to_string().c_str());
     return 1;
   }
   std::string target = args.size() == 2 ? args[1] : "tofino";
   HwProfile hw = target == "ipu" ? ipu() : tofino();
 
-  std::printf("Compiling '%s' (%zu states) for %s with %d thread(s)...\n", spec->name.c_str(),
-              spec->states.size(), hw.name.c_str(), num_threads);
+  if (!trace_out.empty()) obs::Tracer::get().enable();
+  if (!metrics_out.empty()) obs::Metrics::get().enable();
+  obs::set_thread_name("main");
+
+  obs::log_info("compiling '%s' (%zu states) for %s with %d thread(s)", spec->name.c_str(),
+                spec->states.size(), hw.name.c_str(), num_threads);
+  obs::log_debug("trace-out=%s metrics-out=%s", trace_out.empty() ? "(off)" : trace_out.c_str(),
+                 metrics_out.empty() ? "(off)" : metrics_out.c_str());
   SynthOptions opts;
   opts.num_threads = num_threads;
   CompileResult result = compile(*spec, hw, opts);
+  write_telemetry(trace_out, metrics_out);
   if (!result.ok()) {
-    std::printf("FAILED: %s (%s)\n", to_string(result.status).c_str(), result.reason.c_str());
+    obs::log_error("FAILED: %s (%s)", to_string(result.status).c_str(), result.reason.c_str());
     return 1;
   }
-  std::printf("OK in %.2fs: %d entries, %d stage(s), verified: %s\n\n", result.stats.seconds,
-              result.usage.tcam_entries, result.usage.stages,
-              result.stats.formally_verified ? "formally" : "bounded+differential");
+  obs::log_info("OK in %.2fs: %d entries, %d stage(s), verified: %s", result.stats.seconds,
+                result.usage.tcam_entries, result.usage.stages,
+                result.stats.formally_verified ? "formally" : "bounded+differential");
   std::printf("%s\n", backend::emit(result.program, hw).c_str());
   return 0;
 }

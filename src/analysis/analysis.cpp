@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/trace.h"
+
 namespace parserhawk {
 
 namespace {
@@ -82,6 +84,8 @@ int state_max_bits(const ParserSpec& spec, int state) {
 }
 
 SpecAnalysis analyze(const ParserSpec& spec, int max_iterations) {
+  obs::Span span("analyze");
+  span.arg("spec", spec.name);
   SpecAnalysis a;
   const int n = static_cast<int>(spec.states.size());
   a.state_reachable.assign(static_cast<std::size_t>(n), false);

@@ -1,0 +1,78 @@
+// Minimal JSON rendering helpers shared by the trace/metrics exporters and
+// the bench result sidecars. Rendering only — the repo never parses JSON at
+// runtime (ci/check_trace.py and the tests do the validating).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parserhawk::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes excluded).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_str(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+/// Render a double as a JSON number (JSON has no NaN/Inf; clamp to 0).
+inline std::string json_num(double v) {
+  if (v != v || v > 1e300 || v < -1e300) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string json_num(std::int64_t v) { return std::to_string(v); }
+
+/// Incremental `{"k": v, ...}` builder over pre-rendered value strings.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& rendered_value) {
+    entries_.emplace_back(key, rendered_value);
+    return *this;
+  }
+  JsonObject& str(const std::string& key, const std::string& v) { return field(key, json_str(v)); }
+  JsonObject& num(const std::string& key, double v) { return field(key, json_num(v)); }
+  JsonObject& num(const std::string& key, std::int64_t v) { return field(key, json_num(v)); }
+  JsonObject& boolean(const std::string& key, bool v) { return field(key, v ? "true" : "false"); }
+
+  bool empty() const { return entries_.empty(); }
+
+  std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i) out += ",";
+      out += json_str(entries_[i].first) + ":" + entries_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace parserhawk::obs

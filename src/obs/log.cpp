@@ -1,0 +1,73 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace parserhawk::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_write_mutex;  // keeps concurrent worker messages line-atomic
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[ph] debug: ";
+    case LogLevel::Info: return "[ph] ";
+    case LogLevel::Warn: return "[ph] warning: ";
+    case LogLevel::Error: return "[ph] error: ";
+    case LogLevel::Silent: return "[ph] ";
+  }
+  return "[ph] ";
+}
+
+void vlogf(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(g_write_mutex);
+  std::fputs(prefix(level), stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);  // crash/timeout paths must not lose the tail
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void log_level_from_env() {
+  const char* v = std::getenv("PH_LOG");
+  if (v == nullptr) return;
+  if (std::strcmp(v, "debug") == 0) set_log_level(LogLevel::Debug);
+  else if (std::strcmp(v, "info") == 0) set_log_level(LogLevel::Info);
+  else if (std::strcmp(v, "warn") == 0) set_log_level(LogLevel::Warn);
+  else if (std::strcmp(v, "error") == 0) set_log_level(LogLevel::Error);
+  else if (std::strcmp(v, "silent") == 0) set_log_level(LogLevel::Silent);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+#define PH_DEFINE_LEVEL_FN(fn, level)     \
+  void fn(const char* fmt, ...) {         \
+    va_list args;                         \
+    va_start(args, fmt);                  \
+    vlogf(level, fmt, args);              \
+    va_end(args);                         \
+  }
+
+PH_DEFINE_LEVEL_FN(log_debug, LogLevel::Debug)
+PH_DEFINE_LEVEL_FN(log_info, LogLevel::Info)
+PH_DEFINE_LEVEL_FN(log_warn, LogLevel::Warn)
+PH_DEFINE_LEVEL_FN(log_error, LogLevel::Error)
+#undef PH_DEFINE_LEVEL_FN
+
+}  // namespace parserhawk::obs

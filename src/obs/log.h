@@ -1,0 +1,40 @@
+// Tiny leveled stderr logger (DESIGN.md §7).
+//
+// All ad-hoc diagnostic prints route through here so verbosity is one knob
+// (`hawk_compile --verbose/--quiet`, PH_LOG). Messages carry a consistent
+// "[ph] <level>:" prefix and every write is flushed immediately, so the log
+// is complete even when a run is killed mid-synthesis or dies on a crash /
+// timeout path.
+#pragma once
+
+#include <cstdarg>
+
+namespace parserhawk::obs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+/// Initialize the level from the PH_LOG environment variable
+/// (debug|info|warn|error|silent); leaves the default (Info) otherwise.
+void log_level_from_env();
+
+/// printf-style; dropped when `level` is below the current threshold.
+void logf(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PH_LOG_PRINTF __attribute__((format(printf, 1, 2)))
+#else
+#define PH_LOG_PRINTF
+#endif
+void log_debug(const char* fmt, ...) PH_LOG_PRINTF;
+void log_info(const char* fmt, ...) PH_LOG_PRINTF;
+void log_warn(const char* fmt, ...) PH_LOG_PRINTF;
+void log_error(const char* fmt, ...) PH_LOG_PRINTF;
+#undef PH_LOG_PRINTF
+
+}  // namespace parserhawk::obs

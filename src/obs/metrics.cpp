@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace parserhawk::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Histogram {
+  std::int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::int64_t buckets[kHistogramBuckets] = {};
+
+  void observe(double v) {
+    if (count == 0 || v < min) min = v;
+    if (count == 0 || v > max) max = v;
+    ++count;
+    sum += v;
+    int b = 0;
+    if (v > 1e-6) {
+      b = static_cast<int>(std::floor(std::log2(v / 1e-6))) + 1;
+      b = std::clamp(b, 0, kHistogramBuckets - 1);
+    }
+    ++buckets[b];
+  }
+};
+
+}  // namespace
+
+struct Metrics::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;  // high-water marks
+  std::map<std::string, Histogram> histograms;
+};
+
+Metrics& Metrics::get() {
+  static Metrics* instance = new Metrics();  // leaked: see header
+  return *instance;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Metrics::add(const std::string& name, std::int64_t delta) {
+  if (!enabled()) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  im.counters[name] += delta;
+}
+
+void Metrics::observe(const std::string& name, double value) {
+  if (!enabled()) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  im.histograms[name].observe(value);
+}
+
+void Metrics::maximize(const std::string& name, std::int64_t value) {
+  if (!enabled()) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end())
+    im.gauges[name] = value;
+  else if (value > it->second)
+    it->second = value;
+}
+
+std::vector<CounterSnapshot> Metrics::counters() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  std::vector<CounterSnapshot> out;
+  for (const auto& [name, value] : im.counters) out.push_back(CounterSnapshot{name, value});
+  return out;
+}
+
+std::vector<HistogramSnapshot> Metrics::histograms() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  std::vector<HistogramSnapshot> out;
+  for (const auto& [name, h] : im.histograms) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.min = h.min;
+    s.max = h.max;
+    s.buckets.assign(h.buckets, h.buckets + kHistogramBuckets);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::int64_t Metrics::counter(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.counters.find(name);
+  return it == im.counters.end() ? 0 : it->second;
+}
+
+std::string Metrics::to_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  JsonObject counters;
+  for (const auto& [name, value] : im.counters) counters.num(name, value);
+  JsonObject gauges;
+  for (const auto& [name, value] : im.gauges) gauges.num(name, value);
+  JsonObject histos;
+  for (const auto& [name, h] : im.histograms) {
+    JsonObject o;
+    o.num("count", h.count).num("sum", h.sum).num("min", h.min).num("max", h.max);
+    std::string buckets = "[";
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (i) buckets += ",";
+      buckets += std::to_string(h.buckets[i]);
+    }
+    buckets += "]";
+    o.field("bucket_counts", buckets);
+    o.str("bucket_scheme", "le_seconds_pow2_from_1us");
+    histos.field(name, o.render());
+  }
+  JsonObject root;
+  root.field("counters", counters.render());
+  root.field("gauges", gauges.render());
+  root.field("histograms", histos.render());
+  return root.render();
+}
+
+bool Metrics::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+void Metrics::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  im.counters.clear();
+  im.gauges.clear();
+  im.histograms.clear();
+}
+
+}  // namespace parserhawk::obs

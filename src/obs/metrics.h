@@ -1,0 +1,96 @@
+// Named counter / histogram / high-water-gauge registry (DESIGN.md §7).
+//
+// Captures the solver-level telemetry the trace spans are too coarse for:
+// Z3 query counts and outcomes (sat/unsat/unknown/timeout) with a per-query
+// wall-time histogram per phase, CEGIS behavior (counterexamples per call,
+// budget-ascent steps, Opt7 shape-variant winner index,
+// cancellation-to-stop latency), and thread-pool health (tasks run, steals,
+// queue-depth high-water). Dumped as one JSON object (`to_json`), written
+// as a sidecar by hawk_compile --metrics-out / PH_METRICS and by every
+// bench binary's BENCH_<name>.json.
+//
+// Disabled (the default) every record call is a single relaxed atomic
+// load. Enabled, a record is one uncontended mutex acquisition plus a map
+// lookup — noise next to the millisecond-scale Z3 queries it measures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parserhawk::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True when the global registry is recording (one relaxed load).
+inline bool metrics_on() { return detail::g_metrics_enabled.load(std::memory_order_relaxed); }
+
+/// Log-scale histogram over seconds: bucket i counts observations in
+/// [2^i * 1e-6, 2^(i+1) * 1e-6) seconds, i.e. 1 µs doubling up to ~67 s,
+/// with under/overflow absorbed into the edge buckets.
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<std::int64_t> buckets;  ///< kHistogramBuckets entries
+};
+
+inline constexpr int kHistogramBuckets = 27;
+
+struct CounterSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+class Metrics {
+ public:
+  /// The process-global registry (leaked, like the Tracer).
+  static Metrics& get();
+
+  void enable() { detail::g_metrics_enabled.store(true, std::memory_order_relaxed); }
+  void disable() { detail::g_metrics_enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return metrics_on(); }
+
+  /// Add `delta` to counter `name` (created at 0 on first use).
+  void add(const std::string& name, std::int64_t delta = 1);
+  /// Record one observation into histogram `name` (value in seconds for
+  /// time metrics, but any non-negative double works).
+  void observe(const std::string& name, double value);
+  /// Raise high-water gauge `name` to at least `value`.
+  void maximize(const std::string& name, std::int64_t value);
+
+  std::vector<CounterSnapshot> counters() const;
+  std::vector<HistogramSnapshot> histograms() const;
+  /// Value of one counter (0 when absent) — test/assertion helper.
+  std::int64_t counter(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — see
+  /// DESIGN.md §7 for the schema.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  void reset();
+
+ private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience wrappers: no-ops (one relaxed load) when disabled.
+inline void count(const std::string& name, std::int64_t delta = 1) {
+  if (metrics_on()) Metrics::get().add(name, delta);
+}
+inline void observe(const std::string& name, double value) {
+  if (metrics_on()) Metrics::get().observe(name, value);
+}
+inline void maximize(const std::string& name, std::int64_t value) {
+  if (metrics_on()) Metrics::get().maximize(name, value);
+}
+
+}  // namespace parserhawk::obs

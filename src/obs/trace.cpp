@@ -1,0 +1,235 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace parserhawk::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Events land in the owning thread's buffer; the tracer keeps a shared_ptr
+/// to every buffer ever registered so events survive thread exit and are
+/// merged at flush. The per-buffer mutex is only ever contended by a flush
+/// racing the owner, which the synthesizer never does mid-run.
+struct ThreadBuf {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadBuf>> buffers;
+  std::uint32_t next_tid = 1;
+  Clock::time_point origin = Clock::now();
+
+  ThreadBuf& local_buf() {
+    thread_local std::shared_ptr<ThreadBuf> buf;
+    if (!buf) {
+      buf = std::make_shared<ThreadBuf>();
+      std::lock_guard<std::mutex> lk(registry_mutex);
+      buf->tid = next_tid++;
+      buffers.push_back(buf);
+    }
+    return *buf;
+  }
+};
+
+Tracer& Tracer::get() {
+  static Tracer* instance = new Tracer();  // leaked: see header
+  return *instance;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Tracer::enable() {
+  Impl& im = impl();
+  if (!enabled()) {
+    std::lock_guard<std::mutex> lk(im.registry_mutex);
+    im.origin = Clock::now();
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { detail::g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - impl().origin)
+      .count();
+}
+
+void Tracer::record_span(std::string name, std::int64_t ts_ns, std::int64_t dur_ns,
+                         std::string args_json) {
+  // No enabled() gate here: a Span that went active while tracing was on
+  // commits even if tracing was turned off mid-span — dropping it would
+  // leave truncated parents in the trace.
+  ThreadBuf& buf = impl().local_buf();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.events.push_back(
+      TraceEvent{std::move(name), std::move(args_json), ts_ns, dur_ns < 0 ? 0 : dur_ns, buf.tid});
+}
+
+void Tracer::record_instant(std::string name, std::string args_json) {
+  if (!enabled()) return;
+  ThreadBuf& buf = impl().local_buf();
+  std::int64_t ts = now_ns();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.events.push_back(TraceEvent{std::move(name), std::move(args_json), ts, -1, buf.tid});
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadBuf& buf = impl().local_buf();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  Impl& im = impl();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(im.registry_mutex);
+    bufs = im.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mutex);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names() const {
+  Impl& im = impl();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(im.registry_mutex);
+    bufs = im.buffers;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mutex);
+    if (!b->name.empty()) out.emplace_back(b->tid, b->name);
+  }
+  return out;
+}
+
+namespace {
+
+std::string us(std::int64_t ns) {
+  // Chrome trace timestamps are microseconds; keep sub-us resolution.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+  for (const auto& [tid, name] : thread_names()) {
+    JsonObject o;
+    o.str("name", "thread_name").str("ph", "M").num("pid", std::int64_t{1});
+    o.num("tid", static_cast<std::int64_t>(tid));
+    o.field("args", JsonObject().str("name", name).render());
+    emit(o.render());
+  }
+  for (const auto& e : snapshot()) {
+    JsonObject o;
+    o.str("name", e.name).str("ph", e.dur_ns < 0 ? "i" : "X");
+    o.num("pid", std::int64_t{1}).num("tid", static_cast<std::int64_t>(e.tid));
+    o.field("ts", us(e.ts_ns));
+    if (e.dur_ns >= 0) o.field("dur", us(e.dur_ns));
+    if (e.dur_ns < 0) o.str("s", "t");  // instant scope: thread
+    if (!e.args_json.empty()) o.field("args", e.args_json);
+    emit(o.render());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::jsonl() const {
+  std::string out;
+  for (const auto& e : snapshot()) {
+    JsonObject o;
+    o.str("name", e.name).str("ph", e.dur_ns < 0 ? "i" : "X");
+    o.num("tid", static_cast<std::int64_t>(e.tid));
+    o.field("ts_us", us(e.ts_ns));
+    if (e.dur_ns >= 0) o.field("dur_us", us(e.dur_ns));
+    if (!e.args_json.empty()) o.field("args", e.args_json);
+    out += o.render();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  return write_file(path, chrome_trace_json());
+}
+
+bool Tracer::write_jsonl(const std::string& path) const { return write_file(path, jsonl()); }
+
+void Tracer::reset() {
+  Impl& im = impl();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(im.registry_mutex);
+    bufs = im.buffers;
+    im.origin = Clock::now();
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mutex);
+    b->events.clear();
+    b->name.clear();
+  }
+}
+
+void Span::begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  start_ns_ = Tracer::get().now_ns();
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tracer = Tracer::get();
+  std::int64_t dur = tracer.now_ns() - start_ns_;
+  tracer.record_span(std::move(name_), start_ns_, dur < 0 ? 0 : dur,
+                     args_.empty() ? std::string() : args_.render());
+}
+
+}  // namespace parserhawk::obs

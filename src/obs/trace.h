@@ -1,0 +1,148 @@
+// Span/event tracing for the synthesis pipeline (DESIGN.md §7).
+//
+// A process-global Tracer records timing spans (RAII `Span`), instant
+// events, and counter samples into per-thread buffers that are merged only
+// at flush, so concurrent Opt7 portfolio workers never contend on a shared
+// log. Two exporters:
+//
+//   * Chrome `trace_event` JSON — loads in Perfetto / chrome://tracing;
+//     each worker thread is its own track (named via set_thread_name), so
+//     the per-state fan-out and per-budget shape races are visible as
+//     overlapping spans.
+//   * JSONL — one structured event per line, for grep/jq-style analysis.
+//
+// Disabled (the default) the hot path is a single relaxed atomic load per
+// span site: no locks, no allocation, no clock reads. Tracing is opt-in via
+// Tracer::enable() (hawk_compile --trace-out / PH_TRACE, bench PH_TRACE).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace parserhawk::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when the global tracer is recording. One relaxed load; call sites
+/// use this to skip building dynamic span labels/args entirely.
+inline bool tracing() { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
+
+/// One recorded event. `dur_ns < 0` marks an instant event.
+struct TraceEvent {
+  std::string name;
+  std::string args_json;  ///< rendered JSON object, or empty
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = -1;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  /// The process-global tracer. Never destroyed (leaked on purpose) so
+  /// thread-local buffer handles can outlive main's statics safely.
+  static Tracer& get();
+
+  /// Start recording; resets the time origin. Idempotent.
+  void enable();
+  /// Stop recording. Already-buffered events stay until reset().
+  void disable();
+  bool enabled() const { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since enable() on the monotonic clock.
+  std::int64_t now_ns() const;
+
+  /// Record a completed span / an instant event on the calling thread's
+  /// buffer. No-ops when disabled.
+  void record_span(std::string name, std::int64_t ts_ns, std::int64_t dur_ns,
+                   std::string args_json = {});
+  void record_instant(std::string name, std::string args_json = {});
+
+  /// Name the calling thread's track in the Chrome trace ("worker 3").
+  /// Cheap and safe to call whether or not tracing is enabled.
+  void set_thread_name(std::string name);
+
+  /// Merge all per-thread buffers (events sorted by timestamp).
+  std::vector<TraceEvent> snapshot() const;
+  /// Names assigned via set_thread_name, as (tid, name) pairs.
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names() const;
+
+  /// Chrome trace_event exporter: {"traceEvents": [...]} with one "M"
+  /// thread_name metadata record per named thread that logged events.
+  std::string chrome_trace_json() const;
+  /// JSONL exporter: one {"name":...,"ts_us":...,"dur_us":...,"tid":...}
+  /// object per line; instant events carry "ph":"i".
+  std::string jsonl() const;
+
+  bool write_chrome_trace(const std::string& path) const;
+  bool write_jsonl(const std::string& path) const;
+
+  /// Drop all buffered events and thread names (tids are not reused).
+  void reset();
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII span. Construction with a static name is free when tracing is
+/// disabled; dynamic labels and args are added only behind active().
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing()) begin(name);
+  }
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Append ":<label>" to the span name (shows on the Perfetto track).
+  void label(const std::string& suffix) {
+    if (active_) name_ += ":" + suffix;
+  }
+
+  void arg(const char* key, const std::string& v) {
+    if (active_) args_.str(key, v);
+  }
+  void arg(const char* key, const char* v) {  // keeps literals off the bool overload
+    if (active_) args_.str(key, v);
+  }
+  void arg(const char* key, std::int64_t v) {
+    if (active_) args_.num(key, v);
+  }
+  void arg(const char* key, int v) { arg(key, static_cast<std::int64_t>(v)); }
+  void arg(const char* key, double v) {
+    if (active_) args_.num(key, v);
+  }
+  void arg(const char* key, bool v) {
+    if (active_) args_.boolean(key, v);
+  }
+
+  /// Close the span now (idempotent; the destructor is then a no-op).
+  void end();
+
+ private:
+  void begin(const char* name);
+
+  bool active_ = false;
+  std::int64_t start_ns_ = 0;
+  std::string name_;
+  JsonObject args_;
+};
+
+/// Convenience wrappers over the global tracer.
+inline void trace_instant(const char* name, std::string args_json = {}) {
+  if (tracing()) Tracer::get().record_instant(name, std::move(args_json));
+}
+inline void set_thread_name(std::string name) { Tracer::get().set_thread_name(std::move(name)); }
+
+}  // namespace parserhawk::obs

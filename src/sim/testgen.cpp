@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace parserhawk {
 
 namespace {
@@ -105,6 +108,14 @@ BitVec generate_path_input(const ParserSpec& spec, Rng& rng, int max_iterations,
 
 std::optional<DiffMismatch> differential_test(const ParserSpec& spec, const TcamProgram& prog,
                                               const DiffTestOptions& options) {
+  obs::Span span("differential_test");
+  if (span.active()) {
+    span.arg("spec", spec.name);
+    span.arg("samples", options.samples);
+    span.arg("input_bits", options.input_bits);
+  }
+  obs::count("difftest.runs");
+  obs::count("difftest.samples", options.samples);
   Rng rng(options.seed);
 
   auto check = [&](const BitVec& input) -> std::optional<DiffMismatch> {

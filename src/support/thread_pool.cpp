@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace parserhawk {
 
@@ -29,6 +33,8 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lk(idle_mutex_);
     q = next_queue_++ % queues_.size();
     ++pending_;
+    ++submitted_;
+    if (pending_ > queue_depth_hwm_) queue_depth_hwm_ = pending_;
   }
   {
     std::lock_guard<std::mutex> lk(queues_[q]->mutex);
@@ -49,7 +55,9 @@ bool ThreadPool::try_acquire(std::function<void()>& out, std::size_t home) {
     } else {  // steal: oldest first
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
     }
+    executed_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> ilk(idle_mutex_);
     --pending_;
     return true;
@@ -57,7 +65,30 @@ bool ThreadPool::try_acquire(std::function<void()>& out, std::size_t home) {
   return false;
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  {
+    std::lock_guard<std::mutex> lk(idle_mutex_);
+    s.submitted = submitted_;
+    s.queue_depth_hwm = queue_depth_hwm_;
+  }
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::publish_metrics() const {
+  if (!obs::metrics_on()) return;
+  ThreadPoolStats s = stats();
+  obs::count("pool.submitted", s.submitted);
+  obs::count("pool.executed", s.executed);
+  obs::count("pool.steals", s.steals);
+  obs::maximize("pool.queue_depth_hwm", s.queue_depth_hwm);
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
+  // Named track per worker so Opt7 races are readable in Perfetto.
+  obs::set_thread_name("worker " + std::to_string(self));
   std::function<void()> task;
   for (;;) {
     if (try_acquire(task, self)) {

@@ -17,8 +17,10 @@
 // submitted, so a scoped pool never leaks threads or drops work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -26,6 +28,15 @@
 #include <vector>
 
 namespace parserhawk {
+
+/// Pool health counters (DESIGN.md §7). Monotonic over the pool's life;
+/// read them after shutdown (or any quiescent point) for exact totals.
+struct ThreadPoolStats {
+  std::int64_t submitted = 0;  ///< tasks handed to submit()/run_all()
+  std::int64_t executed = 0;   ///< tasks actually run (== submitted at shutdown)
+  std::int64_t steals = 0;     ///< executions acquired from a non-home queue
+  std::int64_t queue_depth_hwm = 0;  ///< max queued-but-unstarted tasks
+};
 
 class ThreadPool {
  public:
@@ -47,6 +58,15 @@ class ThreadPool {
   /// pool task (nested batches).
   void run_all(std::vector<std::function<void()>> tasks);
 
+  /// Snapshot of the health counters. Consistent (executed == submitted,
+  /// steals <= executed) once the pool is idle or destroyed.
+  ThreadPoolStats stats() const;
+
+  /// Publish stats() into the global obs::Metrics registry under
+  /// "pool.submitted" / "pool.executed" / "pool.steals" /
+  /// "pool.queue_depth_hwm" (gauge). No-op when metrics are disabled.
+  void publish_metrics() const;
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -63,11 +83,19 @@ class ThreadPool {
 
   // Idle/shutdown coordination: `pending_` counts queued-but-unstarted
   // tasks; workers sleep on `work_cv_` only when it is zero.
-  std::mutex idle_mutex_;
+  mutable std::mutex idle_mutex_;  // mutable: stats() reads under it
   std::condition_variable work_cv_;
   int pending_ = 0;
   bool stop_ = false;
   std::size_t next_queue_ = 0;  // round-robin home queue for external submits
+
+  // Health counters. submitted_/queue_depth_hwm_ piggyback on idle_mutex_
+  // (already held where they change); executed_/steals_ are updated from
+  // try_acquire under per-queue locks, so they are atomics.
+  std::int64_t submitted_ = 0;
+  std::int64_t queue_depth_hwm_ = 0;
+  std::atomic<std::int64_t> executed_{0};
+  std::atomic<std::int64_t> steals_{0};
 };
 
 }  // namespace parserhawk

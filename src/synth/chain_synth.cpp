@@ -5,6 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "synth/z3_obs.h"
 
 namespace parserhawk {
 
@@ -245,6 +250,15 @@ std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const
     return sol;
   }
 
+  obs::Span span("synthesize_chain");
+  if (span.active()) {
+    span.arg("spec_state", problem.spec_state);
+    span.arg("key_width", problem.key_width);
+    span.arg("layers", shape.layers);
+    span.arg("row_budget", shape.row_budget);
+    span.arg("restrict_masks", shape.restrict_masks);
+  }
+
   z3::context ctx;
   z3::solver synth(ctx);
   Encoding enc = build_encoding(ctx, problem, shape, synth, stats);
@@ -274,12 +288,14 @@ std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const
               ctx.int_val(eval_semantics(problem.semantics, k)));
 
   for (int round = 0; round < 48; ++round) {
-    if (deadline.expired()) return std::nullopt;
+    if (deadline.expired()) {
+      if (deadline.cancelled()) obs::count("opt7.attempts_cancelled");
+      return std::nullopt;
+    }
     stats.cegis_rounds = round + 1;
 
     ++stats.synth_queries;
-    synth.set("timeout", static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
-    if (synth.check() != z3::sat) return std::nullopt;
+    if (timed_check(synth, &deadline, "synth") != z3::sat) return std::nullopt;
     ChainSolution candidate = extract_solution(enc, synth.get_model());
 
     // Verification: does the candidate agree with f_S over the whole key
@@ -317,15 +333,22 @@ std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const
       }
       verify.add(layer_eval[0][0] != spec_next);
     }
-    verify.set("timeout", static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
-    z3::check_result vr = verify.check();
-    if (vr == z3::unsat) return candidate;
+    z3::check_result vr = timed_check(verify, &deadline, "verify");
+    if (vr == z3::unsat) {
+      if (obs::metrics_on()) {
+        obs::observe("cegis.rounds_per_call", round + 1);
+        obs::observe("cegis.counterexamples_per_call", round);
+      }
+      return candidate;
+    }
     if (vr != z3::sat) return std::nullopt;  // timeout mid-verify
 
+    obs::count("cegis.counterexamples");
     std::uint64_t cex = verify.get_model().eval(k, true).get_numeral_uint64();
     synth.add(eval_expr(enc, ctx.bv_val(cex, w)) ==
               ctx.int_val(eval_semantics(problem.semantics, cex)));
   }
+  obs::count("cegis.round_exhaustion");
   return std::nullopt;
 }
 

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "analysis/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "postopt/postopt.h"
 #include "sim/testgen.h"
 #include "support/cancel.h"
@@ -376,27 +378,59 @@ int race_attempts(ThreadPool& pool, const ChainProblem& problem,
   const int n = static_cast<int>(attempts.size());
   out.assign(static_cast<std::size_t>(n), AttemptOutcome{});
   std::vector<CancelSource> cancels(static_cast<std::size_t>(n));
+  // Cancellation-to-stop latency telemetry: when attempt j is cancelled we
+  // stamp the monotonic clock; when j's job later returns, the delta is how
+  // long the cooperative cancel took to be observed (DESIGN.md §7).
+  std::vector<std::int64_t> cancel_ns(static_cast<std::size_t>(n), -1);
   std::mutex mu;  // serializes the cancellation fan-out on SAT
   std::vector<std::function<void()>> jobs;
   jobs.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     jobs.push_back([&, i] {
       AttemptOutcome& o = out[static_cast<std::size_t>(i)];
-      if (cancels[static_cast<std::size_t>(i)].cancelled()) return;
+      if (cancels[static_cast<std::size_t>(i)].cancelled()) {
+        obs::count("opt7.attempts_skipped");
+        return;
+      }
       o.ran = true;
+      obs::Span span("attempt");
+      if (span.active()) {
+        span.arg("variant", i);
+        span.arg("spec_state", problem.spec_state);
+        span.arg("budget", attempts[static_cast<std::size_t>(i)].row_budget);
+        span.arg("restrict_masks", attempts[static_cast<std::size_t>(i)].restrict_masks);
+      }
       auto sol = synthesize_chain(problem, attempts[static_cast<std::size_t>(i)],
                                   deadline.with_token(cancels[static_cast<std::size_t>(i)].token()),
                                   o.cs);
+      span.arg("result", sol ? "sat" : "no-solution");
       if (sol) {
         o.sol = std::move(sol);
         std::lock_guard<std::mutex> lk(mu);
-        for (int j = i + 1; j < n; ++j) cancels[static_cast<std::size_t>(j)].cancel();
+        std::int64_t now = obs::Tracer::get().now_ns();
+        for (int j = i + 1; j < n; ++j) {
+          cancels[static_cast<std::size_t>(j)].cancel();
+          if (cancel_ns[static_cast<std::size_t>(j)] < 0)
+            cancel_ns[static_cast<std::size_t>(j)] = now;
+        }
+      } else if (obs::metrics_on()) {
+        std::int64_t cancelled_at;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          cancelled_at = cancel_ns[static_cast<std::size_t>(i)];
+        }
+        if (cancelled_at >= 0)
+          obs::observe("opt7.cancel_latency_sec",
+                       static_cast<double>(obs::Tracer::get().now_ns() - cancelled_at) / 1e9);
       }
     });
   }
   pool.run_all(std::move(jobs));
   for (int i = 0; i < n; ++i)
-    if (out[static_cast<std::size_t>(i)].sol) return i;
+    if (out[static_cast<std::size_t>(i)].sol) {
+      obs::observe("opt7.winner_index", static_cast<double>(i));
+      return i;
+    }
   return -1;
 }
 
@@ -405,6 +439,14 @@ int race_attempts(ThreadPool& pool, const ChainProblem& problem,
 /// otherwise both passes become first-SAT-cancels-losers races with the
 /// deterministic lowest-variant-index winner rule.
 StateOutcome solve_state(const StateTask& task, const Deadline& deadline, ThreadPool* pool) {
+  obs::Span span("solve_state");
+  if (span.active()) {
+    span.label(task.state_name);
+    span.arg("key_width", task.problem.key_width);
+    span.arg("shapes", static_cast<int>(task.shapes.size()));
+    span.arg("budget_lb", task.lb);
+    span.arg("budget_cap", task.cap);
+  }
   StateOutcome out;
   StatePlan& plan = out.plan;
   plan.spec_state = task.problem.spec_state;
@@ -559,21 +601,27 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   TcamProgram flat;
   if (opts.opt3_preallocate) {
     // ---------------- OPT pipeline: per-state chain synthesis. ----------
+    obs::Span norm_span("normalize");
     ParserSpec canon = canonicalize(work);
     auto deferred = defer_wide_lookahead(canon, hw);
     if (!deferred) return fail(CompileStatus::Rejected, deferred.error().to_string(), reference, stats);
     canon = std::move(*deferred);
+    norm_span.end();
 
     // Deterministic problem construction up front, then solve: states are
     // independent chain problems, so with a pool they synthesize
     // concurrently (and each state's Opt7 variants race internally).
+    obs::Span tasks_span("build_state_tasks");
     std::vector<StateTask> tasks;
     for (std::size_t s = 0; s < canon.states.size(); ++s) {
       auto task = build_state_task(canon, s, hw, opts);
       if (!task) return fail(CompileStatus::Rejected, task.error().to_string(), reference, stats);
       tasks.push_back(std::move(*task));
     }
+    tasks_span.arg("states", static_cast<int>(tasks.size()));
+    tasks_span.end();
 
+    obs::Span solve_span("solve_states");
     std::vector<StateOutcome> outcomes(tasks.size());
     if (pool != nullptr && tasks.size() > 1) {
       std::vector<std::function<void()>> jobs;
@@ -587,6 +635,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
         if (!outcomes[s].ok) break;  // sequential fail-fast, as before
       }
     }
+    solve_span.end();
 
     // Merge per-state counters (single-threaded join: no atomics needed),
     // then surface the lowest-index failure — state order, never thread
@@ -605,6 +654,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     }
 
     // ---------------- Assemble the flat program. ----------
+    obs::Span assemble_span("assemble");
     flat.name = spec.name;
     flat.fields = canon.fields;
     flat.start_table = 0;
@@ -651,6 +701,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     int max_layers = 1;
     for (const auto& plan : plans) max_layers = std::max(max_layers, plan.layers);
     flat.max_iterations = std::max(64, opts.max_iterations * (max_layers + 1) + 8);
+    assemble_span.end();
   } else {
     // ---------------- Naive global pipeline ("Orig"). ----------
     ParserSpec naive_spec = work;
@@ -671,6 +722,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   }
 
   // ---------------- Post-synthesis optimization. ----------
+  obs::Span postopt_span("postopt");
   TcamProgram optimized = inline_terminal_extracts(flat, hw);
   auto split = split_wide_extracts(optimized, hw);
   if (!split) return fail(CompileStatus::ResourceExceeded, split.error().to_string(), reference, stats);
@@ -684,6 +736,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
 
   if (auto v = validate(optimized, hw); !v)
     return fail(CompileStatus::ResourceExceeded, v.error().to_string(), reference, stats);
+  postopt_span.end();
 
   // ---------------- Verification (CEGIS verify phase + Figure 22). ------
   {
@@ -741,6 +794,13 @@ bool deterministic_failure(const CompileResult& r) {
 
 CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
   Stopwatch watch;
+  obs::Span span("compile");
+  if (span.active()) {
+    span.arg("spec", spec.name);
+    span.arg("hw", hw.name);
+    span.arg("threads", opts.num_threads);
+    span.arg("timeout_sec", opts.timeout_sec);
+  }
   SynthStats stats;
   Deadline deadline(opts.timeout_sec);
 
@@ -771,10 +831,14 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
       CompileResult alt;
       std::vector<std::function<void()>> jobs;
       jobs.push_back([&] {
+        obs::Span vs("compile_variant");
+        vs.arg("variant", "loop-aware");
         result = compile_variant(spec, spec, hw, opts, deadline, p);
         if (result.ok()) cancel_alt.cancel();
       });
       jobs.push_back([&] {
+        obs::Span vs("compile_variant");
+        vs.arg("variant", "unrolled");
         alt = compile_variant(spec, *unrolled, hw, opts, deadline.with_token(cancel_alt.token()), p);
       });
       p->run_all(std::move(jobs));
@@ -791,6 +855,25 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
   }
 
   result.stats.seconds = watch.elapsed_sec();
+
+  // Fold the per-compile SynthStats totals onto the metrics registry (one
+  // source of truth for sidecar consumers), and flush pool health counters
+  // while the pool is still alive.
+  if (p != nullptr) p->publish_metrics();
+  if (obs::metrics_on()) {
+    obs::count("synth.compiles");
+    obs::count("synth.status." + to_string(result.status));
+    obs::count("synth.cegis_rounds", result.stats.cegis_rounds);
+    obs::count("synth.synth_queries", result.stats.synth_queries);
+    obs::count("synth.verify_queries", result.stats.verify_queries);
+    obs::count("synth.budget_attempts", result.stats.budget_attempts);
+    if (result.stats.formally_verified) obs::count("synth.formally_verified");
+    obs::observe("synth.compile_sec", result.stats.seconds);
+  }
+  if (span.active()) {
+    span.arg("status", to_string(result.status));
+    span.arg("seconds", result.stats.seconds);
+  }
   return result;
 }
 

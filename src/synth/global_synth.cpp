@@ -7,13 +7,16 @@
 #include <map>
 #include <set>
 #include <cstdlib>
-#include <cstdio>
 
 #include "analysis/analysis.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/interp.h"
 #include "sim/testgen.h"
 #include "support/rng.h"
 #include "synth/verify.h"
+#include "synth/z3_obs.h"
 
 namespace parserhawk {
 
@@ -57,6 +60,8 @@ std::vector<int> possible_positions(const ParserSpec& spec, int input_bits) {
 std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const HwProfile& profile,
                                                    const SynthOptions& options,
                                                    const Deadline& deadline, ChainStats& stats) {
+  obs::Span span("global_synthesize");
+  span.arg("spec", spec.name);
   SpecAnalysis analysis = analyze(spec, options.max_iterations);
   const int input_bits = std::max(1, analysis.max_input_bits);
   const int num_fields = static_cast<int>(spec.fields.size());
@@ -371,14 +376,13 @@ std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const
 
   for (int T = num_states; T <= num_states * rows_per_state; ++T) {
     ++stats.cegis_rounds;
+    obs::count("cegis.budget_attempts");
     for (int round = 0; round < options.max_cegis_rounds; ++round) {
       if (deadline.expired()) return std::nullopt;
       ++stats.synth_queries;
       synth.push();
       synth.add(budget == ctx.int_val(T));
-      synth.set("timeout",
-                static_cast<unsigned>(std::min(deadline.remaining_sec(), 3.0e5) * 1000));
-      z3::check_result cr = synth.check();
+      z3::check_result cr = timed_check(synth, &deadline, "synth");
       if (cr != z3::sat) {
         synth.pop();
         if (cr == z3::unknown) return std::nullopt;  // timeout
@@ -387,8 +391,9 @@ std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const
       TcamProgram candidate = build_program(synth.get_model());
       synth.pop();
       if (std::getenv("PH_DEBUG_NAIVE")) {
-        std::fprintf(stderr, "--- T=%d round=%d candidate:\n%s", T, round,
-                     to_string(candidate).c_str());
+        // The env var is the opt-in, so emit at Info (visible by default).
+        obs::logf(obs::LogLevel::Info, "--- T=%d round=%d candidate:\n%s", T, round,
+                  to_string(candidate).c_str());
       }
 
       ++stats.verify_queries;
@@ -400,6 +405,7 @@ std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const
       if (vr.kind == VerifyOutcome::Kind::Equivalent)
         return GlobalSynthResult{std::move(candidate), stats};
       if (vr.kind == VerifyOutcome::Kind::Inconclusive) return std::nullopt;
+      obs::count("cegis.counterexamples");
       tests.emplace_back(vr.counterexample, run_spec(spec, vr.counterexample, options.max_iterations));
       add_test(tests.back().first, tests.back().second);
     }

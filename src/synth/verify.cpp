@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "obs/trace.h"
 #include "sim/interp.h"
+#include "synth/z3_obs.h"
 
 namespace parserhawk {
 
@@ -108,6 +110,8 @@ std::vector<Terminal> explore(z3::context& ctx, int total_bits, int max_iteratio
 
 VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl,
                                  const VerifyOptions& options) {
+  obs::Span span("verify_equivalence");
+  span.arg("spec", spec.name);
   for (const auto& f : spec.fields)
     if (f.varbit)
       throw std::invalid_argument("verify_equivalence: varbit fields present; run varbit_to_fixed");
@@ -269,7 +273,7 @@ VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl
   }
   z3::solver solver(ctx);
   solver.add(z3::mk_or(mismatches));
-  z3::check_result r = solver.check();
+  z3::check_result r = timed_check(solver, nullptr, "equiv");
   if (r == z3::unsat) {
     out.kind = VerifyOutcome::Kind::Equivalent;
     return out;

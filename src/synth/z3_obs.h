@@ -1,0 +1,64 @@
+// Shared Z3 query telemetry shim (internal to src/synth).
+//
+// Every solver interaction in the synthesizer goes through timed_check so
+// the metrics registry sees a uniform "z3.<phase>.*" family — queries,
+// sat/unsat/unknown/timeout outcomes, and a per-query wall-time histogram —
+// and the tracer gets one "z3_check:<phase>" span per query. Phases in use:
+// "synth" (CEGIS synthesis queries, chain + global), "verify" (CEGIS
+// verification queries), "equiv" (whole-program bounded equivalence).
+//
+// With tracing and metrics both disabled this is exactly the bare
+// set-timeout + check() the call sites used to inline.
+#pragma once
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/timer.h"
+
+namespace parserhawk {
+
+/// Run `solver.check()` with the per-query timeout derived from `deadline`
+/// (capped so z3 never sees 0 = unlimited), recording telemetry when
+/// observability is on. `deadline == nullptr` skips the timeout knob (used
+/// by the equivalence checker, which has no deadline today).
+inline z3::check_result timed_check(z3::solver& solver, const Deadline* deadline,
+                                    const char* phase) {
+  if (deadline != nullptr)
+    solver.set("timeout",
+               static_cast<unsigned>(std::min(deadline->remaining_sec(), 3.0e5) * 1000));
+  if (!obs::metrics_on() && !obs::tracing()) return solver.check();
+
+  obs::Span span("z3_check");
+  span.label(phase);
+  Stopwatch watch;
+  z3::check_result result = solver.check();
+  double sec = watch.elapsed_sec();
+  if (obs::metrics_on()) {
+    std::string p = std::string("z3.") + phase;
+    obs::count(p + ".queries");
+    obs::observe(p + ".time_sec", sec);
+    switch (result) {
+      case z3::sat: obs::count(p + ".sat"); break;
+      case z3::unsat: obs::count(p + ".unsat"); break;
+      default: {
+        obs::count(p + ".unknown");
+        std::string reason = solver.reason_unknown();
+        if (reason.find("timeout") != std::string::npos ||
+            reason.find("canceled") != std::string::npos)
+          obs::count(p + ".timeout");
+        break;
+      }
+    }
+  }
+  span.arg("result", std::string(result == z3::sat     ? "sat"
+                                 : result == z3::unsat ? "unsat"
+                                                       : "unknown"));
+  return result;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,333 @@
+// The observability subsystem (DESIGN.md §7): exporter validity, span
+// nesting, lossless concurrent recording, and the disabled-mode contract.
+//
+// The JSON checks use a minimal recursive-descent validator written here —
+// the runtime renders JSON but never parses it, and the tests are exactly
+// where that asymmetry gets audited.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace parserhawk::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (structure only, no value extraction).
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    return expect('"');
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* c = lit; *c; ++c, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& text) { return JsonValidator(text).valid(); }
+
+/// Per-test tracer/metrics hygiene: the singletons are process-global, so
+/// every test starts and ends from the disabled+empty state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::get().disable();
+    Tracer::get().reset();
+    Metrics::get().disable();
+    Metrics::get().reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceExportIsValidJson) {
+  Tracer::get().enable();
+  set_thread_name("main");
+  {
+    Span outer("outer");
+    outer.arg("spec", "ether\"net\n");  // escaping must hold up
+    outer.arg("n", 42);
+    Span inner("inner");
+    trace_instant("marker");
+  }
+  std::string json = Tracer::get().chrome_trace_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonlExportHasOneValidObjectPerLine) {
+  Tracer::get().enable();
+  for (int i = 0; i < 5; ++i) Span span("work");
+  trace_instant("done");
+  std::string jsonl = Tracer::get().jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    EXPECT_EQ(line.front(), '{');
+    ++n;
+  }
+  EXPECT_EQ(n, 6);
+}
+
+TEST_F(ObsTest, MetricsExportIsValidJson) {
+  Metrics::get().enable();
+  count("z3.synth.queries", 3);
+  observe("z3.synth.time_sec", 0.001);
+  observe("z3.synth.time_sec", 0.1);
+  maximize("pool.queue_depth_hwm", 7);
+  std::string json = Metrics::get().to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"z3.synth.queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+  EXPECT_EQ(Metrics::get().counter("z3.synth.queries"), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Span semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestWithNonNegativeDurations) {
+  Tracer::get().enable();
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  auto events = Tracer::get().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->dur_ns, 0);
+  EXPECT_GE(inner->dur_ns, 0);
+  // Proper nesting: the inner interval sits inside the outer one.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+}
+
+TEST_F(ObsTest, LabelAndEndAreIdempotent) {
+  Tracer::get().enable();
+  {
+    Span span("solve_state");
+    span.label("parse_tcp");
+    span.end();
+    span.end();  // second end is a no-op
+  }
+  auto events = Tracer::get().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "solve_state:parse_tcp");
+}
+
+TEST_F(ObsTest, ConcurrentRecordingFromEightThreadsLosesNoEvents) {
+  Tracer::get().enable();
+  Metrics::get().enable();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      set_thread_name("t" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span("op");
+        span.arg("i", i);
+        count("ops");
+        observe("op.time_sec", 1e-6 * (i + 1));
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(Tracer::get().snapshot().size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(Metrics::get().counter("ops"), kThreads * kPerThread);
+  auto hists = Metrics::get().histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].count, kThreads * kPerThread);
+  // Chrome export of a multi-thread trace still renders valid JSON.
+  EXPECT_TRUE(is_valid_json(Tracer::get().chrome_trace_json()));
+}
+
+TEST_F(ObsTest, SnapshotEventsAreSortedByTimestamp) {
+  Tracer::get().enable();
+  for (int i = 0; i < 50; ++i) Span span("tick");
+  auto events = Tracer::get().snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  ASSERT_FALSE(tracing());
+  ASSERT_FALSE(metrics_on());
+  {
+    Span span("ghost");
+    span.label("never");
+    span.arg("k", 1);
+    trace_instant("ghost_instant");
+    count("ghost.counter", 5);
+    observe("ghost.histogram", 1.0);
+    maximize("ghost.gauge", 9);
+  }
+  EXPECT_TRUE(Tracer::get().snapshot().empty());
+  EXPECT_TRUE(Metrics::get().counters().empty());
+  EXPECT_TRUE(Metrics::get().histograms().empty());
+  EXPECT_EQ(Metrics::get().counter("ghost.counter"), 0);
+}
+
+TEST_F(ObsTest, SpanStartedWhileEnabledStillClosesAfterDisable) {
+  Tracer::get().enable();
+  {
+    Span span("straddler");
+    Tracer::get().disable();
+  }  // destructor runs with tracing off; the span was active, so it records
+  Tracer::get().enable();
+  auto events = Tracer::get().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "straddler");
+}
+
+TEST_F(ObsTest, ResetDropsBufferedEvents) {
+  Tracer::get().enable();
+  { Span span("before"); }
+  Tracer::get().reset();
+  EXPECT_TRUE(Tracer::get().snapshot().empty());
+  { Span span("after"); }
+  auto events = Tracer::get().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after");
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, LogLevelThresholding) {
+  LogLevel saved = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  // Below-threshold calls must be safe no-ops (nothing to assert beyond
+  // not crashing; output goes to stderr).
+  log_debug("dropped %d", 1);
+  log_info("dropped %s", "too");
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace parserhawk::obs

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/cancel.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -144,6 +145,41 @@ TEST(ThreadPool, SingleWorkerPoolStillCompletesBatches) {
     tasks.push_back([&] { count.fetch_add(1, std::memory_order_relaxed); });
   pool.run_all(std::move(tasks));
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, StatsAreConsistentAfterDrain) {
+  // Every task flows submit -> try_acquire -> execute, so once a batch has
+  // drained the counters must reconcile exactly: nothing lost, nothing run
+  // twice, steals a subset of executions, high-water within bounds.
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 300; ++i)
+    tasks.push_back([] { std::this_thread::sleep_for(std::chrono::microseconds(50)); });
+  pool.run_all(std::move(tasks));
+
+  ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, 300);
+  EXPECT_EQ(s.executed, s.submitted);
+  EXPECT_GE(s.steals, 0);
+  EXPECT_LE(s.steals, s.executed);
+  EXPECT_GE(s.queue_depth_hwm, 1);
+  EXPECT_LE(s.queue_depth_hwm, s.submitted);
+}
+
+TEST(ThreadPool, PublishMetricsExportsPoolCounters) {
+  obs::Metrics::get().reset();
+  obs::Metrics::get().enable();
+  {
+    ThreadPool pool(2);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i) tasks.push_back([] {});
+    pool.run_all(std::move(tasks));
+    pool.publish_metrics();
+  }
+  EXPECT_EQ(obs::Metrics::get().counter("pool.submitted"), 64);
+  EXPECT_EQ(obs::Metrics::get().counter("pool.executed"), 64);
+  obs::Metrics::get().disable();
+  obs::Metrics::get().reset();
 }
 
 }  // namespace
