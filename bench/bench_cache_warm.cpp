@@ -1,0 +1,124 @@
+// Warm-vs-cold synthesis-cache benchmark (DESIGN.md §8).
+//
+// Compiles every table3 family base for Tofino three times against one
+// content-addressed cache:
+//   cold       empty cache — every state is solved and stored;
+//   warm-mem   same cache instance — every state hits the in-memory LRU;
+//   warm-disk  fresh cache instance over the same directory — every state
+//              hits the on-disk tier (simulates a new process / CI rerun).
+// Each warm program is asserted row-for-row identical to its cold program
+// (the cache's contract: hits are bit-identical to a cold solve), and the
+// headline number is the aggregate cold/warm speedup — the acceptance bar
+// is >= 3x on the warm-mem pass.
+//
+// The cache directory is PH_CACHE_DIR when set (and is then left in
+// place), otherwise a scratch directory that is removed at exit.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "cache/cache.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "tcam/tcam.h"
+
+using namespace parserhawk;
+using namespace parserhawk::bench;
+
+int main() {
+  HwProfile hw = tofino();
+  JsonReport report("cache_warm");
+
+  bool keep_dir = !cache_dir().empty();
+  std::string dir = keep_dir
+                        ? cache_dir()
+                        : (std::filesystem::temp_directory_path() / "ph_bench_cache_warm").string();
+  std::error_code ec;
+  if (!keep_dir) std::filesystem::remove_all(dir, ec);  // stale state from an aborted run
+
+  cache::CacheConfig cfg;
+  cfg.disk_dir = dir;
+  cache::SynthCache warm_cache(cfg);
+
+  std::printf("=== Warm-cache recompile: table3 suite on Tofino (cache at %s) ===\n\n", dir.c_str());
+  TextTable table({"Program Name", "cold (s)", "warm-mem (s)", "warm-disk (s)", "speedup",
+                   "identical"});
+
+  auto compile_with = [&](const ParserSpec& spec, cache::SynthCache* sc, double* seconds) {
+    SynthOptions opts;
+    opts.timeout_sec = opt_timeout_sec();
+    opts.num_threads = num_threads();
+    opts.cache = sc;
+    Stopwatch watch;
+    CompileResult r = compile(spec, hw, opts);
+    *seconds = watch.elapsed_sec();
+    return r;
+  };
+
+  double total_cold = 0, total_warm = 0, total_disk = 0;
+  int rows = 0, identical_rows = 0;
+  for (const auto& family : table3_families()) {
+    const ParserSpec& spec = family.variants.front().spec;
+
+    double cold_sec = 0, warm_sec = 0, disk_sec = 0;
+    CompileResult cold = compile_with(spec, &warm_cache, &cold_sec);
+    CompileResult warm = compile_with(spec, &warm_cache, &warm_sec);
+
+    // Fresh instance over the same directory: the memory tier starts empty,
+    // so every hit exercises the disk entries (decode + validate).
+    cache::SynthCache disk_cache(cfg);
+    CompileResult disk = compile_with(spec, &disk_cache, &disk_sec);
+
+    bool identical = cold.ok() && warm.ok() && disk.ok() &&
+                     to_string(cold.program) == to_string(warm.program) &&
+                     to_string(cold.program) == to_string(disk.program);
+    ++rows;
+    if (identical) ++identical_rows;
+    total_cold += cold_sec;
+    total_warm += warm_sec;
+    total_disk += disk_sec;
+
+    report.begin_row();
+    report.set("family", family.name);
+    report.set("cold_seconds", cold_sec);
+    report.set("warm_seconds", warm_sec);
+    report.set("disk_warm_seconds", disk_sec);
+    report.set("speedup", warm_sec > 0 ? cold_sec / warm_sec : 0.0);
+    report.set("identical", identical);
+    report.add_compile("cold", cold);
+
+    table.add_row({family.name, fmt_double(cold_sec, 3), fmt_double(warm_sec, 3),
+                   fmt_double(disk_sec, 3),
+                   warm_sec > 0 ? fmt_double(cold_sec / warm_sec, 1) + "x" : "",
+                   identical ? "yes" : "NO"});
+  }
+
+  double speedup = total_warm > 0 ? total_cold / total_warm : 0.0;
+  double disk_speedup = total_disk > 0 ? total_cold / total_disk : 0.0;
+  std::printf("%s\n", table.to_string().c_str());
+  auto counters = warm_cache.counters();
+  std::printf("aggregate: cold %.2fs, warm-mem %.2fs (%.1fx), warm-disk %.2fs (%.1fx); "
+              "%d/%d programs identical; cache: %lld hits / %lld misses / %lld bytes\n",
+              total_cold, total_warm, speedup, total_disk, disk_speedup, identical_rows, rows,
+              static_cast<long long>(counters.hits), static_cast<long long>(counters.misses),
+              static_cast<long long>(counters.bytes));
+
+  report.begin_row();
+  report.set("family", "TOTAL");
+  report.set("cold_seconds", total_cold);
+  report.set("warm_seconds", total_warm);
+  report.set("disk_warm_seconds", total_disk);
+  report.set("speedup", speedup);
+  report.set("disk_speedup", disk_speedup);
+  report.set("identical", identical_rows == rows);
+  report.set("cache_hits", counters.hits);
+  report.set("cache_misses", counters.misses);
+  report.set("cache_bytes", counters.bytes);
+  report.write();
+
+  if (!keep_dir) std::filesystem::remove_all(dir, ec);
+  // The acceptance bar: warm recompiles must be >= 3x faster and
+  // bit-identical.
+  return identical_rows == rows && speedup >= 3.0 ? 0 : 1;
+}

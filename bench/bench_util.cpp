@@ -34,6 +34,11 @@ int num_threads() {
   return t < 1 ? 1 : t;
 }
 
+std::string cache_dir() {
+  const char* v = std::getenv("PH_CACHE_DIR");
+  return v == nullptr ? "" : v;
+}
+
 std::vector<RowFamily> table3_families() {
   using namespace parserhawk::suite;
   Rng rng(0xbe7c4);
@@ -140,6 +145,7 @@ PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw) {
   SynthOptions opt;
   opt.timeout_sec = opt_timeout_sec();
   opt.num_threads = num_threads();
+  opt.cache_dir = cache_dir();  // empty keeps the cache off
   run.opt = compile(spec, hw, opt);
 
   if (!skip_orig()) {

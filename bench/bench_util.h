@@ -14,6 +14,11 @@
 //                        ".jsonl") of the whole bench run
 //   PH_METRICS=PATH      write the metrics-registry JSON sidecar there too
 //                        (a snapshot is always embedded in BENCH_<name>.json)
+//   PH_CACHE_DIR=PATH    synthesis-cache directory for OPT runs (DESIGN.md
+//                        §8; unset = cache off, every compile cold). The
+//                        compiled programs are identical either way; a
+//                        second run against the same dir skips Z3 on every
+//                        unchanged state.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,8 @@ double orig_timeout_sec();
 double opt_timeout_sec();
 bool skip_orig();
 int num_threads();
+/// PH_CACHE_DIR, or "" when unset (cache off).
+std::string cache_dir();
 
 /// One named mutation of a base benchmark (the ±R rows of Table 3).
 struct Variant {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the telemetry sidecars a traced hawk_compile run produces.
 
-Usage: ci/check_trace.py TRACE.json [METRICS.json]
+Usage: ci/check_trace.py TRACE.json [METRICS.json] [--require-cache-hits]
 
 Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * the trace file is valid JSON with a top-level "traceEvents" list
@@ -15,6 +15,10 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
     histograms; Z3 query counters exist and each phase's outcome counts
     (sat+unsat+unknown) sum to its query count; histogram bucket counts
     sum to the histogram's count
+  * with --require-cache-hits, the metrics must show a warm synthesis
+    cache: cache.hits > 0 and no more stores than misses (a hot state is
+    never re-stored) — the assertion the warm-cache CI job runs on its
+    second pass against the same PH_CACHE_DIR
 
 Exits non-zero with a message on the first violation.
 """
@@ -86,7 +90,7 @@ def check_trace(path):
     print(f"check_trace: {path}: OK ({n_spans} spans, {len(per_tid)} thread(s))")
 
 
-def check_metrics(path):
+def check_metrics(path, require_cache_hits=False):
     with open(path, encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -116,16 +120,35 @@ def check_metrics(path):
         if h.get("count", 0) < 0 or (h.get("count") and h.get("min", 0) > h.get("max", 0)):
             fail(f"{path}: histogram {name} has inconsistent count/min/max")
 
+    if require_cache_hits:
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        stores = counters.get("cache.stores", 0)
+        if hits <= 0:
+            fail(f"{path}: expected cache.hits > 0 on a warm run; "
+                 f"got hits={hits} misses={misses} stores={stores}")
+        if stores > misses:
+            fail(f"{path}: warm run stored more entries ({stores}) than it missed "
+                 f"({misses}) — hits are being re-stored")
+        print(f"check_trace: {path}: warm cache OK "
+              f"(hits={hits} misses={misses} stores={stores})")
+
     print(f"check_trace: {path}: OK ({len(counters)} counters, {len(doc['histograms'])} histograms)")
 
 
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = set(sys.argv[1:]) - set(args)
+    if flags - {"--require-cache-hits"}:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_trace(sys.argv[1])
-    if len(sys.argv) == 3:
-        check_metrics(sys.argv[2])
+    require_cache_hits = "--require-cache-hits" in flags
+    if len(args) < 1 or len(args) > 2 or (require_cache_hits and len(args) < 2):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(args[0])
+    if len(args) == 2:
+        check_metrics(args[1], require_cache_hits=require_cache_hits)
 
 
 if __name__ == "__main__":

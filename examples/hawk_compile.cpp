@@ -20,6 +20,14 @@
 //   --verbose / --quiet log level (also PH_LOG=debug|info|warn|error).
 // Both sidecars are written on failure paths too, so a timed-out or
 // rejected compile still leaves its telemetry behind.
+//
+// Synthesis cache (DESIGN.md §8):
+//   --cache-dir PATH    content-addressed cache of per-state synthesis
+//                       results under PATH; recompiles of unchanged states
+//                       skip Z3 entirely and the output program is
+//                       bit-identical either way. Env fallback:
+//                       PH_CACHE_DIR.
+//   --no-cache          ignore --cache-dir / PH_CACHE_DIR for this run.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -70,12 +78,15 @@ int main(int argc, char** argv) {
   int num_threads = 1;
   std::string trace_out;
   std::string metrics_out;
+  std::string cache_dir;
+  bool no_cache = false;
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
     if (v > 0) num_threads = v;
   }
   if (const char* env = std::getenv("PH_TRACE")) trace_out = env;
   if (const char* env = std::getenv("PH_METRICS")) metrics_out = env;
+  if (const char* env = std::getenv("PH_CACHE_DIR")) cache_dir = env;
 
   auto need_value = [&](const std::string& a, int i) -> const char* {
     if (i + 1 >= argc) {
@@ -103,6 +114,13 @@ int main(int argc, char** argv) {
       ++i;
     } else if (a.rfind("--metrics-out=", 0) == 0) {
       metrics_out = a.substr(14);
+    } else if (a == "--cache-dir") {
+      cache_dir = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = a.substr(12);
+    } else if (a == "--no-cache") {
+      no_cache = true;
     } else if (a == "--verbose" || a == "-v") {
       obs::set_log_level(obs::LogLevel::Debug);
     } else if (a == "--quiet" || a == "-q") {
@@ -114,7 +132,7 @@ int main(int argc, char** argv) {
   if (args.empty() || args.size() > 2) {
     std::fprintf(stderr,
                  "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--trace-out PATH]\n"
-                 "       [--metrics-out PATH] [--verbose|--quiet]\n",
+                 "       [--metrics-out PATH] [--cache-dir PATH] [--no-cache] [--verbose|--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -144,6 +162,10 @@ int main(int argc, char** argv) {
                  metrics_out.empty() ? "(off)" : metrics_out.c_str());
   SynthOptions opts;
   opts.num_threads = num_threads;
+  if (!no_cache && !cache_dir.empty()) {
+    opts.cache_dir = cache_dir;
+    obs::log_info("synthesis cache at %s", cache_dir.c_str());
+  }
   CompileResult result = compile(*spec, hw, opts);
   write_telemetry(trace_out, metrics_out);
   if (!result.ok()) {

@@ -1,0 +1,303 @@
+#include "cache/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace parserhawk::cache {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+Fingerprint plan_fingerprint(const ChainProblem& problem, const std::vector<ChainShape>& shapes,
+                             int budget_lb, int budget_cap, bool improvement_pass,
+                             const HwProfile& hw) {
+  Fingerprint fp;
+  fp.add_int(kCacheEpoch);
+
+  // Device limits (name excluded: profiles with equal limits are the same
+  // search space).
+  fp.add_int(static_cast<int>(hw.arch));
+  fp.add_int(hw.key_limit_bits);
+  fp.add_int(hw.tcam_entry_limit);
+  fp.add_int(hw.lookahead_limit_bits);
+  fp.add_int(hw.stage_limit);
+  fp.add_int(hw.extract_limit_bits);
+  fp.add_bool(hw.allows_loops);
+
+  // The semantic problem. spec_state and key-bit provenance are excluded
+  // on purpose: the solution is a pure function of the abstract key space.
+  fp.add_int(problem.key_width);
+  fp.add_u64(problem.semantics.size());
+  for (const auto& r : problem.semantics) {
+    fp.add_u64(r.value);
+    fp.add_u64(r.mask);
+    fp.add_int(r.next);
+  }
+  fp.add_u64(problem.exit_targets.size());
+  for (int t : problem.exit_targets) fp.add_int(t);
+
+  // The full Opt7 shape family in race order — the deterministic winner is
+  // a function of this list, so any change to it is a different key.
+  fp.add_u64(shapes.size());
+  for (const auto& sh : shapes) {
+    fp.add_u64(sh.alloc_masks.size());
+    for (std::uint64_t m : sh.alloc_masks) fp.add_u64(m);
+    fp.add_int(sh.layers);
+    fp.add_u64(sh.aux_counts.size());
+    for (int a : sh.aux_counts) fp.add_int(a);
+    fp.add_u64(sh.value_candidates.size());
+    for (std::uint64_t c : sh.value_candidates) fp.add_u64(c);
+    fp.add_u64(sh.mask_candidates.size());
+    for (std::uint64_t m : sh.mask_candidates) fp.add_u64(m);
+    fp.add_int(sh.key_limit);
+    fp.add_bool(sh.restrict_masks);
+  }
+
+  fp.add_int(budget_lb);
+  fp.add_int(budget_cap);
+  fp.add_bool(improvement_pass);
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// Entry serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Checksum lane over the payload text (everything before the "sum" line).
+std::string payload_sum(const std::string& payload) {
+  Fingerprint fp;
+  fp.add_string(payload);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp.lo()));
+  return buf;
+}
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_plan(const CachedPlan& plan) {
+  std::ostringstream out;
+  out << "phcache " << kCacheEpoch << "\n";
+  out << "winner " << plan.winner_variant << " " << plan.winner_budget << " "
+      << (plan.winner_restricted ? 1 : 0) << "\n";
+  out << "layers " << plan.layers << "\n";
+  out << "aux " << plan.aux_counts.size();
+  for (int a : plan.aux_counts) out << " " << a;
+  out << "\n";
+  out << "space " << hex_double(plan.search_space_bits) << "\n";
+  out << "alloc " << plan.solution.alloc_masks.size() << std::hex;
+  for (std::uint64_t m : plan.solution.alloc_masks) out << " " << m;
+  out << std::dec << "\n";
+  out << "rows " << plan.solution.rows.size() << "\n";
+  for (const auto& r : plan.solution.rows) {
+    out << "r " << r.layer << " " << r.aux << " " << r.priority << " " << std::hex << r.value << " "
+        << r.mask << std::dec << " " << (r.is_exit ? 1 : 0) << " " << r.exit_target << " "
+        << r.next_aux << "\n";
+  }
+  std::string payload = out.str();
+  return payload + "sum " + payload_sum(payload) + "\n";
+}
+
+std::optional<CachedPlan> decode_plan(const std::string& text) {
+  // Split off and verify the checksum line first: any truncation or bit
+  // flip anywhere in the payload fails here before parsing begins. The
+  // trailer is matched exactly (trailing newline included), so every
+  // strict prefix of a valid entry is rejected.
+  auto sum_at = text.rfind("sum ");
+  if (sum_at == std::string::npos || sum_at == 0 || text[sum_at - 1] != '\n') return std::nullopt;
+  std::string payload = text.substr(0, sum_at);
+  if (text.substr(sum_at) != "sum " + payload_sum(payload) + "\n") return std::nullopt;
+
+  std::istringstream in(payload);
+  std::string tag;
+  CachedPlan plan;
+  int epoch = -1;
+  std::size_t n = 0;
+  int restricted = 0, is_exit = 0;
+  std::string space_text;
+  if (!(in >> tag >> epoch) || tag != "phcache" || epoch != kCacheEpoch) return std::nullopt;
+  if (!(in >> tag >> plan.winner_variant >> plan.winner_budget >> restricted) || tag != "winner")
+    return std::nullopt;
+  plan.winner_restricted = restricted != 0;
+  if (!(in >> tag >> plan.layers) || tag != "layers" || plan.layers < 1 || plan.layers > 64)
+    return std::nullopt;
+  if (!(in >> tag >> n) || tag != "aux" || n > 64) return std::nullopt;
+  plan.aux_counts.resize(n);
+  for (auto& a : plan.aux_counts)
+    if (!(in >> a) || a < 0 || a > 4096) return std::nullopt;
+  if (!(in >> tag >> space_text) || tag != "space") return std::nullopt;
+  plan.search_space_bits = std::strtod(space_text.c_str(), nullptr);
+  if (!(in >> tag >> n) || tag != "alloc" || n > 64) return std::nullopt;
+  plan.solution.alloc_masks.resize(n);
+  in >> std::hex;
+  for (auto& m : plan.solution.alloc_masks)
+    if (!(in >> m)) return std::nullopt;
+  in >> std::dec;
+  if (!(in >> tag >> n) || tag != "rows" || n > 65536) return std::nullopt;
+  plan.solution.rows.resize(n);
+  for (auto& r : plan.solution.rows) {
+    if (!(in >> tag >> r.layer >> r.aux >> r.priority) || tag != "r") return std::nullopt;
+    in >> std::hex;
+    if (!(in >> r.value >> r.mask)) return std::nullopt;
+    in >> std::dec;
+    if (!(in >> is_exit >> r.exit_target >> r.next_aux)) return std::nullopt;
+    r.is_exit = is_exit != 0;
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// SynthCache
+// ---------------------------------------------------------------------------
+
+SynthCache::SynthCache(CacheConfig config) : config_(std::move(config)) {
+  if (config_.memory_entries == 0) config_.memory_entries = 1;
+}
+
+SynthCache& SynthCache::process() {
+  static SynthCache* instance = new SynthCache();  // leaked, like the Tracer
+  return *instance;
+}
+
+std::string SynthCache::entry_path(const std::string& key) const {
+  // Sharded by the first key byte to keep directories small at scale.
+  return config_.disk_dir + "/v" + std::to_string(kCacheEpoch) + "/" + key.substr(0, 2) + "/" +
+         key + ".phc";
+}
+
+std::optional<CachedPlan> SynthCache::lookup(const std::string& key) {
+  obs::Span span("cache_lookup");
+  std::lock_guard<std::mutex> lk(mu_);
+
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.hits;
+    obs::count("cache.hits");
+    if (span.active()) {
+      span.arg("result", "hit");
+      span.arg("tier", "memory");
+    }
+    return it->second->plan;
+  }
+
+  if (!config_.disk_dir.empty()) {
+    std::error_code ec;
+    std::string path = entry_path(key);
+    if (fs::exists(path, ec)) {
+      std::ifstream f(path, std::ios::binary);
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      if (auto plan = f ? decode_plan(buf.str()) : std::nullopt) {
+        // Promote into the memory tier.
+        lru_.push_front(Slot{key, *plan});
+        index_[key] = lru_.begin();
+        while (lru_.size() > config_.memory_entries) {
+          index_.erase(lru_.back().key);
+          lru_.pop_back();
+          ++counters_.evictions;
+          obs::count("cache.evictions");
+        }
+        ++counters_.hits;
+        obs::count("cache.hits");
+        if (span.active()) {
+          span.arg("result", "hit");
+          span.arg("tier", "disk");
+        }
+        return plan;
+      }
+      // Truncated / bit-flipped / wrong-format entry: drop it and miss.
+      ++counters_.corrupt;
+      obs::count("cache.corrupt");
+      fs::remove(path, ec);
+    }
+  }
+
+  ++counters_.misses;
+  obs::count("cache.misses");
+  span.arg("result", "miss");
+  return std::nullopt;
+}
+
+void SynthCache::store(const std::string& key, const CachedPlan& plan) {
+  obs::Span span("cache_store");
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.stores;
+  obs::count("cache.stores");
+
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->plan = plan;
+  } else {
+    lru_.push_front(Slot{key, plan});
+    index_[key] = lru_.begin();
+    while (lru_.size() > config_.memory_entries) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++counters_.evictions;
+      obs::count("cache.evictions");
+    }
+  }
+
+  if (!config_.disk_dir.empty()) {
+    std::string text = encode_plan(plan);
+    std::string path = entry_path(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    // Temp-file + rename so a concurrent reader (another compile against
+    // the same PH_CACHE_DIR) never observes a half-written entry.
+    std::string tmp = path + ".tmp" + std::to_string(::getpid());
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    f << text;
+    f.close();
+    if (f.good()) {
+      fs::rename(tmp, path, ec);
+      if (!ec) {
+        counters_.bytes += static_cast<std::int64_t>(text.size());
+        obs::count("cache.bytes", static_cast<std::int64_t>(text.size()));
+      }
+    }
+    if (!f.good() || ec) fs::remove(tmp, ec);
+    span.arg("bytes", static_cast<std::int64_t>(text.size()));
+  }
+}
+
+void SynthCache::clear_memory() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void SynthCache::set_disk_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_.disk_dir = dir;
+}
+
+CacheCounters SynthCache::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+CacheConfig SynthCache::config() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return config_;
+}
+
+}  // namespace parserhawk::cache

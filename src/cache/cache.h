@@ -1,0 +1,137 @@
+// Content-addressed synthesis cache (DESIGN.md §8).
+//
+// ParserHawk's CEGIS loop re-solves every per-state chain problem from
+// scratch on each invocation, but real workflows (bench suites, IPU/Tofino
+// retargeting, spec edits) resubmit mostly-identical sub-problems: after
+// canonicalization the ±R1..±R5 style variants of a program share one
+// normal form, so their per-state problems are byte-identical. The cache
+// keys each solved state by a 128-bit fingerprint of everything that
+// determines the search outcome — the normalized chain problem, the full
+// Opt7 shape family, the budget range, the device limits and a format
+// epoch — and stores the winning rows plus the metadata needed to replay
+// the deterministic winner selection (variant index, budget, mask pass).
+//
+// Two tiers:
+//   * in-memory LRU (per process, thread-safe) — hot within a bench run;
+//   * on-disk under <dir>/v<epoch>/ — survives processes; entries are
+//     checksummed, written via rename, and any truncated/bit-flipped/
+//     unparsable file is treated as a miss, never an error.
+//
+// Safety: a hit is only adopted after chain_synth's validate_solution
+// cross-checks the cached rows against the problem semantics, so neither
+// a fingerprint collision nor disk corruption can change compiled output;
+// tests/test_cache.cpp additionally proves hit/cold equivalence
+// row-for-row and bench_cache_warm measures the warm speedup.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/profile.h"
+#include "support/fingerprint.h"
+#include "synth/chain_synth.h"
+
+namespace parserhawk::cache {
+
+/// Bump on any change to the fingerprint recipe, the serialized entry
+/// format, or the synthesis search order (anything that could make an old
+/// entry replay a different program). The epoch is hashed into every key
+/// and names the on-disk subdirectory, so stale trees are simply ignored.
+inline constexpr int kCacheEpoch = 1;
+
+/// The cached outcome of one per-state budget-minimizing search.
+struct CachedPlan {
+  ChainSolution solution;
+  int layers = 1;
+  std::vector<int> aux_counts;
+  double search_space_bits = 0;
+  /// Opt7 replay metadata: which shape variant won, at which row budget,
+  /// and in which mask pass (restricted vs free/candidate).
+  int winner_variant = 0;
+  int winner_budget = 1;
+  bool winner_restricted = true;
+};
+
+/// Fingerprint of one per-state sub-problem: chain problem semantics, the
+/// complete Opt7 shape family in race order, budget bounds, improvement-
+/// pass eligibility, the device limits, and kCacheEpoch. Everything
+/// synthesize_chain's outcome depends on — and nothing it doesn't (state
+/// names and key-bit provenance are excluded, so renamed or re-sliced
+/// specs that normalize to the same problem share entries).
+Fingerprint plan_fingerprint(const ChainProblem& problem, const std::vector<ChainShape>& shapes,
+                             int budget_lb, int budget_cap, bool improvement_pass,
+                             const HwProfile& hw);
+
+/// Entry serialization (exposed for tests). `decode_plan` returns nullopt
+/// on any truncation, checksum mismatch or parse error.
+std::string encode_plan(const CachedPlan& plan);
+std::optional<CachedPlan> decode_plan(const std::string& text);
+
+struct CacheConfig {
+  /// In-memory LRU capacity in entries.
+  std::size_t memory_entries = 1024;
+  /// On-disk tier root (entries live in <disk_dir>/v<epoch>/). Empty =
+  /// memory-only.
+  std::string disk_dir;
+};
+
+/// Monotonic counters, mirrored onto the obs metrics registry as
+/// cache.{hits,misses,evictions,bytes,corrupt,stores} when metrics are on.
+struct CacheCounters {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;  ///< memory-tier LRU evictions
+  std::int64_t bytes = 0;      ///< serialized bytes written to disk
+  std::int64_t corrupt = 0;    ///< on-disk entries rejected by decode
+  std::int64_t stores = 0;
+};
+
+class SynthCache {
+ public:
+  explicit SynthCache(CacheConfig config = {});
+
+  /// Memory tier first, then disk; a disk hit is promoted into memory.
+  /// Emits a `cache_lookup` span and hit/miss counters.
+  std::optional<CachedPlan> lookup(const std::string& key);
+
+  /// Insert into memory and (when configured) write the disk entry via a
+  /// temp file + rename. Emits a `cache_store` span. Idempotent per key.
+  void store(const std::string& key, const CachedPlan& plan);
+
+  /// Drop the memory tier (the disk tier is untouched) — test helper and
+  /// the bench's "fresh process" simulation.
+  void clear_memory();
+
+  /// Point the disk tier somewhere (empty disables it). Safe mid-life;
+  /// used by compile() to honor SynthOptions::cache_dir on the process
+  /// cache.
+  void set_disk_dir(const std::string& dir);
+
+  CacheCounters counters() const;
+  CacheConfig config() const;
+
+  /// Process-global cache (leaked, like the obs singletons): memory-only
+  /// until some compile() configures a disk dir.
+  static SynthCache& process();
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  mutable std::mutex mu_;
+  CacheConfig config_;
+  CacheCounters counters_;
+  /// LRU: most-recent at front; map values point into the list.
+  struct Slot {
+    std::string key;
+    CachedPlan plan;
+  };
+  std::list<Slot> lru_;
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+};
+
+}  // namespace parserhawk::cache

@@ -1,0 +1,44 @@
+#include "support/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace parserhawk {
+
+namespace {
+constexpr std::uint64_t kPrimeLo = 0x100000001b3ull;
+constexpr std::uint64_t kPrimeHi = 0x00000100000001b3ull ^ 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+void Fingerprint::mix(std::uint8_t byte) {
+  lo_ = (lo_ ^ byte) * kPrimeLo;
+  hi_ = (hi_ ^ byte ^ (fed_ & 0xff)) * kPrimeHi;
+  ++fed_;
+}
+
+void Fingerprint::add_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Fingerprint::add_bytes(const void* data, std::size_t len) {
+  add_u64(static_cast<std::uint64_t>(len));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) mix(p[i]);
+}
+
+void Fingerprint::add_bitvec(const BitVec& v) {
+  add_int(v.size());
+  for (int b = 0; b < v.size(); b += 64) {
+    int len = std::min(64, v.size() - b);
+    add_u64(v.slice(b, len).to_u64());
+  }
+}
+
+std::string Fingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi_),
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+}  // namespace parserhawk

@@ -1,0 +1,61 @@
+// Streaming 128-bit content fingerprint (two independent FNV-1a lanes).
+//
+// The synthesis cache (src/cache) keys entries by a fingerprint of the
+// canonical per-state sub-problem, so the hash must be a pure function of
+// the fed content: no pointer values, no iteration over unordered
+// containers, no platform-dependent layout. Every `add` overload reduces
+// its argument to a defined byte sequence first (integers little-endian,
+// BitVec as width + packed 64-bit chunks in wire order), which keeps
+// fingerprints stable across platforms, builds and processes — a cache
+// entry written by one binary is valid for any other at the same epoch.
+//
+// 128 bits makes accidental collisions negligible (~2^-64 at a billion
+// entries); cache hits are additionally revalidated against the problem
+// semantics before use (chain_synth's validate_solution), so even an
+// adversarial collision cannot produce a wrong program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bitvec.h"
+
+namespace parserhawk {
+
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Primitive feeds. Signed values go through their two's-complement
+  /// 64-bit image so -1 (kAccept/kReject sentinels) hashes consistently.
+  void add_u64(std::uint64_t v);
+  void add_i64(std::int64_t v) { add_u64(static_cast<std::uint64_t>(v)); }
+  void add_int(int v) { add_i64(v); }
+  void add_bool(bool v) { add_u64(v ? 1 : 0); }
+
+  /// Length-prefixed, so consecutive strings cannot alias each other.
+  void add_bytes(const void* data, std::size_t len);
+  void add_string(const std::string& s) { add_bytes(s.data(), s.size()); }
+
+  /// Width + contents in wire order (64-bit chunks, MSB-first).
+  void add_bitvec(const BitVec& v);
+
+  std::uint64_t lo() const { return lo_; }
+  std::uint64_t hi() const { return hi_; }
+
+  /// 32 lowercase hex chars; used as the cache entry name.
+  std::string hex() const;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+ private:
+  void mix(std::uint8_t byte);
+
+  // Two FNV-1a lanes with distinct offset bases; the second lane also
+  // folds in a running byte counter so lane collisions are independent.
+  std::uint64_t lo_ = 0xcbf29ce484222325ull;
+  std::uint64_t hi_ = 0x6c62272e07bb0142ull;
+  std::uint64_t fed_ = 0;
+};
+
+}  // namespace parserhawk

@@ -42,6 +42,51 @@ int eval_chain(const ChainSolution& solution, std::uint64_t key) {
   }
 }
 
+bool validate_solution(const ChainProblem& problem, const ChainSolution& solution) {
+  // Structural sanity: every row lives in a declared layer, exits land in
+  // the semantic range, and continuations stay inside the chain.
+  const int layers = static_cast<int>(solution.alloc_masks.size());
+  if (layers < 1) return false;
+  for (const auto& row : solution.rows) {
+    if (row.layer < 0 || row.layer >= layers) return false;
+    if (row.is_exit) {
+      bool known = false;
+      for (int t : problem.exit_targets) known |= t == row.exit_target;
+      if (!known) return false;
+    } else if (row.layer + 1 >= layers || row.next_aux < 0) {
+      return false;
+    }
+  }
+
+  auto agree = [&](std::uint64_t key) {
+    return eval_chain(solution, key) == eval_semantics(problem.semantics, key);
+  };
+  if (problem.key_width == 0) return agree(0);
+  const std::uint64_t full =
+      problem.key_width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << problem.key_width) - 1);
+  if (problem.key_width <= 12) {
+    for (std::uint64_t k = 0; k <= full; ++k)
+      if (!agree(k)) return false;
+    return true;
+  }
+  if (!agree(0) || !agree(full)) return false;
+  for (const auto& r : problem.semantics) {
+    if (!agree(r.value & full)) return false;
+    for (int b = 0; b < problem.key_width; ++b)
+      if (!agree((r.value ^ (std::uint64_t{1} << b)) & full)) return false;
+  }
+  // Deterministic splitmix64 sample (same recipe as support/rng.h, inlined
+  // so the probe set is a pure function of the problem).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull ^ (static_cast<std::uint64_t>(problem.key_width) << 32);
+  for (int i = 0; i < 256; ++i) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    if (!agree((z ^ (z >> 31)) & full)) return false;
+  }
+  return true;
+}
+
 namespace {
 
 /// One symbolic row slot.

@@ -106,4 +106,13 @@ int eval_semantics(const std::vector<Rule>& semantics, std::uint64_t key);
 /// target (kReject when some state has no matching row).
 int eval_chain(const ChainSolution& solution, std::uint64_t key);
 
+/// Cross-check a (possibly cached) solution against the problem semantics
+/// without touching Z3: structural sanity (layer/exit-target ranges) plus
+/// concrete agreement on a probe set — exhaustive up to 12 key bits,
+/// otherwise every rule constant, its one-bit neighbors, the boundary keys
+/// and a deterministic random sample. This is the synthesis cache's hit
+/// gate (src/cache): a colliding fingerprint or corrupted entry fails here
+/// and is re-solved instead of miscompiled.
+bool validate_solution(const ChainProblem& problem, const ChainSolution& solution);
+
 }  // namespace parserhawk

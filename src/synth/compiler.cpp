@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "analysis/analysis.h"
+#include "cache/cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "postopt/postopt.h"
@@ -206,6 +207,11 @@ struct StatePlan {
   int layers = 1;
   std::vector<int> aux_counts;
   double search_space_bits = 0;
+  /// Opt7 winner provenance, persisted by the synthesis cache so a hit can
+  /// replay the deterministic winner selection without re-racing.
+  int winner_variant = 0;
+  int winner_budget = 1;
+  bool winner_restricted = true;
 };
 
 CompileResult fail(CompileStatus status, std::string reason, const ParserSpec& reference,
@@ -453,18 +459,23 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
   plan.key_bits = task.key_bits;
   bool solved = false;
 
-  auto adopt = [&](const ChainShape& sh, ChainSolution sol, double space_bits) {
+  auto adopt = [&](const ChainShape& sh, ChainSolution sol, double space_bits, int variant,
+                   int budget, bool restricted) {
     plan.solution = std::move(sol);
     plan.layers = sh.layers;
     plan.aux_counts = sh.aux_counts;
     plan.search_space_bits = space_bits;
+    plan.winner_variant = variant;
+    plan.winner_budget = budget;
+    plan.winner_restricted = restricted;
     solved = true;
   };
 
   if (pool == nullptr) {
     // ---- Sequential two-pass budget search (today's behavior). ----
-    auto attempt = [&](ChainShape sh, int budget) -> bool {
+    auto attempt = [&](ChainShape sh, int variant, int budget, bool restricted) -> bool {
       sh.row_budget = budget;
+      sh.restrict_masks = restricted;
       ChainStats cs;
       ++out.stats.budget_attempts;
       auto sol = synthesize_chain(task.problem, sh, deadline, cs);
@@ -472,7 +483,7 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
       out.stats.synth_queries += cs.synth_queries;
       out.stats.verify_queries += cs.verify_queries;
       if (!sol) return false;
-      adopt(sh, std::move(*sol), cs.search_space_bits);
+      adopt(sh, std::move(*sol), cs.search_space_bits, variant, budget, restricted);
       return true;
     };
     // Two-pass budget search implementing §6.4.2's mask strategy: the
@@ -481,14 +492,13 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
     // never grinds through UNSAT proofs at budgets it cannot improve.
     int best_budget = task.cap + 1;
     for (int budget = task.lb; budget <= task.cap && !solved; ++budget) {
-      for (auto sh : task.shapes) {
+      for (std::size_t v = 0; v < task.shapes.size(); ++v) {
         if (deadline.expired()) {
           out.fail_status = CompileStatus::Timeout;
           out.fail_reason = "synthesis budget exhausted";
           return out;
         }
-        sh.restrict_masks = true;
-        if (attempt(sh, budget)) {
+        if (attempt(task.shapes[v], static_cast<int>(v), budget, true)) {
           best_budget = budget;
           break;
         }
@@ -502,10 +512,9 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
     if (task.improvement_pass) {
       for (int budget = task.lb; budget < best_budget; ++budget) {
         bool improved = false;
-        for (auto sh : task.shapes) {
+        for (std::size_t v = 0; v < task.shapes.size(); ++v) {
           if (deadline.expired()) break;  // keep any restricted-pass solution
-          sh.restrict_masks = false;
-          if (attempt(sh, budget)) {
+          if (attempt(task.shapes[v], static_cast<int>(v), budget, false)) {
             improved = true;
             break;
           }
@@ -544,7 +553,7 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
       merge(res);
       if (w < 0) return false;
       adopt(attempts[static_cast<std::size_t>(w)], std::move(*res[static_cast<std::size_t>(w)].sol),
-            res[static_cast<std::size_t>(w)].cs.search_space_bits);
+            res[static_cast<std::size_t>(w)].cs.search_space_bits, w, budget, restrict_masks);
       return true;
     };
 
@@ -588,7 +597,8 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
 /// null for the sequential path.
 CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& reference,
                               const HwProfile& hw, const SynthOptions& opts,
-                              const Deadline& deadline, ThreadPool* pool) {
+                              const Deadline& deadline, ThreadPool* pool,
+                              cache::SynthCache* synth_cache) {
   SynthStats stats;
 
   bool had_varbit = false;
@@ -621,21 +631,85 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     tasks_span.arg("states", static_cast<int>(tasks.size()));
     tasks_span.end();
 
-    obs::Span solve_span("solve_states");
+    // Cache probe: resolve every state's fingerprint up front (sequential,
+    // so lookup order — and therefore LRU behavior — is deterministic) and
+    // adopt validated hits; only the misses go to the solver. A hit replays
+    // the deterministic Opt7 winner, so the program is bit-identical to a
+    // cold solve; validate_solution gates every hit so a colliding key or
+    // corrupted entry is re-solved, never miscompiled.
     std::vector<StateOutcome> outcomes(tasks.size());
+    std::vector<std::string> cache_keys(tasks.size());
+    std::vector<bool> from_cache(tasks.size(), false);
+    if (synth_cache != nullptr) {
+      obs::Span cache_span("cache_probe");
+      int hits = 0;
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        const StateTask& task = tasks[s];
+        if (task.problem.key_width == 0) continue;  // trivial: solving is instant
+        cache_keys[s] = cache::plan_fingerprint(task.problem, task.shapes, task.lb, task.cap,
+                                                task.improvement_pass, hw)
+                            .hex();
+        auto hit = synth_cache->lookup(cache_keys[s]);
+        if (!hit) continue;
+        if (!validate_solution(task.problem, hit->solution)) {
+          obs::count("cache.rejected_hits");
+          continue;
+        }
+        StateOutcome& o = outcomes[s];
+        o.ok = true;
+        o.plan.spec_state = task.problem.spec_state;
+        o.plan.key_bits = task.key_bits;
+        o.plan.solution = std::move(hit->solution);
+        o.plan.layers = hit->layers;
+        o.plan.aux_counts = hit->aux_counts;
+        o.plan.search_space_bits = hit->search_space_bits;
+        o.plan.winner_variant = hit->winner_variant;
+        o.plan.winner_budget = hit->winner_budget;
+        o.plan.winner_restricted = hit->winner_restricted;
+        from_cache[s] = true;
+        ++hits;
+      }
+      if (cache_span.active()) {
+        cache_span.arg("states", static_cast<int>(tasks.size()));
+        cache_span.arg("hits", hits);
+      }
+    }
+
+    obs::Span solve_span("solve_states");
     if (pool != nullptr && tasks.size() > 1) {
       std::vector<std::function<void()>> jobs;
-      jobs.reserve(tasks.size());
-      for (std::size_t s = 0; s < tasks.size(); ++s)
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        if (from_cache[s]) continue;
         jobs.push_back([&, s] { outcomes[s] = solve_state(tasks[s], deadline, pool); });
+      }
       pool->run_all(std::move(jobs));
     } else {
       for (std::size_t s = 0; s < tasks.size(); ++s) {
+        if (from_cache[s]) continue;
         outcomes[s] = solve_state(tasks[s], deadline, pool);
         if (!outcomes[s].ok) break;  // sequential fail-fast, as before
       }
     }
     solve_span.end();
+
+    // Persist fresh completed solutions. Deadline-truncated searches are
+    // not stored: their winner can depend on wall clock, and the cache
+    // must only ever replay results a full search would also produce.
+    if (synth_cache != nullptr && !deadline.expired()) {
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        if (from_cache[s] || !outcomes[s].ok || cache_keys[s].empty()) continue;
+        const StatePlan& plan = outcomes[s].plan;
+        cache::CachedPlan entry;
+        entry.solution = plan.solution;
+        entry.layers = plan.layers;
+        entry.aux_counts = plan.aux_counts;
+        entry.search_space_bits = plan.search_space_bits;
+        entry.winner_variant = plan.winner_variant;
+        entry.winner_budget = plan.winner_budget;
+        entry.winner_restricted = plan.winner_restricted;
+        synth_cache->store(cache_keys[s], entry);
+      }
+    }
 
     // Merge per-state counters (single-threaded join: no atomics needed),
     // then surface the lowest-index failure — state order, never thread
@@ -813,13 +887,25 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
   if (opts.num_threads > 1) pool.emplace(opts.num_threads);
   ThreadPool* p = pool ? &*pool : nullptr;
 
+  // Synthesis cache: an injected instance wins; otherwise any of the
+  // enable knobs selects the process-global cache (configuring its disk
+  // tier when a directory was given). Off by default — caching never
+  // changes the output program, but cold compiles should stay cold unless
+  // asked (DESIGN.md §8).
+  cache::SynthCache* sc = opts.cache;
+  if (sc == nullptr && (opts.cache_enabled || !opts.cache_dir.empty())) {
+    sc = &cache::SynthCache::process();
+    if (!opts.cache_dir.empty()) sc->set_disk_dir(opts.cache_dir);
+  }
+  if (span.active()) span.arg("cache", sc != nullptr);
+
   SpecAnalysis a = analyze(spec, opts.max_iterations);
   CompileResult result;
   if (a.has_loop && !hw.allows_loops) {
     // Loop-free target: the unrolled spec IS the reference semantics.
     auto unrolled = unroll_loops(spec, opts.loop_unroll_depth);
     if (!unrolled) return fail(CompileStatus::Rejected, unrolled.error().to_string(), spec, stats);
-    result = compile_variant(spec, *unrolled, hw, opts, deadline, p);
+    result = compile_variant(spec, *unrolled, hw, opts, deadline, p, sc);
   } else if (a.has_loop && hw.allows_loops && opts.opt7_parallel) {
     // Opt7 whole-program race: loop-aware (variant 0) vs unrolled
     // (variant 1). Variant 0 is the deterministic winner whenever it
@@ -833,25 +919,25 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
       jobs.push_back([&] {
         obs::Span vs("compile_variant");
         vs.arg("variant", "loop-aware");
-        result = compile_variant(spec, spec, hw, opts, deadline, p);
+        result = compile_variant(spec, spec, hw, opts, deadline, p, sc);
         if (result.ok()) cancel_alt.cancel();
       });
       jobs.push_back([&] {
         obs::Span vs("compile_variant");
         vs.arg("variant", "unrolled");
-        alt = compile_variant(spec, *unrolled, hw, opts, deadline.with_token(cancel_alt.token()), p);
+        alt = compile_variant(spec, *unrolled, hw, opts, deadline.with_token(cancel_alt.token()), p, sc);
       });
       p->run_all(std::move(jobs));
       if (!result.ok() && deterministic_failure(result) && alt.ok()) result = std::move(alt);
     } else {
-      result = compile_variant(spec, spec, hw, opts, deadline, p);
+      result = compile_variant(spec, spec, hw, opts, deadline, p, sc);
       if (!result.ok() && deterministic_failure(result) && unrolled) {
-        CompileResult alt = compile_variant(spec, *unrolled, hw, opts, deadline, p);
+        CompileResult alt = compile_variant(spec, *unrolled, hw, opts, deadline, p, sc);
         if (alt.ok()) result = std::move(alt);
       }
     }
   } else {
-    result = compile_variant(spec, spec, hw, opts, deadline, p);
+    result = compile_variant(spec, spec, hw, opts, deadline, p, sc);
   }
 
   result.stats.seconds = watch.elapsed_sec();

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <string>
 
+namespace parserhawk::cache {
+class SynthCache;
+}  // namespace parserhawk::cache
+
 namespace parserhawk {
 
 struct SynthOptions {
@@ -55,6 +59,19 @@ struct SynthOptions {
   /// Opt7 variants on a pool of this many workers. The compiled program
   /// is identical for every value (deterministic-winner rule).
   int num_threads = 1;
+
+  /// Content-addressed synthesis cache (src/cache, DESIGN.md §8). Off by
+  /// default so every compile is reproducibly cold; turning it on never
+  /// changes the compiled program (hits replay the deterministic Opt7
+  /// winner and are revalidated against the problem semantics), only
+  /// wall-clock. Enabled when any of the three knobs below is set.
+  bool cache_enabled = false;
+  /// On-disk cache tier root (CLI --cache-dir / env PH_CACHE_DIR). Empty =
+  /// memory-only. Setting it implies cache_enabled.
+  std::string cache_dir;
+  /// Injected cache instance (tests, benches). nullptr = use the
+  /// process-global cache when enabled. Setting it implies cache_enabled.
+  cache::SynthCache* cache = nullptr;
 
   /// All optimizations off: the naive encoding used for the "Orig" columns
   /// of Table 3.

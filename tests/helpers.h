@@ -1,11 +1,48 @@
-// Shared miniature parser specs for unit tests. The full benchmark programs
-// live in src/suite; these are intentionally tiny.
+// Shared miniature parser specs for unit tests (the full benchmark programs
+// live in src/suite; these are intentionally tiny), plus the per-test
+// scratch-directory helper every test that touches the filesystem must use.
 #pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
 
 #include "ir/builder.h"
 #include "ir/ir.h"
 
 namespace parserhawk::testing {
+
+/// Per-test scratch directory. Unique per instance (pid + process-wide
+/// counter, so parallel ctest shards and repeated fixtures never collide),
+/// created eagerly, recursively deleted on destruction. All temp files a
+/// test writes must live under one of these — never in the working
+/// directory or a hand-rolled /tmp path.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag = "scratch") {
+    static std::atomic<unsigned> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("ph_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort; never throws in a dtor
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+  /// Absolute path for a file named `name` inside the scratch dir.
+  std::string file(const std::string& name) const { return (path_ / name).string(); }
+
+ private:
+  std::filesystem::path path_;
+};
 
 /// Spec1 of Figure 7: extract two 4-bit fields unconditionally.
 inline ParserSpec spec1() {

@@ -1,0 +1,648 @@
+// Synthesis-cache tests (DESIGN.md §8): fingerprint determinism and
+// sensitivity, entry serialization under adversarial corruption (every
+// truncation point, every byte flipped), the two-tier SynthCache itself,
+// the validate_solution hit gate, and — the contract that matters — the
+// differential property that a cache-hit compile is row-for-row identical
+// to a cold one, in memory, across instances (disk tier) and across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "helpers.h"
+#include "obs/metrics.h"
+#include "random_spec.h"
+#include "suite/suite.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "synth/chain_synth.h"
+#include "synth/compiler.h"
+
+namespace parserhawk {
+namespace {
+
+namespace fs = std::filesystem;
+using cache::CachedPlan;
+using cache::CacheConfig;
+using cache::SynthCache;
+using parserhawk::testing::ScratchDir;
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+ChainProblem sample_problem() {
+  ChainProblem p;
+  p.spec_state = 0;
+  p.key_width = 4;
+  p.semantics = {{15, 15, 1}, {14, 15, 2}, {2, 15, 3}, {0, 0, kAccept}};
+  p.exit_targets = {1, 2, 3, kAccept};
+  return p;
+}
+
+std::vector<ChainShape> sample_shapes() {
+  ChainShape sh;
+  sh.alloc_masks = {0xF};
+  sh.layers = 1;
+  sh.aux_counts = {1};
+  sh.value_candidates = {15, 14, 2};
+  sh.mask_candidates = {0xB};
+  sh.key_limit = 32;
+  sh.restrict_masks = true;
+  ChainShape sh2 = sh;
+  sh2.restrict_masks = false;
+  return {sh, sh2};
+}
+
+std::string fp_of(const ChainProblem& p, const std::vector<ChainShape>& shapes, int lb, int cap,
+                  bool improve, const HwProfile& hw) {
+  return cache::plan_fingerprint(p, shapes, lb, cap, improve, hw).hex();
+}
+
+TEST(Fingerprint, DeterministicAndWellFormed) {
+  std::string a = fp_of(sample_problem(), sample_shapes(), 1, 8, true, tofino());
+  std::string b = fp_of(sample_problem(), sample_shapes(), 1, 8, true, tofino());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 32u);  // 128 bits of hex
+  EXPECT_EQ(a.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Fingerprint, SensitiveToEveryKeyComponent) {
+  const std::string base = fp_of(sample_problem(), sample_shapes(), 1, 8, true, tofino());
+  std::vector<std::string> variants;
+
+  // Budget bounds and pass kind.
+  variants.push_back(fp_of(sample_problem(), sample_shapes(), 2, 8, true, tofino()));
+  variants.push_back(fp_of(sample_problem(), sample_shapes(), 1, 9, true, tofino()));
+  variants.push_back(fp_of(sample_problem(), sample_shapes(), 1, 8, false, tofino()));
+
+  // Device limits.
+  {
+    HwProfile hw = tofino();
+    hw.key_limit_bits += 1;
+    variants.push_back(fp_of(sample_problem(), sample_shapes(), 1, 8, true, hw));
+  }
+  variants.push_back(fp_of(sample_problem(), sample_shapes(), 1, 8, true, ipu()));
+
+  // Problem semantics: key width, rule value/mask/target, exit set.
+  {
+    ChainProblem p = sample_problem();
+    p.key_width = 5;
+    variants.push_back(fp_of(p, sample_shapes(), 1, 8, true, tofino()));
+  }
+  {
+    ChainProblem p = sample_problem();
+    p.semantics[0].value ^= 1;
+    variants.push_back(fp_of(p, sample_shapes(), 1, 8, true, tofino()));
+  }
+  {
+    ChainProblem p = sample_problem();
+    p.semantics[1].mask ^= 4;
+    variants.push_back(fp_of(p, sample_shapes(), 1, 8, true, tofino()));
+  }
+  {
+    ChainProblem p = sample_problem();
+    p.semantics[2].next = 7;
+    variants.push_back(fp_of(p, sample_shapes(), 1, 8, true, tofino()));
+  }
+  {
+    ChainProblem p = sample_problem();
+    p.exit_targets.push_back(kReject);
+    variants.push_back(fp_of(p, sample_shapes(), 1, 8, true, tofino()));
+  }
+
+  // Shape family: order, alloc masks, layering, candidate pools, flags.
+  {
+    auto shapes = sample_shapes();
+    std::swap(shapes[0], shapes[1]);
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes.pop_back();
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[0].alloc_masks[0] = 0x7;
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[0].layers = 2;
+    shapes[0].aux_counts = {1, 2};
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[0].value_candidates.push_back(9);
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[0].mask_candidates.clear();
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[0].key_limit = 16;
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+  {
+    auto shapes = sample_shapes();
+    shapes[1].restrict_masks = true;
+    variants.push_back(fp_of(sample_problem(), shapes, 1, 8, true, tofino()));
+  }
+
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(variants[i], base) << "variant " << i << " did not change the fingerprint";
+    for (std::size_t j = i + 1; j < variants.size(); ++j)
+      EXPECT_NE(variants[i], variants[j]) << "variants " << i << " and " << j << " collide";
+  }
+}
+
+TEST(Fingerprint, EmptyVsZeroLengthDistinction) {
+  // Length-prefixed hashing: {[1],[]} and {[],[1]} feed different streams.
+  ChainProblem a = sample_problem(), b = sample_problem();
+  a.semantics = {{0, 0, kAccept}};
+  a.exit_targets = {};
+  b.semantics = {};
+  b.exit_targets = {kAccept};
+  // Not a real problem shape, but the hash must still separate them.
+  EXPECT_NE(fp_of(a, sample_shapes(), 1, 8, true, tofino()),
+            fp_of(b, sample_shapes(), 1, 8, true, tofino()));
+}
+
+// ---------------------------------------------------------------------------
+// Entry serialization + corruption
+// ---------------------------------------------------------------------------
+
+CachedPlan sample_plan() {
+  CachedPlan plan;
+  plan.layers = 2;
+  plan.aux_counts = {1, 2};
+  plan.search_space_bits = 37.625;
+  plan.winner_variant = 3;
+  plan.winner_budget = 5;
+  plan.winner_restricted = false;
+  plan.solution.alloc_masks = {0xF0F0, 0x0F0F};
+  ChainRow r0;
+  r0.layer = 0;
+  r0.aux = 0;
+  r0.priority = 0;
+  r0.value = 0xDEAD;
+  r0.mask = 0xFFFF;
+  r0.is_exit = false;
+  r0.exit_target = kReject;
+  r0.next_aux = 1;
+  ChainRow r1;
+  r1.layer = 1;
+  r1.aux = 1;
+  r1.priority = 1;
+  r1.value = 0;
+  r1.mask = 0;
+  r1.is_exit = true;
+  r1.exit_target = kAccept;
+  r1.next_aux = 0;
+  plan.solution.rows = {r0, r1};
+  return plan;
+}
+
+TEST(PlanCodec, RoundTripPreservesEveryField) {
+  CachedPlan plan = sample_plan();
+  auto back = cache::decode_plan(cache::encode_plan(plan));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->layers, plan.layers);
+  EXPECT_EQ(back->aux_counts, plan.aux_counts);
+  EXPECT_DOUBLE_EQ(back->search_space_bits, plan.search_space_bits);
+  EXPECT_EQ(back->winner_variant, plan.winner_variant);
+  EXPECT_EQ(back->winner_budget, plan.winner_budget);
+  EXPECT_EQ(back->winner_restricted, plan.winner_restricted);
+  EXPECT_EQ(back->solution.alloc_masks, plan.solution.alloc_masks);
+  ASSERT_EQ(back->solution.rows.size(), plan.solution.rows.size());
+  for (std::size_t i = 0; i < plan.solution.rows.size(); ++i) {
+    const ChainRow& a = plan.solution.rows[i];
+    const ChainRow& b = back->solution.rows[i];
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.aux, b.aux);
+    EXPECT_EQ(a.priority, b.priority);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.mask, b.mask);
+    EXPECT_EQ(a.is_exit, b.is_exit);
+    EXPECT_EQ(a.exit_target, b.exit_target);
+    EXPECT_EQ(a.next_aux, b.next_aux);
+  }
+}
+
+TEST(PlanCodec, EveryTruncationIsRejected) {
+  std::string text = cache::encode_plan(sample_plan());
+  ASSERT_TRUE(cache::decode_plan(text).has_value());
+  for (std::size_t len = 0; len < text.size(); ++len)
+    EXPECT_FALSE(cache::decode_plan(text.substr(0, len)).has_value()) << "prefix length " << len;
+}
+
+TEST(PlanCodec, EveryByteFlipIsRejected) {
+  std::string text = cache::encode_plan(sample_plan());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string flipped = text;
+    // Bit 2 keeps newlines from mutating into other whitespace (which would
+    // be an equivalent, legitimately-decodable encoding, not corruption).
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x04);
+    EXPECT_FALSE(cache::decode_plan(flipped).has_value()) << "flip at byte " << i;
+  }
+}
+
+TEST(PlanCodec, GarbageIsRejectedNotCrashed) {
+  EXPECT_FALSE(cache::decode_plan("").has_value());
+  EXPECT_FALSE(cache::decode_plan("\n").has_value());
+  EXPECT_FALSE(cache::decode_plan("sum 0000000000000000\n").has_value());
+  EXPECT_FALSE(cache::decode_plan("phcache 1\nsum deadbeef\n").has_value());
+  EXPECT_FALSE(cache::decode_plan(std::string(4096, '\xff')).has_value());
+  Rng rng(0xc0ffee);
+  for (int i = 0; i < 64; ++i) {
+    std::string soup;
+    std::size_t n = rng() % 512;
+    for (std::size_t j = 0; j < n; ++j) soup.push_back(static_cast<char>(rng() & 0xff));
+    EXPECT_FALSE(cache::decode_plan(soup).has_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SynthCache tiers
+// ---------------------------------------------------------------------------
+
+TEST(SynthCacheTest, MemoryTierLruEvicts) {
+  CacheConfig cfg;
+  cfg.memory_entries = 2;
+  SynthCache sc(cfg);
+  sc.store("aa1", sample_plan());
+  sc.store("bb2", sample_plan());
+  EXPECT_TRUE(sc.lookup("aa1").has_value());  // refresh aa1; bb2 becomes LRU
+  sc.store("cc3", sample_plan());
+  EXPECT_EQ(sc.counters().evictions, 1);
+  EXPECT_FALSE(sc.lookup("bb2").has_value());
+  EXPECT_TRUE(sc.lookup("aa1").has_value());
+  EXPECT_TRUE(sc.lookup("cc3").has_value());
+  EXPECT_EQ(sc.counters().hits, 3);
+  EXPECT_EQ(sc.counters().misses, 1);
+  EXPECT_EQ(sc.counters().stores, 3);
+}
+
+TEST(SynthCacheTest, DiskTierSurvivesInstances) {
+  ScratchDir scratch("cache_disk");
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+  {
+    SynthCache writer(cfg);
+    writer.store("0123abc", sample_plan());
+    EXPECT_GT(writer.counters().bytes, 0);
+  }
+  SynthCache reader(cfg);
+  auto hit = reader.lookup("0123abc");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->winner_variant, sample_plan().winner_variant);
+  EXPECT_EQ(hit->solution.rows.size(), sample_plan().solution.rows.size());
+  EXPECT_EQ(reader.counters().hits, 1);
+  // Promotion: the second lookup is a memory hit even after the entry file
+  // disappears.
+  fs::remove_all(scratch.path() / ("v" + std::to_string(cache::kCacheEpoch)));
+  EXPECT_TRUE(reader.lookup("0123abc").has_value());
+}
+
+TEST(SynthCacheTest, ClearMemoryFallsBackToDisk) {
+  ScratchDir scratch("cache_clear");
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+  SynthCache sc(cfg);
+  sc.store("k", sample_plan());
+  sc.clear_memory();
+  EXPECT_TRUE(sc.lookup("k").has_value());  // served from disk
+  sc.clear_memory();
+  sc.set_disk_dir("");
+  EXPECT_FALSE(sc.lookup("k").has_value());  // both tiers gone
+}
+
+std::vector<fs::path> entry_files(const fs::path& root) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end; it.increment(ec))
+    if (it->is_regular_file() && it->path().extension() == ".phc") out.push_back(it->path());
+  return out;
+}
+
+TEST(SynthCacheTest, CorruptDiskEntriesAreMissesNeverCrashes) {
+  ScratchDir scratch("cache_corrupt");
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+
+  auto write_entry = [&](const std::string& content) {
+    SynthCache writer(cfg);
+    writer.store("feedface", sample_plan());
+    auto files = entry_files(scratch.path());
+    EXPECT_EQ(files.size(), 1u);
+    if (files.empty()) return;
+    std::ofstream f(files[0], std::ios::binary | std::ios::trunc);
+    f << content;
+  };
+
+  std::string good = cache::encode_plan(sample_plan());
+
+  // Truncated to half.
+  write_entry(good.substr(0, good.size() / 2));
+  {
+    SynthCache reader(cfg);
+    EXPECT_FALSE(reader.lookup("feedface").has_value());
+    EXPECT_EQ(reader.counters().corrupt, 1);
+    EXPECT_EQ(reader.counters().misses, 1);
+    // The poisoned file was removed so the next run pays no decode cost.
+    EXPECT_TRUE(entry_files(scratch.path()).empty());
+  }
+
+  // Single flipped byte in the middle.
+  std::string flipped = good;
+  flipped[flipped.size() / 2] ^= 0x10;
+  write_entry(flipped);
+  {
+    SynthCache reader(cfg);
+    EXPECT_FALSE(reader.lookup("feedface").has_value());
+    EXPECT_EQ(reader.counters().corrupt, 1);
+  }
+
+  // Empty file and random garbage.
+  write_entry("");
+  {
+    SynthCache reader(cfg);
+    EXPECT_FALSE(reader.lookup("feedface").has_value());
+  }
+  write_entry("not a cache entry at all\n\x01\x02\x03");
+  {
+    SynthCache reader(cfg);
+    EXPECT_FALSE(reader.lookup("feedface").has_value());
+    // A store after the corrupt miss repairs the entry.
+    reader.store("feedface", sample_plan());
+    SynthCache again(cfg);
+    EXPECT_TRUE(again.lookup("feedface").has_value());
+  }
+}
+
+TEST(SynthCacheTest, CountersMirrorIntoMetricsRegistry) {
+  obs::Metrics::get().enable();
+  ScratchDir scratch("cache_metrics");
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+  SynthCache sc(cfg);
+  sc.lookup("nope");
+  sc.store("yes", sample_plan());
+  sc.lookup("yes");
+  std::string json = obs::Metrics::get().to_json();
+  EXPECT_NE(json.find("cache.hits"), std::string::npos) << json;
+  EXPECT_NE(json.find("cache.misses"), std::string::npos) << json;
+  EXPECT_NE(json.find("cache.stores"), std::string::npos) << json;
+  EXPECT_NE(json.find("cache.bytes"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// validate_solution: the hit gate
+// ---------------------------------------------------------------------------
+
+TEST(ValidateSolution, AcceptsRealSolutionsRejectsTamperedOnes) {
+  ChainProblem p = sample_problem();
+  ChainShape sh;
+  sh.alloc_masks = {0xF};
+  sh.layers = 1;
+  sh.aux_counts = {1};
+  sh.row_budget = static_cast<int>(p.semantics.size()) + 2;
+  sh.restrict_masks = false;
+  ChainStats stats;
+  auto sol = synthesize_chain(p, sh, Deadline::none(), stats);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(validate_solution(p, *sol));
+
+  // Semantic tamper: flip a matched bit in some row's value.
+  {
+    ChainSolution bad = *sol;
+    bool tampered = false;
+    for (auto& r : bad.rows) {
+      if (r.mask != 0) {
+        r.value ^= (r.mask & (~r.mask + 1));  // lowest set mask bit
+        tampered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(tampered);
+    EXPECT_FALSE(validate_solution(p, bad));
+  }
+  // Structural tampers: out-of-range layer, foreign exit target, dangling
+  // non-exit row.
+  {
+    ChainSolution bad = *sol;
+    bad.rows[0].layer = 7;
+    EXPECT_FALSE(validate_solution(p, bad));
+  }
+  {
+    ChainSolution bad = *sol;
+    for (auto& r : bad.rows)
+      if (r.is_exit) {
+        r.exit_target = 99;  // not in exit_targets
+        break;
+      }
+    EXPECT_FALSE(validate_solution(p, bad));
+  }
+  {
+    ChainSolution bad = *sol;
+    bad.rows[0].is_exit = false;  // single layer: no layer+1 to continue into
+    EXPECT_FALSE(validate_solution(p, bad));
+  }
+  // Degenerate: no rows at all cannot implement a non-reject semantics.
+  EXPECT_FALSE(validate_solution(p, ChainSolution{}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: cache-hit compiles are bit-identical to cold compiles
+// ---------------------------------------------------------------------------
+
+void expect_warm_equals_cold(const ParserSpec& spec, const HwProfile& hw, int threads,
+                             bool require_hits = true) {
+  SynthOptions cold_opts;
+  cold_opts.timeout_sec = 60;
+  cold_opts.num_threads = threads;
+  CompileResult cold = compile(spec, hw, cold_opts);
+  ASSERT_TRUE(cold.ok()) << spec.name << ": " << cold.reason;
+
+  SynthCache sc;  // memory-only, private to this check
+  SynthOptions cached_opts = cold_opts;
+  cached_opts.cache = &sc;
+  CompileResult first = compile(spec, hw, cached_opts);   // fills the cache
+  CompileResult second = compile(spec, hw, cached_opts);  // replays from it
+  ASSERT_TRUE(first.ok()) << spec.name << ": " << first.reason;
+  ASSERT_TRUE(second.ok()) << spec.name << ": " << second.reason;
+
+  // Row-for-row identity: enabling the cache never changes the program,
+  // and a hit compile emits exactly the cold program.
+  EXPECT_EQ(to_string(cold.program), to_string(first.program)) << spec.name;
+  EXPECT_EQ(to_string(cold.program), to_string(second.program)) << spec.name;
+  EXPECT_EQ(cold.usage.tcam_entries, second.usage.tcam_entries) << spec.name;
+  EXPECT_EQ(cold.usage.stages, second.usage.stages) << spec.name;
+
+  auto c = sc.counters();
+  if (require_hits) {
+    EXPECT_GT(c.stores, 0) << spec.name;
+    EXPECT_GT(c.hits, 0) << spec.name << ": second compile never hit the cache";
+  } else if (c.stores > 0) {
+    // Specs with no keyed states legitimately store nothing; but anything
+    // stored by the first compile must be replayed by the second.
+    EXPECT_GT(c.hits, 0) << spec.name << ": second compile never hit the cache";
+  }
+  // The replayed compile does not re-run the per-state chain search
+  // (keyless states solve trivially with zero queries either way).
+  EXPECT_EQ(second.stats.synth_queries, 0) << spec.name;
+  EXPECT_EQ(second.stats.cegis_rounds, 0) << spec.name;
+}
+
+TEST(CacheDifferential, KeylessSpecIsHarmlesslyUncached) {
+  // spec1 has only unconditional transitions: nothing is cache-eligible
+  // (keyless solves are instant), so the cache must stay empty and the
+  // compile must still succeed identically.
+  ParserSpec spec = parserhawk::testing::spec1();
+  SynthOptions cold_opts;
+  cold_opts.timeout_sec = 60;
+  CompileResult cold = compile(spec, tofino(), cold_opts);
+  ASSERT_TRUE(cold.ok()) << cold.reason;
+
+  SynthCache sc;
+  SynthOptions opts = cold_opts;
+  opts.cache = &sc;
+  CompileResult a = compile(spec, tofino(), opts);
+  CompileResult b = compile(spec, tofino(), opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(to_string(cold.program), to_string(a.program));
+  EXPECT_EQ(to_string(cold.program), to_string(b.program));
+  EXPECT_EQ(sc.counters().stores, 0);
+  EXPECT_EQ(sc.counters().hits, 0);
+  EXPECT_EQ(sc.counters().misses, 0);
+}
+
+TEST(CacheDifferential, SuiteSpecsHitIdentically) {
+  expect_warm_equals_cold(parserhawk::testing::spec2(), tofino(), 1);
+  expect_warm_equals_cold(parserhawk::testing::figure3(), tofino(), 1);
+  expect_warm_equals_cold(parserhawk::testing::mpls_loop(), tofino(), 1);
+  expect_warm_equals_cold(suite::parse_ethernet(), tofino(), 1);
+  expect_warm_equals_cold(suite::parse_icmp(), ipu(), 1);
+}
+
+TEST(CacheDifferential, ParallelPortfolioHitsIdentically) {
+  // The winner-replay metadata must reproduce the deterministic Opt7
+  // winner, so hits are identical even when the cold race was concurrent.
+  expect_warm_equals_cold(parserhawk::testing::figure3(), tofino(), 4);
+  expect_warm_equals_cold(suite::parse_ethernet(), tofino(), 4);
+}
+
+TEST(CacheDifferential, RandomSpecsHitIdentically) {
+  // Some seeds generate specs whose states are all unconditional after
+  // canonicalization — those have nothing cache-eligible, so hits are not
+  // required, only identity and hit/store consistency.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    ParserSpec spec = parserhawk::testing::random_spec(rng);
+    expect_warm_equals_cold(spec, tofino(), 1, /*require_hits=*/false);
+  }
+}
+
+TEST(CacheDifferential, DiskTierHitsAcrossInstances) {
+  ScratchDir scratch("cache_e2e");
+  ParserSpec spec = parserhawk::testing::figure3();
+
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+  SynthCache writer(cfg);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  opts.cache = &writer;
+  CompileResult cold = compile(spec, tofino(), opts);
+  ASSERT_TRUE(cold.ok()) << cold.reason;
+  ASSERT_GT(writer.counters().bytes, 0);
+
+  // A brand-new instance over the same directory — the "second process".
+  SynthCache reader(cfg);
+  SynthOptions warm_opts;
+  warm_opts.timeout_sec = 60;
+  warm_opts.cache = &reader;
+  CompileResult warm = compile(spec, tofino(), warm_opts);
+  ASSERT_TRUE(warm.ok()) << warm.reason;
+  EXPECT_EQ(to_string(cold.program), to_string(warm.program));
+  EXPECT_GT(reader.counters().hits, 0);
+  EXPECT_EQ(warm.stats.synth_queries, 0);
+}
+
+TEST(CacheDifferential, CacheDirOptionPopulatesTheDirectory) {
+  // End-to-end plumbing of SynthOptions::cache_dir (the --cache-dir /
+  // PH_CACHE_DIR path): compiling with it set must leave entries behind.
+  ScratchDir scratch("cache_dir_opt");
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  opts.cache_dir = scratch.str();
+  CompileResult r = compile(parserhawk::testing::spec2(), tofino(), opts);
+  ASSERT_TRUE(r.ok()) << r.reason;
+  EXPECT_FALSE(entry_files(scratch.path()).empty());
+
+  // And the entries replay: same dir, fresh (injected) instance, no Z3.
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+  SynthCache reader(cfg);
+  SynthOptions warm_opts;
+  warm_opts.timeout_sec = 60;
+  warm_opts.cache = &reader;
+  CompileResult warm = compile(parserhawk::testing::spec2(), tofino(), warm_opts);
+  ASSERT_TRUE(warm.ok()) << warm.reason;
+  EXPECT_EQ(to_string(r.program), to_string(warm.program));
+  EXPECT_GT(reader.counters().hits, 0);
+}
+
+TEST(CacheDifferential, CorruptedDiskEntriesFallBackToColdSolve) {
+  ScratchDir scratch("cache_corrupt_e2e");
+  ParserSpec spec = parserhawk::testing::figure3();
+  CacheConfig cfg;
+  cfg.disk_dir = scratch.str();
+
+  CompileResult cold;
+  {
+    SynthCache writer(cfg);
+    SynthOptions opts;
+    opts.timeout_sec = 60;
+    opts.cache = &writer;
+    cold = compile(spec, tofino(), opts);
+    ASSERT_TRUE(cold.ok()) << cold.reason;
+  }
+  // Vandalize every entry on disk.
+  auto files = entry_files(scratch.path());
+  ASSERT_FALSE(files.empty());
+  Rng rng(99);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (i % 2 == 0) {
+      std::ofstream f(files[i], std::ios::binary | std::ios::trunc);
+      f << "garbage";
+    } else {
+      std::ifstream in(files[i], std::ios::binary);
+      std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      if (!text.empty()) text[rng() % text.size()] ^= 0x20;
+      std::ofstream f(files[i], std::ios::binary | std::ios::trunc);
+      f << text;
+    }
+  }
+  SynthCache reader(cfg);
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  opts.cache = &reader;
+  CompileResult repaired = compile(spec, tofino(), opts);
+  ASSERT_TRUE(repaired.ok()) << repaired.reason;
+  EXPECT_EQ(to_string(cold.program), to_string(repaired.program));
+  EXPECT_EQ(reader.counters().hits, 0);
+  EXPECT_GT(reader.counters().corrupt, 0);
+}
+
+}  // namespace
+}  // namespace parserhawk

@@ -8,11 +8,13 @@
 
 #include <atomic>
 #include <cctype>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "helpers.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -192,6 +194,39 @@ TEST_F(ObsTest, MetricsExportIsValidJson) {
   EXPECT_NE(json.find("\"z3.synth.queries\""), std::string::npos);
   EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
   EXPECT_EQ(Metrics::get().counter("z3.synth.queries"), 3);
+}
+
+TEST_F(ObsTest, FileExportersWriteValidJsonToDisk) {
+  // The write_* paths (what hawk_compile/bench sidecars use), routed
+  // through the per-test scratch dir so nothing lands in the working
+  // directory or a shared /tmp name.
+  parserhawk::testing::ScratchDir scratch("obs_export");
+  Tracer::get().enable();
+  Metrics::get().enable();
+  { Span span("disk_roundtrip"); }
+  count("z3.synth.queries", 1);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+  };
+
+  std::string trace_path = scratch.file("trace.json");
+  ASSERT_TRUE(Tracer::get().write_chrome_trace(trace_path));
+  EXPECT_TRUE(is_valid_json(slurp(trace_path)));
+
+  std::string jsonl_path = scratch.file("trace.jsonl");
+  ASSERT_TRUE(Tracer::get().write_jsonl(jsonl_path));
+  EXPECT_NE(slurp(jsonl_path).find("disk_roundtrip"), std::string::npos);
+
+  std::string metrics_path = scratch.file("metrics.json");
+  ASSERT_TRUE(Metrics::get().write_json(metrics_path));
+  EXPECT_TRUE(is_valid_json(slurp(metrics_path)));
+
+  // Unwritable target: clean failure, no crash.
+  EXPECT_FALSE(Metrics::get().write_json(scratch.file("no/such/dir/metrics.json")));
 }
 
 // ---------------------------------------------------------------------------

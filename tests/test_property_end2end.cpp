@@ -4,15 +4,18 @@
 // under the Figure 21 rewrites and never worse than the baselines.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "baseline/baseline.h"
+#include "helpers.h"
 #include "random_spec.h"
 #include "rewrite/rewrite.h"
 #include "sim/testgen.h"
 #include "support/timer.h"
 #include "synth/compiler.h"
 #include "synth/normalize.h"
+#include "synth/verify.h"
 
 namespace parserhawk {
 namespace {
@@ -123,6 +126,118 @@ TEST_P(End2EndProperty, CanonicalizePreservesSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, End2EndProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties: semantics-preserving spec transformations must
+// yield parsers the verifier proves equivalent to the *original* spec, at
+// identical resource usage. Names are not semantics (the IR is index-
+// based), and pairwise-disjoint select rules match at most one rule per
+// key, so their order is immaterial.
+// ---------------------------------------------------------------------------
+
+/// Rename every field, state and the spec itself.
+ParserSpec rename_everything(const ParserSpec& spec) {
+  ParserSpec out = spec;
+  out.name = "renamed_" + spec.name;
+  for (std::size_t f = 0; f < out.fields.size(); ++f)
+    out.fields[f].name = "fld" + std::to_string(f) + "_" + out.fields[f].name;
+  for (std::size_t s = 0; s < out.states.size(); ++s)
+    out.states[s].name = "st" + std::to_string(s) + "_" + out.states[s].name;
+  return out;
+}
+
+/// Reverse each state's reorderable rule prefix: the non-default rules
+/// before the first default, when no key can match two of them (rules i, j
+/// overlap iff they agree on every commonly-masked bit). Identity when no
+/// state has such a prefix.
+ParserSpec permute_disjoint_rules(const ParserSpec& spec) {
+  ParserSpec out = spec;
+  for (auto& st : out.states) {
+    std::size_t prefix = 0;
+    while (prefix < st.rules.size() && !st.rules[prefix].is_default()) ++prefix;
+    if (prefix < 2) continue;
+    bool disjoint = true;
+    for (std::size_t i = 0; i < prefix && disjoint; ++i)
+      for (std::size_t j = i + 1; j < prefix && disjoint; ++j)
+        disjoint = ((st.rules[i].value ^ st.rules[j].value) & st.rules[i].mask &
+                    st.rules[j].mask) != 0;
+    if (!disjoint) continue;
+    std::reverse(st.rules.begin(), st.rules.begin() + static_cast<std::ptrdiff_t>(prefix));
+  }
+  return out;
+}
+
+/// Compile `variant` and demand (a) the same TCAM/stage usage as `base`
+/// and (b) formal equivalence to `original` per verify.cpp — with the
+/// documented Inconclusive escape hatch falling back to differential
+/// testing against the original spec.
+void expect_metamorphic_equivalent(const ParserSpec& original, const CompileResult& base,
+                                   const ParserSpec& variant, const std::string& who) {
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult r = compile(variant, tofino(), opts);
+  ASSERT_TRUE(r.ok()) << who << ": " << r.reason << "\n" << to_string(variant);
+  EXPECT_EQ(r.usage.tcam_entries, base.usage.tcam_entries) << who;
+  EXPECT_EQ(r.usage.stages, base.usage.stages) << who;
+
+  VerifyOutcome v = verify_equivalence(original, r.program);
+  ASSERT_NE(v.kind, VerifyOutcome::Kind::Counterexample)
+      << who << " diverges from the original spec on input " << v.counterexample.to_string()
+      << "\noriginal:\n"
+      << to_string(original) << "\nvariant:\n"
+      << to_string(variant);
+  if (v.kind == VerifyOutcome::Kind::Inconclusive) {
+    DiffTestOptions dt;
+    dt.samples = 200;
+    dt.max_iterations = r.program.max_iterations;
+    auto mismatch = differential_test(original, r.program, dt);
+    EXPECT_FALSE(mismatch.has_value()) << who << " (differential fallback)";
+  }
+}
+
+void check_metamorphic(const ParserSpec& spec) {
+  SynthOptions opts;
+  opts.timeout_sec = 60;
+  CompileResult base = compile(spec, tofino(), opts);
+  ASSERT_TRUE(base.ok()) << spec.name << ": " << base.reason;
+  expect_metamorphic_equivalent(spec, base, rename_everything(spec), spec.name + "/renamed");
+  expect_metamorphic_equivalent(spec, base, permute_disjoint_rules(spec),
+                                spec.name + "/rule-permuted");
+  expect_metamorphic_equivalent(spec, base, permute_disjoint_rules(rename_everything(spec)),
+                                spec.name + "/renamed+permuted");
+}
+
+TEST(Metamorphic, FixedSpecsSurviveRenameAndRulePermutation) {
+  check_metamorphic(testing::figure3());  // 6 disjoint exact-match rules
+  check_metamorphic(testing::spec2());
+  check_metamorphic(testing::mpls_loop());
+}
+
+TEST(Metamorphic, RandomSpecsSurviveRenameAndRulePermutation) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed + 6000);
+    ParserSpec spec = random_spec(rng);
+    check_metamorphic(spec);
+  }
+}
+
+TEST(Metamorphic, PermutationHelperPreservesConcreteSemantics) {
+  // Sanity of the transform itself, independent of the compiler: the
+  // permuted spec agrees with the original on sampled inputs.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed + 7000);
+    ParserSpec spec = random_spec(rng);
+    ParserSpec permuted = permute_disjoint_rules(rename_everything(spec));
+    Rng srng(seed);
+    for (int i = 0; i < 100; ++i) {
+      BitVec input = generate_path_input(spec, srng, 12, 48);
+      ASSERT_TRUE(equivalent(run_spec(spec, input, 12), run_spec(permuted, input, 12)))
+          << "seed " << seed << " input " << input.to_string() << "\n"
+          << to_string(spec) << "\nvs\n"
+          << to_string(permuted);
+    }
+  }
+}
 
 TEST(End2EndTimeout, TinyBudgetWithParallelPortfolioTimesOutPromptly) {
   // A 60-bit transition key forces the multi-layer key-split search — far
