@@ -1,0 +1,270 @@
+// Line-rate simulation throughput: packets/sec through the spec and impl
+// interpreters, single- vs multi-threaded, and the compiled bit-parallel
+// TCAM matcher vs the scalar row-scan (DESIGN.md §9).
+//
+//   ./build/bench/bench_sim_throughput
+//   PH_SIM_PACKETS=5000 PH_SIM_REPS=5 ./build/bench/bench_sim_throughput
+//
+// Two hard gates (non-zero exit on failure, so this binary is registered
+// with ctest):
+//   * verdicts: the compiled-matcher interpreter must produce results
+//     bit-identical to the scalar row-scan interpreter on every packet,
+//     and the batched runner must report the same verdict at every thread
+//     count;
+//   * speed: the compiled match kernel must resolve lookups at >= 5x the
+//     scalar rows_of()-scan rate, aggregated across the compiled suite
+//     specs (the end-to-end packet ratio is reported but not gated — it
+//     includes extraction and dictionary costs common to both paths).
+//
+// Thread scaling is reported loosely: on a single-core container the
+// multi-thread row measures pool overhead, not speedup.
+//
+// Knobs: PH_SIM_PACKETS (corpus size per spec, default 512), PH_SIM_REPS
+// (best-of reps per measurement, default 3), PH_SIM_KERNEL_ITERS (match
+// kernel iterations per group, default 20000).
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/batch.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "synth/compiler.h"
+#include "tcam/matcher.h"
+
+using namespace parserhawk;
+using namespace parserhawk::bench;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  int n = v != nullptr ? std::atoi(v) : 0;
+  return n > 0 ? n : fallback;
+}
+
+bool identical(const ParseResult& a, const ParseResult& b) {
+  return a.outcome == b.outcome && a.dict == b.dict && a.bits_consumed == b.bits_consumed &&
+         a.iterations == b.iterations;
+}
+
+/// Best-of-reps wall time for `body()`.
+template <typename F>
+double best_of(int reps, F&& body) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    body();
+    double t = watch.elapsed_sec();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  JsonReport report("sim_throughput");
+  const int packets = env_int("PH_SIM_PACKETS", 512);
+  const int reps = env_int("PH_SIM_REPS", 3);
+  const int kernel_iters = env_int("PH_SIM_KERNEL_ITERS", 20000);
+  const int mt_threads =
+      static_cast<int>(std::max(2u, std::min(4u, std::thread::hardware_concurrency())));
+
+  std::printf("corpus: %d packets/spec, best of %d reps, %d kernel iters/group\n\n", packets, reps,
+              kernel_iters);
+  TextTable table({"Benchmark", "Rows", "pkts", "scalar pkt/s", "compiled pkt/s", "e2e",
+                   "kernel", "batch(1) pkt/s", "batch(n) pkt/s"});
+
+  // Aggregate match-kernel times across specs: the >= 5x gate.
+  double kernel_scalar_sec = 0;
+  double kernel_compiled_sec = 0;
+  bool verdicts_ok = true;
+  int compiled_specs = 0;
+
+  for (const auto& family : table3_families()) {
+    const ParserSpec& spec = family.variants.front().spec;
+    SynthOptions opts;
+    opts.timeout_sec = opt_timeout_sec();
+    opts.num_threads = num_threads();
+    CompileResult cr = compile(spec, tofino(), opts);
+    if (!cr.ok()) {
+      std::printf("  (skipping %s: %s)\n", family.name.c_str(), failure_cell(cr).c_str());
+      continue;
+    }
+    ++compiled_specs;
+    const TcamProgram& prog = cr.program;
+    CompiledMatcher matcher(prog);
+
+    DiffTestOptions corpus_opts;
+    corpus_opts.samples = packets;
+    corpus_opts.seed = 0x51beef;
+    std::vector<BitVec> corpus = difftest_corpus(spec, corpus_opts);
+    const double n = static_cast<double>(corpus.size());
+
+    // ---- Verdict gate: scalar scan vs compiled matcher, every packet. ----
+    for (const BitVec& input : corpus) {
+      ParseResult scalar = run_impl(prog, input);
+      ParseResult fast = run_impl(matcher, input);
+      if (!identical(scalar, fast)) {
+        std::printf("VERDICT MISMATCH (%s) on %s\n", family.name.c_str(),
+                    input.to_string().c_str());
+        verdicts_ok = false;
+      }
+    }
+
+    // ---- End-to-end packets/sec, both interpreters. ----
+    volatile int sink = 0;
+    double t_scalar = best_of(reps, [&] {
+      int acc = 0;
+      for (const BitVec& input : corpus) acc += static_cast<int>(run_impl(prog, input).outcome);
+      sink = acc;
+    });
+    double t_compiled = best_of(reps, [&] {
+      int acc = 0;
+      for (const BitVec& input : corpus) acc += static_cast<int>(run_impl(matcher, input).outcome);
+      sink = acc;
+    });
+    (void)sink;
+
+    // ---- Match kernel: the lookup step in isolation, aggregated. ----
+    // Drive every (table, state) group with a key mix of row values
+    // (guaranteed hits) and uniform noise, and check both paths agree on
+    // the winning row while timing them.
+    std::set<std::pair<int, int>> groups;
+    for (const auto& e : prog.entries) groups.insert({e.table, e.state});
+    Rng krng(0xfeed);
+    double ks = 0, kc = 0;
+    for (const auto& [tbl, st] : groups) {
+      const CompiledMatcher::Group* g = matcher.find(tbl, st);
+      if (g == nullptr || g->row_count == 0) continue;
+      std::vector<std::uint64_t> keys;
+      keys.reserve(64);
+      std::uint64_t kw_mask =
+          g->key_width >= 64 ? ~0ull : ((1ull << g->key_width) - 1);
+      for (int i = 0; i < 64; ++i) {
+        if (i % 2 == 0)
+          keys.push_back(g->rows[static_cast<std::size_t>(i / 2 % g->row_count)]->value & kw_mask);
+        else
+          keys.push_back(krng() & kw_mask);
+      }
+      // Winner agreement on the key mix (scalar scan is the oracle).
+      for (std::uint64_t key : keys) {
+        const TcamEntry* scalar_win = nullptr;
+        for (const TcamEntry* row : prog.rows_of(tbl, st))
+          if (row->matches(key)) {
+            scalar_win = row;
+            break;
+          }
+        int win = CompiledMatcher::first_match(*g, key);
+        const TcamEntry* fast_win = win < 0 ? nullptr : g->rows[static_cast<std::size_t>(win)];
+        if (scalar_win != fast_win) {
+          std::printf("KERNEL MISMATCH (%s) table=%d state=%d key=0x%llx\n", family.name.c_str(),
+                      tbl, st, static_cast<unsigned long long>(key));
+          verdicts_ok = false;
+        }
+      }
+      volatile std::uint64_t ksink = 0;
+      ks += best_of(reps, [&] {
+        std::uint64_t acc = 0;
+        for (int it = 0; it < kernel_iters; ++it) {
+          std::uint64_t key = keys[static_cast<std::size_t>(it) & 63];
+          for (const TcamEntry* row : prog.rows_of(tbl, st))
+            if (row->matches(key)) {
+              acc += static_cast<std::uint64_t>(row->entry) + 1;
+              break;
+            }
+        }
+        ksink = acc;
+      });
+      kc += best_of(reps, [&] {
+        std::uint64_t acc = 0;
+        for (int it = 0; it < kernel_iters; ++it) {
+          std::uint64_t key = keys[static_cast<std::size_t>(it) & 63];
+          int win = CompiledMatcher::first_match(*g, key);
+          acc += static_cast<std::uint64_t>(win) + 1;
+        }
+        ksink = acc;
+      });
+      (void)ksink;
+    }
+    kernel_scalar_sec += ks;
+    kernel_compiled_sec += kc;
+
+    // ---- Batched runner: single- vs multi-thread, identical verdicts. ----
+    BatchOptions b1;
+    b1.threads = 1;
+    BatchRunner runner1(spec, prog, b1);
+    BatchResult r1;
+    double t_b1 = best_of(reps, [&] { r1 = runner1.run(corpus); });
+    BatchOptions bn;
+    bn.threads = mt_threads;
+    bn.chunk = 32;
+    BatchRunner runnern(spec, prog, bn);
+    BatchResult rn;
+    double t_bn = best_of(reps, [&] { rn = runnern.run(corpus); });
+    if (r1.agree != rn.agree || r1.mismatches != rn.mismatches ||
+        r1.first_mismatch != rn.first_mismatch) {
+      std::printf("BATCH VERDICT DIVERGED (%s): 1-thread vs %d-thread\n", family.name.c_str(),
+                  mt_threads);
+      verdicts_ok = false;
+    }
+
+    double e2e = t_compiled > 0 ? t_scalar / t_compiled : 0;
+    double kratio = kc > 0 ? ks / kc : 0;
+    report.begin_row();
+    report.set("benchmark", family.name);
+    report.set("tcam_rows", static_cast<std::int64_t>(prog.entries.size()));
+    report.set("packets", static_cast<std::int64_t>(corpus.size()));
+    report.set("scalar_pkts_per_sec", t_scalar > 0 ? n / t_scalar : 0.0);
+    report.set("compiled_pkts_per_sec", t_compiled > 0 ? n / t_compiled : 0.0);
+    report.set("e2e_speedup", e2e);
+    report.set("kernel_scalar_sec", ks);
+    report.set("kernel_compiled_sec", kc);
+    report.set("kernel_speedup", kratio);
+    report.set("batch1_pkts_per_sec", t_b1 > 0 ? n / t_b1 : 0.0);
+    report.set("batchn_pkts_per_sec", t_bn > 0 ? n / t_bn : 0.0);
+    report.set("batch_threads", mt_threads);
+    report.set("verdicts_identical", verdicts_ok);
+    table.add_row({family.name, std::to_string(prog.entries.size()),
+                   std::to_string(corpus.size()), fmt_double(t_scalar > 0 ? n / t_scalar : 0, 0),
+                   fmt_double(t_compiled > 0 ? n / t_compiled : 0, 0), fmt_double(e2e, 2) + "x",
+                   fmt_double(kratio, 2) + "x", fmt_double(t_b1 > 0 ? n / t_b1 : 0, 0),
+                   fmt_double(t_bn > 0 ? n / t_bn : 0, 0)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  double kernel_speedup =
+      kernel_compiled_sec > 0 ? kernel_scalar_sec / kernel_compiled_sec : 0;
+  std::printf("aggregate match-kernel speedup: %.2fx over %d specs (gate: >= 5x)\n", kernel_speedup,
+              compiled_specs);
+  report.begin_row();
+  report.set("benchmark", "(aggregate)");
+  report.set("kernel_scalar_sec", kernel_scalar_sec);
+  report.set("kernel_compiled_sec", kernel_compiled_sec);
+  report.set("kernel_speedup", kernel_speedup);
+  report.set("verdicts_identical", verdicts_ok);
+  report.write();
+
+  if (!verdicts_ok) {
+    std::printf("FAIL: verdict divergence between scalar and compiled paths\n");
+    return 1;
+  }
+  if (compiled_specs == 0) {
+    std::printf("FAIL: no spec compiled; nothing measured\n");
+    return 1;
+  }
+  if (kernel_speedup < 5.0) {
+    std::printf("FAIL: compiled match kernel below the 5x gate (%.2fx)\n", kernel_speedup);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

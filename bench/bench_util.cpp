@@ -39,6 +39,20 @@ std::string cache_dir() {
   return v == nullptr ? "" : v;
 }
 
+int difftest_batch() {
+  const char* v = std::getenv("PH_DIFFTEST_BATCH");
+  if (v == nullptr) return -1;
+  int n = std::atoi(v);
+  return n > 0 ? n : -1;
+}
+
+int difftest_threads() {
+  const char* v = std::getenv("PH_DIFFTEST_THREADS");
+  if (v == nullptr) return -1;
+  int n = std::atoi(v);
+  return n >= 0 ? n : -1;
+}
+
 std::vector<RowFamily> table3_families() {
   using namespace parserhawk::suite;
   Rng rng(0xbe7c4);
@@ -146,6 +160,8 @@ PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw) {
   opt.timeout_sec = opt_timeout_sec();
   opt.num_threads = num_threads();
   opt.cache_dir = cache_dir();  // empty keeps the cache off
+  if (difftest_batch() > 0) opt.difftest_samples = difftest_batch();
+  if (difftest_threads() >= 0) opt.difftest_threads = difftest_threads();
   run.opt = compile(spec, hw, opt);
 
   if (!skip_orig()) {

@@ -19,6 +19,10 @@
 //                        compiled programs are identical either way; a
 //                        second run against the same dir skips Z3 on every
 //                        unchanged state.
+//   PH_DIFFTEST_BATCH    samples for the batched differential test /
+//                        CEGIS pre-check (default: SynthOptions default)
+//   PH_DIFFTEST_THREADS  difftest worker threads; 0 = reuse the Opt7
+//                        pool. The verdict is identical at every value.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +43,10 @@ bool skip_orig();
 int num_threads();
 /// PH_CACHE_DIR, or "" when unset (cache off).
 std::string cache_dir();
+/// PH_DIFFTEST_BATCH, or -1 when unset (SynthOptions default).
+int difftest_batch();
+/// PH_DIFFTEST_THREADS, or -1 when unset (reuse the Opt7 pool).
+int difftest_threads();
 
 /// One named mutation of a base benchmark (the ±R rows of Table 3).
 struct Variant {

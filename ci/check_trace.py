@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the telemetry sidecars a traced hawk_compile run produces.
 
-Usage: ci/check_trace.py TRACE.json [METRICS.json] [--require-cache-hits]
+Usage: ci/check_trace.py TRACE.json [METRICS.json]
+           [--require-cache-hits] [--require-sim-batch]
 
 Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * the trace file is valid JSON with a top-level "traceEvents" list
@@ -15,10 +16,19 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
     histograms; Z3 query counters exist and each phase's outcome counts
     (sat+unsat+unknown) sum to its query count; histogram bucket counts
     sum to the histogram's count
+  * when the batched differential tester ran (sim.batch.* counters
+    present): agree + mismatch == samples, and each side's outcome
+    tallies (accept + reject + exhausted) sum to samples
+  * every cov.*_hit gauge has a matching cov.*_total gauge with
+    hit <= total (coverage can never exceed the universe it counts)
   * with --require-cache-hits, the metrics must show a warm synthesis
     cache: cache.hits > 0 and no more stores than misses (a hot state is
     never re-stored) — the assertion the warm-cache CI job runs on its
     second pass against the same PH_CACHE_DIR
+  * with --require-sim-batch, the batched differential tester must have
+    actually run (sim.batch.runs > 0 with samples > 0 and no
+    mismatches, and spec rule coverage recorded) — the assertion the
+    traced-compile CI step runs on
 
 Exits non-zero with a message on the first violation.
 """
@@ -90,7 +100,52 @@ def check_trace(path):
     print(f"check_trace: {path}: OK ({n_spans} spans, {len(per_tid)} thread(s))")
 
 
-def check_metrics(path, require_cache_hits=False):
+def check_sim_batch(path, counters, gauges, require_sim_batch=False):
+    """Cross-check the batched-difftest counters and coverage gauges."""
+    runs = counters.get("sim.batch.runs", 0)
+    if runs:
+        samples = counters.get("sim.batch.samples", 0)
+        agree = counters.get("sim.batch.agree", 0)
+        mismatch = counters.get("sim.batch.mismatch", 0)
+        if agree + mismatch != samples:
+            fail(f"{path}: sim.batch agree ({agree}) + mismatch ({mismatch}) "
+                 f"!= samples ({samples})")
+        for side in ("spec", "impl"):
+            outcomes = sum(counters.get(f"sim.batch.{side}.{o}", 0)
+                           for o in ("accept", "reject", "exhausted"))
+            if outcomes != samples:
+                fail(f"{path}: sim.batch.{side} outcome tallies sum to "
+                     f"{outcomes}, expected samples ({samples})")
+        if counters.get("sim.batch.skipped", 0) < 0:
+            fail(f"{path}: sim.batch.skipped is negative")
+        if runs and gauges.get("sim.batch.threads", 1) < 1:
+            fail(f"{path}: sim.batch.threads gauge < 1 despite {runs} run(s)")
+
+    for name, hit in gauges.items():
+        if not (name.startswith("cov.") and name.endswith("_hit")):
+            continue
+        total_name = name[: -len("_hit")] + "_total"
+        if total_name not in gauges:
+            fail(f"{path}: gauge {name} has no matching {total_name}")
+        if hit > gauges[total_name]:
+            fail(f"{path}: {name} ({hit}) exceeds {total_name} ({gauges[total_name]})")
+
+    if require_sim_batch:
+        samples = counters.get("sim.batch.samples", 0)
+        if runs <= 0 or samples <= 0:
+            fail(f"{path}: expected a batched differential test; got "
+                 f"sim.batch.runs={runs} samples={samples}")
+        if counters.get("sim.batch.mismatch", 0) != 0:
+            fail(f"{path}: batched differential test reported mismatches")
+        if gauges.get("cov.spec.rules_total", 0) <= 0:
+            fail(f"{path}: no spec rule coverage recorded "
+                 f"(cov.spec.rules_total missing or 0)")
+        print(f"check_trace: {path}: sim batch OK "
+              f"(runs={runs} samples={samples} "
+              f"rules {gauges.get('cov.spec.rules_hit', 0)}/{gauges['cov.spec.rules_total']})")
+
+
+def check_metrics(path, require_cache_hits=False, require_sim_batch=False):
     with open(path, encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -120,6 +175,8 @@ def check_metrics(path, require_cache_hits=False):
         if h.get("count", 0) < 0 or (h.get("count") and h.get("min", 0) > h.get("max", 0)):
             fail(f"{path}: histogram {name} has inconsistent count/min/max")
 
+    check_sim_batch(path, counters, doc["gauges"], require_sim_batch=require_sim_batch)
+
     if require_cache_hits:
         hits = counters.get("cache.hits", 0)
         misses = counters.get("cache.misses", 0)
@@ -139,16 +196,18 @@ def check_metrics(path, require_cache_hits=False):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = set(sys.argv[1:]) - set(args)
-    if flags - {"--require-cache-hits"}:
+    if flags - {"--require-cache-hits", "--require-sim-batch"}:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     require_cache_hits = "--require-cache-hits" in flags
-    if len(args) < 1 or len(args) > 2 or (require_cache_hits and len(args) < 2):
+    require_sim_batch = "--require-sim-batch" in flags
+    if len(args) < 1 or len(args) > 2 or ((require_cache_hits or require_sim_batch) and len(args) < 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(args[0])
     if len(args) == 2:
-        check_metrics(args[1], require_cache_hits=require_cache_hits)
+        check_metrics(args[1], require_cache_hits=require_cache_hits,
+                      require_sim_batch=require_sim_batch)
 
 
 if __name__ == "__main__":

@@ -2,8 +2,8 @@
 # ThreadSanitizer gate for the Opt7 concurrency code.
 #
 # Builds the -DPARSERHAWK_SANITIZE=thread preset and runs the concurrency
-# tests (thread pool, parallel determinism, the timeout-under-parallelism
-# property) under TSan. Any data race fails the run (TSAN exits non-zero
+# tests (thread pool, parallel determinism, the batched differential
+# simulation engine, the timeout-under-parallelism property) under TSan. Any data race fails the run (TSAN exits non-zero
 # via halt_on_error-independent exit code mangling: abort_on_error keeps
 # gtest's failure propagation intact).
 #
@@ -15,7 +15,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DPARSERHAWK_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_property_end2end test_obs
+  --target test_thread_pool test_parallel_determinism test_property_end2end test_obs test_batch
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp"
 # Sanitizer overhead stretches in-flight z3 queries well past the native
@@ -29,6 +29,13 @@ echo "== test_obs (TSan) =="
 
 echo "== test_thread_pool (TSan) =="
 "$BUILD_DIR/tests/test_thread_pool"
+
+echo "== test_batch (TSan) =="
+# The batched differential engine: chunked fan-out over the work-stealing
+# pool, atomic first-mismatch CAS cancellation, per-chunk coverage merge.
+# EightThreadStress runs the full difftest at 8 workers — the widest
+# concurrent surface this suite has.
+"$BUILD_DIR/tests/test_batch"
 
 echo "== test_parallel_determinism (TSan, subset) =="
 # The full determinism sweep under TSan is slow (every seed compiles 3x

@@ -28,6 +28,15 @@
 //                       bit-identical either way. Env fallback:
 //                       PH_CACHE_DIR.
 //   --no-cache          ignore --cache-dir / PH_CACHE_DIR for this run.
+//
+// Batched differential testing (DESIGN.md §9):
+//   --difftest-batch N    samples for the post-compile differential test
+//                         and the CEGIS candidate pre-check. Env fallback:
+//                         PH_DIFFTEST_BATCH.
+//   --difftest-threads N  worker threads for the batched difftest; 0 =
+//                         reuse the --threads pool. The verdict is
+//                         identical at every value. Env fallback:
+//                         PH_DIFFTEST_THREADS.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -76,6 +85,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> args;
   int num_threads = 1;
+  int difftest_batch = -1;    // -1 = SynthOptions default
+  int difftest_threads = -1;  // -1 = SynthOptions default (reuse Opt7 pool)
   std::string trace_out;
   std::string metrics_out;
   std::string cache_dir;
@@ -83,6 +94,14 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
     if (v > 0) num_threads = v;
+  }
+  if (const char* env = std::getenv("PH_DIFFTEST_BATCH")) {
+    int v = std::atoi(env);
+    if (v > 0) difftest_batch = v;
+  }
+  if (const char* env = std::getenv("PH_DIFFTEST_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 0) difftest_threads = v;
   }
   if (const char* env = std::getenv("PH_TRACE")) trace_out = env;
   if (const char* env = std::getenv("PH_METRICS")) metrics_out = env;
@@ -119,6 +138,16 @@ int main(int argc, char** argv) {
       ++i;
     } else if (a.rfind("--cache-dir=", 0) == 0) {
       cache_dir = a.substr(12);
+    } else if (a == "--difftest-batch") {
+      difftest_batch = std::atoi(need_value(a, i));
+      ++i;
+    } else if (a.rfind("--difftest-batch=", 0) == 0) {
+      difftest_batch = std::atoi(a.c_str() + 17);
+    } else if (a == "--difftest-threads") {
+      difftest_threads = std::atoi(need_value(a, i));
+      ++i;
+    } else if (a.rfind("--difftest-threads=", 0) == 0) {
+      difftest_threads = std::atoi(a.c_str() + 19);
     } else if (a == "--no-cache") {
       no_cache = true;
     } else if (a == "--verbose" || a == "-v") {
@@ -132,7 +161,8 @@ int main(int argc, char** argv) {
   if (args.empty() || args.size() > 2) {
     std::fprintf(stderr,
                  "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--trace-out PATH]\n"
-                 "       [--metrics-out PATH] [--cache-dir PATH] [--no-cache] [--verbose|--quiet]\n",
+                 "       [--metrics-out PATH] [--cache-dir PATH] [--no-cache]\n"
+                 "       [--difftest-batch N] [--difftest-threads N] [--verbose|--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -162,6 +192,8 @@ int main(int argc, char** argv) {
                  metrics_out.empty() ? "(off)" : metrics_out.c_str());
   SynthOptions opts;
   opts.num_threads = num_threads;
+  if (difftest_batch > 0) opts.difftest_samples = difftest_batch;
+  if (difftest_threads >= 0) opts.difftest_threads = difftest_threads;
   if (!no_cache && !cache_dir.empty()) {
     opts.cache_dir = cache_dir;
     obs::log_info("synthesis cache at %s", cache_dir.c_str());

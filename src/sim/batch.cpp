@@ -1,0 +1,175 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/thread_pool.h"
+
+namespace parserhawk {
+
+namespace {
+
+/// Per-packet record filled during the parallel phase, aggregated in
+/// index order afterwards so every total is schedule-independent.
+struct PacketVerdict {
+  std::uint8_t spec_outcome = 0;
+  std::uint8_t impl_outcome = 0;
+  bool agree = false;
+  bool evaluated = false;
+};
+
+}  // namespace
+
+void BatchResult::publish_metrics(int threads_used) const {
+  if (!obs::metrics_on()) return;
+  obs::count("sim.batch.runs");
+  obs::count("sim.batch.samples", evaluated);
+  obs::count("sim.batch.skipped", skipped);
+  obs::count("sim.batch.agree", agree);
+  obs::count("sim.batch.mismatch", mismatches);
+  static const char* kOutcomeNames[3] = {"accept", "reject", "exhausted"};
+  for (int o = 0; o < 3; ++o) {
+    obs::count(std::string("sim.batch.spec.") + kOutcomeNames[o], spec_outcomes[o]);
+    obs::count(std::string("sim.batch.impl.") + kOutcomeNames[o], impl_outcomes[o]);
+  }
+  obs::maximize("sim.batch.threads", threads_used);
+  coverage.publish();
+}
+
+BatchRunner::BatchRunner(const ParserSpec& spec, const TcamProgram& prog, BatchOptions options)
+    : spec_(&spec), prog_(&prog), options_(std::move(options)), matcher_(prog) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.chunk < 1) options_.chunk = 1;
+}
+
+BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
+  obs::Span span("sim_batch");
+  if (span.active()) {
+    span.arg("spec", spec_->name);
+    span.arg("inputs", static_cast<int>(inputs.size()));
+  }
+
+  const std::int64_t n = static_cast<std::int64_t>(inputs.size());
+  BatchResult result;
+  result.submitted = n;
+  if (options_.collect_coverage) result.coverage = CoverageMap::for_pair(*spec_, *prog_);
+
+  std::vector<PacketVerdict> verdicts(inputs.size());
+  // Best (lowest) mismatch index so far; packets beyond it are skippable.
+  std::atomic<std::int64_t> first_bad{n};
+
+  // One packet: run both sides, record the verdict, advance cancellation.
+  // Coverage goes into `cov` (per-chunk map, merged deterministically
+  // later) — never into shared state from a worker.
+  auto evaluate = [&](std::int64_t i, CoverageMap* cov) {
+    ParseResult s = run_spec(*spec_, inputs[static_cast<std::size_t>(i)], options_.max_iterations,
+                             cov);
+    ParseResult m = run_impl(matcher_, inputs[static_cast<std::size_t>(i)], cov);
+    PacketVerdict& v = verdicts[static_cast<std::size_t>(i)];
+    v.spec_outcome = static_cast<std::uint8_t>(s.outcome);
+    v.impl_outcome = static_cast<std::uint8_t>(m.outcome);
+    v.agree = equivalent(s, m);
+    v.evaluated = true;
+    if (!v.agree && options_.stop_on_mismatch) {
+      std::int64_t cur = first_bad.load(std::memory_order_relaxed);
+      while (i < cur && !first_bad.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  ThreadPool* pool = options_.pool;
+  const int threads = pool != nullptr ? pool->worker_count() : options_.threads;
+
+  if (pool == nullptr && options_.threads <= 1) {
+    // Scalar driver: same evaluate/aggregate path, no pool.
+    CoverageMap* cov = options_.collect_coverage ? &result.coverage : nullptr;
+    CoverageMap local;  // keep per-packet recording symmetric with workers
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (options_.stop_on_mismatch && i > first_bad.load(std::memory_order_relaxed)) break;
+      evaluate(i, cov ? &local : nullptr);
+    }
+    if (cov) result.coverage.merge(local);
+  } else {
+    std::optional<ThreadPool> owned;
+    if (pool == nullptr) {
+      owned.emplace(options_.threads);
+      pool = &*owned;
+    }
+    const std::int64_t chunk = options_.chunk;
+    const std::int64_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<CoverageMap> chunk_cov(static_cast<std::size_t>(num_chunks));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<std::size_t>(num_chunks));
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      tasks.push_back([&, c] {
+        CoverageMap* cov = options_.collect_coverage ? &chunk_cov[static_cast<std::size_t>(c)] : nullptr;
+        const std::int64_t lo = c * chunk;
+        const std::int64_t hi = std::min(n, lo + chunk);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          // Cooperative cancellation: only indices strictly beyond the
+          // best-known mismatch may be skipped, so the final winner and
+          // its prefix are always fully evaluated.
+          if (options_.stop_on_mismatch && i > first_bad.load(std::memory_order_relaxed)) return;
+          evaluate(i, cov);
+        }
+      });
+    }
+    pool->run_all(std::move(tasks));
+    // chunk_cov is merged below only on the mismatch-free path; after a
+    // mismatch the prefix coverage is recomputed exactly instead.
+    if (options_.collect_coverage && first_bad.load(std::memory_order_relaxed) >= n)
+      for (const auto& cov : chunk_cov) result.coverage.merge(cov);
+  }
+
+  // ---- Deterministic aggregation over the prefix [0, first_mismatch]. ----
+  const std::int64_t bad = first_bad.load(std::memory_order_relaxed);
+  const std::int64_t last = bad < n ? bad : n - 1;
+  for (std::int64_t i = 0; i <= last; ++i) {
+    const PacketVerdict& v = verdicts[static_cast<std::size_t>(i)];
+    ++result.evaluated;
+    ++result.spec_outcomes[v.spec_outcome];
+    ++result.impl_outcomes[v.impl_outcome];
+    if (v.agree)
+      ++result.agree;
+    else
+      ++result.mismatches;
+  }
+  result.skipped = n - result.evaluated;
+
+  if (bad < n) {
+    result.first_mismatch = bad;
+    // Replay the winner for the full mismatch record, and — when workers
+    // ran — recompute the prefix coverage exactly (per-chunk maps may
+    // contain packets beyond the prefix).
+    if (options_.collect_coverage && (options_.pool != nullptr || options_.threads > 1)) {
+      result.coverage = CoverageMap::for_pair(*spec_, *prog_);
+      for (std::int64_t i = 0; i <= bad; ++i) {
+        run_spec(*spec_, inputs[static_cast<std::size_t>(i)], options_.max_iterations,
+                 &result.coverage);
+        run_impl(matcher_, inputs[static_cast<std::size_t>(i)], &result.coverage);
+      }
+    }
+    DiffMismatch mm;
+    mm.input = inputs[static_cast<std::size_t>(bad)];
+    mm.spec_result = run_spec(*spec_, mm.input, options_.max_iterations);
+    mm.impl_result = run_impl(matcher_, mm.input);
+    result.mismatch = std::move(mm);
+  }
+
+  if (span.active()) {
+    span.arg("evaluated", static_cast<int>(result.evaluated));
+    span.arg("mismatch", result.mismatch.has_value() ? 1 : 0);
+  }
+  result.publish_metrics(threads);
+  return result;
+}
+
+BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
+                      const std::vector<BitVec>& inputs, const BatchOptions& options) {
+  return BatchRunner(spec, prog, options).run(inputs);
+}
+
+}  // namespace parserhawk

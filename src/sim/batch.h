@@ -1,0 +1,112 @@
+// Batched differential simulation engine (DESIGN.md §9).
+//
+// Drives N packets through the spec interpreter and the bit-parallel
+// compiled TCAM matcher, optionally across the work-stealing thread pool,
+// and folds the per-packet verdicts into deterministic totals plus a
+// CoverageMap. Used by the differential tester (src/sim/testgen.h), the
+// CEGIS counterexample pre-check (src/synth) and bench_sim_throughput.
+//
+// Determinism contract:
+//   * The reported mismatch is always the LOWEST-INDEX disagreeing input,
+//     regardless of thread count or scheduling. Workers may skip packets
+//     *beyond* the best mismatch found so far (cooperative cancellation),
+//     but an index at or below the final first-mismatch is never skipped,
+//     so the winner is exact.
+//   * All counts and the coverage map are computed over the deterministic
+//     prefix [0, first_mismatch] (the whole batch when every input
+//     agrees), so they are a pure function of the input list — identical
+//     at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sim/coverage.h"
+#include "sim/interp.h"
+#include "tcam/matcher.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+class ThreadPool;
+
+/// A spec/impl disagreement. Historically declared in testgen.h (which
+/// includes this header and re-exports it); it lives here so the batch
+/// engine sits below the differential tester in the include order.
+struct DiffMismatch {
+  BitVec input;
+  ParseResult spec_result;
+  ParseResult impl_result;
+};
+
+struct BatchOptions {
+  /// Worker threads. <= 1 runs on the calling thread (no pool); the
+  /// results are identical either way.
+  int threads = 1;
+  /// Packets per pool task.
+  int chunk = 64;
+  /// Cancel outstanding work once a mismatch is found (the verdict stays
+  /// deterministic; see the contract above).
+  bool stop_on_mismatch = true;
+  /// Spec-side K (impl uses prog.max_iterations).
+  int max_iterations = 64;
+  /// Collect per-rule / per-row coverage into BatchResult::coverage.
+  bool collect_coverage = true;
+  /// Run on this existing pool instead of spawning one (overrides
+  /// `threads`; the pool's worker count is used for metrics).
+  ThreadPool* pool = nullptr;
+};
+
+struct BatchResult {
+  std::int64_t submitted = 0;  ///< inputs handed to run()
+  std::int64_t evaluated = 0;  ///< deterministic prefix actually accounted
+  std::int64_t skipped = 0;    ///< submitted - evaluated (cancellation)
+
+  std::int64_t agree = 0;
+  /// 0 or 1 when stop_on_mismatch (accounting stops at the first); the
+  /// full disagreement count otherwise.
+  std::int64_t mismatches = 0;
+  /// Index of the first disagreeing input; -1 when all agree or when
+  /// stop_on_mismatch is off (counts-only mode).
+  std::int64_t first_mismatch = -1;
+  std::optional<DiffMismatch> mismatch;
+
+  /// Outcome tallies over the evaluated prefix, indexed by ParseOutcome
+  /// (Accepted, Rejected, Exhausted). Each sums to `evaluated`.
+  std::int64_t spec_outcomes[3] = {0, 0, 0};
+  std::int64_t impl_outcomes[3] = {0, 0, 0};
+
+  CoverageMap coverage;
+
+  /// Publish sim.batch.* counters (runs/samples/skipped/agree/mismatch,
+  /// per-side outcome tallies, threads high-water) and the coverage map's
+  /// cov.* gauges into the global metrics registry.
+  void publish_metrics(int threads_used) const;
+};
+
+/// Reusable batch engine for one (spec, prog) pair: packs the matcher
+/// once, then run() any number of input lists. Spec and program must
+/// outlive the runner.
+class BatchRunner {
+ public:
+  BatchRunner(const ParserSpec& spec, const TcamProgram& prog, BatchOptions options = {});
+
+  BatchResult run(const std::vector<BitVec>& inputs) const;
+
+  const CompiledMatcher& matcher() const { return matcher_; }
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  const ParserSpec* spec_;
+  const TcamProgram* prog_;
+  BatchOptions options_;
+  CompiledMatcher matcher_;
+};
+
+/// One-shot convenience wrapper around BatchRunner.
+BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
+                      const std::vector<BitVec>& inputs, const BatchOptions& options = {});
+
+}  // namespace parserhawk

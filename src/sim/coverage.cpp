@@ -1,0 +1,112 @@
+#include "sim/coverage.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace parserhawk {
+
+CoverageMap CoverageMap::for_spec(const ParserSpec& spec) {
+  CoverageMap m;
+  m.state_hits.assign(spec.states.size(), 0);
+  m.rule_hits.resize(spec.states.size());
+  for (std::size_t s = 0; s < spec.states.size(); ++s)
+    m.rule_hits[s].assign(spec.states[s].rules.size(), 0);
+  return m;
+}
+
+CoverageMap CoverageMap::for_pair(const ParserSpec& spec, const TcamProgram& prog) {
+  CoverageMap m = for_spec(spec);
+  m.row_hits.assign(prog.entries.size(), 0);
+  return m;
+}
+
+void CoverageMap::on_spec_state(int state) {
+  if (state < 0) return;
+  if (static_cast<std::size_t>(state) >= state_hits.size()) state_hits.resize(static_cast<std::size_t>(state) + 1, 0);
+  ++state_hits[static_cast<std::size_t>(state)];
+}
+
+void CoverageMap::on_spec_rule(int state, int rule) {
+  if (state < 0 || rule < 0) return;
+  if (static_cast<std::size_t>(state) >= rule_hits.size()) rule_hits.resize(static_cast<std::size_t>(state) + 1);
+  auto& rules = rule_hits[static_cast<std::size_t>(state)];
+  if (static_cast<std::size_t>(rule) >= rules.size()) rules.resize(static_cast<std::size_t>(rule) + 1, 0);
+  ++rules[static_cast<std::size_t>(rule)];
+}
+
+void CoverageMap::on_row(int entry_index) {
+  if (entry_index < 0) return;
+  if (static_cast<std::size_t>(entry_index) >= row_hits.size())
+    row_hits.resize(static_cast<std::size_t>(entry_index) + 1, 0);
+  ++row_hits[static_cast<std::size_t>(entry_index)];
+}
+
+void CoverageMap::merge(const CoverageMap& other) {
+  auto add_into = [](std::vector<std::int64_t>& dst, const std::vector<std::int64_t>& src) {
+    if (dst.size() < src.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  };
+  add_into(state_hits, other.state_hits);
+  if (rule_hits.size() < other.rule_hits.size()) rule_hits.resize(other.rule_hits.size());
+  for (std::size_t s = 0; s < other.rule_hits.size(); ++s) add_into(rule_hits[s], other.rule_hits[s]);
+  add_into(row_hits, other.row_hits);
+  spec_exhausted += other.spec_exhausted;
+  impl_exhausted += other.impl_exhausted;
+}
+
+int CoverageMap::states_hit() const {
+  return static_cast<int>(std::count_if(state_hits.begin(), state_hits.end(),
+                                        [](std::int64_t n) { return n > 0; }));
+}
+
+int CoverageMap::rules_total() const {
+  int n = 0;
+  for (const auto& rules : rule_hits) n += static_cast<int>(rules.size());
+  return n;
+}
+
+int CoverageMap::rules_hit() const {
+  int n = 0;
+  for (const auto& rules : rule_hits)
+    for (std::int64_t c : rules)
+      if (c > 0) ++n;
+  return n;
+}
+
+int CoverageMap::rows_hit() const {
+  return static_cast<int>(std::count_if(row_hits.begin(), row_hits.end(),
+                                        [](std::int64_t n) { return n > 0; }));
+}
+
+std::string CoverageMap::uncovered_rules(const ParserSpec& spec) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t s = 0; s < rule_hits.size(); ++s) {
+    for (std::size_t r = 0; r < rule_hits[s].size(); ++r) {
+      if (rule_hits[s][r] > 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      if (s < spec.states.size())
+        os << "state '" << spec.states[s].name << "' rule " << r;
+      else
+        os << "state #" << s << " rule " << r;
+    }
+  }
+  return os.str();
+}
+
+void CoverageMap::publish() const {
+  if (!obs::metrics_on()) return;
+  obs::maximize("cov.spec.states_hit", states_hit());
+  obs::maximize("cov.spec.states_total", states_total());
+  obs::maximize("cov.spec.rules_hit", rules_hit());
+  obs::maximize("cov.spec.rules_total", rules_total());
+  obs::maximize("cov.impl.rows_hit", rows_hit());
+  obs::maximize("cov.impl.rows_total", rows_total());
+  if (spec_exhausted > 0) obs::count("cov.spec.exhausted", spec_exhausted);
+  if (impl_exhausted > 0) obs::count("cov.impl.exhausted", impl_exhausted);
+}
+
+}  // namespace parserhawk

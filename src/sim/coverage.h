@@ -1,0 +1,77 @@
+// Coverage accounting for the simulation engine (DESIGN.md §9).
+//
+// A CoverageMap records what a set of simulated packets actually
+// exercised: which spec states were entered, which transition rules
+// fired, which TCAM rows won a lookup, and how often either side hit the
+// loop bound K. The differential tester uses it two ways: as a fuzzing
+// fitness signal (keep an input iff it raises a counter) and as a gate
+// (every rule of every example spec must fire at least once — an
+// uncovered rule means the test corpus proves nothing about it).
+//
+// Maps are plain count vectors: merging is addition, so per-thread maps
+// from the batch runner fold into a deterministic total regardless of
+// how packets were scheduled. Totals are published to the global
+// ph_obs metrics registry under the `cov.*` namespace (hit/total pairs
+// as high-water gauges, exhaustion events as counters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+struct CoverageMap {
+  /// Times each spec state was entered (indexed by state id).
+  std::vector<std::int64_t> state_hits;
+  /// Times each transition rule fired: rule_hits[state][rule].
+  std::vector<std::vector<std::int64_t>> rule_hits;
+  /// Spec-side parses that ended at the loop bound K.
+  std::int64_t spec_exhausted = 0;
+
+  /// Times each TCAM row won a lookup (indexed by position in
+  /// TcamProgram::entries).
+  std::vector<std::int64_t> row_hits;
+  /// Impl-side parses that ended at the row bound K.
+  std::int64_t impl_exhausted = 0;
+
+  /// Map shaped to `spec` (states and rules), with zero counts.
+  static CoverageMap for_spec(const ParserSpec& spec);
+  /// Map shaped to `spec` and `prog` (adds the row dimension).
+  static CoverageMap for_pair(const ParserSpec& spec, const TcamProgram& prog);
+
+  // -- Recording (auto-grow, so a map is never out of bounds even when
+  //    shared across differently-shaped programs). --
+  void on_spec_state(int state);
+  void on_spec_rule(int state, int rule);
+  void on_row(int entry_index);
+
+  /// Add every count of `other` into this map (vectors grow as needed).
+  void merge(const CoverageMap& other);
+
+  // -- Accounting. --
+  int states_total() const { return static_cast<int>(state_hits.size()); }
+  int states_hit() const;
+  int rules_total() const;
+  int rules_hit() const;
+  int rows_total() const { return static_cast<int>(row_hits.size()); }
+  int rows_hit() const;
+
+  /// True when every rule of every state fired at least once.
+  bool all_rules_covered() const { return rules_hit() == rules_total(); }
+
+  /// "state 'foo' rule 2, state 'bar' rule 0" — the rules never fired
+  /// (diagnostics for the coverage gate; `spec` supplies state names).
+  std::string uncovered_rules(const ParserSpec& spec) const;
+
+  /// Publish into the global metrics registry: cov.spec.states_hit/_total,
+  /// cov.spec.rules_hit/_total, cov.impl.rows_hit/_total as high-water
+  /// gauges, cov.spec.exhausted / cov.impl.exhausted as counters. No-op
+  /// when metrics are disabled.
+  void publish() const;
+};
+
+}  // namespace parserhawk

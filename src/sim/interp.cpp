@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/coverage.h"
 #include "support/bitstream.h"
+#include "tcam/matcher.h"
 
 namespace parserhawk {
 
@@ -79,7 +81,8 @@ ParseResult finish(ParseOutcome outcome, OutputDict dict, const Bitstream& in, i
 
 }  // namespace
 
-ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations) {
+ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations,
+                     CoverageMap* coverage) {
   Bitstream in(input);
   OutputDict dict;
   int state = spec.start;
@@ -88,6 +91,7 @@ ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterat
     if (state == kAccept) return finish(ParseOutcome::Accepted, std::move(dict), in, iter);
     if (state == kReject) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
 
+    if (coverage) coverage->on_spec_state(state);
     const State& st = spec.state(state);
     for (const auto& ex : st.extracts)
       if (!do_extract(spec.fields, ex, in, dict))
@@ -104,9 +108,10 @@ ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterat
       key = *k;
     }
     int next = kReject;
-    for (const auto& r : st.rules)
-      if (r.matches(key)) {
-        next = r.next;
+    for (std::size_t r = 0; r < st.rules.size(); ++r)
+      if (st.rules[r].matches(key)) {
+        if (coverage) coverage->on_spec_rule(state, static_cast<int>(r));
+        next = st.rules[r].next;
         break;
       }
     state = next;
@@ -115,10 +120,11 @@ ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterat
   ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
                      : state == kReject ? ParseOutcome::Rejected
                                         : ParseOutcome::Exhausted;
+  if (coverage && out == ParseOutcome::Exhausted) ++coverage->spec_exhausted;
   return finish(out, std::move(dict), in, max_iterations);
 }
 
-ParseResult run_impl(const TcamProgram& prog, const BitVec& input) {
+ParseResult run_impl(const TcamProgram& prog, const BitVec& input, CoverageMap* coverage) {
   Bitstream in(input);
   OutputDict dict;
   int table = prog.start_table;
@@ -143,6 +149,7 @@ ParseResult run_impl(const TcamProgram& prog, const BitVec& input) {
         break;
       }
     if (winner == nullptr) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+    if (coverage) coverage->on_row(static_cast<int>(winner - prog.entries.data()));
 
     for (const auto& ex : winner->extracts)
       if (!do_extract(prog.fields, ex, in, dict))
@@ -155,6 +162,46 @@ ParseResult run_impl(const TcamProgram& prog, const BitVec& input) {
   ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
                      : state == kReject ? ParseOutcome::Rejected
                                         : ParseOutcome::Exhausted;
+  if (coverage && out == ParseOutcome::Exhausted) ++coverage->impl_exhausted;
+  return finish(out, std::move(dict), in, prog.max_iterations);
+}
+
+ParseResult run_impl(const CompiledMatcher& matcher, const BitVec& input, CoverageMap* coverage) {
+  const TcamProgram& prog = matcher.program();
+  Bitstream in(input);
+  OutputDict dict;
+  int table = prog.start_table;
+  int state = prog.start_state;
+
+  for (int iter = 0; iter < prog.max_iterations; ++iter) {
+    if (state == kAccept) return finish(ParseOutcome::Accepted, std::move(dict), in, iter);
+    if (state == kReject) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    const CompiledMatcher::Group* g = matcher.find(table, state);
+    std::uint64_t key = 0;
+    if (g != nullptr && g->layout != nullptr && !g->layout->key.empty()) {
+      auto k = eval_key(prog.fields, g->layout->key, in, dict, /*missing_is_zero=*/true);
+      if (!k) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+      key = *k;
+    }
+
+    const int win = g == nullptr ? -1 : CompiledMatcher::first_match(*g, key);
+    if (win < 0) return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+    const TcamEntry* winner = g->rows[static_cast<std::size_t>(win)];
+    if (coverage) coverage->on_row(g->entry_index[static_cast<std::size_t>(win)]);
+
+    for (const auto& ex : winner->extracts)
+      if (!do_extract(prog.fields, ex, in, dict))
+        return finish(ParseOutcome::Rejected, std::move(dict), in, iter);
+
+    table = winner->next_table;
+    state = winner->next_state;
+  }
+
+  ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
+                     : state == kReject ? ParseOutcome::Rejected
+                                        : ParseOutcome::Exhausted;
+  if (coverage && out == ParseOutcome::Exhausted) ++coverage->impl_exhausted;
   return finish(out, std::move(dict), in, prog.max_iterations);
 }
 

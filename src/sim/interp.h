@@ -25,6 +25,9 @@
 
 namespace parserhawk {
 
+class CompiledMatcher;
+struct CoverageMap;
+
 /// The output dictionary OD: field index -> extracted value. Fields never
 /// extracted on the taken path are absent.
 using OutputDict = std::map<int, BitVec>;
@@ -60,12 +63,22 @@ inline bool equivalent(const ParseResult& a, const ParseResult& b) {
 
 /// Run a specification on `input`, taking at most `max_iterations` state
 /// transitions. Out-of-input extraction or lookahead rejects; a missing
-/// matching rule rejects (P4 semantics).
-ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations = 64);
+/// matching rule rejects (P4 semantics). When `coverage` is given, state
+/// entries, fired rules and loop-bound exhaustions are recorded into it.
+ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations = 64,
+                     CoverageMap* coverage = nullptr);
 
 /// Run a compiled TCAM program on `input` (Figure 6 pseudo-code). The row
-/// bound K comes from `prog.max_iterations`.
-ParseResult run_impl(const TcamProgram& prog, const BitVec& input);
+/// bound K comes from `prog.max_iterations`. `coverage` (optional)
+/// records winning rows and exhaustions.
+ParseResult run_impl(const TcamProgram& prog, const BitVec& input, CoverageMap* coverage = nullptr);
+
+/// Same semantics as the TcamProgram overload — bit-identical results on
+/// every input — but resolves each lookup through the pre-packed
+/// bit-parallel matcher instead of re-scanning the row list (the batch
+/// engine's hot path; see src/tcam/matcher.h).
+ParseResult run_impl(const CompiledMatcher& matcher, const BitVec& input,
+                     CoverageMap* coverage = nullptr);
 
 /// Render an output dictionary using `fields` for names.
 std::string to_string(const OutputDict& dict, const std::vector<Field>& fields);

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/thread_pool.h"
 
 namespace parserhawk {
 
@@ -141,6 +142,48 @@ std::optional<DiffMismatch> differential_test(const ParserSpec& spec, const Tcam
     }
   }
   return std::nullopt;
+}
+
+std::vector<BitVec> difftest_corpus(const ParserSpec& spec, const DiffTestOptions& options) {
+  // Must consume the RNG in exactly the order differential_test() does, so
+  // the corpus prefix — and therefore the lowest-index mismatch — matches
+  // the scalar driver's check sequence for the same (seed, samples).
+  Rng rng(options.seed);
+  std::vector<BitVec> corpus;
+  corpus.reserve(static_cast<std::size_t>(options.samples) * (options.include_truncated ? 2 : 1));
+  for (int n = 0; n < options.samples; ++n) {
+    BitVec input;
+    if (n % 2 == 0) {
+      input = generate_path_input(spec, rng, options.max_iterations, options.input_bits);
+    } else {
+      int len = options.input_bits > 0 ? options.input_bits : rng.range(0, 256);
+      input = BitVec::random(len, [&rng] { return rng(); });
+    }
+    corpus.push_back(input);
+    if (options.include_truncated && input.size() > 0)
+      corpus.push_back(input.slice(0, rng.range(0, input.size())));
+  }
+  return corpus;
+}
+
+BatchResult differential_test_batch(const ParserSpec& spec, const TcamProgram& prog,
+                                    const DiffTestOptions& options) {
+  obs::Span span("differential_test_batch");
+  if (span.active()) {
+    span.arg("spec", spec.name);
+    span.arg("samples", options.samples);
+    span.arg("threads", options.pool != nullptr ? options.pool->worker_count() : options.threads);
+  }
+  obs::count("difftest.runs");
+  obs::count("difftest.samples", options.samples);
+
+  BatchOptions batch;
+  batch.threads = options.threads;
+  batch.chunk = options.chunk;
+  batch.pool = options.pool;
+  batch.max_iterations = options.max_iterations;
+  batch.collect_coverage = options.collect_coverage;
+  return run_batch(spec, prog, difftest_corpus(spec, options), batch);
 }
 
 }  // namespace parserhawk

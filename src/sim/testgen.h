@@ -6,12 +6,19 @@
 // random, and back-patches the input bits that the rule's (value, mask)
 // condition constrains. This reaches deep states with high probability and
 // is reused to seed the CEGIS test set (§5.2).
+//
+// Two drivers share the same corpus: differential_test() checks inputs one
+// by one on the calling thread, and differential_test_batch() hands the
+// pre-generated corpus to the BatchRunner (sim/batch.h) for bit-parallel,
+// optionally multi-threaded checking with coverage accounting. Both report
+// the same first mismatch for the same (seed, samples).
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "ir/ir.h"
+#include "sim/batch.h"
 #include "sim/interp.h"
 #include "support/rng.h"
 #include "tcam/tcam.h"
@@ -23,19 +30,18 @@ namespace parserhawk {
 BitVec generate_path_input(const ParserSpec& spec, Rng& rng, int max_iterations = 64,
                            int min_bits = 0);
 
-/// A spec/impl disagreement found by the differential tester.
-struct DiffMismatch {
-  BitVec input;
-  ParseResult spec_result;
-  ParseResult impl_result;
-};
-
 struct DiffTestOptions {
   int samples = 256;              ///< total inputs tried
   std::uint64_t seed = 1;
   int input_bits = 0;             ///< fixed length for uniform samples (0 = path length)
   bool include_truncated = true;  ///< also replay truncated variants
   int max_iterations = 64;        ///< spec-side K (impl uses prog.max_iterations)
+
+  // Batch-driver knobs (differential_test_batch only).
+  int threads = 1;                ///< worker threads; <=1 = calling thread
+  int chunk = 64;                 ///< packets per pool task
+  ThreadPool* pool = nullptr;     ///< run on an existing pool (overrides threads)
+  bool collect_coverage = true;   ///< fill BatchResult::coverage
 };
 
 /// Figure 22: sample the input space, run both sides, compare dictionaries
@@ -43,5 +49,18 @@ struct DiffTestOptions {
 /// agree. Mixes uniform random inputs with path-directed inputs.
 std::optional<DiffMismatch> differential_test(const ParserSpec& spec, const TcamProgram& prog,
                                               const DiffTestOptions& options = {});
+
+/// The exact input sequence differential_test() checks, in check order:
+/// alternating path-directed and uniform samples, each optionally followed
+/// by its truncated variant. Deterministic in (spec, options).
+std::vector<BitVec> difftest_corpus(const ParserSpec& spec, const DiffTestOptions& options = {});
+
+/// Batched differential test: generate difftest_corpus() and drive it
+/// through the BatchRunner. For a fixed (spec, prog, options) the verdict —
+/// including the reported mismatch — is identical to differential_test()
+/// at every thread count; the batch result additionally carries outcome
+/// tallies and the coverage map.
+BatchResult differential_test_batch(const ParserSpec& spec, const TcamProgram& prog,
+                                    const DiffTestOptions& options = {});
 
 }  // namespace parserhawk

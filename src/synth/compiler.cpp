@@ -835,15 +835,21 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
 
   {
     DiffTestOptions dt;
-    dt.samples = 64;
+    dt.samples = opts.difftest_samples;
     dt.seed = opts.seed;
     dt.max_iterations = optimized.max_iterations;
     dt.input_bits = analyze(had_varbit ? varbit_to_fixed(reference) : reference,
                             opts.max_iterations)
                         .max_input_bits;
-    if (auto mismatch = differential_test(reference, optimized, dt))
+    if (opts.difftest_threads > 0)
+      dt.threads = opts.difftest_threads;
+    else
+      dt.pool = pool;  // reuse the Opt7 pool; nullptr = calling thread
+    BatchResult dr = differential_test_batch(reference, optimized, dt);
+    if (dr.mismatch)
       return fail(CompileStatus::InternalError,
-                  "differential test mismatch on " + mismatch->input.to_string(), reference, stats);
+                  "differential test mismatch on " + dr.mismatch->input.to_string(), reference,
+                  stats);
   }
 
   CompileResult out;

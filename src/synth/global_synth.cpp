@@ -396,6 +396,29 @@ std::optional<GlobalSynthResult> global_synthesize(const ParserSpec& spec, const
                   to_string(candidate).c_str());
       }
 
+      // Cheap refutation before the Z3 verify: a batched packet-level
+      // difftest over spec-consistent inputs. All inputs are exactly
+      // input_bits long (no truncation), so any disagreement is a true
+      // counterexample within the modeled input space and feeds CEGIS
+      // directly — skipping the far more expensive verify query.
+      if (options.difftest_samples > 0) {
+        DiffTestOptions dt;
+        dt.samples = options.difftest_samples;
+        dt.seed = options.seed + static_cast<std::uint64_t>(stats.synth_queries);
+        dt.input_bits = input_bits;
+        dt.include_truncated = false;
+        dt.max_iterations = options.max_iterations;
+        dt.collect_coverage = false;
+        BatchResult pre = differential_test_batch(spec, candidate, dt);
+        if (pre.mismatch) {
+          obs::count("cegis.difftest_counterexamples");
+          tests.emplace_back(pre.mismatch->input,
+                             run_spec(spec, pre.mismatch->input, options.max_iterations));
+          add_test(tests.back().first, tests.back().second);
+          continue;
+        }
+      }
+
       ++stats.verify_queries;
       VerifyOptions vo;
       vo.input_bits = input_bits;

@@ -53,6 +53,14 @@ struct SynthOptions {
   int max_cegis_rounds = 128;
   /// Random seed for the initial test-case pair (§5.2).
   std::uint64_t seed = 1;
+  /// Samples for the post-compile differential test (Figure 22) and the
+  /// batched CEGIS candidate pre-check.
+  int difftest_samples = 64;
+  /// Worker threads for the batched differential test. 0 = reuse the Opt7
+  /// pool when one exists, else run on the calling thread; >= 1 forces
+  /// that many dedicated workers. The verdict is identical at every value
+  /// (the batch engine's determinism contract, sim/batch.h).
+  int difftest_threads = 0;
   /// Opt7 portfolio threads. 1 = run subproblems sequentially on the
   /// calling thread (exactly the pre-parallel code path); > 1 = solve
   /// independent per-state chain problems concurrently and race their

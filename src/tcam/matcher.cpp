@@ -1,0 +1,113 @@
+#include "tcam/matcher.h"
+
+#include <bit>
+#include <set>
+
+namespace parserhawk {
+
+namespace {
+
+constexpr int kWordBits = 64;
+
+/// Low `n` bits set (n in [0, 64]).
+std::uint64_t low_mask(int n) {
+  return n >= kWordBits ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
+CompiledMatcher::CompiledMatcher(const TcamProgram& prog) : prog_(&prog) {
+  // Every (table, state) with rows or a declared layout gets a group, so
+  // lookups mirror the scalar interpreter's layout_of + rows_of pair.
+  std::set<std::pair<int, int>> keys;
+  for (const auto& e : prog.entries) keys.insert({e.table, e.state});
+  for (const auto& [key, layout] : prog.layouts) keys.insert(key);
+
+  for (const auto& key : keys) {
+    Group g;
+    g.layout = prog.layout_of(key.first, key.second);
+    g.key_width = g.layout ? g.layout->key_width() : 0;
+    for (const TcamEntry* row : prog.rows_of(key.first, key.second)) {
+      g.rows.push_back(row);
+      g.entry_index.push_back(static_cast<int>(row - prog.entries.data()));
+    }
+    g.row_count = static_cast<int>(g.rows.size());
+    g.words = (g.row_count + kWordBits - 1) / kWordBits;
+    total_rows_ += g.row_count;
+
+    const int kw = g.key_width;
+    g.base_live.assign(static_cast<std::size_t>(g.words), 0);
+    g.accept_one.assign(static_cast<std::size_t>(kw) * static_cast<std::size_t>(g.words), 0);
+    g.accept_zero.assign(static_cast<std::size_t>(kw) * static_cast<std::size_t>(g.words), 0);
+
+    std::uint64_t any_care = 0;
+    for (int r = 0; r < g.row_count; ++r) {
+      const TcamEntry& e = *g.rows[static_cast<std::size_t>(r)];
+      const int w = r / kWordBits;
+      const std::uint64_t rbit = std::uint64_t{1} << (r % kWordBits);
+      // A condition constraining bits the key does not have (mask/value
+      // above kw) can never match a key of kw bits — the scalar compare
+      // sees zeros there. Exclude the row up front.
+      if ((e.value & e.mask & ~low_mask(kw)) != 0) continue;
+      g.base_live[static_cast<std::size_t>(w)] |= rbit;
+      for (int b = 0; b < kw; ++b) {
+        const std::uint64_t cond_bit = std::uint64_t{1} << (kw - 1 - b);
+        const bool cares = (e.mask & cond_bit) != 0;
+        const bool want_one = (e.value & cond_bit) != 0;
+        if (cares) any_care |= cond_bit;
+        const std::size_t at = static_cast<std::size_t>(b) * static_cast<std::size_t>(g.words) +
+                               static_cast<std::size_t>(w);
+        if (!cares || want_one) g.accept_one[at] |= rbit;
+        if (!cares || !want_one) g.accept_zero[at] |= rbit;
+      }
+    }
+    for (int b = 0; b < kw; ++b)
+      if (any_care & (std::uint64_t{1} << (kw - 1 - b))) g.cared_bits.push_back(b);
+
+    groups_.emplace(key, std::move(g));
+  }
+}
+
+const CompiledMatcher::Group* CompiledMatcher::find(int table, int state) const {
+  auto it = groups_.find({table, state});
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+int CompiledMatcher::first_match(const Group& g, std::uint64_t key) {
+  if (g.row_count == 0) return -1;
+
+  if (g.words == 1) {
+    std::uint64_t live = g.base_live[0];
+    for (int b : g.cared_bits) {
+      if (!live) break;
+      const bool bit = (key >> (g.key_width - 1 - b)) & 1u;
+      live &= (bit ? g.accept_one : g.accept_zero)[static_cast<std::size_t>(b)];
+    }
+    return live ? std::countr_zero(live) : -1;
+  }
+
+  // Wide groups (> 64 rows): intersect lane by lane.
+  std::uint64_t stack[8];
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* live = stack;
+  if (g.words > 8) {
+    heap.resize(static_cast<std::size_t>(g.words));
+    live = heap.data();
+  }
+  for (int w = 0; w < g.words; ++w) live[w] = g.base_live[static_cast<std::size_t>(w)];
+
+  for (int b : g.cared_bits) {
+    const bool bit = (key >> (g.key_width - 1 - b)) & 1u;
+    const std::uint64_t* tab =
+        (bit ? g.accept_one : g.accept_zero).data() +
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(g.words);
+    std::uint64_t any = 0;
+    for (int w = 0; w < g.words; ++w) any |= (live[w] &= tab[w]);
+    if (!any) return -1;
+  }
+  for (int w = 0; w < g.words; ++w)
+    if (live[w]) return w * kWordBits + std::countr_zero(live[w]);
+  return -1;
+}
+
+}  // namespace parserhawk

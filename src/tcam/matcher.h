@@ -1,0 +1,80 @@
+// Compiled TCAM matcher: the bit-parallel hot path of the simulation
+// engine (DESIGN.md §9).
+//
+// The reference interpreter resolves one (table, state) lookup by walking
+// that state's rows in priority order and testing `(key ^ value) & mask`
+// per row — after re-collecting and re-sorting the rows from the flat
+// entry list on every state transition. CompiledMatcher does the
+// classical bitmap-intersection transform instead (the RFC / bit-vector
+// packet-classification lineage): rows of each (table, state) are packed
+// once, priority-sorted, into per-key-bit acceptance bitmaps over
+// word-aligned uint64 lanes. A lookup starts from the all-rows-live word
+// set and ANDs in one precomputed bitmap per *cared-about* key bit; the
+// winning row is then the lowest set bit (std::countr_zero), which
+// resolves first-match priority without a branch per row.
+//
+// The matcher is a pure view: it never mutates the program and must stay
+// bit-identical to the scalar scan for every input, including degenerate
+// programs (empty states, zero-width keys, masks wider than the declared
+// key). That identity is what lets the batched differential tester
+// (src/sim/batch.h) replace the scalar interpreter wholesale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "tcam/tcam.h"
+
+namespace parserhawk {
+
+class CompiledMatcher {
+ public:
+  /// Packs `prog`'s rows. The matcher keeps a pointer to `prog`; the
+  /// program must outlive the matcher and stay unmodified.
+  explicit CompiledMatcher(const TcamProgram& prog);
+
+  /// Packed rows of one (table, state).
+  struct Group {
+    const StateLayout* layout = nullptr;  ///< key layout (nullptr = keyless)
+    int key_width = 0;
+    int row_count = 0;
+    int words = 0;  ///< uint64 lanes per bitmap (ceil(row_count / 64))
+    /// Rows in priority order (same order the scalar scan visits).
+    std::vector<const TcamEntry*> rows;
+    /// rows[i]'s index in TcamProgram::entries (coverage accounting).
+    std::vector<int> entry_index;
+    /// Rows live before any key bit is tested. Starts as "all rows" and
+    /// drops rows whose condition constrains bits beyond the key width
+    /// (those can never match: the key has no such bits to offer).
+    std::vector<std::uint64_t> base_live;
+    /// accept_one[b * words + w]: bit r set when row (w*64 + r) accepts
+    /// key bit b (0 = key MSB) being 1; accept_zero likewise for 0.
+    std::vector<std::uint64_t> accept_one;
+    std::vector<std::uint64_t> accept_zero;
+    /// Key bit positions some row actually cares about (mask bit set);
+    /// the match loop only intersects these.
+    std::vector<int> cared_bits;
+  };
+
+  /// Group of (table, state); nullptr when the program has neither rows
+  /// nor a layout there.
+  const Group* find(int table, int state) const;
+
+  /// Priority index of the first row of `g` matching `key`, or -1. The
+  /// winning entry is `g.rows[result]`.
+  static int first_match(const Group& g, std::uint64_t key);
+
+  const TcamProgram& program() const { return *prog_; }
+
+  /// Total packed rows across all groups (== program().entries.size()).
+  int total_rows() const { return total_rows_; }
+
+ private:
+  const TcamProgram* prog_;
+  std::map<std::pair<int, int>, Group> groups_;
+  int total_rows_ = 0;
+};
+
+}  // namespace parserhawk

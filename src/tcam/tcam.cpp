@@ -10,8 +10,11 @@ std::vector<const TcamEntry*> TcamProgram::rows_of(int table, int state) const {
   std::vector<const TcamEntry*> out;
   for (const auto& e : entries)
     if (e.table == table && e.state == state) out.push_back(&e);
-  std::sort(out.begin(), out.end(),
-            [](const TcamEntry* a, const TcamEntry* b) { return a->entry < b->entry; });
+  // Stable: rows sharing an entry id keep storage order, so the scalar
+  // scan and the CompiledMatcher packing agree on the winner even for
+  // degenerate programs with duplicate priorities.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TcamEntry* a, const TcamEntry* b) { return a->entry < b->entry; });
   return out;
 }
 

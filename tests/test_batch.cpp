@@ -1,0 +1,345 @@
+// The line-rate simulation engine: compiled-matcher parity against the
+// scalar row scan, BatchRunner determinism across thread counts,
+// cooperative cancellation, coverage accounting, and the sim.batch.* /
+// cov.* metrics invariants.
+#include "sim/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "helpers.h"
+#include "obs/metrics.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "tcam/matcher.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::mpls_loop;
+using testing::spec2;
+
+/// The hand-built correct implementation of spec2 (Table 1).
+TcamProgram spec2_impl() {
+  TcamProgram p;
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+/// A random single-state ternary table over a `kw`-bit key: the matcher
+/// fuzzing substrate. Rows get random (value, mask) pairs and sequential
+/// priorities; roughly one in four rows is a catch-all.
+TcamProgram random_table(Rng& rng, int kw, int rows) {
+  TcamProgram p;
+  p.fields = {Field{"f", kw, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, kw}}};
+  std::uint64_t kmask = kw >= 64 ? ~0ull : ((1ull << kw) - 1);
+  for (int r = 0; r < rows; ++r) {
+    TcamEntry e;
+    e.table = 0;
+    e.state = 0;
+    e.entry = r;
+    e.mask = rng.chance(0.25) ? 0 : (rng() & kmask);
+    e.value = rng() & e.mask;
+    e.next_state = kAccept;
+    p.entries.push_back(std::move(e));
+  }
+  return p;
+}
+
+/// First matching row by the scalar scan — the oracle for first_match.
+int scan_winner(const TcamProgram& p, int table, int state, std::uint64_t key) {
+  for (const TcamEntry* row : p.rows_of(table, state))
+    if (row->matches(key)) return static_cast<int>(row - p.entries.data());
+  return -1;
+}
+
+TEST(CompiledMatcher, AgreesWithScalarScanOnRandomTables) {
+  Rng rng(0xabc);
+  for (int trial = 0; trial < 50; ++trial) {
+    int kw = 1 + static_cast<int>(rng.below(24));
+    int rows = 1 + static_cast<int>(rng.below(12));
+    TcamProgram p = random_table(rng, kw, rows);
+    CompiledMatcher m(p);
+    const CompiledMatcher::Group* g = m.find(0, 0);
+    ASSERT_NE(g, nullptr);
+    std::uint64_t kmask = (1ull << kw) - 1;
+    for (int k = 0; k < 200; ++k) {
+      std::uint64_t key = rng() & kmask;
+      int scan = scan_winner(p, 0, 0, key);
+      int win = CompiledMatcher::first_match(*g, key);
+      int fast = win < 0 ? -1 : g->entry_index[static_cast<std::size_t>(win)];
+      ASSERT_EQ(scan, fast) << "kw=" << kw << " rows=" << rows << " key=" << key;
+    }
+  }
+}
+
+TEST(CompiledMatcher, MultiWordGroupsAgreeWithScan) {
+  // > 64 rows forces the multi-word live-bitmap path.
+  Rng rng(0x77);
+  TcamProgram p = random_table(rng, 10, 150);
+  CompiledMatcher m(p);
+  const CompiledMatcher::Group* g = m.find(0, 0);
+  ASSERT_NE(g, nullptr);
+  ASSERT_GT(g->words, 1);
+  for (int k = 0; k < 500; ++k) {
+    std::uint64_t key = rng() & 0x3ff;
+    int scan = scan_winner(p, 0, 0, key);
+    int win = CompiledMatcher::first_match(*g, key);
+    ASSERT_EQ(scan, win < 0 ? -1 : g->entry_index[static_cast<std::size_t>(win)]) << "key=" << key;
+  }
+}
+
+TEST(CompiledMatcher, RespectsPriorityAmongOverlappingRows) {
+  TcamProgram p;
+  p.fields = {Field{"f", 4, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 4}}};
+  // Priorities deliberately inserted out of order; 0b1x1x, 0b1xxx, catch-all.
+  p.entries.push_back(TcamEntry{0, 0, 2, 0x0, 0x0, {}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 0, 0, 0xa, 0xa, {}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 0, 1, 0x8, 0x8, {}, 0, kAccept});
+  CompiledMatcher m(p);
+  const CompiledMatcher::Group* g = m.find(0, 0);
+  ASSERT_NE(g, nullptr);
+  auto winner = [&](std::uint64_t key) {
+    int w = CompiledMatcher::first_match(*g, key);
+    return w < 0 ? -1 : g->rows[static_cast<std::size_t>(w)]->entry;
+  };
+  EXPECT_EQ(winner(0xf), 0);  // matches all three; priority 0 wins
+  EXPECT_EQ(winner(0xc), 1);  // 1100: fails 1x1x, matches 1xxx
+  EXPECT_EQ(winner(0x3), 2);  // catch-all only
+}
+
+TEST(CompiledMatcher, InterpreterPathsBitIdentical) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  CompiledMatcher m(p);
+  Rng rng(5);
+  DiffTestOptions opts;
+  opts.samples = 100;
+  for (const BitVec& input : difftest_corpus(spec, opts)) {
+    ParseResult a = run_impl(p, input);
+    ParseResult b = run_impl(m, input);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.dict, b.dict);
+    EXPECT_EQ(a.bits_consumed, b.bits_consumed);
+    EXPECT_EQ(a.iterations, b.iterations);
+  }
+}
+
+TEST(BatchRunner, CleanRunAgreesOnEverything) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  DiffTestOptions opts;
+  opts.samples = 64;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  BatchResult r = run_batch(spec, p, corpus, {});
+  EXPECT_EQ(r.submitted, static_cast<std::int64_t>(corpus.size()));
+  EXPECT_EQ(r.evaluated, r.submitted);
+  EXPECT_EQ(r.skipped, 0);
+  EXPECT_EQ(r.agree, r.submitted);
+  EXPECT_EQ(r.mismatches, 0);
+  EXPECT_EQ(r.first_mismatch, -1);
+  EXPECT_FALSE(r.mismatch.has_value());
+  EXPECT_EQ(r.spec_outcomes[0] + r.spec_outcomes[1] + r.spec_outcomes[2], r.evaluated);
+  EXPECT_EQ(r.impl_outcomes[0] + r.impl_outcomes[1] + r.impl_outcomes[2], r.evaluated);
+}
+
+TEST(BatchRunner, SameVerdictAtEveryThreadCount) {
+  ParserSpec spec = spec2();
+  TcamProgram bad = spec2_impl();
+  bad.entries[1].next_state = kReject;  // mismatch somewhere mid-corpus
+  DiffTestOptions opts;
+  opts.samples = 128;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+
+  BatchOptions b1;
+  b1.threads = 1;
+  BatchResult r1 = run_batch(spec, bad, corpus, b1);
+  ASSERT_TRUE(r1.mismatch.has_value());
+
+  for (int threads : {2, 4, 8}) {
+    BatchOptions bn;
+    bn.threads = threads;
+    bn.chunk = 8;
+    BatchResult rn = run_batch(spec, bad, corpus, bn);
+    ASSERT_TRUE(rn.mismatch.has_value()) << threads;
+    EXPECT_EQ(r1.first_mismatch, rn.first_mismatch) << threads;
+    EXPECT_EQ(r1.mismatch->input, rn.mismatch->input) << threads;
+    EXPECT_EQ(r1.evaluated, rn.evaluated) << threads;
+    EXPECT_EQ(r1.agree, rn.agree) << threads;
+    for (int o = 0; o < 3; ++o) {
+      EXPECT_EQ(r1.spec_outcomes[o], rn.spec_outcomes[o]) << threads;
+      EXPECT_EQ(r1.impl_outcomes[o], rn.impl_outcomes[o]) << threads;
+    }
+    EXPECT_EQ(r1.coverage.state_hits, rn.coverage.state_hits) << threads;
+    EXPECT_EQ(r1.coverage.rule_hits, rn.coverage.rule_hits) << threads;
+    EXPECT_EQ(r1.coverage.row_hits, rn.coverage.row_hits) << threads;
+  }
+}
+
+TEST(BatchRunner, MatchesScalarDifferentialTest) {
+  ParserSpec spec = spec2();
+  TcamProgram bad = spec2_impl();
+  std::swap(bad.entries[1].value, bad.entries[2].value);  // branch sense inverted
+  DiffTestOptions opts;
+  opts.samples = 200;
+  auto scalar = differential_test(spec, bad, opts);
+  ASSERT_TRUE(scalar.has_value());
+  opts.threads = 4;
+  BatchResult batched = differential_test_batch(spec, bad, opts);
+  ASSERT_TRUE(batched.mismatch.has_value());
+  EXPECT_EQ(scalar->input, batched.mismatch->input);
+  EXPECT_EQ(scalar->spec_result.outcome, batched.mismatch->spec_result.outcome);
+  EXPECT_EQ(scalar->impl_result.outcome, batched.mismatch->impl_result.outcome);
+}
+
+TEST(BatchRunner, CancellationSkipsTail) {
+  ParserSpec spec = spec2();
+  TcamProgram bad = spec2_impl();
+  bad.entries[0].next_state = kReject;  // every accept-side input disagrees
+  DiffTestOptions opts;
+  opts.samples = 512;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  BatchResult r = run_batch(spec, bad, corpus, {});
+  ASSERT_TRUE(r.mismatch.has_value());
+  EXPECT_GT(r.skipped, 0);
+  EXPECT_EQ(r.evaluated + r.skipped, r.submitted);
+  // Everything up to the winner was evaluated; the winner is the lowest.
+  EXPECT_EQ(r.evaluated, r.first_mismatch + 1);
+}
+
+TEST(BatchRunner, StopOnMismatchOffEvaluatesEverything) {
+  ParserSpec spec = spec2();
+  TcamProgram bad = spec2_impl();
+  bad.entries[0].next_state = kReject;
+  DiffTestOptions opts;
+  opts.samples = 64;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  BatchOptions b;
+  b.stop_on_mismatch = false;
+  BatchResult r = run_batch(spec, bad, corpus, b);
+  EXPECT_EQ(r.evaluated, r.submitted);
+  EXPECT_EQ(r.skipped, 0);
+  EXPECT_GT(r.mismatches, 1);  // counts them all when not stopping
+  EXPECT_FALSE(r.mismatch.has_value());
+  EXPECT_EQ(r.first_mismatch, -1);
+}
+
+TEST(BatchRunner, RunsOnExternalPool) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  DiffTestOptions opts;
+  opts.samples = 64;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  ThreadPool pool(4);
+  BatchOptions b;
+  b.pool = &pool;
+  b.chunk = 4;
+  BatchResult r = run_batch(spec, p, corpus, b);
+  EXPECT_EQ(r.agree, r.submitted);
+}
+
+TEST(Coverage, ExactCountsOnKnownInputs) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  // 0000 1111: field0[0] == 0 -> state1, extract field1, accept.
+  BitVec deep = BitVec::from_u64(0x0f, 8);
+  // 1000: field0[0] == 1 -> accept straight away.
+  BitVec shallow = BitVec::from_u64(0x8, 4);
+  BatchResult r = run_batch(spec, p, {deep, shallow}, {});
+  EXPECT_EQ(r.agree, 2);
+  ASSERT_EQ(r.coverage.state_hits.size(), 2u);
+  EXPECT_EQ(r.coverage.state_hits[0], 2);  // state0 entered by both
+  EXPECT_EQ(r.coverage.state_hits[1], 1);  // state1 only by `deep`
+  // state0 rule 0 (key==0) once, rule 1 (otherwise) once.
+  ASSERT_EQ(r.coverage.rule_hits[0].size(), 2u);
+  EXPECT_EQ(r.coverage.rule_hits[0][0], 1);
+  EXPECT_EQ(r.coverage.rule_hits[0][1], 1);
+  EXPECT_EQ(r.coverage.rules_hit(), 3);  // both state0 rules + state1's otherwise
+  EXPECT_TRUE(r.coverage.all_rules_covered());
+  // Impl side: row 0 fired twice, rows 1 and 2 once each.
+  ASSERT_EQ(r.coverage.row_hits.size(), 3u);
+  EXPECT_EQ(r.coverage.row_hits[0], 2);
+  EXPECT_EQ(r.coverage.row_hits[1], 1);
+  EXPECT_EQ(r.coverage.row_hits[2], 1);
+  EXPECT_EQ(r.coverage.rows_hit(), 3);
+}
+
+TEST(Coverage, UncoveredRulesAreNamed) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  BatchResult r = run_batch(spec, p, {BitVec::from_u64(0x8, 4)}, {});  // shallow only
+  EXPECT_FALSE(r.coverage.all_rules_covered());
+  std::string missing = r.coverage.uncovered_rules(spec);
+  EXPECT_NE(missing.find("state0"), std::string::npos) << missing;
+}
+
+TEST(Coverage, ExhaustionCounted) {
+  ParserSpec spec = mpls_loop();
+  // A stack of never-bottom labels exhausts the spec-side loop bound.
+  BitVec endless;
+  for (int i = 0; i < 16 * 8; ++i) endless.push_back(false);
+  CoverageMap cov = CoverageMap::for_spec(spec);
+  ParseResult r = run_spec(spec, endless, /*max_iterations=*/4, &cov);
+  EXPECT_EQ(r.outcome, ParseOutcome::Exhausted);
+  EXPECT_EQ(cov.spec_exhausted, 1);
+}
+
+TEST(Metrics, BatchAndCoverageInvariantsHold) {
+  obs::Metrics::get().reset();
+  obs::Metrics::get().enable();
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  DiffTestOptions opts;
+  opts.samples = 32;
+  differential_test_batch(spec, p, opts);
+  auto& m = obs::Metrics::get();
+  std::int64_t samples = m.counter("sim.batch.samples");
+  EXPECT_GT(samples, 0);
+  EXPECT_EQ(m.counter("sim.batch.agree") + m.counter("sim.batch.mismatch"), samples);
+  EXPECT_EQ(m.counter("sim.batch.spec.accept") + m.counter("sim.batch.spec.reject") +
+                m.counter("sim.batch.spec.exhausted"),
+            samples);
+  EXPECT_EQ(m.counter("sim.batch.impl.accept") + m.counter("sim.batch.impl.reject") +
+                m.counter("sim.batch.impl.exhausted"),
+            samples);
+  // Gauges land in the same counter table in to_json; counter() reads both.
+  EXPECT_LE(m.counter("cov.spec.rules_hit"), m.counter("cov.spec.rules_total"));
+  EXPECT_LE(m.counter("cov.spec.states_hit"), m.counter("cov.spec.states_total"));
+  EXPECT_LE(m.counter("cov.impl.rows_hit"), m.counter("cov.impl.rows_total"));
+  obs::Metrics::get().disable();
+  obs::Metrics::get().reset();
+}
+
+// The TSan job's main course: batched difftest at 8 threads, small chunks,
+// both clean and mismatching runs racing cancellation against workers.
+TEST(BatchRunner, EightThreadStress) {
+  ParserSpec s2 = spec2();
+  TcamProgram good = spec2_impl();
+  TcamProgram bad = spec2_impl();
+  bad.entries[2].next_state = kReject;
+  DiffTestOptions opts;
+  opts.samples = 256;
+  std::vector<BitVec> corpus = difftest_corpus(s2, opts);
+  BatchOptions b;
+  b.threads = 8;
+  b.chunk = 4;
+  BatchResult clean = run_batch(s2, good, corpus, b);
+  EXPECT_EQ(clean.agree, clean.submitted);
+  BatchResult dirty1 = run_batch(s2, bad, corpus, b);
+  BatchResult dirty2 = run_batch(s2, bad, corpus, b);
+  ASSERT_TRUE(dirty1.mismatch.has_value());
+  EXPECT_EQ(dirty1.first_mismatch, dirty2.first_mismatch);
+  EXPECT_EQ(dirty1.evaluated, dirty2.evaluated);
+}
+
+}  // namespace
+}  // namespace parserhawk

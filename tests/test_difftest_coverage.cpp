@@ -1,0 +1,119 @@
+// Coverage-guided differential fuzzing over the example specs: every
+// transition rule of every examples/specs/*.hawk program must fire at
+// least once under the generated corpus — an uncovered rule means the
+// differential test proves nothing about it. The corpus starts from the
+// deterministic difftest corpus and is then grown mutation-by-mutation,
+// keeping an input only when it raises rule coverage (the CoverageMap as
+// a fitness signal).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/lang.h"
+#include "sim/batch.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+#include "synth/compiler.h"
+
+namespace parserhawk {
+namespace {
+
+std::vector<std::filesystem::path> example_specs() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry : std::filesystem::directory_iterator(PH_EXAMPLES_DIR))
+    if (entry.path().extension() == ".hawk") out.push_back(entry.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ParserSpec load_spec(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = lang::parse_source(buf.str());
+  EXPECT_TRUE(spec.ok()) << path << ": " << (spec.ok() ? "" : spec.error().to_string());
+  return *spec;
+}
+
+/// One mutation: bit flips, truncation, extension, or a fresh path input.
+BitVec mutate(const ParserSpec& spec, const BitVec& parent, Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: {  // flip a few bits
+      BitVec child = parent;
+      if (child.size() == 0) return generate_path_input(spec, rng);
+      for (int f = rng.range(1, 4); f > 0; --f) {
+        int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(child.size())));
+        child.set(i, !child.get(i));
+      }
+      return child;
+    }
+    case 1:  // truncate
+      return parent.size() > 0 ? parent.slice(0, rng.range(0, parent.size())) : parent;
+    case 2: {  // extend with random bits
+      BitVec child = parent;
+      for (int n = rng.range(1, 64); n > 0; --n) child.push_back(rng.chance(0.5));
+      return child;
+    }
+    default:  // fresh path-directed input
+      return generate_path_input(spec, rng);
+  }
+}
+
+TEST(DifftestCoverage, EveryExampleSpecRuleIsCovered) {
+  auto files = example_specs();
+  ASSERT_FALSE(files.empty()) << "no .hawk specs under " << PH_EXAMPLES_DIR;
+  for (const auto& file : files) {
+    ParserSpec spec = load_spec(file);
+    SynthOptions opts;
+    opts.timeout_sec = 120;
+    CompileResult cr = compile(spec, tofino(), opts);
+    ASSERT_TRUE(cr.ok()) << file << ": " << cr.reason;
+    const TcamProgram& prog = cr.program;
+
+    // Seed corpus: the deterministic differential-test inputs, batched.
+    DiffTestOptions dt;
+    dt.samples = 96;
+    dt.seed = 0xc0ffee;
+    dt.max_iterations = prog.max_iterations;
+    dt.threads = 2;
+    BatchOptions bo;
+    bo.threads = 2;
+    bo.chunk = 16;
+    bo.max_iterations = prog.max_iterations;
+    BatchRunner runner(spec, prog, bo);
+    std::vector<BitVec> corpus = difftest_corpus(spec, dt);
+    BatchResult seed = runner.run(corpus);
+    ASSERT_FALSE(seed.mismatch.has_value())
+        << file << ": differential mismatch on " << seed.mismatch->input.to_string();
+    CoverageMap total = seed.coverage;
+
+    // Coverage-guided growth: mutate members of the interesting pool and
+    // keep children that light up a new rule.
+    Rng rng(0xf00d);
+    std::vector<BitVec> pool(corpus.begin(),
+                             corpus.begin() + std::min<std::size_t>(corpus.size(), 32));
+    for (int round = 0; round < 600 && !total.all_rules_covered(); ++round) {
+      const BitVec& parent = pool[rng.below(pool.size())];
+      BitVec child = mutate(spec, parent, rng);
+      CoverageMap cov = CoverageMap::for_pair(spec, prog);
+      ParseResult s = run_spec(spec, child, prog.max_iterations, &cov);
+      ParseResult m = run_impl(runner.matcher(), child, &cov);
+      EXPECT_TRUE(equivalent(s, m)) << file << ": fuzz mismatch on " << child.to_string();
+      int before = total.rules_hit();
+      total.merge(cov);
+      if (total.rules_hit() > before) pool.push_back(std::move(child));
+    }
+
+    EXPECT_TRUE(total.all_rules_covered())
+        << file << ": uncovered rules: " << total.uncovered_rules(spec);
+    EXPECT_EQ(total.states_hit(), total.states_total()) << file;
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk

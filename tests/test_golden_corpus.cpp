@@ -1,0 +1,118 @@
+// Golden-corpus regression test for the spec interpreter: for every
+// examples/specs/*.hawk program, a checked-in file of (input, outcome,
+// output-dictionary) triples pins the reference semantics. Any
+// interpreter change that alters an outcome, an extracted value, or
+// which fields appear in the dictionary fails here with a precise diff.
+//
+// Regenerate after an *intentional* semantics change with
+//   PH_REGEN_GOLDEN=1 ./build/tests/test_golden_corpus
+// which rewrites tests/golden/<spec>.golden in the source tree.
+//
+// File format, one triple per line (blank lines and # comments ignored):
+//   <input-bits> <outcome> <iterations> [<field>=<value-bits>]...
+// where bit strings use the BitVec::to_string "0b..." wire-order form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/lang.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+
+namespace parserhawk {
+namespace {
+
+std::vector<std::filesystem::path> example_specs() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry : std::filesystem::directory_iterator(PH_EXAMPLES_DIR))
+    if (entry.path().extension() == ".hawk") out.push_back(entry.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ParserSpec load_spec(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = lang::parse_source(buf.str());
+  EXPECT_TRUE(spec.ok()) << path << ": " << (spec.ok() ? "" : spec.error().to_string());
+  return *spec;
+}
+
+BitVec parse_bits(const std::string& s) {
+  BitVec v;
+  std::size_t start = s.rfind("0b", 0) == 0 ? 2 : 0;
+  for (std::size_t i = start; i < s.size(); ++i) v.push_back(s[i] == '1');
+  return v;
+}
+
+/// The corpus each golden file pins: deterministic differential-test
+/// inputs for the spec. Changing this changes every golden file, so keep
+/// it frozen; add cases by bumping kGoldenSamples alongside a regen.
+constexpr int kGoldenSamples = 24;
+constexpr std::uint64_t kGoldenSeed = 0x601d;
+
+std::vector<BitVec> golden_corpus(const ParserSpec& spec) {
+  DiffTestOptions dt;
+  dt.samples = kGoldenSamples;
+  dt.seed = kGoldenSeed;
+  return difftest_corpus(spec, dt);
+}
+
+std::string render_triple(const ParserSpec& spec, const BitVec& input, const ParseResult& r) {
+  std::ostringstream os;
+  os << input.to_string() << " " << to_string(r.outcome) << " " << r.iterations;
+  for (const auto& [fid, value] : r.dict)
+    os << " " << spec.fields[static_cast<std::size_t>(fid)].name << "=" << value.to_string();
+  return os.str();
+}
+
+TEST(GoldenCorpus, SpecInterpreterMatchesCheckedInTriples) {
+  const bool regen = std::getenv("PH_REGEN_GOLDEN") != nullptr;
+  auto files = example_specs();
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    ParserSpec spec = load_spec(file);
+    std::filesystem::path golden =
+        std::filesystem::path(PH_GOLDEN_DIR) / (file.stem().string() + ".golden");
+
+    if (regen) {
+      std::ofstream out(golden);
+      ASSERT_TRUE(out.good()) << "cannot write " << golden;
+      out << "# " << file.filename().string() << ": spec-interpreter golden corpus.\n"
+          << "# input outcome iterations field=value...  (regen: PH_REGEN_GOLDEN=1)\n";
+      for (const BitVec& input : golden_corpus(spec))
+        out << render_triple(spec, input, run_spec(spec, input)) << "\n";
+      continue;
+    }
+
+    std::ifstream in(golden);
+    ASSERT_TRUE(in.good()) << "missing golden file " << golden
+                           << " — run with PH_REGEN_GOLDEN=1 to create it";
+    std::vector<std::string> expected;
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty() || line[0] == '#') continue;
+      expected.push_back(line);
+    }
+    std::vector<BitVec> corpus = golden_corpus(spec);
+    ASSERT_EQ(expected.size(), corpus.size()) << golden << " is stale (corpus size changed)";
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      std::string actual = render_triple(spec, corpus[i], run_spec(spec, corpus[i]));
+      EXPECT_EQ(expected[i], actual) << golden << " line " << i;
+      // The input column must round-trip: the corpus is the contract.
+      std::istringstream ls(expected[i]);
+      std::string bits;
+      ls >> bits;
+      EXPECT_EQ(parse_bits(bits), corpus[i]) << golden << " line " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk

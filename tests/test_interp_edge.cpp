@@ -1,0 +1,169 @@
+// Interpreter edge cases: varbit extraction at non-byte boundaries,
+// inputs that run out mid-lookahead, and ParseOutcome::Exhausted parity
+// between the spec and impl interpreters at the loop bound K.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/coverage.h"
+#include "sim/interp.h"
+#include "tcam/matcher.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::mpls_loop;
+
+/// 3-bit length selector, then a varbit body of `2 * len + 1` bits —
+/// every runtime width is odd, so extraction never lands on a byte
+/// boundary.
+ParserSpec odd_varbit_spec() {
+  SpecBuilder b("odd_varbit");
+  b.field("len", 3).varbit_field("body", 15).field("tail", 4);
+  b.state("start")
+      .extract("len")
+      .extract_var("body", "len", /*scale=*/2, /*base=*/1)
+      .otherwise("fin");
+  b.state("fin").extract("tail").otherwise("accept");
+  return b.build().value();
+}
+
+TEST(VarbitEdge, NonByteBoundaryWidths) {
+  ParserSpec spec = odd_varbit_spec();
+  for (int len = 0; len < 8; ++len) {
+    int body_bits = 2 * len + 1;
+    BitVec input;
+    for (int i = 2; i >= 0; --i) input.push_back((len >> i) & 1);
+    for (int i = 0; i < body_bits; ++i) input.push_back(i % 2 == 0);  // 1010... pattern
+    for (int i = 0; i < 4; ++i) input.push_back(true);                // tail = 1111
+    ParseResult r = run_spec(spec, input);
+    ASSERT_EQ(r.outcome, ParseOutcome::Accepted) << "len=" << len;
+    ASSERT_TRUE(r.dict.count(1)) << "len=" << len;
+    EXPECT_EQ(r.dict.at(1).size(), body_bits) << "len=" << len;
+    for (int i = 0; i < body_bits; ++i)
+      EXPECT_EQ(r.dict.at(1).get(i), i % 2 == 0) << "len=" << len << " bit " << i;
+    EXPECT_EQ(r.dict.at(2).to_u64(), 0xfu) << "len=" << len;
+  }
+}
+
+TEST(VarbitEdge, InputEndingInsideVarbitRejects) {
+  ParserSpec spec = odd_varbit_spec();
+  // len = 7 wants 15 body bits; supply only 5.
+  BitVec input;
+  for (int i = 0; i < 3; ++i) input.push_back(true);
+  for (int i = 0; i < 5; ++i) input.push_back(false);
+  EXPECT_EQ(run_spec(spec, input).outcome, ParseOutcome::Rejected);
+}
+
+/// Keyed on 4 lookahead bits that are never extracted.
+ParserSpec lookahead_spec() {
+  SpecBuilder b("lookahead");
+  b.field("head", 4).field("rest", 4);
+  b.state("start")
+      .extract("head")
+      .select({SpecBuilder::lookahead(0, 4)})
+      .when_exact(0xf, "take")
+      .otherwise("accept");
+  b.state("take").extract("rest").otherwise("accept");
+  return b.build().value();
+}
+
+TEST(LookaheadEdge, TruncatedMidLookaheadRejects) {
+  ParserSpec spec = lookahead_spec();
+  // 4 head bits + only 2 of the 4 lookahead bits: key evaluation fails.
+  BitVec truncated = BitVec::from_u64(0b110011, 6);
+  EXPECT_EQ(run_spec(spec, truncated).outcome, ParseOutcome::Rejected);
+  // With all 4 lookahead bits present the same prefix accepts.
+  BitVec full = BitVec::from_u64(0b11001111, 8);
+  ParseResult r = run_spec(spec, full);
+  EXPECT_EQ(r.outcome, ParseOutcome::Accepted);
+  ASSERT_TRUE(r.dict.count(1));
+  EXPECT_EQ(r.dict.at(1).to_u64(), 0xfu);
+}
+
+TEST(LookaheadEdge, ImplSideTruncationParity) {
+  // Impl program keyed on lookahead: same reject-on-truncation semantics,
+  // and the compiled matcher path agrees bit-for-bit.
+  TcamProgram p;
+  p.fields = {Field{"head", 4, false}, Field{"rest", 4, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 0, 4}}};
+  p.entries.push_back(
+      TcamEntry{0, 0, 0, 0xf, 0xf, {ExtractOp{0, -1, 0, 0}, ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 0, 1, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  CompiledMatcher m(p);
+  for (int bits = 0; bits < 10; ++bits) {
+    BitVec input;
+    for (int i = 0; i < bits; ++i) input.push_back(true);
+    ParseResult scalar = run_impl(p, input);
+    ParseResult fast = run_impl(m, input);
+    EXPECT_EQ(scalar.outcome, fast.outcome) << bits;
+    EXPECT_EQ(scalar.dict, fast.dict) << bits;
+    // < 4 bits: lookahead fails -> reject. >= 8: both extracts fit.
+    if (bits < 4) EXPECT_EQ(scalar.outcome, ParseOutcome::Rejected) << bits;
+    if (bits >= 8) EXPECT_EQ(scalar.outcome, ParseOutcome::Accepted) << bits;
+  }
+}
+
+TEST(ExhaustedEdge, SpecAndImplAgreeAtLoopBound) {
+  ParserSpec spec = mpls_loop();
+  // Impl mirror of the loop: 1-bit key on label's bottom bit (lookahead
+  // offset 7 before the 8-bit extract happens — match-then-extract).
+  TcamProgram p;
+  p.fields = {Field{"label", 8, false}};
+  p.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 7, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 1, 1, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 0, 1, 0, 1, {ExtractOp{0, -1, 0, 0}}, 0, 0});
+  const int K = 4;
+  p.max_iterations = K;
+
+  auto stack = [](int labels, bool bottom_last) {
+    BitVec v;
+    for (int l = 0; l < labels; ++l)
+      for (int b = 0; b < 8; ++b)
+        v.push_back(b == 7 && bottom_last && l == labels - 1);
+    return v;
+  };
+
+  // K - 1 labels with a bottom bit: accepted by both within the bound.
+  {
+    BitVec ok = stack(K - 1, true);
+    ParseResult s = run_spec(spec, ok, K);
+    ParseResult i = run_impl(p, ok);
+    EXPECT_EQ(s.outcome, ParseOutcome::Accepted);
+    EXPECT_EQ(i.outcome, ParseOutcome::Accepted);
+    EXPECT_EQ(s.dict, i.dict);
+  }
+
+  // A stack deeper than K never-bottom labels: both sides exhaust, and
+  // coverage records the exhaustion on both sides.
+  {
+    BitVec deep = stack(2 * K, false);
+    CoverageMap cov = CoverageMap::for_pair(spec, p);
+    ParseResult s = run_spec(spec, deep, K, &cov);
+    ParseResult i = run_impl(p, deep, &cov);
+    EXPECT_EQ(s.outcome, ParseOutcome::Exhausted);
+    EXPECT_EQ(i.outcome, ParseOutcome::Exhausted);
+    EXPECT_TRUE(equivalent(s, i));
+    EXPECT_EQ(cov.spec_exhausted, 1);
+    EXPECT_EQ(cov.impl_exhausted, 1);
+    // The compiled-matcher path exhausts identically.
+    CompiledMatcher m(p);
+    ParseResult fast = run_impl(m, deep);
+    EXPECT_EQ(fast.outcome, ParseOutcome::Exhausted);
+    EXPECT_EQ(fast.dict, i.dict);
+    EXPECT_EQ(fast.iterations, i.iterations);
+  }
+
+  // Exactly at the boundary: bottom-of-stack on iteration K-1 accepts;
+  // needing iteration K exhausts. The off-by-one both interpreters must
+  // agree on.
+  {
+    BitVec boundary = stack(K, true);  // bottom bit on the K-th label
+    ParseResult s = run_spec(spec, boundary, K);
+    ParseResult i = run_impl(p, boundary);
+    EXPECT_EQ(s.outcome, i.outcome);
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk
