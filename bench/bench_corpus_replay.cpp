@@ -1,0 +1,160 @@
+// Protocol-zoo corpus replay: synthesize each examples/specs parser, pump
+// its deterministic synthetic trace (plus a pcap round-trip of it)
+// through the batched differential engine, and report replay throughput
+// and coverage (DESIGN.md §10).
+//
+//   ./build/bench/bench_corpus_replay
+//   PH_CORPUS_SPECS=vlan,vxlan PH_CORPUS_WALKS=256 ./build/bench/bench_corpus_replay
+//
+// Hard gates (non-zero exit, so this binary is registered with ctest):
+//   * every selected spec compiles and its replay difftests clean (zero
+//     spec/impl disagreements over the whole corpus);
+//   * the corpus reaches 100% spec rule coverage on every spec — an
+//     uncovered rule means the replay proves nothing about it.
+//
+// Knobs: PH_CORPUS_SPECS (comma-separated subset; default: every spec in
+// the registry), PH_CORPUS_WALKS (random walks appended per trace,
+// default 64), PH_SIM_REPS (best-of reps, default 3). The metrics
+// registry snapshot lands in BENCH_corpus_replay.json and, for the CI
+// trace check, in BENCH_corpus_replay_metrics.json (cov.corpus.<spec>.*
+// gauges included).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "sim/batch.h"
+#include "sim/pcap.h"
+#include "sim/tracegen.h"
+#include "suite/corpus.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+using namespace parserhawk;
+using namespace parserhawk::bench;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  int n = v != nullptr ? std::atoi(v) : 0;
+  return n > 0 ? n : fallback;
+}
+
+std::vector<std::string> selected_specs() {
+  const char* v = std::getenv("PH_CORPUS_SPECS");
+  if (v == nullptr || *v == '\0') return corpus::list_specs();
+  std::vector<std::string> names;
+  std::string s(v);
+  for (std::size_t at = 0; at < s.size();) {
+    std::size_t comma = s.find(',', at);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > at) names.push_back(s.substr(at, comma - at));
+    at = comma + 1;
+  }
+  return names;
+}
+
+template <typename F>
+double best_of(int reps, F&& body) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    body();
+    double t = watch.elapsed_sec();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  JsonReport report("corpus_replay");
+  const int reps = env_int("PH_SIM_REPS", 3);
+  const int walks = env_int("PH_CORPUS_WALKS", 64);
+  obs::Metrics::get().enable();
+
+  std::vector<std::string> names = selected_specs();
+  if (names.empty()) {
+    std::printf("FAIL: no specs found in %s\n", corpus::specs_dir().c_str());
+    return 1;
+  }
+  std::printf("corpus: %zu spec(s) from %s, best of %d reps\n\n", names.size(),
+              corpus::specs_dir().c_str(), reps);
+  TextTable table(
+      {"Spec", "States", "Rules", "Rows", "Packets", "Synth s", "Coverage", "Replay pkt/s"});
+
+  bool all_ok = true;
+  for (const std::string& name : names) {
+    auto spec = corpus::load_spec(name);
+    if (!spec.ok()) {
+      std::printf("FAIL: %s: %s\n", name.c_str(), spec.error().to_string().c_str());
+      all_ok = false;
+      continue;
+    }
+    corpus::ReplayOptions opts;
+    opts.synth.timeout_sec = opt_timeout_sec();
+    opts.synth.num_threads = num_threads();
+    opts.trace.random_walks = walks;
+    opts.batch.threads = 1;
+
+    // Replay includes the trace round-tripped through the pcap machinery,
+    // so the serialization path is part of what this bench exercises.
+    TraceGenReport trace = generate_trace(*spec, opts.trace);
+    auto capture = pcap::parse(pcap::write(trace.packets));
+    if (!capture.ok()) {
+      std::printf("FAIL: %s: %s\n", name.c_str(), capture.error().to_string().c_str());
+      all_ok = false;
+      continue;
+    }
+    opts.extra_packets = capture->to_bitvecs();
+
+    corpus::ReplayReport rep = corpus::replay_spec(name, *spec, opts);
+    if (!rep.ok) {
+      std::printf("FAIL: %s: %s\n", name.c_str(), rep.detail.c_str());
+      all_ok = false;
+      continue;
+    }
+
+    // Throughput: the full pcap-derived corpus through the batch runner.
+    BatchRunner runner(*spec, rep.compiled.program, opts.batch);
+    const std::vector<BitVec>& packets = opts.extra_packets;
+    double t_replay = best_of(reps, [&] { runner.run(packets); });
+    double pkts_per_sec = t_replay > 0 ? static_cast<double>(packets.size()) / t_replay : 0;
+
+    std::string coverage = std::to_string(rep.coverage.rules_hit()) + "/" +
+                           std::to_string(rep.coverage.rules_total());
+    report.begin_row();
+    report.set("spec", name);
+    report.set("states", static_cast<std::int64_t>(spec->states.size()));
+    report.set("rules", rep.coverage.rules_total());
+    report.set("tcam_rows", static_cast<std::int64_t>(rep.compiled.program.entries.size()));
+    report.set("packets", static_cast<std::int64_t>(rep.corpus_size));
+    report.set("synth_sec", rep.compiled.stats.seconds);
+    report.set("rules_hit", rep.coverage.rules_hit());
+    report.set("rules_total", rep.coverage.rules_total());
+    report.set("replay_pkts_per_sec", pkts_per_sec);
+    report.set("trace_missed_rules", static_cast<std::int64_t>(rep.trace.missed_rules.size()));
+    report.set("covered", rep.coverage.all_rules_covered());
+    table.add_row({name, std::to_string(spec->states.size()),
+                   std::to_string(rep.coverage.rules_total()),
+                   std::to_string(rep.compiled.program.entries.size()),
+                   std::to_string(rep.corpus_size), fmt_double(rep.compiled.stats.seconds, 2),
+                   coverage, fmt_double(pkts_per_sec, 0)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  report.write();
+  // The CI trace check asserts on the cov.corpus.<spec>.* gauges in here.
+  obs::Metrics::get().write_json("BENCH_corpus_replay_metrics.json");
+
+  if (!all_ok) {
+    std::printf("FAIL: at least one spec did not replay clean with full coverage\n");
+    return 1;
+  }
+  std::printf("OK: %zu spec(s) replayed clean with 100%% rule coverage\n", names.size());
+  return 0;
+}

@@ -3,6 +3,8 @@
 
 Usage: ci/check_trace.py TRACE.json [METRICS.json]
            [--require-cache-hits] [--require-sim-batch]
+           [--require-corpus-cov=SPEC[,SPEC...]]
+       ci/check_trace.py --metrics-only METRICS.json [flags]
 
 Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * the trace file is valid JSON with a top-level "traceEvents" list
@@ -29,6 +31,14 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
     actually run (sim.batch.runs > 0 with samples > 0 and no
     mismatches, and spec rule coverage recorded) — the assertion the
     traced-compile CI step runs on
+  * with --require-corpus-cov=SPEC,..., every named protocol-zoo spec
+    must have published cov.corpus.<spec>.rules_{hit,total} gauges with
+    total > 0 and hit == total (the 100%-coverage corpus gate) — the
+    assertion the corpus CI step runs against
+    BENCH_corpus_replay_metrics.json
+  * with --metrics-only, the single positional argument is a metrics
+    file and the trace checks are skipped (for producers like the bench
+    binaries that emit no span trace)
 
 Exits non-zero with a message on the first violation.
 """
@@ -145,7 +155,22 @@ def check_sim_batch(path, counters, gauges, require_sim_batch=False):
               f"rules {gauges.get('cov.spec.rules_hit', 0)}/{gauges['cov.spec.rules_total']})")
 
 
-def check_metrics(path, require_cache_hits=False, require_sim_batch=False):
+def check_corpus_cov(path, gauges, specs):
+    """Every named zoo spec published full-rule corpus coverage."""
+    for spec in specs:
+        total = gauges.get(f"cov.corpus.{spec}.rules_total", 0)
+        hit = gauges.get(f"cov.corpus.{spec}.rules_hit", 0)
+        if total <= 0:
+            fail(f"{path}: no corpus coverage for spec '{spec}' "
+                 f"(cov.corpus.{spec}.rules_total missing or 0)")
+        if hit != total:
+            fail(f"{path}: corpus coverage for '{spec}' incomplete "
+                 f"({hit}/{total} rules)")
+    print(f"check_trace: {path}: corpus coverage OK "
+          f"({len(specs)} spec(s) at 100% rule coverage)")
+
+
+def check_metrics(path, require_cache_hits=False, require_sim_batch=False, corpus_specs=None):
     with open(path, encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -176,6 +201,8 @@ def check_metrics(path, require_cache_hits=False, require_sim_batch=False):
             fail(f"{path}: histogram {name} has inconsistent count/min/max")
 
     check_sim_batch(path, counters, doc["gauges"], require_sim_batch=require_sim_batch)
+    if corpus_specs:
+        check_corpus_cov(path, doc["gauges"], corpus_specs)
 
     if require_cache_hits:
         hits = counters.get("cache.hits", 0)
@@ -196,18 +223,34 @@ def check_metrics(path, require_cache_hits=False, require_sim_batch=False):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = set(sys.argv[1:]) - set(args)
-    if flags - {"--require-cache-hits", "--require-sim-batch"}:
+    corpus_specs = []
+    simple_flags = set()
+    for flag in flags:
+        if flag.startswith("--require-corpus-cov="):
+            corpus_specs = [s for s in flag.split("=", 1)[1].split(",") if s]
+        else:
+            simple_flags.add(flag)
+    if simple_flags - {"--require-cache-hits", "--require-sim-batch", "--metrics-only"}:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    require_cache_hits = "--require-cache-hits" in flags
-    require_sim_batch = "--require-sim-batch" in flags
-    if len(args) < 1 or len(args) > 2 or ((require_cache_hits or require_sim_batch) and len(args) < 2):
+    require_cache_hits = "--require-cache-hits" in simple_flags
+    require_sim_batch = "--require-sim-batch" in simple_flags
+    metrics_only = "--metrics-only" in simple_flags
+    if metrics_only:
+        if len(args) != 1:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_metrics(args[0], require_cache_hits=require_cache_hits,
+                      require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
+        return
+    if len(args) < 1 or len(args) > 2 or (
+            (require_cache_hits or require_sim_batch or corpus_specs) and len(args) < 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(args[0])
     if len(args) == 2:
         check_metrics(args[1], require_cache_hits=require_cache_hits,
-                      require_sim_batch=require_sim_batch)
+                      require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,16 @@
 //                         reuse the --threads pool. The verdict is
 //                         identical at every value. Env fallback:
 //                         PH_DIFFTEST_THREADS.
+//
+// Traffic replay (DESIGN.md §10):
+//   --replay FILE.pcap    after compiling, replay every packet of the
+//                         capture through both the spec interpreter and
+//                         the synthesized program and difftest them;
+//                         prints the verdict and spec rule coverage, exits
+//                         non-zero on any disagreement.
+//   --replay-save FILE    generate the spec's deterministic synthetic
+//                         trace (sim/tracegen.h) and save it as a pcap —
+//                         a ready-made input for --replay.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,6 +59,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/batch.h"
+#include "sim/pcap.h"
+#include "sim/tracegen.h"
 #include "synth/compiler.h"
 
 using namespace parserhawk;
@@ -90,6 +103,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string cache_dir;
+  std::string replay_path;
+  std::string replay_save_path;
   bool no_cache = false;
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
@@ -148,6 +163,16 @@ int main(int argc, char** argv) {
       ++i;
     } else if (a.rfind("--difftest-threads=", 0) == 0) {
       difftest_threads = std::atoi(a.c_str() + 19);
+    } else if (a == "--replay") {
+      replay_path = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay_path = a.substr(9);
+    } else if (a == "--replay-save") {
+      replay_save_path = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--replay-save=", 0) == 0) {
+      replay_save_path = a.substr(14);
     } else if (a == "--no-cache") {
       no_cache = true;
     } else if (a == "--verbose" || a == "-v") {
@@ -162,7 +187,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--trace-out PATH]\n"
                  "       [--metrics-out PATH] [--cache-dir PATH] [--no-cache]\n"
-                 "       [--difftest-batch N] [--difftest-threads N] [--verbose|--quiet]\n",
+                 "       [--difftest-batch N] [--difftest-threads N]\n"
+                 "       [--replay FILE.pcap] [--replay-save FILE.pcap] [--verbose|--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -208,5 +234,41 @@ int main(int argc, char** argv) {
                 result.usage.tcam_entries, result.usage.stages,
                 result.stats.formally_verified ? "formally" : "bounded+differential");
   std::printf("%s\n", backend::emit(result.program, hw).c_str());
+
+  if (!replay_save_path.empty()) {
+    TraceGenReport trace = generate_trace(*spec);
+    if (!pcap::write_file(replay_save_path, trace.packets)) {
+      obs::log_error("cannot write trace pcap to %s", replay_save_path.c_str());
+      return 1;
+    }
+    obs::log_info("synthetic trace saved: %zu packets to %s (%zu rules unreachable)",
+                  trace.packets.size(), replay_save_path.c_str(), trace.missed_rules.size());
+  }
+
+  if (!replay_path.empty()) {
+    auto capture = pcap::read_file(replay_path);
+    if (!capture.ok()) {
+      obs::log_error("%s", capture.error().to_string().c_str());
+      return 1;
+    }
+    if (capture->truncated_tail)
+      obs::log_warn("%s ends mid-record; the truncated tail was dropped", replay_path.c_str());
+    BatchOptions bo;
+    bo.threads = num_threads;
+    bo.max_iterations = result.program.max_iterations;
+    BatchResult replay = run_batch(*spec, result.program, capture->to_bitvecs(), bo);
+    obs::log_info("replayed %lld packets: %lld agree, rule coverage %d/%d, row coverage %d/%d",
+                  static_cast<long long>(replay.evaluated), static_cast<long long>(replay.agree),
+                  replay.coverage.rules_hit(), replay.coverage.rules_total(),
+                  replay.coverage.rows_hit(), replay.coverage.rows_total());
+    if (!replay.coverage.all_rules_covered())
+      obs::log_warn("capture leaves rules dark: %s",
+                    replay.coverage.uncovered_rules(*spec).c_str());
+    if (replay.mismatch.has_value()) {
+      obs::log_error("REPLAY MISMATCH at packet %lld: spec and implementation disagree",
+                     static_cast<long long>(replay.first_mismatch));
+      return 1;
+    }
+  }
   return 0;
 }

@@ -113,6 +113,13 @@ std::int64_t Metrics::counter(const std::string& name) const {
   return it == im.counters.end() ? 0 : it->second;
 }
 
+std::int64_t Metrics::gauge(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.gauges.find(name);
+  return it == im.gauges.end() ? 0 : it->second;
+}
+
 std::string Metrics::to_json() const {
   Impl& im = impl();
   std::lock_guard<std::mutex> lk(im.mutex);

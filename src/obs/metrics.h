@@ -68,6 +68,8 @@ class Metrics {
   std::vector<HistogramSnapshot> histograms() const;
   /// Value of one counter (0 when absent) — test/assertion helper.
   std::int64_t counter(const std::string& name) const;
+  /// Value of one high-water gauge (0 when absent).
+  std::int64_t gauge(const std::string& name) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — see
   /// DESIGN.md §7 for the schema.

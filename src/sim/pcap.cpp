@@ -1,0 +1,182 @@
+#include "sim/pcap.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace parserhawk::pcap {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
+
+constexpr std::size_t kGlobalHeaderBytes = 24;
+constexpr std::size_t kRecordHeaderBytes = 16;
+
+std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0xff000000u) >> 24);
+}
+
+/// Host-endian u32 at `offset` (bounds already checked by the caller),
+/// byte-swapped when the file's order differs from ours.
+std::uint32_t read_u32(const std::vector<std::uint8_t>& bytes, std::size_t offset, bool swapped) {
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof v);
+  return swapped ? bswap32(v) : v;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&v),
+             reinterpret_cast<const std::uint8_t*>(&v) + sizeof v);
+}
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&v),
+             reinterpret_cast<const std::uint8_t*>(&v) + sizeof v);
+}
+
+}  // namespace
+
+BitVec PacketView::to_bits() const {
+  BitVec bits;
+  for (std::uint32_t byte = 0; byte < caplen; ++byte)
+    bits.append_u64(data[byte], 8);
+  return bits;
+}
+
+std::vector<BitVec> PcapFile::to_bitvecs() const {
+  std::vector<BitVec> out;
+  out.reserve(packets.size());
+  for (const PacketView& p : packets) out.push_back(p.to_bits());
+  return out;
+}
+
+Result<PcapFile> parse(std::vector<std::uint8_t> bytes, const ParseOptions& options) {
+  if (bytes.size() < kGlobalHeaderBytes)
+    return Result<PcapFile>::err(
+        "pcap-truncated-header",
+        "file is " + std::to_string(bytes.size()) + " bytes; the global header needs 24");
+
+  std::uint32_t magic = read_u32(bytes, 0, /*swapped=*/false);
+  bool swapped = false;
+  bool nanosecond = false;
+  switch (magic) {
+    case kMagicUsec:
+      break;
+    case kMagicUsecSwapped:
+      swapped = true;
+      break;
+    case kMagicNsec:
+      nanosecond = true;
+      break;
+    case kMagicNsecSwapped:
+      swapped = true;
+      nanosecond = true;
+      break;
+    default: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%08x", magic);
+      return Result<PcapFile>::err("pcap-bad-magic", std::string("unknown magic ") + buf);
+    }
+  }
+
+  PcapFile file;
+  file.bytes = std::move(bytes);
+  file.swapped = swapped;
+  file.nanosecond = nanosecond;
+  file.snaplen = read_u32(file.bytes, 16, swapped);
+  file.link_type = read_u32(file.bytes, 20, swapped);
+
+  std::size_t at = kGlobalHeaderBytes;
+  const std::size_t total = file.bytes.size();
+  while (at < total) {
+    if (total - at < kRecordHeaderBytes) {
+      if (options.strict)
+        return Result<PcapFile>::err(
+            "pcap-truncated-record",
+            "record header truncated at byte " + std::to_string(at));
+      file.truncated_tail = true;
+      break;
+    }
+    std::uint32_t ts_sec = read_u32(file.bytes, at, swapped);
+    std::uint32_t ts_frac = read_u32(file.bytes, at + 4, swapped);
+    std::uint32_t caplen = read_u32(file.bytes, at + 8, swapped);
+    std::uint32_t orig_len = read_u32(file.bytes, at + 12, swapped);
+    if (caplen > file.snaplen)
+      return Result<PcapFile>::err(
+          "pcap-bad-record", "record at byte " + std::to_string(at) + " captured " +
+                                 std::to_string(caplen) + " bytes, over the file snaplen " +
+                                 std::to_string(file.snaplen));
+    at += kRecordHeaderBytes;
+    if (caplen > total - at) {
+      if (options.strict)
+        return Result<PcapFile>::err(
+            "pcap-truncated-record",
+            "record body truncated: needs " + std::to_string(caplen) + " bytes, " +
+                std::to_string(total - at) + " remain");
+      file.truncated_tail = true;
+      break;
+    }
+    file.packets.push_back(
+        PacketView{file.bytes.data() + at, caplen, orig_len, ts_sec, ts_frac});
+    at += caplen;
+  }
+  return file;
+}
+
+Result<PcapFile> read_file(const std::string& path, const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<PcapFile>::err("pcap-io", "cannot open " + path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) return Result<PcapFile>::err("pcap-io", "read error on " + path);
+  return parse(std::move(bytes), options);
+}
+
+std::vector<std::uint8_t> write(const std::vector<BitVec>& packets, std::uint32_t link_type) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t snaplen = 65535;
+  for (const BitVec& p : packets) {
+    std::uint32_t bytes = static_cast<std::uint32_t>((p.size() + 7) / 8);
+    if (bytes > snaplen) snaplen = bytes;
+  }
+  append_u32(out, kMagicUsec);
+  append_u16(out, 2);  // version 2.4
+  append_u16(out, 4);
+  append_u32(out, 0);  // thiszone
+  append_u32(out, 0);  // sigfigs
+  append_u32(out, snaplen);
+  append_u32(out, link_type);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const BitVec& p = packets[i];
+    std::uint32_t bytes = static_cast<std::uint32_t>((p.size() + 7) / 8);
+    append_u32(out, static_cast<std::uint32_t>(i / 1000000));  // synthetic seconds
+    append_u32(out, static_cast<std::uint32_t>(i % 1000000));  // synthetic microseconds
+    append_u32(out, bytes);                                    // caplen
+    append_u32(out, bytes);                                    // orig_len
+    for (std::uint32_t b = 0; b < bytes; ++b) {
+      std::uint8_t byte = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        int pos = static_cast<int>(b) * 8 + bit;
+        if (pos < p.size() && p.get(pos)) byte |= static_cast<std::uint8_t>(1u << (7 - bit));
+      }
+      out.push_back(byte);
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::vector<BitVec>& packets,
+                std::uint32_t link_type) {
+  std::vector<std::uint8_t> bytes = write(packets, link_type);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+}  // namespace parserhawk::pcap

@@ -1,0 +1,85 @@
+// Dependency-free classic-pcap ingestion (DESIGN.md §10).
+//
+// Parses tcpdump-style capture files — 24-byte global header followed by
+// 16-byte-headed records — into zero-copy packet views over the file
+// buffer, so a multi-gigabit trace costs one allocation, not one per
+// packet. Both byte orders are handled (the magic number reveals whether
+// the writer's endianness matches ours), as are the nanosecond-timestamp
+// magic variants.
+//
+// Robustness contract (tests/test_pcap.cpp): any byte soup either parses
+// into views that are fully inside the buffer or is rejected with an
+// error code — never a crash or an over-read. A file that ends mid-record
+// (a truncated capture, common in practice) keeps every complete packet
+// and flags `truncated_tail` by default; `ParseOptions::strict` turns
+// that into a rejection too. A record claiming more captured bytes than
+// the file's own snaplen is always rejected — that is corruption, not
+// truncation.
+//
+// The writer half emits the same format (microsecond, host-endian) so
+// synthetic traces from sim/tracegen.h can be saved and replayed through
+// `hawk_compile --replay`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+#include "support/result.h"
+
+namespace parserhawk::pcap {
+
+/// One captured packet: a borrowed window into PcapFile::bytes.
+struct PacketView {
+  const std::uint8_t* data = nullptr;
+  std::uint32_t caplen = 0;    ///< bytes present in the capture (view size)
+  std::uint32_t orig_len = 0;  ///< bytes on the wire per the record header
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_frac = 0;   ///< microseconds, or nanoseconds (see PcapFile)
+
+  /// The captured bytes as a wire-order BitVec (bit 0 = MSB of byte 0),
+  /// the currency of the interpreters and the batch engine.
+  BitVec to_bits() const;
+};
+
+struct ParseOptions {
+  /// Reject a file that ends mid-record instead of dropping the tail.
+  bool strict = false;
+};
+
+/// A parsed capture. Owns the raw file bytes; `packets` are zero-copy
+/// views into them, so the file must outlive any use of the views (moving
+/// a PcapFile keeps the views valid — the heap buffer does not move).
+struct PcapFile {
+  std::vector<std::uint8_t> bytes;
+  std::vector<PacketView> packets;
+  std::uint32_t snaplen = 0;
+  std::uint32_t link_type = 0;
+  bool swapped = false;         ///< writer's byte order differed from ours
+  bool nanosecond = false;      ///< ts_frac is nanoseconds
+  bool truncated_tail = false;  ///< file ended mid-record; tail dropped
+
+  /// Materialize every view as a BitVec (the BatchRunner input format).
+  std::vector<BitVec> to_bitvecs() const;
+};
+
+/// Error codes: "pcap-truncated-header", "pcap-bad-magic",
+/// "pcap-bad-record" (caplen exceeds snaplen), "pcap-truncated-record"
+/// (strict mode only).
+Result<PcapFile> parse(std::vector<std::uint8_t> bytes, const ParseOptions& options = {});
+
+/// Read and parse a capture file ("pcap-io" on open/read failure).
+Result<PcapFile> read_file(const std::string& path, const ParseOptions& options = {});
+
+/// Serialize packets as a classic microsecond pcap (host endian,
+/// link_type 1 = Ethernet by convention). Each BitVec is padded with zero
+/// bits to a whole byte; timestamps are synthetic (index microseconds) so
+/// output is deterministic.
+std::vector<std::uint8_t> write(const std::vector<BitVec>& packets, std::uint32_t link_type = 1);
+
+/// write() to a file; false on I/O failure.
+bool write_file(const std::string& path, const std::vector<BitVec>& packets,
+                std::uint32_t link_type = 1);
+
+}  // namespace parserhawk::pcap

@@ -1,0 +1,184 @@
+#include "sim/tracegen.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "sim/coverage.h"
+#include "sim/interp.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+
+namespace {
+
+void grow_to(BitVec& bits, int n, Rng& rng) {
+  while (bits.size() < n) bits.push_back(rng.chance(0.5));
+}
+
+/// BFS over transition edges: for every reachable state, the rule indices
+/// of one shortest start->state path. Index `spec.start` maps to {}.
+std::map<int, std::vector<int>> shortest_paths(const ParserSpec& spec) {
+  std::map<int, std::vector<int>> paths;
+  std::deque<int> frontier{spec.start};
+  paths[spec.start] = {};
+  while (!frontier.empty()) {
+    int s = frontier.front();
+    frontier.pop_front();
+    const State& st = spec.state(s);
+    for (std::size_t r = 0; r < st.rules.size(); ++r) {
+      int next = st.rules[r].next;
+      if (!is_real_state(next) || paths.count(next)) continue;
+      paths[next] = paths[s];
+      paths[next].push_back(static_cast<int>(r));
+      frontier.push_back(next);
+    }
+  }
+  return paths;
+}
+
+/// One walk from start. Step i takes rule_path[i] where available (random
+/// afterwards): extracts are filled with random bits, then the chosen
+/// rule's (value, mask)-constrained bits are back-patched. Ternary
+/// overlap can still divert the walk — the caller replays the packet
+/// through run_spec before admitting it.
+BitVec directed_walk(const ParserSpec& spec, const std::vector<int>& rule_path, Rng& rng,
+                     int max_iterations) {
+  BitVec input;
+  std::map<int, int> field_pos;  // field -> wire position where extracted
+  std::map<int, int> field_len;  // runtime length actually extracted
+  int cursor = 0;
+  int state = spec.start;
+
+  for (int iter = 0; iter < max_iterations && is_real_state(state); ++iter) {
+    const State& st = spec.state(state);
+    for (const auto& ex : st.extracts) {
+      const Field& f = spec.fields[static_cast<std::size_t>(ex.field)];
+      int width = f.width;
+      if (f.varbit) {
+        std::uint64_t lv = 0;
+        if (field_pos.count(ex.len_field)) {
+          int lp = field_pos[ex.len_field];
+          int ll = field_len[ex.len_field];
+          grow_to(input, lp + ll, rng);
+          lv = input.slice(lp, ll).to_u64();
+        }
+        long long len =
+            ex.len_base + static_cast<long long>(ex.len_scale) * static_cast<long long>(lv);
+        width = static_cast<int>(std::clamp(len, 0LL, static_cast<long long>(f.width)));
+      }
+      grow_to(input, cursor + width, rng);
+      field_pos[ex.field] = cursor;
+      field_len[ex.field] = width;
+      cursor += width;
+    }
+
+    if (st.rules.empty()) break;
+    std::size_t choice = iter < static_cast<int>(rule_path.size())
+                             ? static_cast<std::size_t>(rule_path[static_cast<std::size_t>(iter)])
+                             : static_cast<std::size_t>(rng.below(st.rules.size()));
+    if (choice >= st.rules.size()) choice = st.rules.size() - 1;
+    const Rule& chosen = st.rules[choice];
+
+    // Back-patch the bits the chosen rule constrains (key MSB first).
+    int kw = st.key_width();
+    int key_bit = 0;
+    for (const auto& p : st.key) {
+      for (int j = 0; j < p.len; ++j, ++key_bit) {
+        int mask_shift = kw - 1 - key_bit;
+        if (((chosen.mask >> mask_shift) & 1u) == 0) continue;
+        bool bit = (chosen.value >> mask_shift) & 1u;
+        int pos;
+        if (p.kind == KeyPart::Kind::FieldSlice) {
+          auto it = field_pos.find(p.field);
+          if (it == field_pos.end()) continue;
+          if (p.lo + j >= field_len[p.field]) continue;
+          pos = it->second + p.lo + j;
+        } else {
+          pos = cursor + p.lo + j;
+        }
+        grow_to(input, pos + 1, rng);
+        input.set(pos, bit);
+      }
+    }
+
+    // Follow where the packet actually goes (priority semantics).
+    std::uint64_t key = 0;
+    bool key_ok = true;
+    for (const auto& p : st.key) {
+      std::uint64_t v = 0;
+      if (p.kind == KeyPart::Kind::FieldSlice) {
+        auto it = field_pos.find(p.field);
+        if (it == field_pos.end() || p.lo + p.len > field_len[p.field]) {
+          key_ok = false;
+          break;
+        }
+        v = input.slice(it->second + p.lo, p.len).to_u64();
+      } else {
+        grow_to(input, cursor + p.lo + p.len, rng);
+        v = input.slice(cursor + p.lo, p.len).to_u64();
+      }
+      key = (key << p.len) | v;
+    }
+    if (!key_ok) break;
+
+    int next = kReject;
+    for (const auto& r : st.rules)
+      if (r.matches(key)) {
+        next = r.next;
+        break;
+      }
+    state = next;
+  }
+  return input;
+}
+
+void finish_packet(BitVec& packet, Rng& rng, const TraceGenOptions& options) {
+  for (int i = 0; i < options.pad_bits; ++i) packet.push_back(rng.chance(0.5));
+  if (options.byte_align)
+    while (packet.size() % 8 != 0) packet.push_back(false);
+}
+
+}  // namespace
+
+TraceGenReport generate_trace(const ParserSpec& spec, const TraceGenOptions& options) {
+  TraceGenReport report;
+  Rng rng(options.seed);
+  auto paths = shortest_paths(spec);
+
+  for (int s = 0; s < static_cast<int>(spec.states.size()); ++s) {
+    const State& st = spec.state(s);
+    auto path = paths.find(s);
+    for (int r = 0; r < static_cast<int>(st.rules.size()); ++r) {
+      if (path == paths.end()) {  // unreachable state: all its rules missed
+        report.missed_rules.emplace_back(s, r);
+        continue;
+      }
+      std::vector<int> rule_path = path->second;
+      rule_path.push_back(r);
+      int admitted = 0;
+      for (int attempt = 0; attempt < options.retries_per_rule && admitted < options.packets_per_rule;
+           ++attempt) {
+        BitVec candidate = directed_walk(spec, rule_path, rng, options.max_iterations);
+        finish_packet(candidate, rng, options);
+        CoverageMap cov = CoverageMap::for_spec(spec);
+        run_spec(spec, candidate, options.max_iterations, &cov);
+        if (cov.rule_hits[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)] > 0) {
+          report.packets.push_back(std::move(candidate));
+          ++admitted;
+        }
+      }
+      if (admitted == 0) report.missed_rules.emplace_back(s, r);
+    }
+  }
+
+  for (int i = 0; i < options.random_walks; ++i) {
+    BitVec packet = generate_path_input(spec, rng, options.max_iterations, 0);
+    finish_packet(packet, rng, options);
+    report.packets.push_back(std::move(packet));
+  }
+  return report;
+}
+
+}  // namespace parserhawk

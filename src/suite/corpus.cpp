@@ -1,0 +1,149 @@
+#include "suite/corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hw/profile.h"
+#include "lang/lang.h"
+#include "obs/metrics.h"
+#include "sim/testgen.h"
+#include "support/rng.h"
+
+#ifndef PH_SPECS_DIR
+#define PH_SPECS_DIR "examples/specs"
+#endif
+
+namespace parserhawk::corpus {
+
+namespace {
+
+/// One coverage-top-up mutation (same move set as the difftest fuzzer).
+BitVec mutate(const ParserSpec& spec, const BitVec& parent, Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: {  // flip a few bits
+      BitVec child = parent;
+      if (child.size() == 0) return generate_path_input(spec, rng);
+      for (int f = rng.range(1, 4); f > 0; --f) {
+        int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(child.size())));
+        child.set(i, !child.get(i));
+      }
+      return child;
+    }
+    case 1:  // truncate
+      return parent.size() > 0 ? parent.slice(0, rng.range(0, parent.size())) : parent;
+    case 2: {  // extend with random bits
+      BitVec child = parent;
+      for (int n = rng.range(1, 64); n > 0; --n) child.push_back(rng.chance(0.5));
+      return child;
+    }
+    default:
+      return generate_path_input(spec, rng);
+  }
+}
+
+void publish_gauges(const std::string& name, const CoverageMap& cov) {
+  if (!obs::metrics_on()) return;
+  obs::Metrics& m = obs::Metrics::get();
+  const std::string prefix = "cov.corpus." + name + ".";
+  m.maximize(prefix + "states_hit", cov.states_hit());
+  m.maximize(prefix + "states_total", cov.states_total());
+  m.maximize(prefix + "rules_hit", cov.rules_hit());
+  m.maximize(prefix + "rules_total", cov.rules_total());
+}
+
+}  // namespace
+
+std::string specs_dir() {
+  if (const char* env = std::getenv("PARSERHAWK_SPECS_DIR"); env && *env) return env;
+  return PH_SPECS_DIR;
+}
+
+std::vector<std::string> list_specs() {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(specs_dir(), ec))
+    if (entry.path().extension() == ".hawk") names.push_back(entry.path().stem().string());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<ParserSpec> load_spec(const std::string& name) {
+  std::filesystem::path path = name;
+  if (path.extension() != ".hawk")
+    path = std::filesystem::path(specs_dir()) / (name + ".hawk");
+  std::ifstream in(path);
+  if (!in)
+    return Result<ParserSpec>::err("corpus-io", "cannot open spec " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lang::parse_source(buf.str());
+}
+
+ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
+                         const ReplayOptions& options) {
+  ReplayReport report;
+  report.compiled = compile(spec, tofino(), options.synth);
+  if (!report.compiled.ok()) {
+    report.detail = "compile failed: " + report.compiled.reason;
+    return report;
+  }
+  const TcamProgram& prog = report.compiled.program;
+
+  report.trace = generate_trace(spec, options.trace);
+  std::vector<BitVec> packets = report.trace.packets;
+  packets.insert(packets.end(), options.extra_packets.begin(), options.extra_packets.end());
+  report.corpus_size = packets.size();
+
+  BatchOptions bo = options.batch;
+  bo.max_iterations = prog.max_iterations;
+  BatchRunner runner(spec, prog, bo);
+  report.batch = runner.run(packets);
+  if (report.batch.mismatch.has_value()) {
+    report.detail = "differential mismatch on input " +
+                    report.batch.mismatch->input.to_string() + " (index " +
+                    std::to_string(report.batch.first_mismatch) + ")";
+    return report;
+  }
+  report.coverage = report.batch.coverage;
+
+  // Coverage top-up: the structured trace covers everything coverable by
+  // construction, but replayed captures or pathological specs can leave
+  // rules dark — grow the corpus mutation-by-mutation, keeping a packet
+  // iff it lights up a new rule.
+  if (!report.coverage.all_rules_covered() && options.mutation_rounds > 0 && !packets.empty()) {
+    Rng rng(options.trace.seed ^ 0xc092u);
+    std::vector<BitVec> pool(packets.begin(),
+                             packets.begin() + std::min<std::size_t>(packets.size(), 32));
+    for (int round = 0; round < options.mutation_rounds && !report.coverage.all_rules_covered();
+         ++round) {
+      BitVec child = mutate(spec, pool[rng.below(pool.size())], rng);
+      CoverageMap cov = CoverageMap::for_pair(spec, prog);
+      ParseResult s = run_spec(spec, child, prog.max_iterations, &cov);
+      ParseResult m = run_impl(runner.matcher(), child, &cov);
+      if (!equivalent(s, m)) {
+        report.detail = "differential mismatch on mutated input " + child.to_string();
+        return report;
+      }
+      int before = report.coverage.rules_hit();
+      report.coverage.merge(cov);
+      if (report.coverage.rules_hit() > before) {
+        pool.push_back(child);
+        ++report.corpus_size;
+      }
+    }
+  }
+
+  if (options.publish) publish_gauges(name, report.coverage);
+
+  if (!report.coverage.all_rules_covered()) {
+    report.detail = "uncovered rules: " + report.coverage.uncovered_rules(spec);
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace parserhawk::corpus

@@ -1,0 +1,74 @@
+// Protocol-zoo corpus harness (DESIGN.md §10).
+//
+// The spec registry locates the hawk-dialect example specs
+// (examples/specs/*.hawk — VLAN stacking, MPLS, IPv6 extension chains,
+// VXLAN/GENEVE/GTP tunnels, TCP options, ...) from any build or install
+// layout, and replay_spec() is the one-call corpus gate built on top of
+// it: synthesize the spec, manufacture a deterministic protocol-shaped
+// trace (sim/tracegen.h), difftest spec vs implementation over that
+// trace plus any replayed capture through the batched engine, and demand
+// 100% spec rule coverage. Tests, benches and hawk_compile --replay all
+// go through this so they agree on what "the corpus passes" means.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sim/batch.h"
+#include "sim/tracegen.h"
+#include "support/result.h"
+#include "synth/compiler.h"
+
+namespace parserhawk::corpus {
+
+/// Directory holding the protocol-zoo specs. The PARSERHAWK_SPECS_DIR
+/// environment variable wins; otherwise the PH_SPECS_DIR compile
+/// definition (the source tree's examples/specs, baked in by CMake);
+/// otherwise the relative path "examples/specs".
+std::string specs_dir();
+
+/// Sorted spec names (basenames without ".hawk") found in specs_dir().
+/// Empty when the directory is missing.
+std::vector<std::string> list_specs();
+
+/// Parse <specs_dir()>/<name>.hawk ("<name>" may also be a path to a
+/// .hawk file). Errors carry the lang front-end's line/column context.
+Result<ParserSpec> load_spec(const std::string& name);
+
+struct ReplayOptions {
+  SynthOptions synth;
+  TraceGenOptions trace;
+  BatchOptions batch;
+  /// Replayed after the generated trace (e.g. packets out of a pcap).
+  std::vector<BitVec> extra_packets;
+  /// Coverage-guided mutation rounds when the first replay leaves rules
+  /// uncovered (0 disables the top-up).
+  int mutation_rounds = 400;
+  /// Publish cov.corpus.<name>.{states,rules}_{hit,total} gauges into the
+  /// global metrics registry.
+  bool publish = true;
+};
+
+struct ReplayReport {
+  /// Compiled, zero differential mismatches, every spec rule fired.
+  bool ok = false;
+  /// Failure explanation: compile reason, mismatching input, or the
+  /// uncovered-rule list. Empty when ok.
+  std::string detail;
+  CompileResult compiled;
+  TraceGenReport trace;
+  /// Difftest verdict over the generated trace + extra_packets.
+  BatchResult batch;
+  /// Total coverage including the mutation top-up.
+  CoverageMap coverage;
+  /// Packets replayed (trace + extra + kept mutants).
+  std::size_t corpus_size = 0;
+};
+
+/// The corpus gate for one spec (see file header). `name` labels the
+/// published gauges and diagnostics.
+ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
+                         const ReplayOptions& options = {});
+
+}  // namespace parserhawk::corpus

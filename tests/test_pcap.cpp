@@ -1,0 +1,208 @@
+// The pcap reader's robustness contract: well-formed captures round-trip
+// through write()/parse() in either byte order, and malformed input — bad
+// magic, truncated headers, records lying about their length, arbitrary
+// byte soup — is rejected with an error code or parsed into views that
+// stay inside the buffer. Never a crash, never an over-read.
+#include "sim/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "support/bitvec.h"
+#include "support/rng.h"
+
+namespace parserhawk {
+namespace {
+
+std::vector<BitVec> sample_packets() {
+  std::vector<BitVec> packets;
+  packets.push_back(BitVec::from_u64(0x0800, 16));
+  BitVec long_packet;
+  for (int i = 0; i < 64; ++i) long_packet.append_u64(static_cast<std::uint64_t>(i), 8);
+  packets.push_back(long_packet);
+  packets.push_back(BitVec());                  // empty packet
+  packets.push_back(BitVec::from_u64(0x5, 3));  // sub-byte: padded on write
+  return packets;
+}
+
+/// Byte-swap every multi-byte header field of a write()-produced capture,
+/// yielding the same logical file in the opposite byte order.
+std::vector<std::uint8_t> swap_headers(std::vector<std::uint8_t> bytes) {
+  auto swap32 = [&](std::size_t at) { std::swap(bytes[at], bytes[at + 3]); std::swap(bytes[at + 1], bytes[at + 2]); };
+  auto swap16 = [&](std::size_t at) { std::swap(bytes[at], bytes[at + 1]); };
+  std::uint32_t caplen;
+  swap32(0);             // magic
+  swap16(4);             // version major
+  swap16(6);             // version minor
+  swap32(8);             // thiszone
+  swap32(12);            // sigfigs
+  swap32(16);            // snaplen
+  swap32(20);            // link type
+  std::size_t at = 24;
+  while (at + 16 <= bytes.size()) {
+    std::memcpy(&caplen, bytes.data() + at + 8, 4);  // still native order here
+    swap32(at);          // ts_sec
+    swap32(at + 4);      // ts_frac
+    swap32(at + 8);      // caplen
+    swap32(at + 12);     // orig_len
+    at += 16 + caplen;   // packet bytes are payload: not swapped
+  }
+  return bytes;
+}
+
+TEST(Pcap, RoundTripsThroughWriteAndParse) {
+  std::vector<BitVec> packets = sample_packets();
+  auto parsed = pcap::parse(pcap::write(packets, /*link_type=*/1));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_FALSE(parsed->swapped);
+  EXPECT_FALSE(parsed->nanosecond);
+  EXPECT_FALSE(parsed->truncated_tail);
+  EXPECT_EQ(parsed->link_type, 1u);
+  ASSERT_EQ(parsed->packets.size(), packets.size());
+  std::vector<BitVec> bits = parsed->to_bitvecs();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    // Writing pads to a whole byte; the prefix must be the original.
+    ASSERT_GE(bits[i].size(), packets[i].size()) << i;
+    EXPECT_EQ(bits[i].slice(0, packets[i].size()), packets[i]) << i;
+    for (int b = packets[i].size(); b < bits[i].size(); ++b)
+      EXPECT_FALSE(bits[i].get(b)) << "pad bit " << b << " of packet " << i;
+  }
+  // Synthetic timestamps are deterministic: index microseconds.
+  EXPECT_EQ(parsed->packets[1].ts_frac, 1u);
+  EXPECT_EQ(parsed->packets[1].orig_len, parsed->packets[1].caplen);
+}
+
+TEST(Pcap, EmptyCaptureParses) {
+  auto parsed = pcap::parse(pcap::write({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->packets.empty());
+}
+
+TEST(Pcap, SwappedEndiannessParsesIdentically) {
+  std::vector<BitVec> packets = sample_packets();
+  auto native = pcap::parse(pcap::write(packets));
+  auto swapped = pcap::parse(swap_headers(pcap::write(packets)));
+  ASSERT_TRUE(native.ok());
+  ASSERT_TRUE(swapped.ok()) << swapped.error().to_string();
+  EXPECT_TRUE(swapped->swapped);
+  EXPECT_EQ(swapped->snaplen, native->snaplen);
+  EXPECT_EQ(swapped->link_type, native->link_type);
+  ASSERT_EQ(swapped->packets.size(), native->packets.size());
+  for (std::size_t i = 0; i < native->packets.size(); ++i) {
+    EXPECT_EQ(swapped->packets[i].to_bits(), native->packets[i].to_bits()) << i;
+    EXPECT_EQ(swapped->packets[i].ts_sec, native->packets[i].ts_sec) << i;
+    EXPECT_EQ(swapped->packets[i].ts_frac, native->packets[i].ts_frac) << i;
+  }
+}
+
+TEST(Pcap, NanosecondMagicSetsFlag) {
+  std::vector<std::uint8_t> bytes = pcap::write(sample_packets());
+  const std::uint32_t nsec_magic = 0xa1b23c4d;
+  std::memcpy(bytes.data(), &nsec_magic, 4);
+  auto parsed = pcap::parse(std::move(bytes));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->nanosecond);
+  EXPECT_FALSE(parsed->swapped);
+}
+
+TEST(Pcap, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = pcap::write(sample_packets());
+  bytes[0] ^= 0xff;
+  auto parsed = pcap::parse(std::move(bytes));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "pcap-bad-magic");
+}
+
+TEST(Pcap, TruncatedGlobalHeaderRejected) {
+  std::vector<std::uint8_t> whole = pcap::write({});
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{23}}) {
+    auto parsed =
+        pcap::parse(std::vector<std::uint8_t>(whole.begin(), whole.begin() + static_cast<long>(len)));
+    ASSERT_FALSE(parsed.ok()) << len;
+    EXPECT_EQ(parsed.error().code, "pcap-truncated-header") << len;
+  }
+}
+
+TEST(Pcap, TruncatedRecordToleratedByDefault) {
+  std::vector<BitVec> packets = sample_packets();
+  std::vector<std::uint8_t> whole = pcap::write(packets);
+  // Chop into the last record's body: every complete packet survives.
+  std::vector<std::uint8_t> chopped(whole.begin(), whole.end() - 1);
+  auto parsed = pcap::parse(chopped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->truncated_tail);
+  EXPECT_EQ(parsed->packets.size(), packets.size() - 1);
+  // Chop into a record *header* (the empty packet's record is 16 bytes).
+  std::vector<std::uint8_t> header_cut(whole.begin(), whole.begin() + 24 + 8);
+  auto parsed2 = pcap::parse(header_cut);
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_TRUE(parsed2->truncated_tail);
+  EXPECT_TRUE(parsed2->packets.empty());
+}
+
+TEST(Pcap, TruncatedRecordRejectedWhenStrict) {
+  std::vector<std::uint8_t> whole = pcap::write(sample_packets());
+  std::vector<std::uint8_t> chopped(whole.begin(), whole.end() - 1);
+  pcap::ParseOptions strict;
+  strict.strict = true;
+  auto parsed = pcap::parse(std::move(chopped), strict);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "pcap-truncated-record");
+}
+
+TEST(Pcap, CaplenOverSnaplenRejected) {
+  std::vector<std::uint8_t> bytes = pcap::write(sample_packets());
+  const std::uint32_t tiny = 1;
+  std::memcpy(bytes.data() + 16, &tiny, 4);  // snaplen := 1 < every caplen... except
+  auto parsed = pcap::parse(std::move(bytes));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "pcap-bad-record");
+}
+
+/// Fuzz the robustness contract (same mutation loop as test_fuzz_lang):
+/// random byte-level corruption of a valid capture must either parse into
+/// in-bounds views or fail with a structured error.
+TEST(Pcap, FuzzedBytesNeverEscapeTheBuffer) {
+  std::vector<std::uint8_t> seed = pcap::write(sample_packets());
+  Rng rng(0x9ca9);
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<std::uint8_t> bytes = seed;
+    switch (rng.below(4)) {
+      case 0:  // flip random bytes
+        for (int f = rng.range(1, 8); f > 0; --f)
+          bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(rng());
+        break;
+      case 1:  // truncate
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      case 2:  // extend with garbage
+        for (int n = rng.range(1, 64); n > 0; --n)
+          bytes.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+      default:  // splice: overwrite a window with garbage
+        for (std::size_t i = rng.below(bytes.size()), n = rng.below(32);
+             n > 0 && i < bytes.size(); ++i, --n)
+          bytes[i] = static_cast<std::uint8_t>(rng());
+        break;
+    }
+    pcap::ParseOptions po;
+    po.strict = rng.chance(0.5);
+    auto parsed = pcap::parse(bytes, po);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().code.empty());
+      continue;
+    }
+    const std::uint8_t* lo = parsed->bytes.data();
+    const std::uint8_t* hi = lo + parsed->bytes.size();
+    for (const pcap::PacketView& p : parsed->packets) {
+      ASSERT_GE(p.data, lo);
+      ASSERT_LE(p.data + p.caplen, hi);
+      p.to_bits();  // touch every captured byte under ASan
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk
