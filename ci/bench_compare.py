@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Bench-regression sentinel: compare bench results against committed baselines.
+
+Usage: ci/bench_compare.py CURRENT.json [CURRENT2.json ...]
+           [--baselines bench/baselines] [--time-tolerance 1.5]
+           [--count-tolerance 0.25] [--counts-only]
+           [--inject-regression FACTOR] [--history FILE]
+           [--update-baselines]
+
+Understands both result formats this repo produces:
+  * bench sidecars ({"bench", "rows": [...], "metrics": ...}) written by
+    every bench binary via bench_util's JsonReport — rows are keyed by
+    their "family"/"name"/"label" field;
+  * google-benchmark JSON ({"context", "benchmarks": [...]}) written by
+    bench_micro --benchmark_out — entries are keyed by benchmark name,
+    and real_time/cpu_time are normalized to seconds.
+
+Each current file is matched to <baselines>/<same basename>. Per-metric
+classification decides what counts as a regression:
+  * strings ("opt_status", ...) and booleans ("identical") must match the
+    baseline exactly — a flipped status is a regression at any tolerance;
+  * time-like metrics (keys ending in "seconds"/"_sec"/"time_sec", or
+    real_time/cpu_time) regress when current > baseline * TIME_TOL.
+    Wall-clock noise is real, so the default TIME_TOL is 1.5 and CI runs
+    with a much larger one (shared runners) or --counts-only;
+  * higher-is-better metrics (keys containing "speedup"/"throughput" or
+    ending in "_per_sec") regress when current < baseline / TIME_TOL;
+  * remaining numbers are counts (tcam_entries, stages, cegis_rounds,
+    z3 queries ...) and regress when they drift more than COUNT_TOL
+    relative — synthesis is deterministic, so these are nearly exact and
+    catch algorithmic regressions that timing noise would hide;
+  * a row or metric present in the baseline but missing from the current
+    run is a regression (coverage must not silently shrink); new rows and
+    new metrics are reported but never fail.
+
+--counts-only skips both wall-clock classes entirely (the strictest
+useful mode on noisy shared runners). --inject-regression F multiplies
+every current time-like metric by F (and divides higher-is-better ones)
+before comparing — the self-test CI uses to prove the sentinel actually
+fails on a 2x slowdown. --history FILE appends one JSONL record per
+compared file (timestamp, verdict, headline metrics) to keep a local
+performance log across runs. --update-baselines copies the current files
+over the baselines (refresh after an intentional change) and exits 0.
+
+Exits 1 when any comparison regressed, 2 on usage/schema errors.
+"""
+import argparse
+import json
+import os
+import shutil
+import sys
+import time
+
+TIME_SUFFIXES = ("seconds", "_sec", "time_sec")
+TIME_NAMES = {"real_time", "cpu_time"}
+HIGHER_IS_BETTER = ("speedup", "throughput")
+
+# google-benchmark time_unit -> seconds
+TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def fail_usage(msg):
+    print(f"bench_compare: ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def is_time_metric(key):
+    return key in TIME_NAMES or any(key.endswith(s) for s in TIME_SUFFIXES)
+
+
+def is_higher_better(key):
+    return any(tag in key for tag in HIGHER_IS_BETTER) or key.endswith("_per_sec")
+
+
+def load_rows(path):
+    """Return (bench_name, {row_id: {metric: value}}) for either format."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"{path}: cannot load: {e}")
+    if not isinstance(doc, dict):
+        fail_usage(f"{path}: not a JSON object")
+
+    rows = {}
+    if "benchmarks" in doc:  # google-benchmark
+        name = "google_benchmark"
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            scale = TIME_UNITS.get(b.get("time_unit", "ns"), 1e-9)
+            rows[b["name"]] = {
+                "real_time": b.get("real_time", 0) * scale,
+                "cpu_time": b.get("cpu_time", 0) * scale,
+            }
+        return name, rows
+    if "rows" in doc:  # bench_util sidecar
+        name = doc.get("bench", os.path.basename(path))
+        for i, row in enumerate(doc["rows"]):
+            row_id = row.get("family") or row.get("name") or row.get("label") or f"row{i}"
+            rows[str(row_id)] = {
+                k: v for k, v in row.items()
+                if k not in ("family", "name", "label") and not isinstance(v, (dict, list))
+            }
+        return name, rows
+    fail_usage(f"{path}: neither a bench sidecar ('rows') nor google-benchmark "
+               f"output ('benchmarks')")
+
+
+def inject_regression(rows, factor):
+    """Degrade every wall-clock metric by `factor` (sentinel self-test)."""
+    for metrics in rows.values():
+        for key, value in list(metrics.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if is_time_metric(key):
+                metrics[key] = value * factor
+            elif is_higher_better(key):
+                metrics[key] = value / factor
+    return rows
+
+
+def compare_metric(row_id, key, base, cur, args, problems, notes):
+    where = f"{row_id}/{key}"
+    if isinstance(base, bool) or isinstance(cur, bool):
+        if bool(base) != bool(cur):
+            if bool(base) and not bool(cur):
+                problems.append(f"{where}: flag flipped {base} -> {cur}")
+            else:
+                notes.append(f"{where}: flag improved {base} -> {cur}")
+        return
+    if isinstance(base, str) or isinstance(cur, str):
+        if str(base) != str(cur):
+            problems.append(f"{where}: {base!r} -> {cur!r}")
+        return
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        return
+
+    if is_time_metric(key):
+        if args.counts_only:
+            return
+        if base <= 0:
+            return  # nothing meaningful to ratio against
+        ratio = cur / base
+        if ratio > args.time_tolerance:
+            problems.append(f"{where}: {base:.6g}s -> {cur:.6g}s "
+                            f"({ratio:.2f}x, tolerance {args.time_tolerance}x)")
+        elif ratio < 1.0 / args.time_tolerance:
+            notes.append(f"{where}: improved {base:.6g}s -> {cur:.6g}s ({ratio:.2f}x)")
+        return
+    if is_higher_better(key):
+        if args.counts_only:
+            return
+        if base <= 0:
+            return
+        ratio = cur / base
+        if ratio < 1.0 / args.time_tolerance:
+            problems.append(f"{where}: {base:.6g} -> {cur:.6g} "
+                            f"({ratio:.2f}x, tolerance {args.time_tolerance}x)")
+        elif ratio > args.time_tolerance:
+            notes.append(f"{where}: improved {base:.6g} -> {cur:.6g} ({ratio:.2f}x)")
+        return
+
+    # Counts: near-exact (deterministic synthesis), small relative slack.
+    denom = max(abs(base), 1.0)
+    drift = abs(cur - base) / denom
+    if drift > args.count_tolerance:
+        problems.append(f"{where}: count {base:.6g} -> {cur:.6g} "
+                        f"(drift {drift:.0%}, tolerance {args.count_tolerance:.0%})")
+
+
+def compare_file(cur_path, base_path, args):
+    """Returns (bench_name, problems, notes, headline)."""
+    cur_name, cur_rows = load_rows(cur_path)
+    base_name, base_rows = load_rows(base_path)
+    if args.inject_regression:
+        cur_rows = inject_regression(cur_rows, args.inject_regression)
+
+    problems, notes = [], []
+    if cur_name != base_name:
+        problems.append(f"bench name mismatch: baseline {base_name!r}, current {cur_name!r}")
+
+    for row_id, base_metrics in base_rows.items():
+        if row_id not in cur_rows:
+            problems.append(f"{row_id}: row present in baseline but missing from current run")
+            continue
+        cur_metrics = cur_rows[row_id]
+        for key, base_value in base_metrics.items():
+            if key not in cur_metrics:
+                problems.append(f"{row_id}/{key}: metric present in baseline but missing")
+                continue
+            compare_metric(row_id, key, base_value, cur_metrics[key], args, problems, notes)
+        for key in cur_metrics:
+            if key not in base_metrics:
+                notes.append(f"{row_id}/{key}: new metric (not in baseline)")
+    for row_id in cur_rows:
+        if row_id not in base_rows:
+            notes.append(f"{row_id}: new row (not in baseline)")
+
+    # Headline metrics for the history log: every wall-clock or
+    # higher-is-better number, flattened.
+    headline = {}
+    for row_id, metrics in cur_rows.items():
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if is_time_metric(key) or is_higher_better(key):
+                headline[f"{row_id}/{key}"] = value
+    return cur_name, problems, notes, headline
+
+
+def append_history(path, record):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True, description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="current bench result JSON file(s)")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline JSON files")
+    parser.add_argument("--time-tolerance", type=float, default=1.5,
+                        help="max slowdown ratio for wall-clock metrics (default 1.5)")
+    parser.add_argument("--count-tolerance", type=float, default=0.25,
+                        help="max relative drift for count metrics (default 0.25)")
+    parser.add_argument("--counts-only", action="store_true",
+                        help="skip wall-clock comparisons (noisy shared runners)")
+    parser.add_argument("--inject-regression", type=float, default=0.0, metavar="FACTOR",
+                        help="degrade current wall-clock metrics by FACTOR (self-test)")
+    parser.add_argument("--history", default="",
+                        help="append one JSONL record per file to this log")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy current files over the baselines and exit")
+    args = parser.parse_args()
+
+    if args.update_baselines:
+        os.makedirs(args.baselines, exist_ok=True)
+        for path in args.files:
+            dst = os.path.join(args.baselines, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"bench_compare: baseline updated: {dst}")
+        return
+
+    any_regressed = False
+    for path in args.files:
+        base_path = os.path.join(args.baselines, os.path.basename(path))
+        if not os.path.exists(base_path):
+            fail_usage(f"no baseline for {path} (expected {base_path}; "
+                       f"run with --update-baselines to create it)")
+        bench, problems, notes, headline = compare_file(path, base_path, args)
+        verdict = "REGRESSED" if problems else "ok"
+        print(f"bench_compare: {path} vs {base_path}: {verdict} "
+              f"({len(problems)} regression(s), {len(notes)} note(s))")
+        for p in problems:
+            print(f"  REGRESSION {p}")
+        for n in notes:
+            print(f"  note       {n}")
+        if problems:
+            any_regressed = True
+        if args.history:
+            append_history(args.history, {
+                "ts": int(time.time()),
+                "bench": bench,
+                "file": os.path.basename(path),
+                "verdict": verdict,
+                "regressions": len(problems),
+                "injected": args.inject_regression or None,
+                "metrics": headline,
+            })
+    sys.exit(1 if any_regressed else 0)
+
+
+if __name__ == "__main__":
+    main()

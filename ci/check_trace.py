@@ -4,7 +4,10 @@
 Usage: ci/check_trace.py TRACE.json [METRICS.json]
            [--require-cache-hits] [--require-sim-batch]
            [--require-corpus-cov=SPEC[,SPEC...]]
+           [--report=REPORT.json] [--prom=METRICS.prom]
        ci/check_trace.py --metrics-only METRICS.json [flags]
+       ci/check_trace.py --report=REPORT.json
+       ci/check_trace.py --prom=METRICS.prom
 
 Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * the trace file is valid JSON with a top-level "traceEvents" list
@@ -39,6 +42,18 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * with --metrics-only, the single positional argument is a metrics
     file and the trace checks are skipped (for producers like the bench
     binaries that emit no span trace)
+  * with --report=FILE, the attribution report (hawk_compile
+    --report-out; obs/report.h, DESIGN.md §11) is schema-checked:
+    report_version 1, required top-level fields, per-phase and per-state
+    entries well-formed, every Z3 phase's sat+unsat+unknown summing to
+    its query count, winner provenance present for solved states, and —
+    on a successful single-threaded compile — the attribution bound:
+    sum(phase seconds) within [0.9, 1.1] x total_sec
+  * with --prom=FILE, the Prometheus text exposition (hawk_compile
+    --prom-out; obs/expo.h) is parsed: every sample line is
+    "name[{labels}] value", every family has a # TYPE line, histogram
+    le-bucket samples are cumulative (monotone non-decreasing), and the
+    +Inf bucket equals the family's _count
 
 Exits non-zero with a message on the first violation.
 """
@@ -220,14 +235,187 @@ def check_metrics(path, require_cache_hits=False, require_sim_batch=False, corpu
     print(f"check_trace: {path}: OK ({len(counters)} counters, {len(doc['histograms'])} histograms)")
 
 
+def check_z3_map(path, where, z3):
+    if not isinstance(z3, dict):
+        fail(f"{path}: {where}: 'z3' is not an object")
+    for phase, z in z3.items():
+        for key in ("queries", "sat", "unsat", "unknown", "seconds"):
+            if not isinstance(z.get(key), (int, float)) or z[key] < 0:
+                fail(f"{path}: {where}: z3.{phase}.{key} missing or negative")
+        outcomes = z["sat"] + z["unsat"] + z["unknown"]
+        if outcomes != z["queries"]:
+            fail(f"{path}: {where}: z3.{phase} outcomes sum to {outcomes}, "
+                 f"expected {z['queries']} queries")
+
+
+def check_report(path):
+    """Attribution-report schema + internal consistency (obs/report.h)."""
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+
+    if doc.get("report_version") != 1:
+        fail(f"{path}: report_version != 1: {doc.get('report_version')!r}")
+    for key in ("spec", "hw", "status"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(f"{path}: missing or empty '{key}'")
+    for key in ("total_sec", "attributed_sec", "deadline_sec", "deadline_slack_sec"):
+        if not isinstance(doc.get(key), (int, float)) or doc[key] < 0:
+            fail(f"{path}: '{key}' missing or negative")
+    threads = doc.get("threads")
+    if not isinstance(threads, int) or threads < 1:
+        fail(f"{path}: 'threads' missing or < 1")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(f"{path}: 'phases' empty or not a list")
+    attributed = 0.0
+    for p in phases:
+        if not isinstance(p.get("name"), str) or not p["name"]:
+            fail(f"{path}: phase missing 'name': {p}")
+        if not isinstance(p.get("seconds"), (int, float)) or p["seconds"] < 0:
+            fail(f"{path}: phase {p.get('name')!r} has bad 'seconds'")
+        attributed += p["seconds"]
+    if abs(attributed - doc["attributed_sec"]) > 1e-6 + 1e-3 * attributed:
+        fail(f"{path}: attributed_sec {doc['attributed_sec']} != sum of phases {attributed}")
+
+    states = doc.get("states")
+    if not isinstance(states, list):
+        fail(f"{path}: 'states' missing or not a list")
+    names = []
+    for s in states:
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: state missing 'name': {s}")
+        names.append(name)
+        where = f"state {name!r}"
+        if s.get("source") not in ("solver", "cache", "trivial"):
+            fail(f"{path}: {where}: bad source {s.get('source')!r}")
+        for key in ("seconds", "winner_budget", "cache_lookup_sec"):
+            if not isinstance(s.get(key), (int, float)) or s[key] < 0:
+                fail(f"{path}: {where}: '{key}' missing or negative")
+        for key in ("budget_attempts", "cegis_rounds", "cache_lookups"):
+            if not isinstance(s.get(key), int) or s[key] < 0:
+                fail(f"{path}: {where}: '{key}' missing or negative")
+        if not isinstance(s.get("winner_variant"), int):
+            fail(f"{path}: {where}: 'winner_variant' missing")
+        if s["winner_variant"] < 0:
+            fail(f"{path}: {where}: solved state has no winner provenance")
+        if s["source"] == "cache" and s["cache_lookups"] < 1:
+            fail(f"{path}: {where}: source 'cache' but no cache lookups recorded")
+        check_z3_map(path, where, s.get("z3", {}))
+        for v in s.get("variants", []):
+            if not isinstance(v.get("variant"), int) or v["variant"] < 0:
+                fail(f"{path}: {where}: variant entry missing index: {v}")
+            check_z3_map(path, f"{where} variant {v['variant']}", v.get("z3", {}))
+    if names != sorted(names):
+        fail(f"{path}: states not sorted by name: {names}")
+
+    # The acceptance bound: on a successful single-threaded compile the
+    # phases explain >= 90% of the compile span (phase intervals are
+    # contiguous coordinating-thread wall time) and never exceed it by
+    # more than timer skew.
+    if doc["status"] == "success" and threads == 1 and doc["total_sec"] > 0:
+        ratio = attributed / doc["total_sec"]
+        if not 0.9 <= ratio <= 1.1:
+            fail(f"{path}: attribution ratio {ratio:.3f} outside [0.9, 1.1] "
+                 f"(attributed {attributed:.6f}s of {doc['total_sec']:.6f}s)")
+
+    print(f"check_trace: {path}: report OK ({doc['spec']} -> {doc['hw']}, "
+          f"status={doc['status']}, {len(phases)} phases, {len(states)} states)")
+
+
+def check_prom(path):
+    """Prometheus text exposition 0.0.4 (obs/expo.h)."""
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    types = {}          # family -> type
+    samples = []        # (name, labels, value)
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[2] in types:
+                    fail(f"{path}:{i}: duplicate # TYPE for {parts[2]}")
+                types[parts[2]] = parts[3]
+            continue
+        # name{label="v",...} value  |  name value
+        rest = line
+        labels = ""
+        if "{" in line:
+            brace = line.index("{")
+            close = line.rindex("}")
+            labels = line[brace + 1:close]
+            rest = line[:brace] + line[close + 1:]
+        fields = rest.split()
+        if len(fields) != 2:
+            fail(f"{path}:{i}: not 'name value': {line!r}")
+        name, value = fields
+        if not all(c.isalnum() or c in "_:" for c in name):
+            fail(f"{path}:{i}: invalid metric name {name!r}")
+        try:
+            value = float(value)
+        except ValueError:
+            fail(f"{path}:{i}: non-numeric value in {line!r}")
+        samples.append((name, labels, value))
+    if not samples:
+        fail(f"{path}: no samples")
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    hist_buckets = {}
+    counts = {}
+    for name, labels, value in samples:
+        family = family_of(name)
+        if family not in types:
+            fail(f"{path}: sample {name!r} has no # TYPE line")
+        if types[family] == "histogram" and name.endswith("_bucket"):
+            hist_buckets.setdefault(family, []).append((labels, value))
+        if types[family] == "histogram" and name.endswith("_count"):
+            counts[family] = value
+
+    if not hist_buckets:
+        fail(f"{path}: no histogram families (expected at least the z3 timings)")
+    for family, buckets in hist_buckets.items():
+        # Rendering order is bound order; cumulative values must be monotone
+        # and close at +Inf == _count.
+        values = [v for _, v in buckets]
+        if any(values[i] > values[i + 1] for i in range(len(values) - 1)):
+            fail(f"{path}: {family}: bucket samples not cumulative: {values}")
+        if 'le="+Inf"' not in buckets[-1][0]:
+            fail(f"{path}: {family}: last bucket is not +Inf ({buckets[-1][0]!r})")
+        if family not in counts:
+            fail(f"{path}: {family}: histogram has no _count sample")
+        if values[-1] != counts[family]:
+            fail(f"{path}: {family}: +Inf bucket {values[-1]} != _count {counts[family]}")
+
+    print(f"check_trace: {path}: prom OK ({len(samples)} samples, "
+          f"{len(types)} families, {len(hist_buckets)} histograms)")
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = set(sys.argv[1:]) - set(args)
     corpus_specs = []
+    report_path = ""
+    prom_path = ""
     simple_flags = set()
     for flag in flags:
         if flag.startswith("--require-corpus-cov="):
             corpus_specs = [s for s in flag.split("=", 1)[1].split(",") if s]
+        elif flag.startswith("--report="):
+            report_path = flag.split("=", 1)[1]
+        elif flag.startswith("--prom="):
+            prom_path = flag.split("=", 1)[1]
         else:
             simple_flags.add(flag)
     if simple_flags - {"--require-cache-hits", "--require-sim-batch", "--metrics-only"}:
@@ -236,6 +424,12 @@ def main():
     require_cache_hits = "--require-cache-hits" in simple_flags
     require_sim_batch = "--require-sim-batch" in simple_flags
     metrics_only = "--metrics-only" in simple_flags
+    if report_path:
+        check_report(report_path)
+    if prom_path:
+        check_prom(prom_path)
+    if (report_path or prom_path) and not args and not metrics_only:
+        return  # report/prom-only invocation
     if metrics_only:
         if len(args) != 1:
             print(__doc__, file=sys.stderr)

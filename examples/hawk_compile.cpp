@@ -11,15 +11,29 @@
 // the Opt7 parallel portfolio; the output program is identical at every
 // thread count, only wall-clock changes.
 //
-// Observability (DESIGN.md §7):
+// Observability (DESIGN.md §7, §11):
 //   --trace-out PATH    span trace of the run; Chrome trace_event JSON
 //                       (Perfetto-loadable), or JSONL when PATH ends in
 //                       ".jsonl". Env fallback: PH_TRACE=PATH.
 //   --metrics-out PATH  counters/histograms sidecar (Z3 queries, CEGIS
 //                       behavior, pool health). Env fallback: PH_METRICS.
+//   --report-out PATH   per-compile attribution report (obs/report.h):
+//                       per-phase/state/variant/Z3-phase wall time, CEGIS
+//                       rounds, cache hit/miss, winner provenance,
+//                       deadline slack. Env fallback: PH_REPORT.
+//   --explain           print the attribution report as a human-readable
+//                       table (implies collecting a report).
+//   --prom-out PATH     metrics in Prometheus text exposition format
+//                       (obs/expo.h), with p50/p90/p99 summaries.
+//   --flight-dump PATH  where automatic flight-recorder dumps go on
+//                       deadline exhaustion / verification failure / fatal
+//                       signal. Default: <spec>.flight.json. PH_FLIGHT_DUMP
+//                       overrides.
+//   --timeout SEC       wall-clock synthesis budget (0 = unlimited).
 //   --verbose / --quiet log level (also PH_LOG=debug|info|warn|error).
-// Both sidecars are written on failure paths too, so a timed-out or
-// rejected compile still leaves its telemetry behind.
+// Every sidecar is written on every exit path — including spec parse
+// errors, rejected compiles and timeouts — so post-mortems always have
+// data.
 //
 // Synthesis cache (DESIGN.md §8):
 //   --cache-dir PATH    content-addressed cache of per-state synthesis
@@ -56,8 +70,11 @@
 
 #include "backend/backend.h"
 #include "lang/lang.h"
+#include "obs/expo.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/batch.h"
 #include "sim/pcap.h"
@@ -72,9 +89,11 @@ bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Write the trace/metrics sidecars (if requested). Called on every exit
-/// path after synthesis starts, successful or not.
-void write_telemetry(const std::string& trace_out, const std::string& metrics_out) {
+/// Write the trace/metrics/prometheus sidecars (if requested). Called on
+/// EVERY exit path — usage errors, parse failures, timeouts, success — so a
+/// requested sidecar is never missing or empty.
+void write_telemetry(const std::string& trace_out, const std::string& metrics_out,
+                     const std::string& prom_out) {
   if (!trace_out.empty()) {
     bool ok = ends_with(trace_out, ".jsonl") ? obs::Tracer::get().write_jsonl(trace_out)
                                              : obs::Tracer::get().write_chrome_trace(trace_out);
@@ -89,6 +108,12 @@ void write_telemetry(const std::string& trace_out, const std::string& metrics_ou
     else
       obs::log_error("cannot write metrics to %s", metrics_out.c_str());
   }
+  if (!prom_out.empty()) {
+    if (obs::write_prometheus(prom_out))
+      obs::log_info("prometheus exposition written to %s", prom_out.c_str());
+    else
+      obs::log_error("cannot write prometheus exposition to %s", prom_out.c_str());
+  }
 }
 
 }  // namespace
@@ -102,9 +127,14 @@ int main(int argc, char** argv) {
   int difftest_threads = -1;  // -1 = SynthOptions default (reuse Opt7 pool)
   std::string trace_out;
   std::string metrics_out;
+  std::string report_out;
+  std::string prom_out;
+  std::string flight_dump;
   std::string cache_dir;
   std::string replay_path;
   std::string replay_save_path;
+  double timeout_sec = 0;
+  bool explain = false;
   bool no_cache = false;
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
@@ -120,6 +150,7 @@ int main(int argc, char** argv) {
   }
   if (const char* env = std::getenv("PH_TRACE")) trace_out = env;
   if (const char* env = std::getenv("PH_METRICS")) metrics_out = env;
+  if (const char* env = std::getenv("PH_REPORT")) report_out = env;
   if (const char* env = std::getenv("PH_CACHE_DIR")) cache_dir = env;
 
   auto need_value = [&](const std::string& a, int i) -> const char* {
@@ -148,6 +179,28 @@ int main(int argc, char** argv) {
       ++i;
     } else if (a.rfind("--metrics-out=", 0) == 0) {
       metrics_out = a.substr(14);
+    } else if (a == "--report-out") {
+      report_out = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--report-out=", 0) == 0) {
+      report_out = a.substr(13);
+    } else if (a == "--prom-out") {
+      prom_out = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--prom-out=", 0) == 0) {
+      prom_out = a.substr(11);
+    } else if (a == "--flight-dump") {
+      flight_dump = need_value(a, i);
+      ++i;
+    } else if (a.rfind("--flight-dump=", 0) == 0) {
+      flight_dump = a.substr(14);
+    } else if (a == "--timeout") {
+      timeout_sec = std::atof(need_value(a, i));
+      ++i;
+    } else if (a.rfind("--timeout=", 0) == 0) {
+      timeout_sec = std::atof(a.c_str() + 10);
+    } else if (a == "--explain") {
+      explain = true;
     } else if (a == "--cache-dir") {
       cache_dir = need_value(a, i);
       ++i;
@@ -183,19 +236,40 @@ int main(int argc, char** argv) {
       args.push_back(std::move(a));
     }
   }
+  // Enable telemetry BEFORE the spec is even opened: a parse error, a usage
+  // mistake or a rejected spec must still flush non-empty sidecars (the
+  // trace then contains at least the hawk_compile span).
+  if (!trace_out.empty()) obs::Tracer::get().enable();
+  if (!metrics_out.empty() || !prom_out.empty()) obs::Metrics::get().enable();
+  obs::set_thread_name("main");
+  obs::Span run_span("hawk_compile");
+  auto finish = [&](int code) -> int {
+    run_span.end();
+    write_telemetry(trace_out, metrics_out, prom_out);
+    return code;
+  };
+
   if (args.empty() || args.size() > 2) {
     std::fprintf(stderr,
-                 "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--trace-out PATH]\n"
-                 "       [--metrics-out PATH] [--cache-dir PATH] [--no-cache]\n"
+                 "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--timeout SEC]\n"
+                 "       [--trace-out PATH] [--metrics-out PATH] [--report-out PATH] [--explain]\n"
+                 "       [--prom-out PATH] [--flight-dump PATH] [--cache-dir PATH] [--no-cache]\n"
                  "       [--difftest-batch N] [--difftest-threads N]\n"
                  "       [--replay FILE.pcap] [--replay-save FILE.pcap] [--verbose|--quiet]\n",
                  argv[0]);
-    return 2;
+    return finish(2);
   }
+
+  // Automatic flight-recorder dumps (deadline blown, verification failure,
+  // fatal signal) default to sitting next to the spec.
+  obs::flight::set_auto_dump_path(!flight_dump.empty() ? flight_dump
+                                                       : args[0] + ".flight.json");
+  obs::flight::install_fatal_signal_dump();
+
   std::ifstream in(args[0]);
   if (!in) {
     obs::log_error("cannot open %s", args[0].c_str());
-    return 2;
+    return finish(2);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -203,14 +277,10 @@ int main(int argc, char** argv) {
   auto spec = lang::parse_source(buf.str());
   if (!spec) {
     obs::log_error("%s", spec.error().to_string().c_str());
-    return 1;
+    return finish(1);
   }
   std::string target = args.size() == 2 ? args[1] : "tofino";
   HwProfile hw = target == "ipu" ? ipu() : tofino();
-
-  if (!trace_out.empty()) obs::Tracer::get().enable();
-  if (!metrics_out.empty()) obs::Metrics::get().enable();
-  obs::set_thread_name("main");
 
   obs::log_info("compiling '%s' (%zu states) for %s with %d thread(s)", spec->name.c_str(),
                 spec->states.size(), hw.name.c_str(), num_threads);
@@ -218,17 +288,29 @@ int main(int argc, char** argv) {
                  metrics_out.empty() ? "(off)" : metrics_out.c_str());
   SynthOptions opts;
   opts.num_threads = num_threads;
+  opts.timeout_sec = timeout_sec;
   if (difftest_batch > 0) opts.difftest_samples = difftest_batch;
   if (difftest_threads >= 0) opts.difftest_threads = difftest_threads;
   if (!no_cache && !cache_dir.empty()) {
     opts.cache_dir = cache_dir;
     obs::log_info("synthesis cache at %s", cache_dir.c_str());
   }
+  obs::ReportBuilder report_builder;
+  if (!report_out.empty() || explain) opts.report = &report_builder;
   CompileResult result = compile(*spec, hw, opts);
-  write_telemetry(trace_out, metrics_out);
+  if (opts.report != nullptr) {
+    obs::CompileReport rep = report_builder.report();
+    if (!report_out.empty()) {
+      if (rep.write_json(report_out))
+        obs::log_info("attribution report written to %s", report_out.c_str());
+      else
+        obs::log_error("cannot write attribution report to %s", report_out.c_str());
+    }
+    if (explain) std::printf("%s", rep.explain().c_str());
+  }
   if (!result.ok()) {
     obs::log_error("FAILED: %s (%s)", to_string(result.status).c_str(), result.reason.c_str());
-    return 1;
+    return finish(1);
   }
   obs::log_info("OK in %.2fs: %d entries, %d stage(s), verified: %s", result.stats.seconds,
                 result.usage.tcam_entries, result.usage.stages,
@@ -239,7 +321,7 @@ int main(int argc, char** argv) {
     TraceGenReport trace = generate_trace(*spec);
     if (!pcap::write_file(replay_save_path, trace.packets)) {
       obs::log_error("cannot write trace pcap to %s", replay_save_path.c_str());
-      return 1;
+      return finish(1);
     }
     obs::log_info("synthetic trace saved: %zu packets to %s (%zu rules unreachable)",
                   trace.packets.size(), replay_save_path.c_str(), trace.missed_rules.size());
@@ -249,7 +331,7 @@ int main(int argc, char** argv) {
     auto capture = pcap::read_file(replay_path);
     if (!capture.ok()) {
       obs::log_error("%s", capture.error().to_string().c_str());
-      return 1;
+      return finish(1);
     }
     if (capture->truncated_tail)
       obs::log_warn("%s ends mid-record; the truncated tail was dropped", replay_path.c_str());
@@ -267,8 +349,8 @@ int main(int argc, char** argv) {
     if (replay.mismatch.has_value()) {
       obs::log_error("REPLAY MISMATCH at packet %lld: spec and implementation disagree",
                      static_cast<long long>(replay.first_mismatch));
-      return 1;
+      return finish(1);
     }
   }
-  return 0;
+  return finish(0);
 }

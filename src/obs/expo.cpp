@@ -1,0 +1,151 @@
+#include "obs/expo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace parserhawk::obs {
+
+std::int64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+MetricsSnapshot take_snapshot() {
+  MetricsSnapshot snap;
+  Metrics& m = Metrics::get();
+  snap.counters = m.counters();
+  snap.gauges = m.gauges();
+  snap.histograms = m.histograms();
+  return snap;
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  std::map<std::string, std::int64_t> prev_counters;
+  for (const auto& c : before.counters) prev_counters[c.name] = c.value;
+  for (const auto& c : after.counters) {
+    std::int64_t d = c.value - prev_counters[c.name];
+    if (d != 0) out.counters.push_back(CounterSnapshot{c.name, d});
+  }
+
+  std::map<std::string, std::int64_t> prev_gauges;
+  for (const auto& g : before.gauges) prev_gauges[g.name] = g.value;
+  for (const auto& g : after.gauges) {
+    auto it = prev_gauges.find(g.name);
+    if (it == prev_gauges.end() || g.value != it->second)
+      out.gauges.push_back(g);  // high-water marks don't subtract
+  }
+
+  std::map<std::string, const HistogramSnapshot*> prev_histos;
+  for (const auto& h : before.histograms) prev_histos[h.name] = &h;
+  for (const auto& h : after.histograms) {
+    auto it = prev_histos.find(h.name);
+    if (it == prev_histos.end()) {
+      out.histograms.push_back(h);
+      continue;
+    }
+    const HistogramSnapshot& p = *it->second;
+    if (h.count == p.count) continue;  // no new observations
+    HistogramSnapshot d = h;           // keep after's min/max (best effort)
+    d.count = h.count - p.count;
+    d.sum = h.sum - p.sum;
+    for (std::size_t i = 0; i < d.buckets.size() && i < p.buckets.size(); ++i)
+      d.buckets[i] -= p.buckets[i];
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name, const std::string& prefix) {
+  std::string out = prefix;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (v != v || v > 1e300 || v < -1e300) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Upper bound (seconds) of log2 bucket `i`: bucket 0 is [0, 1µs), bucket i
+/// in [1, kHistogramBuckets-2] has ub 2^i µs, the last bucket is +Inf.
+std::string bucket_le(int i) {
+  if (i >= kHistogramBuckets - 1) return "+Inf";
+  return fmt_double(1e-6 * std::pow(2.0, i));
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snap, const std::string& prefix) {
+  // Sort for deterministic output (registry snapshots are already sorted,
+  // but delta() outputs preserve input order — normalize here).
+  auto counters = snap.counters;
+  auto gauges = snap.gauges;
+  auto histograms = snap.histograms;
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(), by_name);
+
+  std::string out;
+  for (const auto& c : counters) {
+    std::string n = prometheus_name(c.name, prefix);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    std::string n = prometheus_name(g.name, prefix);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    std::string n = prometheus_name(h.name, prefix);
+    out += "# TYPE " + n + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < static_cast<int>(h.buckets.size()); ++i) {
+      cumulative += h.buckets[i];
+      out += n + "_bucket{le=\"" + bucket_le(i) + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    // Guard against a short bucket vector: +Inf must always be present and
+    // equal _count.
+    if (h.buckets.size() < static_cast<std::size_t>(kHistogramBuckets))
+      out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + fmt_double(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+    for (auto [q, tag] : {std::pair<double, const char*>{0.5, "_p50"},
+                          {0.9, "_p90"},
+                          {0.99, "_p99"}}) {
+      out += "# TYPE " + n + tag + " gauge\n";
+      out += n + tag + " " + fmt_double(h.quantile(q)) + "\n";
+    }
+  }
+  return out;
+}
+
+bool write_prometheus(const std::string& path, const std::string& prefix) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render_prometheus(take_snapshot(), prefix);
+  return static_cast<bool>(out);
+}
+
+}  // namespace parserhawk::obs

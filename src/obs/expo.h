@@ -1,0 +1,57 @@
+// Metrics exposition (DESIGN.md §11): immutable snapshots of the Metrics
+// registry, snapshot deltas, and Prometheus text-format rendering — the
+// pull surface the ROADMAP's synthesis-as-a-service daemon will serve from
+// a /metrics endpoint.
+//
+// Name mapping: metric names in the registry use dots and dashes
+// ("z3.synth.time_sec", "cegis.rounds_per_call"); Prometheus only allows
+// [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid byte becomes '_' and the
+// configurable prefix (default "ph_") is prepended:
+//   z3.synth.queries -> ph_z3_synth_queries
+//
+// Histograms render in the standard cumulative form (`le` buckets with
+// +Inf, `_sum`, `_count`) using the registry's log2 bucket bounds, plus
+// convenience p50/p90/p99 gauges (`ph_<name>_p50` ...) computed via
+// HistogramSnapshot::quantile — approximate within sqrt(2), see metrics.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace parserhawk::obs {
+
+/// Point-in-time copy of the whole registry.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<CounterSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name (0 when absent).
+  std::int64_t counter(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+};
+
+/// Snapshot the global registry (works whether or not recording is enabled).
+MetricsSnapshot take_snapshot();
+
+/// `after - before`, element-wise: counters subtract, gauges keep `after`'s
+/// high-water value, histograms subtract count/sum/buckets (min/max keep
+/// `after`'s values — high-water marks don't difference). Entries absent
+/// from `before` pass through unchanged; entries that did not change are
+/// dropped. This is how a daemon scopes "what did this one request cost"
+/// out of a long-lived registry.
+MetricsSnapshot delta(const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+/// Prometheus text exposition format, version 0.0.4. Deterministic output
+/// (sorted by metric name). `prefix` is prepended to every family name.
+std::string render_prometheus(const MetricsSnapshot& snap, const std::string& prefix = "ph_");
+
+/// Sanitize one metric name for Prometheus ([a-zA-Z0-9_:], prefix applied).
+std::string prometheus_name(const std::string& name, const std::string& prefix = "ph_");
+
+/// render_prometheus(take_snapshot()) written to `path`.
+bool write_prometheus(const std::string& path, const std::string& prefix = "ph_");
+
+}  // namespace parserhawk::obs

@@ -1,0 +1,396 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace parserhawk::obs::flight {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{true};
+}  // namespace detail
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::SpanBegin: return "span_begin";
+    case EventKind::SpanEnd: return "span_end";
+    case EventKind::Note: return "note";
+    case EventKind::Count: return "count";
+    case EventKind::Observe: return "observe";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point origin() {
+  static const Clock::time_point o = Clock::now();
+  return o;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - origin()).count();
+}
+
+/// One ring slot. Every field is an atomic so a dump racing the writer is
+/// ordinary (if approximate) behavior, not a data race. `seq` is odd while
+/// the writer is mid-update; a reader that sees an odd or changed sequence
+/// discards the slot.
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::int64_t> ts_ns{0};
+  std::atomic<std::int64_t> value{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<char> name[kNameBytes];
+  std::atomic<char> detail[kDetailBytes];
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  ///< events ever recorded by this thread
+  std::atomic<std::uint64_t> cleared{0};  ///< head value at the last reset()
+  std::uint32_t tid = 0;
+  Slot slots[kRingSlots];
+  Ring* next_for_handler = nullptr;  ///< lock-free list the signal handler walks
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;  ///< kept forever (threads may exit)
+  std::uint32_t next_tid = 1;
+  std::atomic<Ring*> handler_head{nullptr};
+  std::mutex path_mutex;
+  std::string auto_path;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked, like the Tracer singleton
+  return *r;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (!ring) {
+    ring = std::make_shared<Ring>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    ring->tid = reg.next_tid++;
+    reg.rings.push_back(ring);
+    // Push onto the handler list (CAS loop; rings are never removed).
+    Ring* head = reg.handler_head.load(std::memory_order_relaxed);
+    do {
+      ring->next_for_handler = head;
+    } while (!reg.handler_head.compare_exchange_weak(head, ring.get(),
+                                                     std::memory_order_release,
+                                                     std::memory_order_relaxed));
+  }
+  return *ring;
+}
+
+void store_str(std::atomic<char>* dst, int cap, const char* src) {
+  int i = 0;
+  if (src != nullptr)
+    for (; src[i] != '\0' && i < cap - 1; ++i) dst[i].store(src[i], std::memory_order_relaxed);
+  dst[i].store('\0', std::memory_order_relaxed);
+}
+
+void load_str(const std::atomic<char>* src, int cap, char* dst) {
+  int i = 0;
+  for (; i < cap - 1; ++i) {
+    dst[i] = src[i].load(std::memory_order_relaxed);
+    if (dst[i] == '\0') return;
+  }
+  dst[i] = '\0';
+}
+
+/// Read one slot into `out`. Returns false when the slot was being (re)written
+/// concurrently — the caller counts it as dropped.
+bool read_slot(const Slot& s, Event& out) {
+  std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+  if (s1 & 1u) return false;
+  char name[kNameBytes];
+  char detail[kDetailBytes];
+  out.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+  out.value = s.value.load(std::memory_order_relaxed);
+  out.kind = static_cast<EventKind>(s.kind.load(std::memory_order_relaxed));
+  load_str(s.name, kNameBytes, name);
+  load_str(s.detail, kDetailBytes, detail);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+  out.name = name;
+  out.detail = detail;
+  return true;
+}
+
+}  // namespace
+
+void enable() { detail::g_flight_enabled.store(true, std::memory_order_relaxed); }
+void disable() { detail::g_flight_enabled.store(false, std::memory_order_relaxed); }
+
+void record(EventKind kind, const char* name, const char* detail, std::int64_t value) {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Slot& s = ring.slots[h % kRingSlots];
+  std::uint32_t sq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(sq + 1, std::memory_order_relaxed);  // odd: under construction
+  std::atomic_thread_fence(std::memory_order_release);
+  s.ts_ns.store(now_ns(), std::memory_order_relaxed);
+  s.value.store(value, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  store_str(s.name, kNameBytes, name);
+  store_str(s.detail, kDetailBytes, detail);
+  s.seq.store(sq + 2, std::memory_order_release);  // even: stable
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+Snapshot snapshot() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    rings = reg.rings;
+  }
+  Snapshot out;
+  for (const auto& r : rings) {
+    std::uint64_t head = r->head.load(std::memory_order_acquire);
+    std::uint64_t cleared = r->cleared.load(std::memory_order_acquire);
+    std::uint64_t live = head - cleared;
+    out.total_recorded += static_cast<std::int64_t>(live);
+    std::uint64_t window = std::min<std::uint64_t>(live, kRingSlots);
+    std::uint64_t first = head - window;
+    for (std::uint64_t i = first; i < head; ++i) {
+      Event e;
+      if (!read_slot(r->slots[i % kRingSlots], e)) continue;
+      e.tid = r->tid;
+      out.events.push_back(std::move(e));
+    }
+    out.dropped += static_cast<std::int64_t>(live) -
+                   static_cast<std::int64_t>(out.events.size());
+  }
+  // dropped above accumulated per-ring against a running events total; redo
+  // it as the simple global identity instead.
+  out.dropped = out.total_recorded - static_cast<std::int64_t>(out.events.size());
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+namespace {
+
+/// Span name up to the first ':' — labels are appended after the colon, so
+/// begin ("solve_state") and end ("solve_state:parse_tcp") pair by base.
+std::string base_name(const std::string& name) {
+  auto pos = name.find(':');
+  return pos == std::string::npos ? name : name.substr(0, pos);
+}
+
+/// Spans that began inside the retained window but never ended: the work in
+/// flight when the dump fired. Best-effort — a begin already overwritten by
+/// wrap-around cannot be reported.
+std::vector<std::string> open_spans(const std::vector<Event>& events) {
+  struct OpenSpan {
+    std::string base;
+    std::string best;  ///< most descriptive name seen (labels included)
+  };
+  std::map<std::uint32_t, std::vector<OpenSpan>> stacks;
+  for (const Event& e : events) {
+    auto& stack = stacks[e.tid];
+    if (e.kind == EventKind::SpanBegin) {
+      stack.push_back(OpenSpan{base_name(e.name), e.name});
+    } else if (e.kind == EventKind::SpanEnd) {
+      std::string base = base_name(e.name);
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+        if (it->base == base) {
+          stack.erase(std::next(it).base());
+          break;
+        }
+    } else if (e.kind == EventKind::Note && !stack.empty() && !e.detail.empty() &&
+               stack.back().base == base_name(e.name)) {
+      // A note named like the innermost open span refines it ("solve_state"
+      // + detail "parse_tcp").
+      stack.back().best = e.name + ":" + e.detail;
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [tid, stack] : stacks)
+    for (const auto& open : stack)
+      out.push_back("tid " + std::to_string(tid) + ": " + open.best);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string dump_json(const std::string& reason) {
+  Snapshot snap = snapshot();
+  std::string out = "{\"flight_dump\":1,";
+  out += "\"reason\":" + json_str(reason) + ",";
+  out += "\"total_recorded\":" + std::to_string(snap.total_recorded) + ",";
+  out += "\"dropped\":" + std::to_string(snap.dropped) + ",";
+  out += "\"in_progress\":[";
+  auto open = open_spans(snap.events);
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    if (i) out += ",";
+    out += json_str(open[i]);
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    const Event& e = snap.events[i];
+    if (i) out += ",\n";
+    JsonObject o;
+    o.num("tid", static_cast<std::int64_t>(e.tid));
+    o.num("ts_ns", e.ts_ns);
+    o.str("kind", to_string(e.kind));
+    o.str("name", e.name);
+    if (!e.detail.empty()) o.str("detail", e.detail);
+    if (e.kind == EventKind::SpanEnd || e.kind == EventKind::Count ||
+        e.kind == EventKind::Observe)
+      o.num("value", e.value);
+    out += o.render();
+  }
+  out += "]}";
+  return out;
+}
+
+bool dump_to_file(const std::string& path, const std::string& reason) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::string json = dump_json(reason) + "\n";
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void set_auto_dump_path(const std::string& path) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.path_mutex);
+  reg.auto_path = path;
+}
+
+std::string auto_dump_path() {
+  if (const char* env = std::getenv("PH_FLIGHT_DUMP"); env != nullptr && env[0] != '\0')
+    return env;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.path_mutex);
+  return reg.auto_path;
+}
+
+namespace {
+std::atomic<bool> g_auto_dumped{false};
+}  // namespace
+
+bool auto_dump(const std::string& reason) {
+  if (!enabled()) return false;
+  std::string path = auto_dump_path();
+  if (path.empty()) return false;
+  // First fatal condition wins: the dump taken at the point of failure (with
+  // its spans still open) must not be overwritten by a later post-mortem dump
+  // taken after the stack has unwound. reset() re-arms.
+  if (g_auto_dumped.exchange(true, std::memory_order_acq_rel)) return false;
+  return dump_to_file(path, reason);
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal path: no allocation, no locks. Reads the lock-free ring list
+// with plain atomic loads, formats each event into a stack buffer, write()s
+// JSONL, then re-raises the signal with default disposition.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+char g_crash_path[512] = {0};
+
+void append_escaped(char* buf, int cap, int& n, const char* s) {
+  for (int i = 0; s[i] != '\0' && n < cap - 8; ++i) {
+    char c = s[i];
+    if (c == '"' || c == '\\') {
+      buf[n++] = '\\';
+      buf[n++] = c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      buf[n++] = c;
+    } else {
+      buf[n++] = ' ';
+    }
+  }
+}
+
+void handler_dump(int fd, int sig) {
+  char line[kNameBytes + kDetailBytes + 128];
+  int n = std::snprintf(line, sizeof(line), "{\"flight_crash\":1,\"signal\":%d}\n", sig);
+  if (n > 0) (void)!::write(fd, line, static_cast<std::size_t>(n));
+  for (Ring* r = registry().handler_head.load(std::memory_order_acquire); r != nullptr;
+       r = r->next_for_handler) {
+    std::uint64_t head = r->head.load(std::memory_order_acquire);
+    std::uint64_t cleared = r->cleared.load(std::memory_order_relaxed);
+    std::uint64_t live = head - cleared;
+    std::uint64_t window = live < kRingSlots ? live : kRingSlots;
+    for (std::uint64_t i = head - window; i < head; ++i) {
+      Event e;
+      if (!read_slot(r->slots[i % kRingSlots], e)) continue;
+      n = std::snprintf(line, sizeof(line),
+                        "{\"tid\":%u,\"ts_ns\":%lld,\"kind\":\"%s\",\"name\":\"",
+                        r->tid, static_cast<long long>(e.ts_ns), to_string(e.kind));
+      if (n < 0) continue;
+      append_escaped(line, sizeof(line), n, e.name.c_str());
+      line[n++] = '"';
+      if (!e.detail.empty()) {
+        n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                           ",\"detail\":\"");
+        append_escaped(line, sizeof(line), n, e.detail.c_str());
+        line[n++] = '"';
+      }
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         ",\"value\":%lld}\n", static_cast<long long>(e.value));
+      (void)!::write(fd, line, static_cast<std::size_t>(n));
+    }
+  }
+}
+
+void fatal_handler(int sig) {
+  if (g_crash_path[0] != '\0') {
+    int fd = ::open(g_crash_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      handler_dump(fd, sig);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_fatal_signal_dump() {
+  std::string path = auto_dump_path();
+  if (path.empty()) path = "flight.crash.jsonl";
+  else path += ".crash";
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", path.c_str());
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) ::signal(sig, fatal_handler);
+}
+
+void reset() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    rings = reg.rings;
+  }
+  for (const auto& r : rings)
+    r->cleared.store(r->head.load(std::memory_order_acquire), std::memory_order_release);
+  g_auto_dumped.store(false, std::memory_order_release);
+}
+
+}  // namespace parserhawk::obs::flight

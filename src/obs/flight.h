@@ -1,0 +1,125 @@
+// Flight recorder: an always-on, fixed-size, per-thread ring buffer of the
+// most recent span/metric events (DESIGN.md §11).
+//
+// The tracer (trace.h) records everything but is opt-in because unbounded
+// buffers cost memory over a long run. The flight recorder is the inverse
+// trade: it is ON by default, bounded (kRingSlots events per thread, oldest
+// overwritten), and exists solely so that when a compile blows its deadline,
+// fails verification, or dies on a signal, the last few hundred events —
+// which state was being solved, which Opt7 variant was racing, which Z3
+// phase was in flight — can be dumped as JSON post-mortem. A timed-out
+// Table 3/4 row stops being a mystery.
+//
+// Concurrency contract: recording is lock-free and wait-free — every slot
+// field is a relaxed/release atomic, each ring has exactly one writer (its
+// owning thread), and a dump may race writers freely. A per-slot sequence
+// number (odd = being written) lets the reader discard slots that were
+// overwritten mid-read, so a concurrent dump is approximate but never torn
+// and never a data race (TSan-clean; exercised by test_flight.cpp).
+//
+// Counts are preserved across wrap-around: each ring tracks the total
+// number of events ever recorded, so a snapshot reports exactly how many
+// older events the ring dropped ("losslessly-by-design").
+//
+// Fatal-signal dumps go through a separate allocation-free path
+// (handler_dump) that reads the rings with plain atomic loads, formats into
+// stack buffers and write(2)s JSONL — best-effort but safe to run from a
+// SIGSEGV handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parserhawk::obs::flight {
+
+inline constexpr int kRingSlots = 256;   ///< events retained per thread
+inline constexpr int kNameBytes = 48;    ///< event name capacity (truncated)
+inline constexpr int kDetailBytes = 48;  ///< event detail capacity (truncated)
+
+enum class EventKind : std::uint8_t {
+  SpanBegin = 0,  ///< a Span opened (static name; value unused)
+  SpanEnd = 1,    ///< a Span closed (labeled name; value = duration ns)
+  Note = 2,       ///< explicit breadcrumb (name + detail)
+  Count = 3,      ///< a counter increment (value = delta)
+  Observe = 4,    ///< a histogram observation (value = nanoseconds)
+};
+
+const char* to_string(EventKind kind);
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+/// True when the recorder is capturing (one relaxed load). Default: ON.
+inline bool enabled() { return detail::g_flight_enabled.load(std::memory_order_relaxed); }
+
+void enable();
+void disable();
+
+/// Record one event on the calling thread's ring. No-ops when disabled.
+/// `name`/`detail` are truncated to the slot capacity; `detail` may be null.
+void record(EventKind kind, const char* name, const char* detail = nullptr,
+            std::int64_t value = 0);
+
+/// Breadcrumb helper: `note("solve_state", "parse_tcp")`.
+inline void note(const char* name, const char* detail = nullptr) {
+  if (enabled()) record(EventKind::Note, name, detail);
+}
+
+/// One decoded ring event (snapshot form).
+struct Event {
+  std::uint32_t tid = 0;
+  std::int64_t ts_ns = 0;  ///< since process flight-clock origin
+  std::int64_t value = 0;
+  EventKind kind = EventKind::Note;
+  std::string name;
+  std::string detail;
+};
+
+struct Snapshot {
+  std::vector<Event> events;        ///< merged across threads, sorted by ts
+  std::int64_t total_recorded = 0;  ///< events ever recorded (all threads)
+  std::int64_t dropped = 0;         ///< total_recorded minus events retained
+};
+
+/// Merge every thread's ring. Safe to call while other threads record; slots
+/// overwritten mid-read are skipped (they count as dropped).
+Snapshot snapshot();
+
+/// {"flight_dump":1,"reason":...,"total_recorded":...,"dropped":...,
+///  "in_progress":[...],"events":[...]} — events oldest-first. "in_progress"
+/// lists spans that began but (as far as the retained window shows) never
+/// ended: the state/variant/Z3 phase the process was inside when the dump
+/// fired.
+std::string dump_json(const std::string& reason);
+
+bool dump_to_file(const std::string& path, const std::string& reason);
+
+/// Configure where auto_dump() writes. An empty path disables auto dumps
+/// (the default for library users — tests and benches that time out on
+/// purpose must not litter their working directory). hawk_compile sets a
+/// per-spec default; the PH_FLIGHT_DUMP environment variable wins over
+/// everything when set.
+void set_auto_dump_path(const std::string& path);
+std::string auto_dump_path();
+
+/// Dump to the configured auto path (env PH_FLIGHT_DUMP, else
+/// set_auto_dump_path). Called by the compiler on deadline exhaustion and
+/// verification failure. Fires at most once per run — the dump taken at the
+/// point of failure (spans still open) wins over later post-mortem dumps;
+/// reset() re-arms. Returns false when disabled, unconfigured, already
+/// fired, or the write failed.
+bool auto_dump(const std::string& reason);
+
+/// Install SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL handlers that write an
+/// allocation-free JSONL flight dump to the auto path (+ ".crash" suffix)
+/// and re-raise. Idempotent; only hawk_compile opts in.
+void install_fatal_signal_dump();
+
+/// Drop every ring's retained events and zero the recorded/dropped totals
+/// (rings themselves persist; tids are not reused). Test hygiene only.
+void reset();
+
+}  // namespace parserhawk::obs::flight

@@ -39,6 +39,29 @@ struct Histogram {
 
 }  // namespace
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk cumulative counts.
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  int b = static_cast<int>(buckets.size()) - 1;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      b = i;
+      break;
+    }
+  }
+  // Bucket 0 is [0, 1µs); bucket i >= 1 is [2^(i-1), 2^i) µs. Geometric
+  // midpoint of the bucket, clamped to the exact observed range.
+  double lo = b == 0 ? 1e-7 : 1e-6 * std::pow(2.0, b - 1);
+  double hi = 1e-6 * std::pow(2.0, b == 0 ? 0 : b);
+  double mid = std::sqrt(lo * hi);
+  return std::clamp(mid, min, max);
+}
+
 struct Metrics::Impl {
   mutable std::mutex mutex;
   std::map<std::string, std::int64_t> counters;
@@ -86,6 +109,14 @@ std::vector<CounterSnapshot> Metrics::counters() const {
   std::lock_guard<std::mutex> lk(im.mutex);
   std::vector<CounterSnapshot> out;
   for (const auto& [name, value] : im.counters) out.push_back(CounterSnapshot{name, value});
+  return out;
+}
+
+std::vector<CounterSnapshot> Metrics::gauges() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  std::vector<CounterSnapshot> out;
+  for (const auto& [name, value] : im.gauges) out.push_back(CounterSnapshot{name, value});
   return out;
 }
 

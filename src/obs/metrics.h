@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
+
 namespace parserhawk::obs {
 
 namespace detail {
@@ -31,13 +33,31 @@ inline bool metrics_on() { return detail::g_metrics_enabled.load(std::memory_ord
 /// Log-scale histogram over seconds: bucket i counts observations in
 /// [2^i * 1e-6, 2^(i+1) * 1e-6) seconds, i.e. 1 µs doubling up to ~67 s,
 /// with under/overflow absorbed into the edge buckets.
+///
+/// Approximation error bound: because buckets double, any statistic
+/// reconstructed from the bucket counts alone (quantile() below) knows a
+/// sample only to within one power-of-two interval. quantile() answers the
+/// bucket's geometric midpoint, so the multiplicative error versus the true
+/// sample value is at most sqrt(2) ≈ 1.41x in either direction (exact
+/// `count`/`sum`/`min`/`max` are tracked separately and are not
+/// approximated). Edge buckets clamp to [min, max], which can only tighten
+/// the bound.
 struct HistogramSnapshot {
   std::string name;
   std::int64_t count = 0;
-  double sum = 0;
-  double min = 0;
-  double max = 0;
+  double sum = 0;    ///< exact sum of all observations (seconds)
+  double min = 0;    ///< exact smallest observation
+  double max = 0;    ///< exact largest observation
   std::vector<std::int64_t> buckets;  ///< kHistogramBuckets entries
+
+  /// Mean of all observations (exact; 0 when empty).
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+
+  /// Approximate q-quantile (q in [0,1]) reconstructed from the log2
+  /// buckets: walks the cumulative counts to the target bucket and returns
+  /// its geometric midpoint, clamped to [min, max]. Multiplicative error
+  /// <= sqrt(2) (see struct doc). Returns 0 for an empty histogram.
+  double quantile(double q) const;
 };
 
 inline constexpr int kHistogramBuckets = 27;
@@ -65,6 +85,8 @@ class Metrics {
   void maximize(const std::string& name, std::int64_t value);
 
   std::vector<CounterSnapshot> counters() const;
+  /// High-water gauges as name/value pairs (same shape as counters()).
+  std::vector<CounterSnapshot> gauges() const;
   std::vector<HistogramSnapshot> histograms() const;
   /// Value of one counter (0 when absent) — test/assertion helper.
   std::int64_t counter(const std::string& name) const;
@@ -84,12 +106,20 @@ class Metrics {
   Impl& impl() const;
 };
 
-/// Convenience wrappers: no-ops (one relaxed load) when disabled.
+/// Convenience wrappers: no-ops (one relaxed load) when disabled. Each also
+/// drops a breadcrumb into the flight recorder (flight.h) so a post-mortem
+/// ring shows recent counter/histogram activity even when the full metrics
+/// registry is off.
 inline void count(const std::string& name, std::int64_t delta = 1) {
   if (metrics_on()) Metrics::get().add(name, delta);
+  if (flight::enabled())
+    flight::record(flight::EventKind::Count, name.c_str(), nullptr, delta);
 }
 inline void observe(const std::string& name, double value) {
   if (metrics_on()) Metrics::get().observe(name, value);
+  if (flight::enabled())
+    flight::record(flight::EventKind::Observe, name.c_str(), nullptr,
+                   static_cast<std::int64_t>(value * 1e9));
 }
 inline void maximize(const std::string& name, std::int64_t value) {
   if (metrics_on()) Metrics::get().maximize(name, value);

@@ -1,0 +1,409 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace parserhawk::obs {
+
+namespace {
+
+std::atomic<ReportBuilder*> g_active_report{nullptr};
+
+thread_local std::string tl_state;
+thread_local int tl_variant = -1;
+
+std::int64_t mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void accumulate_z3(ZPhaseReport& z, double seconds, const std::string& outcome) {
+  ++z.queries;
+  z.seconds += seconds;
+  if (outcome == "sat")
+    ++z.sat;
+  else if (outcome == "unsat")
+    ++z.unsat;
+  else
+    ++z.unknown;
+}
+
+std::string z3_json(const std::map<std::string, ZPhaseReport>& z3) {
+  JsonObject o;
+  for (const auto& [phase, z] : z3) {
+    JsonObject p;
+    p.num("queries", z.queries)
+        .num("sat", z.sat)
+        .num("unsat", z.unsat)
+        .num("unknown", z.unknown)
+        .num("seconds", z.seconds);
+    o.field(phase, p.render());
+  }
+  return o.render();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompileReport
+// ---------------------------------------------------------------------------
+
+double CompileReport::attributed_sec() const {
+  double s = 0;
+  for (const auto& p : phases) s += p.seconds;
+  return s;
+}
+
+double CompileReport::state_sec() const {
+  double s = 0;
+  for (const auto& st : states) s += st.seconds;
+  return s;
+}
+
+std::string CompileReport::to_json() const {
+  JsonObject root;
+  root.num("report_version", std::int64_t{1});
+  root.str("spec", spec).str("hw", hw).str("status", status);
+  if (!reason.empty()) root.str("reason", reason);
+  root.num("total_sec", total_sec)
+      .num("attributed_sec", attributed_sec())
+      .num("deadline_sec", deadline_sec)
+      .num("deadline_slack_sec", deadline_slack_sec)
+      .num("threads", std::int64_t{threads})
+      .num("cache_hits", cache_hits)
+      .num("cache_misses", cache_misses);
+
+  std::string phases_json = "[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i) phases_json += ",";
+    JsonObject p;
+    p.str("name", phases[i].name).num("seconds", phases[i].seconds);
+    phases_json += p.render();
+  }
+  phases_json += "]";
+  root.field("phases", phases_json);
+
+  std::string states_json = "[";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const StateReport& st = states[i];
+    if (i) states_json += ",\n";
+    JsonObject s;
+    s.str("name", st.name).num("seconds", st.seconds).str("source", st.source);
+    s.num("winner_variant", std::int64_t{st.winner_variant})
+        .num("winner_budget", st.winner_budget)
+        .boolean("winner_restricted", st.winner_restricted)
+        .num("budget_attempts", st.budget_attempts)
+        .num("cegis_rounds", st.cegis_rounds)
+        .num("cache_lookups", st.cache_lookups)
+        .num("cache_lookup_sec", st.cache_lookup_sec);
+    s.field("z3", z3_json(st.z3));
+    std::string variants_json = "[";
+    bool first = true;
+    for (const auto& [idx, v] : st.variants) {
+      if (!first) variants_json += ",";
+      first = false;
+      JsonObject vo;
+      vo.num("variant", std::int64_t{idx})
+          .num("seconds", v.seconds)
+          .num("cegis_rounds", v.cegis_rounds)
+          .boolean("winner", v.winner);
+      vo.field("z3", z3_json(v.z3));
+      variants_json += vo.render();
+    }
+    variants_json += "]";
+    s.field("variants", variants_json);
+    states_json += s.render();
+  }
+  states_json += "]";
+  root.field("states", states_json);
+  return root.render();
+}
+
+bool CompileReport::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string fmt_sec(double s) {
+  char buf[32];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  return buf;
+}
+
+std::string pad(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+std::string rpad(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+}  // namespace
+
+std::string CompileReport::explain() const {
+  std::string out;
+  out += "compile " + spec + " -> " + hw + "   status=" + status;
+  if (!reason.empty()) out += " (" + reason + ")";
+  out += "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "total %s   attributed %s (%.1f%%)   threads %d   cache %lld hit / %lld miss\n",
+                fmt_sec(total_sec).c_str(), fmt_sec(attributed_sec()).c_str(),
+                total_sec > 0 ? 100.0 * attributed_sec() / total_sec : 0.0, threads,
+                static_cast<long long>(cache_hits), static_cast<long long>(cache_misses));
+  out += line;
+  if (deadline_sec > 0) {
+    std::snprintf(line, sizeof(line), "deadline %s   slack at finish %s\n",
+                  fmt_sec(deadline_sec).c_str(), fmt_sec(deadline_slack_sec).c_str());
+    out += line;
+  }
+
+  out += "\nphases:\n";
+  std::size_t name_w = 12;
+  for (const auto& p : phases) name_w = std::max(name_w, p.name.size());
+  for (const auto& p : phases) {
+    std::snprintf(line, sizeof(line), "  %s %s %5.1f%%\n", pad(p.name, name_w + 2).c_str(),
+                  rpad(fmt_sec(p.seconds), 9).c_str(),
+                  total_sec > 0 ? 100.0 * p.seconds / total_sec : 0.0);
+    out += line;
+  }
+
+  if (!states.empty()) {
+    std::int64_t solver = 0, cached = 0;
+    for (const auto& st : states) (st.source == "cache" ? cached : solver) += 1;
+    std::snprintf(line, sizeof(line), "\nstates (%zu: %lld solved, %lld from cache):\n",
+                  states.size(), static_cast<long long>(solver),
+                  static_cast<long long>(cached));
+    out += line;
+    std::size_t st_w = 10;
+    for (const auto& st : states) st_w = std::max(st_w, st.name.size());
+    out += "  " + pad("state", st_w + 2) + rpad("time", 9) + "  " + pad("source", 8) +
+           pad("winner", 16) + rpad("cegis", 5) + rpad("z3 q", 6) + rpad("z3 time", 9) + "\n";
+    for (const auto& st : states) {
+      std::string winner = "-";
+      if (st.source == "solver" && st.winner_variant >= 0) {
+        char wb[48];
+        std::snprintf(wb, sizeof(wb), "v%d b=%.3g%s", st.winner_variant, st.winner_budget,
+                      st.winner_restricted ? " (r)" : "");
+        winner = wb;
+      }
+      std::int64_t zq = 0;
+      double zs = 0;
+      for (const auto& [phase, z] : st.z3) {
+        zq += z.queries;
+        zs += z.seconds;
+      }
+      out += "  " + pad(st.name, st_w + 2) + rpad(fmt_sec(st.seconds), 9) + "  " +
+             pad(st.source, 8) + pad(winner, 16) + rpad(std::to_string(st.cegis_rounds), 5) +
+             rpad(std::to_string(zq), 6) + rpad(fmt_sec(zs), 9) + "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ReportBuilder
+// ---------------------------------------------------------------------------
+
+struct ReportBuilder::Impl {
+  mutable std::mutex mutex;
+  CompileReport report;
+  std::map<std::string, StateReport> states;  // keyed by name until snapshot
+};
+
+ReportBuilder::ReportBuilder() : impl_(new Impl()) {}
+
+ReportBuilder::~ReportBuilder() {
+  // Defensive: never leave a dangling global pointer behind.
+  ReportBuilder* self = this;
+  g_active_report.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+void ReportBuilder::set_context(const std::string& spec, const std::string& hw, int threads,
+                                double deadline_sec) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  impl_->report.spec = spec;
+  impl_->report.hw = hw;
+  impl_->report.threads = threads;
+  impl_->report.deadline_sec = deadline_sec;
+}
+
+void ReportBuilder::set_outcome(const std::string& status, const std::string& reason,
+                                double total_sec, double deadline_slack_sec) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  impl_->report.status = status;
+  impl_->report.reason = reason;
+  impl_->report.total_sec = total_sec;
+  impl_->report.deadline_slack_sec = deadline_slack_sec < 0 ? 0 : deadline_slack_sec;
+}
+
+void ReportBuilder::phase_done(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  impl_->report.phases.push_back(PhaseReport{name, seconds});
+}
+
+void ReportBuilder::state_result(const std::string& state, double seconds,
+                                 const std::string& source, int winner_variant,
+                                 double winner_budget, bool winner_restricted,
+                                 std::int64_t budget_attempts) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  StateReport& st = impl_->states[state];
+  st.name = state;
+  st.seconds = seconds;
+  st.source = source;
+  st.winner_variant = winner_variant;
+  st.winner_budget = winner_budget;
+  st.winner_restricted = winner_restricted;
+  st.budget_attempts = budget_attempts;
+  if (source == "cache")
+    ++impl_->report.cache_hits;
+  else if (source == "solver")
+    ++impl_->report.cache_misses;
+  if (winner_variant >= 0) {
+    auto it = st.variants.find(winner_variant);
+    if (it != st.variants.end()) it->second.winner = true;
+  }
+}
+
+void ReportBuilder::cache_lookup(const std::string& state, bool hit, double seconds) {
+  (void)hit;  // hit/miss totals come from state_result's source attribution
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  StateReport& st = impl_->states[state];
+  st.name = state;
+  ++st.cache_lookups;
+  st.cache_lookup_sec += seconds;
+}
+
+void ReportBuilder::z3_query(const std::string& state, int variant, const std::string& phase,
+                             double seconds, const std::string& outcome) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  StateReport& st = impl_->states[state];
+  st.name = state;
+  accumulate_z3(st.z3[phase], seconds, outcome);
+  if (variant >= 0) {
+    VariantReport& v = st.variants[variant];
+    v.variant = variant;
+    accumulate_z3(v.z3[phase], seconds, outcome);
+  }
+}
+
+void ReportBuilder::cegis_rounds(const std::string& state, int variant, std::int64_t rounds) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  StateReport& st = impl_->states[state];
+  st.name = state;
+  st.cegis_rounds += rounds;
+  if (variant >= 0) {
+    VariantReport& v = st.variants[variant];
+    v.variant = variant;
+    v.cegis_rounds += rounds;
+  }
+}
+
+void ReportBuilder::variant_time(const std::string& state, int variant, double seconds) {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  StateReport& st = impl_->states[state];
+  st.name = state;
+  if (variant >= 0) {
+    VariantReport& v = st.variants[variant];
+    v.variant = variant;
+    v.seconds += seconds;
+  }
+}
+
+CompileReport ReportBuilder::report() const {
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  CompileReport out = impl_->report;
+  out.states.clear();
+  // std::map iteration is name-sorted — deterministic state order by design.
+  for (const auto& [name, st] : impl_->states) out.states.push_back(st);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Global slot + thread-local context + hooks
+// ---------------------------------------------------------------------------
+
+void install_report(ReportBuilder* b) { g_active_report.store(b, std::memory_order_release); }
+
+ReportBuilder* report_active() { return g_active_report.load(std::memory_order_acquire); }
+
+bool report_on() { return g_active_report.load(std::memory_order_relaxed) != nullptr; }
+
+ReportStateScope::ReportStateScope(const std::string& state)
+    : prev_(tl_state), had_prev_(!tl_state.empty()) {
+  tl_state = state;
+}
+
+ReportStateScope::~ReportStateScope() { tl_state = had_prev_ ? prev_ : std::string(); }
+
+ReportVariantScope::ReportVariantScope(int variant) : prev_(tl_variant) { tl_variant = variant; }
+
+ReportVariantScope::~ReportVariantScope() { tl_variant = prev_; }
+
+const std::string& report_current_state() { return tl_state; }
+
+int report_current_variant() { return tl_variant; }
+
+void report_z3(const std::string& phase, double seconds, const std::string& outcome) {
+  ReportBuilder* b = report_active();
+  if (b == nullptr || tl_state.empty()) return;
+  b->z3_query(tl_state, tl_variant, phase, seconds, outcome);
+}
+
+void report_cegis_rounds(std::int64_t rounds) {
+  ReportBuilder* b = report_active();
+  if (b == nullptr || tl_state.empty()) return;
+  b->cegis_rounds(tl_state, tl_variant, rounds);
+}
+
+void report_cache(const std::string& state, bool hit, double seconds) {
+  ReportBuilder* b = report_active();
+  if (b == nullptr) return;
+  b->cache_lookup(state, hit, seconds);
+}
+
+void report_state_result(const std::string& state, double seconds, const std::string& source,
+                         int winner_variant, double winner_budget, bool winner_restricted,
+                         std::int64_t budget_attempts) {
+  ReportBuilder* b = report_active();
+  if (b == nullptr) return;
+  b->state_result(state, seconds, source, winner_variant, winner_budget, winner_restricted,
+                  budget_attempts);
+}
+
+void report_variant_time(const std::string& state, int variant, double seconds) {
+  ReportBuilder* b = report_active();
+  if (b == nullptr) return;
+  b->variant_time(state, variant, seconds);
+}
+
+ReportPhase::ReportPhase(const char* name)
+    : name_(name), start_ns_(mono_ns()), done_(!report_on()) {}
+
+void ReportPhase::end() {
+  if (done_) return;
+  done_ = true;
+  ReportBuilder* b = report_active();
+  if (b == nullptr) return;
+  b->phase_done(name_, static_cast<double>(mono_ns() - start_ns_) * 1e-9);
+}
+
+ReportPhase::~ReportPhase() { end(); }
+
+}  // namespace parserhawk::obs

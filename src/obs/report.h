@@ -1,0 +1,217 @@
+// Per-compile attribution reports (DESIGN.md §11).
+//
+// Spans (trace.h) and metrics (metrics.h) record that time passed; a
+// CompileReport records *where one compile's budget went*: per top-level
+// phase (frontend, cache probe, solve, assemble, postopt, verify, difftest),
+// per parse state, per Opt7 shape variant, per Z3 phase (synth / verify /
+// equiv), plus CEGIS iteration counts, cache hit/miss attribution, winner
+// provenance (which variant won at which budget, restricted or not) and
+// deadline slack. Rendered as JSON (`to_json`) and as a human table
+// (`explain`) by `hawk_compile --report-out/--explain`.
+//
+// Attribution model under parallelism: top-level phases are wall-clock
+// intervals measured on the coordinating thread, so their sum tracks the
+// total compile wall time regardless of thread count. Per-state seconds are
+// children of the solve phase and may overlap each other when the pool runs
+// states concurrently — they sum to the solve phase's wall time only at
+// --threads 1. test_report.cpp asserts the >=95% attribution bound in the
+// single-threaded configuration and structural invariance elsewhere.
+//
+// Plumbing: compile() installs its builder process-globally
+// (install_report), and worker threads tag themselves with thread-local
+// state/variant scopes (ReportStateScope / ReportVariantScope). Deep hooks —
+// timed_check() in z3_obs.h, the CEGIS loop, the cache — then attribute into
+// the right bucket via the free report_*() functions without any parameter
+// plumbing, because each pool job runs one state's synthesis entirely on one
+// thread. All hooks are no-ops (one relaxed atomic load) when no report is
+// being built.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parserhawk::obs {
+
+/// Z3 accounting for one phase ("synth", "verify", "equiv") within one
+/// state or variant.
+struct ZPhaseReport {
+  std::int64_t queries = 0;
+  std::int64_t sat = 0;
+  std::int64_t unsat = 0;
+  std::int64_t unknown = 0;  ///< includes per-query timeouts
+  double seconds = 0;
+};
+
+/// One Opt7 shape variant raced for a state.
+struct VariantReport {
+  int variant = -1;
+  double seconds = 0;  ///< wall time this variant's attempt consumed
+  std::int64_t cegis_rounds = 0;
+  bool winner = false;
+  std::map<std::string, ZPhaseReport> z3;
+};
+
+/// One parse state's attribution.
+struct StateReport {
+  std::string name;
+  double seconds = 0;   ///< wall time spent producing this state's solution
+  std::string source;   ///< "solver" | "cache" | "trivial"
+  int winner_variant = -1;
+  double winner_budget = 0;
+  bool winner_restricted = false;
+  std::int64_t budget_attempts = 0;  ///< budget-ascent attempts across variants
+  std::int64_t cegis_rounds = 0;     ///< total CEGIS rounds across variants
+  std::int64_t cache_lookups = 0;
+  double cache_lookup_sec = 0;
+  std::map<std::string, ZPhaseReport> z3;  ///< summed over variants
+  std::map<int, VariantReport> variants;
+};
+
+/// One top-level compile phase (coordinating-thread wall interval).
+struct PhaseReport {
+  std::string name;
+  double seconds = 0;
+};
+
+struct CompileReport {
+  std::string spec;
+  std::string hw;
+  std::string status;  ///< CompileStatus name ("Ok", "Timeout", ...)
+  std::string reason;  ///< failure detail, empty on success
+  double total_sec = 0;
+  double deadline_sec = 0;        ///< 0 = no deadline
+  double deadline_slack_sec = 0;  ///< deadline remaining at finish (>=0)
+  int threads = 1;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::vector<PhaseReport> phases;  ///< in execution order
+  std::vector<StateReport> states;  ///< sorted by name (deterministic)
+
+  /// Sum of top-level phase seconds — the portion of total_sec the report
+  /// explains. The acceptance bound: attributed_sec() >= 0.95 * total_sec.
+  double attributed_sec() const;
+  /// Sum of per-state seconds (overlapping under parallelism).
+  double state_sec() const;
+
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+  /// Human-readable attribution table (the --explain output).
+  std::string explain() const;
+};
+
+/// Accumulates one compile's attribution. Thread-safe: hooks may fire from
+/// any pool thread. Create on the stack in compile(), install globally,
+/// uninstall before it dies.
+class ReportBuilder {
+ public:
+  ReportBuilder();
+  ~ReportBuilder();
+  ReportBuilder(const ReportBuilder&) = delete;
+  ReportBuilder& operator=(const ReportBuilder&) = delete;
+
+  void set_context(const std::string& spec, const std::string& hw, int threads,
+                   double deadline_sec);
+  void set_outcome(const std::string& status, const std::string& reason,
+                   double total_sec, double deadline_slack_sec);
+
+  void phase_done(const std::string& name, double seconds);
+  /// Final per-state outcome. `source` is "solver" | "cache" | "trivial".
+  void state_result(const std::string& state, double seconds, const std::string& source,
+                    int winner_variant, double winner_budget, bool winner_restricted,
+                    std::int64_t budget_attempts);
+  void cache_lookup(const std::string& state, bool hit, double seconds);
+  /// One Z3 query attributed to (state, variant). variant < 0 = no variant
+  /// context (e.g. equivalence check). outcome: "sat"|"unsat"|"unknown".
+  void z3_query(const std::string& state, int variant, const std::string& phase,
+                double seconds, const std::string& outcome);
+  void cegis_rounds(const std::string& state, int variant, std::int64_t rounds);
+  void variant_time(const std::string& state, int variant, double seconds);
+
+  /// Snapshot the accumulated report (call after set_outcome).
+  CompileReport report() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Install `b` as the process-global active builder (nullptr uninstalls).
+/// One compile at a time owns the slot; a second concurrent compile simply
+/// goes unreported (hooks check the pointer they loaded).
+void install_report(ReportBuilder* b);
+ReportBuilder* report_active();
+
+/// True when some builder is installed — cheap gate for hook call sites.
+bool report_on();
+
+// ---------------------------------------------------------------------------
+// Thread-local attribution context. A pool job solving state S under
+// variant V wraps itself in these scopes; deep hooks read them.
+// ---------------------------------------------------------------------------
+
+class ReportStateScope {
+ public:
+  explicit ReportStateScope(const std::string& state);
+  ~ReportStateScope();
+  ReportStateScope(const ReportStateScope&) = delete;
+  ReportStateScope& operator=(const ReportStateScope&) = delete;
+
+ private:
+  std::string prev_;
+  bool had_prev_;
+};
+
+class ReportVariantScope {
+ public:
+  explicit ReportVariantScope(int variant);
+  ~ReportVariantScope();
+  ReportVariantScope(const ReportVariantScope&) = delete;
+  ReportVariantScope& operator=(const ReportVariantScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Current thread's attribution context ("" / -1 when unset).
+const std::string& report_current_state();
+int report_current_variant();
+
+// ---------------------------------------------------------------------------
+// Deep hooks — no-ops when no builder is installed.
+// ---------------------------------------------------------------------------
+
+/// Attribute one Z3 query to the calling thread's (state, variant) context.
+void report_z3(const std::string& phase, double seconds, const std::string& outcome);
+/// Attribute a finished CEGIS loop's round count to the current context.
+void report_cegis_rounds(std::int64_t rounds);
+/// Attribute one cache probe for `state`.
+void report_cache(const std::string& state, bool hit, double seconds);
+/// Record a state's final outcome (see ReportBuilder::state_result).
+void report_state_result(const std::string& state, double seconds, const std::string& source,
+                         int winner_variant, double winner_budget, bool winner_restricted,
+                         std::int64_t budget_attempts);
+/// Record wall time one variant's attempt consumed for the current state.
+void report_variant_time(const std::string& state, int variant, double seconds);
+
+/// RAII top-level phase timer: records a PhaseReport on destruction when a
+/// builder is active (coordinating thread only — phases are wall intervals).
+class ReportPhase {
+ public:
+  explicit ReportPhase(const char* name);
+  ~ReportPhase();
+  ReportPhase(const ReportPhase&) = delete;
+  ReportPhase& operator=(const ReportPhase&) = delete;
+
+  /// Stop the timer and record now (dtor becomes a no-op).
+  void end();
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+  bool done_;
+};
+
+}  // namespace parserhawk::obs

@@ -223,7 +223,22 @@ void Span::begin(const char* name) {
   start_ns_ = Tracer::get().now_ns();
 }
 
+void Span::flight_end() {
+  if (cname_ == nullptr) return;
+  std::int64_t dur = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count() -
+                     flight_start_ns_;
+  // SpanEnd pairs with its SpanBegin by the name prefix before ':'; the
+  // label rides in the detail field (slot capacity truncates, that's fine).
+  flight::record(flight::EventKind::SpanEnd, cname_,
+                 flight_label_.empty() ? nullptr : flight_label_.c_str() + 1,
+                 dur < 0 ? 0 : dur);
+  cname_ = nullptr;
+}
+
 void Span::end() {
+  flight_end();
   if (!active_) return;
   active_ = false;
   Tracer& tracer = Tracer::get();

@@ -17,10 +17,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/json.h"
 
 namespace parserhawk::obs {
@@ -91,12 +93,23 @@ class Tracer {
   Impl& impl() const;
 };
 
-/// RAII span. Construction with a static name is free when tracing is
-/// disabled; dynamic labels and args are added only behind active().
+/// RAII span. Construction with a static name is one relaxed load (plus a
+/// lock-free flight-ring write while the always-on flight recorder is
+/// enabled); dynamic labels and args are added only behind active().
+/// Every span also feeds the flight recorder: SpanBegin at construction
+/// (static name) and SpanEnd at close (labeled name + duration), so a
+/// post-mortem ring shows what was executing even with tracing off.
 class Span {
  public:
   explicit Span(const char* name) {
     if (tracing()) begin(name);
+    if (flight::enabled()) {
+      cname_ = name;
+      flight_start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+      flight::record(flight::EventKind::SpanBegin, name);
+    }
   }
   ~Span() { end(); }
 
@@ -105,9 +118,11 @@ class Span {
 
   bool active() const { return active_; }
 
-  /// Append ":<label>" to the span name (shows on the Perfetto track).
+  /// Append ":<label>" to the span name (shows on the Perfetto track and
+  /// in flight-recorder SpanEnd events).
   void label(const std::string& suffix) {
     if (active_) name_ += ":" + suffix;
+    if (cname_ != nullptr) flight_label_ += ":" + suffix;
   }
 
   void arg(const char* key, const std::string& v) {
@@ -132,11 +147,15 @@ class Span {
 
  private:
   void begin(const char* name);
+  void flight_end();
 
   bool active_ = false;
   std::int64_t start_ns_ = 0;
   std::string name_;
   JsonObject args_;
+  const char* cname_ = nullptr;  ///< non-null while a flight SpanEnd is owed
+  std::string flight_label_;     ///< labels accumulated for the flight event
+  std::int64_t flight_start_ns_ = 0;
 };
 
 /// Convenience wrappers over the global tracer.

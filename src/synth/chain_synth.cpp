@@ -303,6 +303,14 @@ std::optional<ChainSolution> synthesize_chain(const ChainProblem& problem, const
     span.arg("row_budget", shape.row_budget);
     span.arg("restrict_masks", shape.restrict_masks);
   }
+  // Attribution hook: however this call exits, its CEGIS round count lands
+  // on the (state, variant) context the caller established (obs/report.h).
+  struct RoundsReporter {
+    const ChainStats& stats;
+    ~RoundsReporter() {
+      if (stats.cegis_rounds > 0) obs::report_cegis_rounds(stats.cegis_rounds);
+    }
+  } rounds_reporter{stats};
 
   z3::context ctx;
   z3::solver synth(ctx);

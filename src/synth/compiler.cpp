@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -12,7 +14,9 @@
 
 #include "analysis/analysis.h"
 #include "cache/cache.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "postopt/postopt.h"
 #include "sim/testgen.h"
@@ -378,7 +382,16 @@ struct AttemptOutcome {
 /// current winner always runs to completion. That makes the winner a pure
 /// function of the attempt list, independent of thread scheduling, which is
 /// what keeps `seed` + `num_threads` fully determining the output program.
-int race_attempts(ThreadPool& pool, const ChainProblem& problem,
+/// Flight-recorder breadcrumb for one Opt7 attempt: "v<variant> b=<budget>".
+void note_attempt(const std::string& state, int variant, const ChainShape& shape) {
+  if (!obs::flight::enabled()) return;
+  char detail[obs::flight::kDetailBytes];
+  std::snprintf(detail, sizeof(detail), "%s v%d b=%d%s", state.c_str(), variant,
+                shape.row_budget, shape.restrict_masks ? " r" : "");
+  obs::flight::record(obs::flight::EventKind::Note, "attempt", detail);
+}
+
+int race_attempts(ThreadPool& pool, const std::string& state_name, const ChainProblem& problem,
                   const std::vector<ChainShape>& attempts, const Deadline& deadline,
                   std::vector<AttemptOutcome>& out) {
   const int n = static_cast<int>(attempts.size());
@@ -399,6 +412,11 @@ int race_attempts(ThreadPool& pool, const ChainProblem& problem,
         return;
       }
       o.ran = true;
+      // Attribution context for the deep hooks (timed_check, CEGIS): this
+      // job runs one variant's synthesis entirely on this thread.
+      obs::ReportStateScope state_scope(state_name);
+      obs::ReportVariantScope variant_scope(i);
+      note_attempt(state_name, i, attempts[static_cast<std::size_t>(i)]);
       obs::Span span("attempt");
       if (span.active()) {
         span.arg("variant", i);
@@ -406,9 +424,11 @@ int race_attempts(ThreadPool& pool, const ChainProblem& problem,
         span.arg("budget", attempts[static_cast<std::size_t>(i)].row_budget);
         span.arg("restrict_masks", attempts[static_cast<std::size_t>(i)].restrict_masks);
       }
+      Stopwatch attempt_watch;
       auto sol = synthesize_chain(problem, attempts[static_cast<std::size_t>(i)],
                                   deadline.with_token(cancels[static_cast<std::size_t>(i)].token()),
                                   o.cs);
+      obs::report_variant_time(state_name, i, attempt_watch.elapsed_sec());
       span.arg("result", sol ? "sat" : "no-solution");
       if (sol) {
         o.sol = std::move(sol);
@@ -453,6 +473,9 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
     span.arg("budget_lb", task.lb);
     span.arg("budget_cap", task.cap);
   }
+  Stopwatch state_watch;
+  obs::ReportStateScope state_scope(task.state_name);
+  obs::flight::note("solve_state", task.state_name.c_str());
   StateOutcome out;
   StatePlan& plan = out.plan;
   plan.spec_state = task.problem.spec_state;
@@ -471,6 +494,18 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
     solved = true;
   };
 
+  // Attribution: one state_result per solve_state call, whatever the exit.
+  auto report_done = [&](const char* source) {
+    obs::report_state_result(task.state_name, state_watch.elapsed_sec(), source,
+                             solved ? plan.winner_variant : -1,
+                             solved ? static_cast<double>(plan.winner_budget) : 0,
+                             solved && plan.winner_restricted, out.stats.budget_attempts);
+    // Dump the flight ring at the point of exhaustion, while this state's
+    // span is still open — the dump's "in_progress" then names the state
+    // (and any racing variant) instead of just the top-level compile.
+    if (std::strcmp(source, "timeout") == 0) obs::flight::auto_dump("deadline_exhausted");
+  };
+
   if (pool == nullptr) {
     // ---- Sequential two-pass budget search (today's behavior). ----
     auto attempt = [&](ChainShape sh, int variant, int budget, bool restricted) -> bool {
@@ -478,7 +513,11 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
       sh.restrict_masks = restricted;
       ChainStats cs;
       ++out.stats.budget_attempts;
+      obs::ReportVariantScope variant_scope(variant);
+      note_attempt(task.state_name, variant, sh);
+      Stopwatch attempt_watch;
       auto sol = synthesize_chain(task.problem, sh, deadline, cs);
+      obs::report_variant_time(task.state_name, variant, attempt_watch.elapsed_sec());
       out.stats.cegis_rounds += cs.cegis_rounds;
       out.stats.synth_queries += cs.synth_queries;
       out.stats.verify_queries += cs.verify_queries;
@@ -496,6 +535,7 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
         if (deadline.expired()) {
           out.fail_status = CompileStatus::Timeout;
           out.fail_reason = "synthesis budget exhausted";
+          report_done("timeout");
           return out;
         }
         if (attempt(task.shapes[v], static_cast<int>(v), budget, true)) {
@@ -549,7 +589,7 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
         attempts.push_back(std::move(sh));
       }
       std::vector<AttemptOutcome> res;
-      int w = race_attempts(*pool, task.problem, attempts, deadline, res);
+      int w = race_attempts(*pool, task.state_name, task.problem, attempts, deadline, res);
       merge(res);
       if (w < 0) return false;
       adopt(attempts[static_cast<std::size_t>(w)], std::move(*res[static_cast<std::size_t>(w)].sol),
@@ -564,6 +604,7 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
       if (deadline.expired()) {
         out.fail_status = CompileStatus::Timeout;
         out.fail_reason = "synthesis budget exhausted";
+        report_done("timeout");
         return out;
       }
       if (race_budget(budget, true)) best_budget = budget;
@@ -581,14 +622,17 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
     if (deadline.expired()) {
       out.fail_status = CompileStatus::Timeout;
       out.fail_reason = "synthesis budget exhausted";
+      report_done("timeout");
     } else {
       out.fail_status = CompileStatus::NoSolution;
       out.fail_reason =
           "no chain implements state '" + task.state_name + "' within the key-split budget";
+      report_done("failed");
     }
     return out;
   }
   out.ok = true;
+  report_done(task.problem.key_width == 0 ? "trivial" : "solver");
   return out;
 }
 
@@ -611,16 +655,19 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   TcamProgram flat;
   if (opts.opt3_preallocate) {
     // ---------------- OPT pipeline: per-state chain synthesis. ----------
+    obs::ReportPhase norm_phase("normalize");
     obs::Span norm_span("normalize");
     ParserSpec canon = canonicalize(work);
     auto deferred = defer_wide_lookahead(canon, hw);
     if (!deferred) return fail(CompileStatus::Rejected, deferred.error().to_string(), reference, stats);
     canon = std::move(*deferred);
     norm_span.end();
+    norm_phase.end();
 
     // Deterministic problem construction up front, then solve: states are
     // independent chain problems, so with a pool they synthesize
     // concurrently (and each state's Opt7 variants race internally).
+    obs::ReportPhase tasks_phase("build_tasks");
     obs::Span tasks_span("build_state_tasks");
     std::vector<StateTask> tasks;
     for (std::size_t s = 0; s < canon.states.size(); ++s) {
@@ -630,6 +677,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     }
     tasks_span.arg("states", static_cast<int>(tasks.size()));
     tasks_span.end();
+    tasks_phase.end();
 
     // Cache probe: resolve every state's fingerprint up front (sequential,
     // so lookup order — and therefore LRU behavior — is deterministic) and
@@ -641,33 +689,47 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     std::vector<std::string> cache_keys(tasks.size());
     std::vector<bool> from_cache(tasks.size(), false);
     if (synth_cache != nullptr) {
+      obs::ReportPhase cache_phase("cache_probe");
       obs::Span cache_span("cache_probe");
       int hits = 0;
       for (std::size_t s = 0; s < tasks.size(); ++s) {
         const StateTask& task = tasks[s];
         if (task.problem.key_width == 0) continue;  // trivial: solving is instant
+        Stopwatch lookup_watch;
         cache_keys[s] = cache::plan_fingerprint(task.problem, task.shapes, task.lb, task.cap,
                                                 task.improvement_pass, hw)
                             .hex();
         auto hit = synth_cache->lookup(cache_keys[s]);
-        if (!hit) continue;
-        if (!validate_solution(task.problem, hit->solution)) {
+        bool adopted = false;
+        if (hit && !validate_solution(task.problem, hit->solution)) {
           obs::count("cache.rejected_hits");
-          continue;
+          hit.reset();
         }
-        StateOutcome& o = outcomes[s];
-        o.ok = true;
-        o.plan.spec_state = task.problem.spec_state;
-        o.plan.key_bits = task.key_bits;
-        o.plan.solution = std::move(hit->solution);
-        o.plan.layers = hit->layers;
-        o.plan.aux_counts = hit->aux_counts;
-        o.plan.search_space_bits = hit->search_space_bits;
-        o.plan.winner_variant = hit->winner_variant;
-        o.plan.winner_budget = hit->winner_budget;
-        o.plan.winner_restricted = hit->winner_restricted;
-        from_cache[s] = true;
-        ++hits;
+        if (hit) {
+          StateOutcome& o = outcomes[s];
+          o.ok = true;
+          o.plan.spec_state = task.problem.spec_state;
+          o.plan.key_bits = task.key_bits;
+          o.plan.solution = std::move(hit->solution);
+          o.plan.layers = hit->layers;
+          o.plan.aux_counts = hit->aux_counts;
+          o.plan.search_space_bits = hit->search_space_bits;
+          o.plan.winner_variant = hit->winner_variant;
+          o.plan.winner_budget = hit->winner_budget;
+          o.plan.winner_restricted = hit->winner_restricted;
+          from_cache[s] = true;
+          adopted = true;
+          ++hits;
+        }
+        double lookup_sec = lookup_watch.elapsed_sec();
+        obs::report_cache(task.state_name, adopted, lookup_sec);
+        // A hit IS the state's production path: attribute the state's wall
+        // time to cache_lookup, not solve_state (test_report.cpp pins this).
+        if (adopted) {
+          const StatePlan& p = outcomes[s].plan;
+          obs::report_state_result(task.state_name, lookup_sec, "cache", p.winner_variant,
+                                   static_cast<double>(p.winner_budget), p.winner_restricted, 0);
+        }
       }
       if (cache_span.active()) {
         cache_span.arg("states", static_cast<int>(tasks.size()));
@@ -675,6 +737,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
       }
     }
 
+    obs::ReportPhase solve_phase("solve_states");
     obs::Span solve_span("solve_states");
     if (pool != nullptr && tasks.size() > 1) {
       std::vector<std::function<void()>> jobs;
@@ -691,11 +754,13 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
       }
     }
     solve_span.end();
+    solve_phase.end();
 
     // Persist fresh completed solutions. Deadline-truncated searches are
     // not stored: their winner can depend on wall clock, and the cache
     // must only ever replay results a full search would also produce.
     if (synth_cache != nullptr && !deadline.expired()) {
+      obs::ReportPhase store_phase("cache_store");
       for (std::size_t s = 0; s < tasks.size(); ++s) {
         if (from_cache[s] || !outcomes[s].ok || cache_keys[s].empty()) continue;
         const StatePlan& plan = outcomes[s].plan;
@@ -728,6 +793,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     }
 
     // ---------------- Assemble the flat program. ----------
+    obs::ReportPhase assemble_phase("assemble");
     obs::Span assemble_span("assemble");
     flat.name = spec.name;
     flat.fields = canon.fields;
@@ -776,8 +842,10 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
     for (const auto& plan : plans) max_layers = std::max(max_layers, plan.layers);
     flat.max_iterations = std::max(64, opts.max_iterations * (max_layers + 1) + 8);
     assemble_span.end();
+    assemble_phase.end();
   } else {
     // ---------------- Naive global pipeline ("Orig"). ----------
+    obs::ReportPhase global_phase("global_synth");
     ParserSpec naive_spec = work;
     ChainStats cs;
     auto result = global_synthesize(naive_spec, hw, opts, deadline, cs);
@@ -796,6 +864,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   }
 
   // ---------------- Post-synthesis optimization. ----------
+  obs::ReportPhase postopt_phase("postopt");
   obs::Span postopt_span("postopt");
   TcamProgram optimized = inline_terminal_extracts(flat, hw);
   auto split = split_wide_extracts(optimized, hw);
@@ -811,9 +880,11 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   if (auto v = validate(optimized, hw); !v)
     return fail(CompileStatus::ResourceExceeded, v.error().to_string(), reference, stats);
   postopt_span.end();
+  postopt_phase.end();
 
   // ---------------- Verification (CEGIS verify phase + Figure 22). ------
   {
+    obs::ReportPhase verify_phase("verify");
     VerifyOptions vo;
     vo.max_iterations_spec = opts.max_iterations;
     vo.max_iterations_impl = optimized.max_iterations;
@@ -825,6 +896,7 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   }
 
   // ---------------- Restore Opt6/Opt2 transforms & final diff test. -----
+  obs::ReportPhase difftest_phase("difftest");
   if (had_varbit) {
     auto restored = restore_varbit_extracts(optimized, reference);
     if (!restored)
@@ -870,9 +942,10 @@ bool deterministic_failure(const CompileResult& r) {
   return r.status == CompileStatus::NoSolution || r.status == CompileStatus::ResourceExceeded;
 }
 
-}  // namespace
-
-CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
+/// The whole compile pipeline minus report/post-mortem bookkeeping;
+/// compile() wraps it so every exit path flows through one place.
+CompileResult compile_toplevel(const ParserSpec& spec, const HwProfile& hw,
+                               const SynthOptions& opts, const Deadline& deadline) {
   Stopwatch watch;
   obs::Span span("compile");
   if (span.active()) {
@@ -881,8 +954,9 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
     span.arg("threads", opts.num_threads);
     span.arg("timeout_sec", opts.timeout_sec);
   }
+  obs::flight::note("compile", spec.name.c_str());
   SynthStats stats;
-  Deadline deadline(opts.timeout_sec);
+  obs::ReportPhase frontend_phase("frontend");
 
   if (auto v = validate(spec); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
   if (auto v = validate(hw); !v) return fail(CompileStatus::Rejected, v.error().to_string(), spec, stats);
@@ -906,6 +980,7 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
   if (span.active()) span.arg("cache", sc != nullptr);
 
   SpecAnalysis a = analyze(spec, opts.max_iterations);
+  frontend_phase.end();
   CompileResult result;
   if (a.has_loop && !hw.allows_loops) {
     // Loop-free target: the unrolled spec IS the reference semantics.
@@ -966,6 +1041,32 @@ CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOp
     span.arg("status", to_string(result.status));
     span.arg("seconds", result.stats.seconds);
   }
+  return result;
+}
+
+}  // namespace
+
+CompileResult compile(const ParserSpec& spec, const HwProfile& hw, const SynthOptions& opts) {
+  Deadline deadline(opts.timeout_sec);
+  if (opts.report != nullptr) {
+    opts.report->set_context(spec.name, hw.name, opts.num_threads, opts.timeout_sec);
+    obs::install_report(opts.report);
+  }
+  CompileResult result = compile_toplevel(spec, hw, opts, deadline);
+  if (opts.report != nullptr) {
+    opts.report->set_outcome(to_string(result.status), result.ok() ? "" : result.reason,
+                             result.stats.seconds,
+                             opts.timeout_sec > 0 ? deadline.remaining_sec() : 0);
+    obs::install_report(nullptr);
+  }
+  // Post-mortem flight dumps: a blown deadline or a verification/difftest
+  // failure auto-writes the recent-event ring when a dump path is
+  // configured (hawk_compile sets one; library callers opt in via
+  // flight::set_auto_dump_path or PH_FLIGHT_DUMP).
+  if (result.status == CompileStatus::Timeout)
+    obs::flight::auto_dump("deadline_exhausted");
+  else if (result.status == CompileStatus::InternalError)
+    obs::flight::auto_dump("verification_failure");
   return result;
 }
 

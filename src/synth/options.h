@@ -9,6 +9,10 @@ namespace parserhawk::cache {
 class SynthCache;
 }  // namespace parserhawk::cache
 
+namespace parserhawk::obs {
+class ReportBuilder;
+}  // namespace parserhawk::obs
+
 namespace parserhawk {
 
 struct SynthOptions {
@@ -80,6 +84,13 @@ struct SynthOptions {
   /// Injected cache instance (tests, benches). nullptr = use the
   /// process-global cache when enabled. Setting it implies cache_enabled.
   cache::SynthCache* cache = nullptr;
+
+  /// Attribution-report sink (obs/report.h, DESIGN.md §11). When set,
+  /// compile() installs it for the duration of the compile and fills in the
+  /// per-phase / per-state / per-variant / per-Z3-phase breakdown; the
+  /// caller snapshots it afterwards (hawk_compile --report-out). nullptr =
+  /// no report, zero overhead beyond one relaxed load per hook site.
+  obs::ReportBuilder* report = nullptr;
 
   /// All optimizations off: the naive encoding used for the "Orig" columns
   /// of Table 3.

@@ -289,6 +289,10 @@ VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl
     z3::expr bit = model.eval(input_slice(input, n_bits, i, 1), true);
     cex.set(i, bit.get_numeral_uint64() != 0);
   }
+  // A counterexample here means the synthesized program is wrong — drop a
+  // breadcrumb so a post-mortem flight dump shows the failing spec even
+  // when the caller's auto-dump fires later.
+  obs::flight::note("verify_counterexample", spec.name.c_str());
   out.kind = VerifyOutcome::Kind::Counterexample;
   out.counterexample = std::move(cex);
   return out;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "support/timer.h"
 
@@ -31,13 +32,17 @@ inline z3::check_result timed_check(z3::solver& solver, const Deadline* deadline
   if (deadline != nullptr)
     solver.set("timeout",
                static_cast<unsigned>(std::min(deadline->remaining_sec(), 3.0e5) * 1000));
-  if (!obs::metrics_on() && !obs::tracing()) return solver.check();
+  if (!obs::metrics_on() && !obs::tracing() && !obs::report_on() && !obs::flight::enabled())
+    return solver.check();
 
   obs::Span span("z3_check");
   span.label(phase);
   Stopwatch watch;
   z3::check_result result = solver.check();
   double sec = watch.elapsed_sec();
+  if (obs::report_on())
+    obs::report_z3(phase, sec,
+                   result == z3::sat ? "sat" : result == z3::unsat ? "unsat" : "unknown");
   if (obs::metrics_on()) {
     std::string p = std::string("z3.") + phase;
     obs::count(p + ".queries");

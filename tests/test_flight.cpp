@@ -1,0 +1,315 @@
+// Flight recorder (DESIGN.md §11): lossless-by-design wrap-around, the
+// 8-thread concurrent-record contract (run under TSan by ci/run_tsan.sh —
+// this file is part of the test_obs binary), the disabled-mode contract,
+// dump JSON validity, open-span attribution, and the auto-dump once-guard.
+// Also covers the exposition layer (expo.h): histogram quantile error
+// bounds, snapshot deltas, and Prometheus text-format rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "helpers.h"
+#include "json_validator.h"
+#include "obs/expo.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace parserhawk::obs {
+namespace {
+
+using parserhawk::testing::is_valid_json;
+
+/// Flight-ring hygiene: the rings are process-global and ON by default, so
+/// every test starts from an empty window with auto dumps disarmed.
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flight::enable();
+    flight::set_auto_dump_path("");
+    flight::reset();
+    Metrics::get().disable();
+    Metrics::get().reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(FlightTest, OverflowWrapsWithCountsPreserved) {
+  const int extra = 100;
+  const int total = flight::kRingSlots + extra;
+  for (int i = 0; i < total; ++i)
+    flight::record(flight::EventKind::Note, "wrap", std::to_string(i).c_str());
+
+  flight::Snapshot snap = flight::snapshot();
+  // This thread's events: exactly one ring of the newest, with the overflow
+  // accounted for — nothing silently vanishes.
+  std::vector<const flight::Event*> mine;
+  for (const auto& e : snap.events)
+    if (e.name == "wrap") mine.push_back(&e);
+  ASSERT_EQ(static_cast<int>(mine.size()), flight::kRingSlots);
+  EXPECT_EQ(snap.total_recorded, total);
+  EXPECT_EQ(snap.dropped, extra);
+  // Oldest events were dropped: the retained window is the newest
+  // kRingSlots in recording order.
+  for (int i = 0; i < flight::kRingSlots; ++i)
+    EXPECT_EQ(mine[static_cast<std::size_t>(i)]->detail, std::to_string(extra + i));
+}
+
+TEST_F(FlightTest, EightThreadConcurrentRecordIsAccountedExactly) {
+  const int kThreads = 8;
+  const int kPerThread = 2000;  // > kRingSlots: every ring wraps
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop_reader{false};
+
+  // A reader hammering snapshot() while writers record: slots mid-write are
+  // skipped, never torn (the TSan run is what proves the "never a data
+  // race" half of the contract).
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_acquire)) {
+      flight::Snapshot s = flight::snapshot();
+      EXPECT_GE(s.dropped, 0);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::string tag = "w" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i)
+        flight::record(flight::EventKind::Note, tag.c_str(), nullptr,
+                       static_cast<std::int64_t>(i));
+    });
+  go.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  stop_reader.store(true, std::memory_order_release);
+  reader.join();
+
+  flight::Snapshot snap = flight::snapshot();
+  // Quiescent accounting is exact: every record is either retained or
+  // counted as dropped.
+  EXPECT_EQ(snap.total_recorded, static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.dropped,
+            snap.total_recorded - static_cast<std::int64_t>(snap.events.size()));
+  // Each writer's ring retains its newest kRingSlots events, in order.
+  for (int t = 0; t < kThreads; ++t) {
+    std::string tag = "w" + std::to_string(t);
+    std::vector<std::int64_t> values;
+    for (const auto& e : snap.events)
+      if (e.name == tag) values.push_back(e.value);
+    ASSERT_EQ(static_cast<int>(values.size()), flight::kRingSlots) << tag;
+    for (int i = 0; i < flight::kRingSlots; ++i)
+      EXPECT_EQ(values[static_cast<std::size_t>(i)], kPerThread - flight::kRingSlots + i);
+  }
+}
+
+TEST_F(FlightTest, DisabledModeRecordsNothing) {
+  flight::disable();
+  EXPECT_FALSE(flight::enabled());
+  flight::record(flight::EventKind::Note, "invisible");
+  flight::note("also_invisible", "detail");
+  flight::Snapshot snap = flight::snapshot();
+  EXPECT_EQ(snap.total_recorded, 0);
+  EXPECT_TRUE(snap.events.empty());
+  // Disabled auto dumps write nothing either.
+  parserhawk::testing::ScratchDir scratch("flight_disabled");
+  flight::set_auto_dump_path(scratch.file("never.json"));
+  EXPECT_FALSE(flight::auto_dump("should_not_fire"));
+  EXPECT_FALSE(std::ifstream(scratch.file("never.json")).good());
+  flight::enable();
+}
+
+TEST_F(FlightTest, ResetDropsRetainedEventsAndZerosTotals) {
+  for (int i = 0; i < 10; ++i) flight::note("before");
+  flight::reset();
+  flight::Snapshot snap = flight::snapshot();
+  EXPECT_EQ(snap.total_recorded, 0);
+  EXPECT_TRUE(snap.events.empty());
+  flight::note("after");
+  snap = flight::snapshot();
+  EXPECT_EQ(snap.total_recorded, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dumps
+// ---------------------------------------------------------------------------
+
+TEST_F(FlightTest, DumpJsonIsValidAndNamesOpenSpans) {
+  flight::record(flight::EventKind::SpanBegin, "compile");
+  flight::record(flight::EventKind::SpanBegin, "solve_state");
+  flight::note("solve_state", "parse_tcp");  // refines the innermost span
+  flight::record(flight::EventKind::SpanBegin, "closed");
+  flight::record(flight::EventKind::SpanEnd, "closed:label", nullptr, 42);
+  flight::note("esc\"ape", "de\\tail");  // escaping must hold up
+
+  std::string json = flight::dump_json("unit_test");
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"flight_dump\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"unit_test\""), std::string::npos);
+  // Open spans: compile and solve_state (refined by the note); the closed
+  // span must not appear.
+  auto ip_begin = json.find("\"in_progress\":[");
+  auto ip_end = json.find("],\"events\"");
+  ASSERT_NE(ip_begin, std::string::npos);
+  ASSERT_NE(ip_end, std::string::npos);
+  std::string in_progress = json.substr(ip_begin, ip_end - ip_begin);
+  EXPECT_NE(in_progress.find("solve_state:parse_tcp"), std::string::npos) << in_progress;
+  EXPECT_NE(in_progress.find(": compile"), std::string::npos) << in_progress;
+  EXPECT_EQ(in_progress.find("closed"), std::string::npos) << in_progress;
+}
+
+TEST_F(FlightTest, AutoDumpWritesConfiguredPathAndFiresOnce) {
+  parserhawk::testing::ScratchDir scratch("flight_auto");
+  flight::set_auto_dump_path(scratch.file("auto.json"));
+  flight::note("solve_state", "parse_vlan");
+
+  ASSERT_TRUE(flight::auto_dump("deadline_exhausted"));
+  std::string first = slurp(scratch.file("auto.json"));
+  EXPECT_TRUE(is_valid_json(first)) << first;
+  EXPECT_NE(first.find("deadline_exhausted"), std::string::npos);
+
+  // First fatal condition wins: a later post-mortem dump must not clobber
+  // the at-the-point-of-failure dump.
+  EXPECT_FALSE(flight::auto_dump("verification_failure"));
+  EXPECT_EQ(slurp(scratch.file("auto.json")), first);
+
+  // reset() re-arms.
+  flight::reset();
+  flight::note("solve_state", "parse_mpls");
+  EXPECT_TRUE(flight::auto_dump("deadline_exhausted"));
+  EXPECT_NE(slurp(scratch.file("auto.json")), first);
+}
+
+TEST_F(FlightTest, AutoDumpUnconfiguredIsANoOp) {
+  flight::note("solve_state", "x");
+  EXPECT_FALSE(flight::auto_dump("deadline_exhausted"));  // empty path
+}
+
+TEST_F(FlightTest, MetricsWrappersLeaveFlightBreadcrumbs) {
+  // count()/observe() drop flight events even with the metrics registry
+  // disabled — the post-mortem ring shows recent activity regardless.
+  count("z3.synth.queries", 3);
+  observe("z3.synth.time_sec", 0.25);
+  flight::Snapshot snap = flight::snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].kind, flight::EventKind::Count);
+  EXPECT_EQ(snap.events[0].value, 3);
+  EXPECT_EQ(snap.events[1].kind, flight::EventKind::Observe);
+  EXPECT_EQ(snap.events[1].value, 250000000);  // 0.25 s in ns
+}
+
+// ---------------------------------------------------------------------------
+// Exposition: quantiles, deltas, Prometheus rendering
+// ---------------------------------------------------------------------------
+
+TEST_F(FlightTest, HistogramQuantileWithinLog2ErrorBound) {
+  Metrics::get().enable();
+  // 100 observations at exactly 1 ms: every quantile must come back within
+  // the documented sqrt(2) multiplicative bound (clamped to [min,max] here,
+  // so in fact exact).
+  for (int i = 0; i < 100; ++i) observe("q.time_sec", 1e-3);
+  auto hists = Metrics::get().histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const HistogramSnapshot& h = hists[0];
+  EXPECT_EQ(h.count, 100);
+  EXPECT_NEAR(h.mean(), 1e-3, 1e-9);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    double v = h.quantile(q);
+    EXPECT_GE(v, 1e-3 / std::sqrt(2.0) - 1e-12) << "q=" << q;
+    EXPECT_LE(v, 1e-3 * std::sqrt(2.0) + 1e-12) << "q=" << q;
+  }
+  // Spread sample: p50 of {1us x 50, 1s x 50} lands in the low mode, p99
+  // in the high mode.
+  Metrics::get().reset();
+  for (int i = 0; i < 50; ++i) observe("spread", 1e-6);
+  for (int i = 0; i < 50; ++i) observe("spread", 1.0);
+  hists = Metrics::get().histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_LT(hists[0].quantile(0.5), 1e-5);
+  EXPECT_GT(hists[0].quantile(0.99), 0.5);
+  // Empty histogram: quantile is 0, not UB.
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0);
+}
+
+TEST_F(FlightTest, SnapshotDeltaScopesOneRequest) {
+  Metrics::get().enable();
+  count("steady", 5);
+  count("busy", 1);
+  observe("lat", 1e-3);
+  MetricsSnapshot before = take_snapshot();
+  count("busy", 3);
+  observe("lat", 2e-3);
+  observe("lat", 4e-3);
+  MetricsSnapshot after = take_snapshot();
+
+  MetricsSnapshot d = delta(before, after);
+  // Unchanged entries are dropped; changed ones carry the difference.
+  EXPECT_EQ(d.counter("steady"), 0);
+  EXPECT_EQ(d.counter("busy"), 3);
+  const HistogramSnapshot* lat = d.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2);
+  EXPECT_NEAR(lat->sum, 6e-3, 1e-9);
+}
+
+TEST_F(FlightTest, PrometheusRenderingIsWellFormed) {
+  Metrics::get().enable();
+  count("z3.synth.queries", 7);
+  maximize("pool.queue-depth.hwm", 4);
+  observe("z3.synth.time_sec", 1e-4);
+  observe("z3.synth.time_sec", 1e-2);
+
+  // Name sanitization: every invalid byte becomes '_', prefix prepended.
+  EXPECT_EQ(prometheus_name("z3.synth.time_sec"), "ph_z3_synth_time_sec");
+  EXPECT_EQ(prometheus_name("pool.queue-depth.hwm", "x_"), "x_pool_queue_depth_hwm");
+
+  std::string text = render_prometheus(take_snapshot());
+  EXPECT_NE(text.find("# TYPE ph_z3_synth_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("ph_z3_synth_queries 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ph_pool_queue_depth_hwm gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ph_z3_synth_time_sec histogram"), std::string::npos);
+  EXPECT_NE(text.find("ph_z3_synth_time_sec_count 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ph_z3_synth_time_sec_p50"), std::string::npos);
+
+  // Cumulative bucket monotonicity: the le="..." sample values never
+  // decrease as the bound rises.
+  std::istringstream lines(text);
+  std::string line;
+  std::int64_t prev = -1;
+  while (std::getline(lines, line)) {
+    if (line.find("_bucket{le=") == std::string::npos) continue;
+    std::int64_t v = std::stoll(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+  EXPECT_EQ(prev, 2);  // the +Inf bucket equals _count
+
+  // Every non-comment line is "name{...} value" or "name value".
+  std::istringstream lines2(text);
+  while (std::getline(lines2, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+  }
+}
+
+}  // namespace
+}  // namespace parserhawk::obs

@@ -1,13 +1,11 @@
 // The observability subsystem (DESIGN.md §7): exporter validity, span
 // nesting, lossless concurrent recording, and the disabled-mode contract.
 //
-// The JSON checks use a minimal recursive-descent validator written here —
-// the runtime renders JSON but never parses it, and the tests are exactly
-// where that asymmetry gets audited.
+// JSON checks use the minimal recursive-descent validator in
+// json_validator.h (shared with the flight-recorder tests).
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,6 +13,7 @@
 #include <vector>
 
 #include "helpers.h"
+#include "json_validator.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,114 +21,7 @@
 namespace parserhawk::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON validator (structure only, no value extraction).
-// ---------------------------------------------------------------------------
-
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text) : s_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek('}')) return true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!expect(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek('}')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek(']')) return true;
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek(']')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-
-  bool string() {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        ++pos_;
-      }
-      ++pos_;
-    }
-    return expect('"');
-  }
-
-  bool number() {
-    std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
-      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
-      ++pos_;
-    }
-    return digits && pos_ > start;
-  }
-
-  bool literal(const char* lit) {
-    for (const char* c = lit; *c; ++c, ++pos_)
-      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-  bool peek(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool expect(char c) { return peek(c); }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-bool is_valid_json(const std::string& text) { return JsonValidator(text).valid(); }
+using parserhawk::testing::is_valid_json;
 
 /// Per-test tracer/metrics hygiene: the singletons are process-global, so
 /// every test starts and ends from the disabled+empty state.

@@ -1,0 +1,238 @@
+// Per-compile attribution reports (DESIGN.md §11): the attribution tree
+// must explain where a compile's wall time went, attribute cache hits to the
+// cache lookup (not the solver), stay structurally identical at every thread
+// count, and — together with the flight recorder — leave a post-mortem dump
+// naming the in-flight state when a compile blows its deadline.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cache/cache.h"
+#include "helpers.h"
+#include "json_validator.h"
+#include "obs/flight.h"
+#include "obs/report.h"
+#include "synth/compiler.h"
+
+namespace parserhawk {
+namespace {
+
+using obs::CompileReport;
+using obs::ReportBuilder;
+using obs::StateReport;
+using parserhawk::testing::figure3;
+using parserhawk::testing::is_valid_json;
+using parserhawk::testing::ScratchDir;
+
+/// Report/flight hygiene: both are process-global; every test starts clean.
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::install_report(nullptr);
+    obs::flight::set_auto_dump_path("");
+    obs::flight::reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+CompileReport compile_with_report(const ParserSpec& spec, SynthOptions opts,
+                                  CompileResult* result_out = nullptr) {
+  ReportBuilder builder;
+  opts.report = &builder;
+  CompileResult r = compile(spec, tofino(), opts);
+  if (result_out != nullptr) *result_out = std::move(r);
+  return builder.report();
+}
+
+const StateReport* find_state(const CompileReport& rep, const std::string& name) {
+  for (const auto& s : rep.states)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Attribution completeness
+// ---------------------------------------------------------------------------
+
+TEST_F(ReportTest, AttributionSumsToCompileWallTimeSingleThreaded) {
+  SynthOptions opts;
+  opts.num_threads = 1;
+  CompileResult result;
+  CompileReport rep = compile_with_report(figure3(), opts, &result);
+  ASSERT_TRUE(result.ok()) << result.reason;
+
+  EXPECT_EQ(rep.spec, "figure3");
+  EXPECT_EQ(rep.status, "success");
+  EXPECT_EQ(rep.threads, 1);
+  ASSERT_GT(rep.total_sec, 0);
+  // The acceptance bound: top-level phases explain >= 95% of the compile
+  // span at --threads 1 (phases are contiguous coordinating-thread
+  // intervals, so in practice this is ~100%).
+  EXPECT_GE(rep.attributed_sec(), 0.95 * rep.total_sec)
+      << "attributed " << rep.attributed_sec() << " of " << rep.total_sec;
+  // ... and never more than the whole compile (small slack for timer skew).
+  EXPECT_LE(rep.attributed_sec(), 1.05 * rep.total_sec + 1e-3);
+
+  // Every spec state is accounted for, with winner provenance.
+  ASSERT_EQ(rep.states.size(), 4u);  // start + N1 + N2 + N3
+  for (const auto& s : rep.states) {
+    EXPECT_TRUE(s.source == "solver" || s.source == "trivial") << s.name << ": " << s.source;
+    EXPECT_GE(s.winner_variant, 0) << s.name;
+    EXPECT_GE(s.seconds, 0) << s.name;
+  }
+  // The dispatch state needed the solver: Z3 queries and budget attempts
+  // must have been attributed to it.
+  const StateReport* start = find_state(rep, "start");
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->source, "solver");
+  EXPECT_GT(start->budget_attempts, 0);
+  std::int64_t queries = 0;
+  for (const auto& [phase, z] : start->z3) queries += z.queries;
+  EXPECT_GT(queries, 0);
+
+  // Renderings: valid JSON, and the explain table names the phases.
+  EXPECT_TRUE(is_valid_json(rep.to_json())) << rep.to_json();
+  std::string table = rep.explain();
+  EXPECT_NE(table.find("solve_states"), std::string::npos);
+  EXPECT_NE(table.find("start"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cache attribution
+// ---------------------------------------------------------------------------
+
+TEST_F(ReportTest, CacheHitCompileAttributesToCacheLookupNotSolver) {
+  cache::SynthCache sc;
+  SynthOptions opts;
+  opts.num_threads = 1;
+  opts.cache = &sc;
+
+  // Cold compile fills the cache and reports only misses.
+  CompileReport cold = compile_with_report(figure3(), opts);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_GT(cold.cache_misses, 0);
+
+  // Warm compile: every state the solver produced cold now replays from
+  // the cache, with its wall time attributed to the cache lookup — not
+  // solve_state. Trivial states (no key to synthesize) skip the cache on
+  // both runs and stay "trivial".
+  CompileResult warm_result;
+  CompileReport warm = compile_with_report(figure3(), opts, &warm_result);
+  ASSERT_TRUE(warm_result.ok()) << warm_result.reason;
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  EXPECT_GT(warm.cache_hits, 0);
+  ASSERT_EQ(warm.states.size(), cold.states.size());
+  for (const auto& s : warm.states) {
+    const StateReport* was = find_state(cold, s.name);
+    ASSERT_NE(was, nullptr) << s.name;
+    if (was->source == "trivial") {
+      EXPECT_EQ(s.source, "trivial") << s.name;
+      continue;
+    }
+    EXPECT_EQ(was->source, "solver") << s.name;
+    EXPECT_EQ(s.source, "cache") << s.name;
+    EXPECT_GT(s.cache_lookups, 0) << s.name;
+    EXPECT_EQ(s.budget_attempts, 0) << s.name;  // the solver never ran
+    // Winner provenance survives the cache round-trip.
+    EXPECT_EQ(s.winner_variant, was->winner_variant) << s.name;
+    EXPECT_EQ(s.winner_budget, was->winner_budget) << s.name;
+    EXPECT_EQ(s.winner_restricted, was->winner_restricted) << s.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance
+// ---------------------------------------------------------------------------
+
+TEST_F(ReportTest, ReportStructureIsThreadCountInvariant) {
+  SynthOptions opts;
+  opts.num_threads = 1;
+  CompileReport seq = compile_with_report(figure3(), opts);
+  opts.num_threads = 4;
+  CompileReport par = compile_with_report(figure3(), opts);
+
+  EXPECT_EQ(seq.status, "success");
+  EXPECT_EQ(par.status, "success");
+  EXPECT_EQ(par.threads, 4);
+
+  // Same states, same winner provenance — the deterministic-winner rule
+  // (options.h Opt7) seen through the report.
+  ASSERT_EQ(seq.states.size(), par.states.size());
+  for (std::size_t i = 0; i < seq.states.size(); ++i) {
+    const StateReport& a = seq.states[i];
+    const StateReport& b = par.states[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.source, b.source) << a.name;
+    EXPECT_EQ(a.winner_variant, b.winner_variant) << a.name;
+    EXPECT_EQ(a.winner_budget, b.winner_budget) << a.name;
+    EXPECT_EQ(a.winner_restricted, b.winner_restricted) << a.name;
+  }
+  // Same top-level phase sequence (timings differ, structure must not).
+  ASSERT_EQ(seq.phases.size(), par.phases.size());
+  for (std::size_t i = 0; i < seq.phases.size(); ++i)
+    EXPECT_EQ(seq.phases[i].name, par.phases[i].name);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-starved compiles leave a flight dump
+// ---------------------------------------------------------------------------
+
+TEST_F(ReportTest, DeadlineStarvedCompileAutoWritesFlightDumpNamingTheState) {
+  ScratchDir scratch("report_starved");
+  std::string dump_path = scratch.file("starved.flight.json");
+  obs::flight::set_auto_dump_path(dump_path);
+
+  SynthOptions opts;
+  opts.num_threads = 1;
+  opts.timeout_sec = 1e-9;  // expires before the first solver attempt
+  CompileResult result;
+  CompileReport rep = compile_with_report(figure3(), opts, &result);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, CompileStatus::Timeout);
+  EXPECT_EQ(rep.status, "timeout");
+
+  std::ifstream f(dump_path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "no flight dump at " << dump_path;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string dump = buf.str();
+  EXPECT_TRUE(is_valid_json(dump)) << dump;
+  EXPECT_NE(dump.find("\"reason\":\"deadline_exhausted\""), std::string::npos);
+  // The dump fires while the starved state's span is still open, so
+  // in_progress names the state being solved ("solve_state:<name>").
+  auto ip_begin = dump.find("\"in_progress\":[");
+  auto ip_end = dump.find("],\"events\"");
+  ASSERT_NE(ip_begin, std::string::npos);
+  ASSERT_NE(ip_end, std::string::npos);
+  std::string in_progress = dump.substr(ip_begin, ip_end - ip_begin);
+  EXPECT_NE(in_progress.find("solve_state:"), std::string::npos) << in_progress;
+}
+
+// ---------------------------------------------------------------------------
+// Hook behavior without an installed builder
+// ---------------------------------------------------------------------------
+
+TEST_F(ReportTest, HooksAreNoOpsWithoutAnInstalledBuilder) {
+  EXPECT_FALSE(obs::report_on());
+  // None of these may crash or leak into a later builder.
+  obs::report_z3("synth", 0.001, "sat");
+  obs::report_cegis_rounds(3);
+  obs::report_cache("start", true, 0.0001);
+  obs::report_state_result("start", 0.01, "solver", 0, 1, true, 2);
+  obs::report_variant_time("start", 0, 0.01);
+
+  ReportBuilder builder;
+  obs::install_report(&builder);
+  EXPECT_TRUE(obs::report_on());
+  obs::install_report(nullptr);
+  CompileReport rep = builder.report();
+  EXPECT_TRUE(rep.states.empty());
+  EXPECT_TRUE(rep.phases.empty());
+}
+
+}  // namespace
+}  // namespace parserhawk
