@@ -1,30 +1,42 @@
 // Line-rate simulation throughput: packets/sec through the spec and impl
-// interpreters, single- vs multi-threaded, and the compiled bit-parallel
-// TCAM matcher vs the scalar row-scan (DESIGN.md §9).
+// interpreters, single- vs multi-threaded, the compiled bit-parallel
+// TCAM matcher vs the scalar row-scan, and the SIMD/SWAR wide batch
+// kernel vs the compiled scalar matcher (DESIGN.md §9, §12).
 //
 //   ./build/bench/bench_sim_throughput
 //   PH_SIM_PACKETS=5000 PH_SIM_REPS=5 ./build/bench/bench_sim_throughput
 //
-// Two hard gates (non-zero exit on failure, so this binary is registered
-// with ctest):
+// Three hard gates (non-zero exit on failure, so this binary is
+// registered with ctest):
 //   * verdicts: the compiled-matcher interpreter must produce results
 //     bit-identical to the scalar row-scan interpreter on every packet,
-//     and the batched runner must report the same verdict at every thread
-//     count;
+//     the batched runner must report the same verdict at every thread
+//     count, and the wide match kernel must agree with first_match at
+//     every SIMD level (including non-lane-multiple tails) and leave the
+//     zoo replay's verdicts/coverage unchanged;
 //   * speed: the compiled match kernel must resolve lookups at >= 5x the
 //     scalar rows_of()-scan rate, aggregated across the compiled suite
 //     specs (the end-to-end packet ratio is reported but not gated — it
-//     includes extraction and dictionary costs common to both paths).
+//     includes extraction and dictionary costs common to both paths);
+//   * wide speed: the wide kernel at the best CPU-supported level must
+//     resolve lookups at >= 4x the compiled scalar matcher, aggregated
+//     over the protocol zoo's wide-eligible (single-word) groups.
+//
+// The zoo section reports Mpps (million packets per second) through the
+// full BatchRunner per examples/specs parser, scalar vs wide — see
+// README "Measuring Mpps throughput".
 //
 // Thread scaling is reported loosely: on a single-core container the
 // multi-thread row measures pool overhead, not speedup.
 //
 // Knobs: PH_SIM_PACKETS (corpus size per spec, default 512), PH_SIM_REPS
 // (best-of reps per measurement, default 3), PH_SIM_KERNEL_ITERS (match
-// kernel iterations per group, default 20000).
+// kernel iterations per group, default 20000), PH_SIM_ZOO
+// (comma-separated zoo subset; default: every spec in examples/specs).
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -33,6 +45,8 @@
 #include "bench_util.h"
 #include "sim/batch.h"
 #include "sim/testgen.h"
+#include "sim/tracegen.h"
+#include "suite/corpus.h"
 #include "support/rng.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -68,6 +82,95 @@ double best_of(int reps, F&& body) {
   return best;
 }
 
+/// Every wide-kernel level this CPU can run.
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::Scalar, SimdLevel::Swar};
+  if (static_cast<int>(max_supported_level()) >= static_cast<int>(SimdLevel::Avx2))
+    levels.push_back(SimdLevel::Avx2);
+  if (static_cast<int>(max_supported_level()) >= static_cast<int>(SimdLevel::Avx512))
+    levels.push_back(SimdLevel::Avx512);
+  return levels;
+}
+
+/// Kernel-isolation measurement of the wide batch kernel vs per-key
+/// first_match over every wide-eligible (single-word) group of `prog`,
+/// driven by the same 50% row-value / 50% noise key mix as the compiled
+/// vs row-scan gate. Also re-checks wide-vs-scalar identity at every
+/// supported level, on full 64-key batches and a 61-key tail (not a
+/// multiple of any lane width). Accumulates best-of wall times into
+/// `scalar_sec` (per-key first_match) and `wide_sec` (match_batch at the
+/// best supported level); flips `identity_ok` on any disagreement.
+void measure_wide_kernel(const char* label, const TcamProgram& prog,
+                         const CompiledMatcher& matcher, int reps, int kernel_iters,
+                         double* scalar_sec, double* wide_sec, bool* identity_ok) {
+  const SimdLevel best_level = max_supported_level();
+  std::set<std::pair<int, int>> groups;
+  for (const auto& e : prog.entries) groups.insert({e.table, e.state});
+  Rng krng(0x5eed);
+  for (const auto& [tbl, st] : groups) {
+    const CompiledMatcher::Group* g = matcher.find(tbl, st);
+    if (g == nullptr || g->row_count == 0 || g->words != 1) continue;
+    std::uint64_t kw_mask = g->key_width >= 64 ? ~0ull : ((1ull << g->key_width) - 1);
+    std::vector<std::uint64_t> keys(64);
+    for (int i = 0; i < 64; ++i)
+      keys[static_cast<std::size_t>(i)] =
+          i % 2 == 0 ? (g->rows[static_cast<std::size_t>(i / 2 % g->row_count)]->value & kw_mask)
+                     : (krng() & kw_mask);
+
+    // Identity at every level, full batches and the 61-key tail.
+    std::vector<int> expect(64);
+    for (int i = 0; i < 64; ++i)
+      expect[static_cast<std::size_t>(i)] =
+          CompiledMatcher::first_match(*g, keys[static_cast<std::size_t>(i)]);
+    for (SimdLevel level : supported_levels()) {
+      for (int n : {64, 61}) {
+        std::vector<int> got(static_cast<std::size_t>(n), -2);
+        CompiledMatcher::match_batch(*g, keys.data(), n, got.data(), level);
+        for (int i = 0; i < n; ++i)
+          if (got[static_cast<std::size_t>(i)] != expect[static_cast<std::size_t>(i)]) {
+            std::printf("WIDE KERNEL MISMATCH (%s) table=%d state=%d level=%s n=%d lane=%d\n",
+                        label, tbl, st, to_string(level), n, i);
+            *identity_ok = false;
+          }
+      }
+    }
+
+    // Timed halves: same lookup count through both paths.
+    const int batches = kernel_iters / 64 + 1;
+    volatile std::uint64_t ksink = 0;
+    *scalar_sec += best_of(reps, [&] {
+      std::uint64_t acc = 0;
+      for (int b = 0; b < batches; ++b)
+        for (int i = 0; i < 64; ++i)
+          acc += static_cast<std::uint64_t>(
+              CompiledMatcher::first_match(*g, keys[static_cast<std::size_t>(i)]));
+      ksink = acc;
+    });
+    std::vector<int> out(64);
+    *wide_sec += best_of(reps, [&] {
+      std::uint64_t acc = 0;
+      for (int b = 0; b < batches; ++b) {
+        CompiledMatcher::match_batch(*g, keys.data(), 64, out.data(), best_level);
+        for (int i = 0; i < 64; ++i) acc += static_cast<std::uint64_t>(out[static_cast<std::size_t>(i)]);
+      }
+      ksink = acc;
+    });
+    (void)ksink;
+  }
+}
+
+/// PH_SIM_ZOO as a list, or every zoo spec when unset.
+std::vector<std::string> zoo_names() {
+  if (const char* env = std::getenv("PH_SIM_ZOO"); env != nullptr && *env != '\0') {
+    std::vector<std::string> names;
+    std::stringstream ss(env);
+    for (std::string item; std::getline(ss, item, ',');)
+      if (!item.empty()) names.push_back(item);
+    return names;
+  }
+  return corpus::list_specs();
+}
+
 }  // namespace
 
 int main() {
@@ -86,6 +189,10 @@ int main() {
   // Aggregate match-kernel times across specs: the >= 5x gate.
   double kernel_scalar_sec = 0;
   double kernel_compiled_sec = 0;
+  // Wide kernel vs compiled scalar on the table-3 suite (reported) and on
+  // the protocol zoo (the >= 4x gate).
+  double suite_wide_scalar_sec = 0;
+  double suite_wide_sec = 0;
   bool verdicts_ok = true;
   int compiled_specs = 0;
 
@@ -198,6 +305,13 @@ int main() {
     kernel_scalar_sec += ks;
     kernel_compiled_sec += kc;
 
+    // ---- Wide batch kernel vs compiled scalar, same isolation. ----
+    double ws = 0, ww = 0;
+    measure_wide_kernel(family.name.c_str(), prog, matcher, reps, kernel_iters, &ws, &ww,
+                        &verdicts_ok);
+    suite_wide_scalar_sec += ws;
+    suite_wide_sec += ww;
+
     // ---- Batched runner: single- vs multi-thread, identical verdicts. ----
     BatchOptions b1;
     b1.threads = 1;
@@ -220,6 +334,7 @@ int main() {
     double e2e = t_compiled > 0 ? t_scalar / t_compiled : 0;
     double kratio = kc > 0 ? ks / kc : 0;
     report.begin_row();
+    report.set("family", family.name);
     report.set("benchmark", family.name);
     report.set("tcam_rows", static_cast<std::int64_t>(prog.entries.size()));
     report.set("packets", static_cast<std::int64_t>(corpus.size()));
@@ -229,6 +344,9 @@ int main() {
     report.set("kernel_scalar_sec", ks);
     report.set("kernel_compiled_sec", kc);
     report.set("kernel_speedup", kratio);
+    report.set("wide_kernel_scalar_sec", ws);
+    report.set("wide_kernel_sec", ww);
+    report.set("wide_kernel_speedup", ww > 0 ? ws / ww : 0.0);
     report.set("batch1_pkts_per_sec", t_b1 > 0 ? n / t_b1 : 0.0);
     report.set("batchn_pkts_per_sec", t_bn > 0 ? n / t_bn : 0.0);
     report.set("batch_threads", mt_threads);
@@ -241,15 +359,138 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
+
+  // ---- Protocol zoo: Mpps through the full BatchRunner, scalar vs wide,
+  // plus the zoo-aggregate wide-kernel gate (DESIGN.md §12). ----
+  std::printf("protocol zoo (wide level: %s)\n", to_string(max_supported_level()));
+  TextTable zoo_table({"Spec", "pkts", "scalar Mpps", "wide Mpps", "Mpps ratio", "wide kernel"});
+  double zoo_wide_scalar_sec = 0;
+  double zoo_wide_sec = 0;
+  double zoo_scalar_replay_sec = 0;
+  double zoo_wide_replay_sec = 0;
+  std::int64_t zoo_packets = 0;
+  int zoo_specs = 0;
+  for (const std::string& name : zoo_names()) {
+    auto spec = corpus::load_spec(name);
+    if (!spec.ok()) {
+      std::printf("  (skipping %s: %s)\n", name.c_str(), spec.error().to_string().c_str());
+      continue;
+    }
+    SynthOptions zopts;
+    zopts.timeout_sec = opt_timeout_sec();
+    zopts.num_threads = num_threads();
+    CompileResult cr = compile(*spec, tofino(), zopts);
+    if (!cr.ok()) {
+      std::printf("  (skipping %s: %s)\n", name.c_str(), failure_cell(cr).c_str());
+      continue;
+    }
+    ++zoo_specs;
+    CompiledMatcher matcher(cr.program);
+
+    // The deterministic protocol-shaped trace, replicated up to the
+    // corpus size so each timed run is long enough to resolve.
+    TraceGenReport trace = generate_trace(*spec);
+    std::vector<BitVec> corpus;
+    corpus.reserve(static_cast<std::size_t>(packets));
+    while (static_cast<int>(corpus.size()) < packets && !trace.packets.empty())
+      for (const BitVec& p : trace.packets) {
+        if (static_cast<int>(corpus.size()) >= packets) break;
+        corpus.push_back(p);
+      }
+    const double n = static_cast<double>(corpus.size());
+    zoo_packets += static_cast<std::int64_t>(corpus.size());
+    std::vector<PacketRef> refs = as_refs(corpus);
+
+    // Zero-copy replay through the BatchRunner, forced-scalar vs wide.
+    // Coverage collection off in the timed loop (it is the same work on
+    // both sides); identity of verdicts and coverage is asserted below.
+    BatchOptions scalar_opts;
+    scalar_opts.simd = SimdLevel::Scalar;
+    scalar_opts.collect_coverage = false;
+    scalar_opts.max_iterations = cr.program.max_iterations;
+    BatchRunner scalar_runner(*spec, cr.program, scalar_opts);
+    BatchOptions wide_opts = scalar_opts;
+    wide_opts.simd = max_supported_level();
+    BatchRunner wide_runner(*spec, cr.program, wide_opts);
+    BatchResult rs, rw;
+    double t_scalar = best_of(reps, [&] { rs = scalar_runner.run(refs); });
+    double t_wide = best_of(reps, [&] { rw = wide_runner.run(refs); });
+    zoo_scalar_replay_sec += t_scalar;
+    zoo_wide_replay_sec += t_wide;
+
+    // Identity gate: verdicts and coverage must be level-independent.
+    bool identical_replay = rs.agree == rw.agree && rs.mismatches == rw.mismatches &&
+                            rs.first_mismatch == rw.first_mismatch;
+    BatchOptions cov_scalar = scalar_opts;
+    cov_scalar.collect_coverage = true;
+    BatchOptions cov_wide = wide_opts;
+    cov_wide.collect_coverage = true;
+    BatchResult cs = BatchRunner(*spec, cr.program, cov_scalar).run(refs);
+    BatchResult cw = BatchRunner(*spec, cr.program, cov_wide).run(refs);
+    identical_replay = identical_replay && cs.coverage.state_hits == cw.coverage.state_hits &&
+                       cs.coverage.rule_hits == cw.coverage.rule_hits &&
+                       cs.coverage.row_hits == cw.coverage.row_hits;
+    if (!identical_replay) {
+      std::printf("ZOO REPLAY DIVERGED (%s): scalar vs %s\n", name.c_str(),
+                  to_string(max_supported_level()));
+      verdicts_ok = false;
+    }
+
+    // Kernel-isolation wide measurement over this spec's groups: the
+    // aggregate feeds the >= 4x gate.
+    double ws = 0, ww = 0;
+    measure_wide_kernel(name.c_str(), cr.program, matcher, reps, kernel_iters, &ws, &ww,
+                        &verdicts_ok);
+    zoo_wide_scalar_sec += ws;
+    zoo_wide_sec += ww;
+
+    double scalar_mpps = t_scalar > 0 ? n / t_scalar / 1e6 : 0;
+    double wide_mpps = t_wide > 0 ? n / t_wide / 1e6 : 0;
+    report.begin_row();
+    report.set("family", "zoo:" + name);
+    report.set("benchmark", "zoo:" + name);
+    report.set("tcam_rows", static_cast<std::int64_t>(cr.program.entries.size()));
+    report.set("packets", static_cast<std::int64_t>(corpus.size()));
+    report.set("scalar_mpps_throughput", scalar_mpps);
+    report.set("wide_mpps_throughput", wide_mpps);
+    report.set("wide_kernel_scalar_sec", ws);
+    report.set("wide_kernel_sec", ww);
+    report.set("wide_kernel_speedup", ww > 0 ? ws / ww : 0.0);
+    report.set("replay_identical", identical_replay);
+    zoo_table.add_row({name, std::to_string(corpus.size()), fmt_double(scalar_mpps, 2),
+                       fmt_double(wide_mpps, 2),
+                       fmt_double(t_wide > 0 ? t_scalar / t_wide : 0, 2) + "x",
+                       fmt_double(ww > 0 ? ws / ww : 0, 2) + "x"});
+  }
+  std::printf("%s\n", zoo_table.to_string().c_str());
+
   double kernel_speedup =
       kernel_compiled_sec > 0 ? kernel_scalar_sec / kernel_compiled_sec : 0;
+  double suite_wide_speedup = suite_wide_sec > 0 ? suite_wide_scalar_sec / suite_wide_sec : 0;
+  double zoo_wide_speedup = zoo_wide_sec > 0 ? zoo_wide_scalar_sec / zoo_wide_sec : 0;
   std::printf("aggregate match-kernel speedup: %.2fx over %d specs (gate: >= 5x)\n", kernel_speedup,
               compiled_specs);
+  std::printf("aggregate wide-kernel speedup: suite %.2fx, zoo %.2fx over %d specs "
+              "(zoo gate: >= 4x, level %s)\n",
+              suite_wide_speedup, zoo_wide_speedup, zoo_specs, to_string(max_supported_level()));
+  std::printf("zoo replay: %.2f Mpps scalar, %.2f Mpps wide (%lld packets)\n",
+              zoo_scalar_replay_sec > 0 ? static_cast<double>(zoo_packets) / zoo_scalar_replay_sec / 1e6 : 0,
+              zoo_wide_replay_sec > 0 ? static_cast<double>(zoo_packets) / zoo_wide_replay_sec / 1e6 : 0,
+              static_cast<long long>(zoo_packets));
   report.begin_row();
+  report.set("family", "(aggregate)");
   report.set("benchmark", "(aggregate)");
   report.set("kernel_scalar_sec", kernel_scalar_sec);
   report.set("kernel_compiled_sec", kernel_compiled_sec);
   report.set("kernel_speedup", kernel_speedup);
+  report.set("suite_wide_kernel_speedup", suite_wide_speedup);
+  report.set("zoo_wide_kernel_speedup", zoo_wide_speedup);
+  report.set("zoo_scalar_mpps_throughput",
+             zoo_scalar_replay_sec > 0 ? static_cast<double>(zoo_packets) / zoo_scalar_replay_sec / 1e6 : 0.0);
+  report.set("zoo_wide_mpps_throughput",
+             zoo_wide_replay_sec > 0 ? static_cast<double>(zoo_packets) / zoo_wide_replay_sec / 1e6 : 0.0);
+  report.set("zoo_packets", zoo_packets);
+  report.set("zoo_specs", zoo_specs);
   report.set("verdicts_identical", verdicts_ok);
   report.write();
 
@@ -263,6 +504,20 @@ int main() {
   }
   if (kernel_speedup < 5.0) {
     std::printf("FAIL: compiled match kernel below the 5x gate (%.2fx)\n", kernel_speedup);
+    return 1;
+  }
+  if (zoo_specs == 0) {
+    std::printf("FAIL: no zoo spec compiled; wide kernel not measured\n");
+    return 1;
+  }
+  // The wide gate scales with the lane count this CPU offers: 8-lane
+  // AVX-512 must clear 4x; 4-lane AVX2 2x; the portable SWAR floor 1.2x.
+  const double wide_gate = max_supported_level() == SimdLevel::Avx512   ? 4.0
+                           : max_supported_level() == SimdLevel::Avx2 ? 2.0
+                                                                      : 1.2;
+  if (zoo_wide_speedup < wide_gate) {
+    std::printf("FAIL: wide match kernel below the %.1fx gate on the zoo (%.2fx at %s)\n",
+                wide_gate, zoo_wide_speedup, to_string(max_supported_level()));
     return 1;
   }
   std::printf("OK\n");

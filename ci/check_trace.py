@@ -6,6 +6,7 @@ Usage: ci/check_trace.py TRACE.json [METRICS.json]
            [--require-corpus-cov=SPEC[,SPEC...]]
            [--report=REPORT.json] [--prom=METRICS.prom]
        ci/check_trace.py --metrics-only METRICS.json [flags]
+       ci/check_trace.py --diff-metrics=OTHER.json METRICS.json
        ci/check_trace.py --report=REPORT.json
        ci/check_trace.py --prom=METRICS.prom
 
@@ -42,6 +43,11 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
   * with --metrics-only, the single positional argument is a metrics
     file and the trace checks are skipped (for producers like the bench
     binaries that emit no span trace)
+  * with --diff-metrics=OTHER.json, every cov.* gauge and every
+    sim.batch.* counter in either dump must be present and bit-identical
+    in the other — the SIMD-invariance gate: CI replays the same corpus
+    with PH_SIMD=off and with the widest kernel the runner supports, and
+    the two metric dumps must not be distinguishable (DESIGN.md §12)
   * with --report=FILE, the attribution report (hawk_compile
     --report-out; obs/report.h, DESIGN.md §11) is schema-checked:
     report_version 1, required top-level fields, per-phase and per-state
@@ -183,6 +189,54 @@ def check_corpus_cov(path, gauges, specs):
                  f"({hit}/{total} rules)")
     print(f"check_trace: {path}: corpus coverage OK "
           f"({len(specs)} spec(s) at 100% rule coverage)")
+
+
+def load_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            fail(f"{path}: missing '{key}' object")
+    return doc
+
+
+def diff_metrics(path_a, path_b):
+    """The SIMD/thread-invariance gate: two metric dumps from replays of
+    the same corpus must agree bit-for-bit on every cov.* gauge and every
+    sim.batch.* counter. Timing histograms and z3.* counters are allowed
+    to differ (the runs are separate processes)."""
+    a, b = load_metrics(path_a), load_metrics(path_b)
+
+    def invariant(doc):
+        out = {}
+        for name, v in doc["counters"].items():
+            if name.startswith("sim.batch."):
+                out[f"counter {name}"] = v
+        for name, v in doc["gauges"].items():
+            # sim.batch.threads is a config echo, not a result; everything
+            # else under cov.* / sim.batch.* must be invariant.
+            if name == "sim.batch.threads":
+                continue
+            if name.startswith("cov.") or name.startswith("sim.batch."):
+                out[f"gauge {name}"] = v
+        return out
+
+    inv_a, inv_b = invariant(a), invariant(b)
+    if not inv_a:
+        fail(f"{path_a}: no cov.*/sim.batch.* metrics to diff")
+    for key in sorted(set(inv_a) | set(inv_b)):
+        if key not in inv_a:
+            fail(f"{path_a}: missing {key} (present in {path_b})")
+        if key not in inv_b:
+            fail(f"{path_b}: missing {key} (present in {path_a})")
+        if inv_a[key] != inv_b[key]:
+            fail(f"metric divergence: {key}: "
+                 f"{inv_a[key]} ({path_a}) != {inv_b[key]} ({path_b})")
+    print(f"check_trace: {path_a} == {path_b}: OK "
+          f"({len(inv_a)} invariant metric(s) identical)")
 
 
 def check_metrics(path, require_cache_hits=False, require_sim_batch=False, corpus_specs=None):
@@ -408,6 +462,7 @@ def main():
     corpus_specs = []
     report_path = ""
     prom_path = ""
+    diff_path = ""
     simple_flags = set()
     for flag in flags:
         if flag.startswith("--require-corpus-cov="):
@@ -416,6 +471,8 @@ def main():
             report_path = flag.split("=", 1)[1]
         elif flag.startswith("--prom="):
             prom_path = flag.split("=", 1)[1]
+        elif flag.startswith("--diff-metrics="):
+            diff_path = flag.split("=", 1)[1]
         else:
             simple_flags.add(flag)
     if simple_flags - {"--require-cache-hits", "--require-sim-batch", "--metrics-only"}:
@@ -436,7 +493,15 @@ def main():
             sys.exit(2)
         check_metrics(args[0], require_cache_hits=require_cache_hits,
                       require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
+        if diff_path:
+            diff_metrics(args[0], diff_path)
         return
+    if diff_path:
+        # --diff-metrics pairs with a metrics file: positional arg 2 when a
+        # trace is also given, else the sole positional arg.
+        if len(args) == 1:
+            diff_metrics(args[0], diff_path)
+            return
     if len(args) < 1 or len(args) > 2 or (
             (require_cache_hits or require_sim_batch or corpus_specs) and len(args) < 2):
         print(__doc__, file=sys.stderr)
@@ -445,6 +510,8 @@ def main():
     if len(args) == 2:
         check_metrics(args[1], require_cache_hits=require_cache_hits,
                       require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
+        if diff_path:
+            diff_metrics(args[1], diff_path)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,19 @@ echo "== test_batch (TSan) =="
 # concurrent surface this suite has.
 "$BUILD_DIR/tests/test_batch"
 
+echo "== test_batch (TSan, PH_SIMD=off) =="
+# The same races with the wide batch kernel dispatched away: the scalar
+# fallback shares the chunk/CAS/coverage machinery but takes the per-key
+# first_match path, so both sides of the dispatch run under TSan. The
+# WideKernel identity properties re-check SWAR/AVX-vs-scalar equality in
+# this environment too (dispatch is read per match_batch call).
+PH_SIMD=off "$BUILD_DIR/tests/test_batch" --gtest_filter='BatchRunner.*:WideKernel.*'
+
+echo "== test_batch (TSan, PH_SIMD=swar) =="
+# Forced-SWAR pass: the portable 64-bit-lane kernel under the 8-thread
+# stress, independent of what the host CPU supports.
+PH_SIMD=swar "$BUILD_DIR/tests/test_batch" --gtest_filter='WideKernel.*'
+
 echo "== test_parallel_determinism (TSan, subset) =="
 # The full determinism sweep under TSan is slow (every seed compiles 3x
 # with sanitizer overhead); the cheapest seeds plus the loop race already

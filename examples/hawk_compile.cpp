@@ -338,7 +338,9 @@ int main(int argc, char** argv) {
     BatchOptions bo;
     bo.threads = num_threads;
     bo.max_iterations = result.program.max_iterations;
-    BatchResult replay = run_batch(*spec, result.program, capture->to_bitvecs(), bo);
+    // Zero-copy: the batch runs over views into the capture's byte buffer
+    // (DESIGN.md §12); the PcapFile outlives the call.
+    BatchResult replay = run_batch(*spec, result.program, capture->to_refs(), bo);
     obs::log_info("replayed %lld packets: %lld agree, rule coverage %d/%d, row coverage %d/%d",
                   static_cast<long long>(replay.evaluated), static_cast<long long>(replay.agree),
                   replay.coverage.rules_hit(), replay.coverage.rules_total(),

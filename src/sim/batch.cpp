@@ -45,7 +45,7 @@ BatchRunner::BatchRunner(const ParserSpec& spec, const TcamProgram& prog, BatchO
   if (options_.chunk < 1) options_.chunk = 1;
 }
 
-BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
+BatchResult BatchRunner::run(const std::vector<PacketRef>& inputs) const {
   obs::Span span("sim_batch");
   if (span.active()) {
     span.arg("spec", spec_->name);
@@ -53,73 +53,80 @@ BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
   }
 
   const std::int64_t n = static_cast<std::int64_t>(inputs.size());
+  const SimdLevel level = options_.simd == SimdLevel::Auto ? dispatch_level() : options_.simd;
   BatchResult result;
   result.submitted = n;
   if (options_.collect_coverage) result.coverage = CoverageMap::for_pair(*spec_, *prog_);
 
   std::vector<PacketVerdict> verdicts(inputs.size());
-  // Best (lowest) mismatch index so far; packets beyond it are skippable.
+  // Best (lowest) mismatch index so far; ranges beyond it are skippable.
   std::atomic<std::int64_t> first_bad{n};
 
-  // One packet: run both sides, record the verdict, advance cancellation.
-  // Coverage goes into `cov` (per-chunk map, merged deterministically
-  // later) — never into shared state from a worker.
-  auto evaluate = [&](std::int64_t i, CoverageMap* cov) {
-    ParseResult s = run_spec(*spec_, inputs[static_cast<std::size_t>(i)], options_.max_iterations,
-                             cov);
-    ParseResult m = run_impl(matcher_, inputs[static_cast<std::size_t>(i)], cov);
-    PacketVerdict& v = verdicts[static_cast<std::size_t>(i)];
-    v.spec_outcome = static_cast<std::uint8_t>(s.outcome);
-    v.impl_outcome = static_cast<std::uint8_t>(m.outcome);
-    v.agree = equivalent(s, m);
-    v.evaluated = true;
-    if (!v.agree && options_.stop_on_mismatch) {
-      std::int64_t cur = first_bad.load(std::memory_order_relaxed);
-      while (i < cur && !first_bad.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+  // One contiguous range [lo, hi): spec side per packet, impl side in one
+  // wide lockstep pass, then verdicts + cancellation. Coverage goes into
+  // `cov` (per-chunk map, merged deterministically later) — never into
+  // shared state from a worker.
+  auto evaluate_range = [&](std::int64_t lo, std::int64_t hi, CoverageMap* cov) {
+    const int m = static_cast<int>(hi - lo);
+    std::vector<ParseResult> spec_r(static_cast<std::size_t>(m));
+    std::vector<ParseResult> impl_r(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j)
+      spec_r[static_cast<std::size_t>(j)] = run_spec(
+          *spec_, inputs[static_cast<std::size_t>(lo + j)], options_.max_iterations, cov);
+    run_impl_batch(matcher_, inputs.data() + lo, m, impl_r.data(), cov, level);
+    for (int j = 0; j < m; ++j) {
+      const std::int64_t i = lo + j;
+      PacketVerdict& v = verdicts[static_cast<std::size_t>(i)];
+      v.spec_outcome = static_cast<std::uint8_t>(spec_r[static_cast<std::size_t>(j)].outcome);
+      v.impl_outcome = static_cast<std::uint8_t>(impl_r[static_cast<std::size_t>(j)].outcome);
+      v.agree = equivalent(spec_r[static_cast<std::size_t>(j)], impl_r[static_cast<std::size_t>(j)]);
+      v.evaluated = true;
+      if (!v.agree && options_.stop_on_mismatch) {
+        std::int64_t cur = first_bad.load(std::memory_order_relaxed);
+        while (i < cur && !first_bad.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+        }
       }
     }
   };
 
   ThreadPool* pool = options_.pool;
   const int threads = pool != nullptr ? pool->worker_count() : options_.threads;
+  const std::int64_t chunk = options_.chunk;
+  const std::int64_t num_chunks = (n + chunk - 1) / chunk;
 
   if (pool == nullptr && options_.threads <= 1) {
-    // Scalar driver: same evaluate/aggregate path, no pool.
-    CoverageMap* cov = options_.collect_coverage ? &result.coverage : nullptr;
-    CoverageMap local;  // keep per-packet recording symmetric with workers
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (options_.stop_on_mismatch && i > first_bad.load(std::memory_order_relaxed)) break;
-      evaluate(i, cov ? &local : nullptr);
+    // Single-thread driver: same chunked evaluate/aggregate path, no pool.
+    CoverageMap local;  // keep recording symmetric with workers
+    CoverageMap* cov = options_.collect_coverage ? &local : nullptr;
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::int64_t lo = c * chunk;
+      // Cooperative cancellation at chunk granularity: a range is only
+      // skipped when every index in it lies beyond the best-known
+      // mismatch, so the final winner and its prefix are always evaluated.
+      if (options_.stop_on_mismatch && lo > first_bad.load(std::memory_order_relaxed)) break;
+      evaluate_range(lo, std::min(n, lo + chunk), cov);
     }
-    if (cov) result.coverage.merge(local);
+    if (options_.collect_coverage && first_bad.load(std::memory_order_relaxed) >= n)
+      result.coverage.merge(local);
   } else {
     std::optional<ThreadPool> owned;
     if (pool == nullptr) {
       owned.emplace(options_.threads);
       pool = &*owned;
     }
-    const std::int64_t chunk = options_.chunk;
-    const std::int64_t num_chunks = (n + chunk - 1) / chunk;
     std::vector<CoverageMap> chunk_cov(static_cast<std::size_t>(num_chunks));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(static_cast<std::size_t>(num_chunks));
     for (std::int64_t c = 0; c < num_chunks; ++c) {
       tasks.push_back([&, c] {
-        CoverageMap* cov = options_.collect_coverage ? &chunk_cov[static_cast<std::size_t>(c)] : nullptr;
         const std::int64_t lo = c * chunk;
-        const std::int64_t hi = std::min(n, lo + chunk);
-        for (std::int64_t i = lo; i < hi; ++i) {
-          // Cooperative cancellation: only indices strictly beyond the
-          // best-known mismatch may be skipped, so the final winner and
-          // its prefix are always fully evaluated.
-          if (options_.stop_on_mismatch && i > first_bad.load(std::memory_order_relaxed)) return;
-          evaluate(i, cov);
-        }
+        if (options_.stop_on_mismatch && lo > first_bad.load(std::memory_order_relaxed)) return;
+        CoverageMap* cov =
+            options_.collect_coverage ? &chunk_cov[static_cast<std::size_t>(c)] : nullptr;
+        evaluate_range(lo, std::min(n, lo + chunk), cov);
       });
     }
     pool->run_all(std::move(tasks));
-    // chunk_cov is merged below only on the mismatch-free path; after a
-    // mismatch the prefix coverage is recomputed exactly instead.
     if (options_.collect_coverage && first_bad.load(std::memory_order_relaxed) >= n)
       for (const auto& cov : chunk_cov) result.coverage.merge(cov);
   }
@@ -141,10 +148,10 @@ BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
 
   if (bad < n) {
     result.first_mismatch = bad;
-    // Replay the winner for the full mismatch record, and — when workers
-    // ran — recompute the prefix coverage exactly (per-chunk maps may
-    // contain packets beyond the prefix).
-    if (options_.collect_coverage && (options_.pool != nullptr || options_.threads > 1)) {
+    // Replay the winner for the full mismatch record, and recompute the
+    // prefix coverage exactly: evaluated ranges may contain packets
+    // beyond the prefix (chunk-granular cancellation), on any driver.
+    if (options_.collect_coverage) {
       result.coverage = CoverageMap::for_pair(*spec_, *prog_);
       for (std::int64_t i = 0; i <= bad; ++i) {
         run_spec(*spec_, inputs[static_cast<std::size_t>(i)], options_.max_iterations,
@@ -153,7 +160,7 @@ BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
       }
     }
     DiffMismatch mm;
-    mm.input = inputs[static_cast<std::size_t>(bad)];
+    mm.input = inputs[static_cast<std::size_t>(bad)].materialize();
     mm.spec_result = run_spec(*spec_, mm.input, options_.max_iterations);
     mm.impl_result = run_impl(matcher_, mm.input);
     result.mismatch = std::move(mm);
@@ -167,8 +174,17 @@ BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
   return result;
 }
 
+BatchResult BatchRunner::run(const std::vector<BitVec>& inputs) const {
+  return run(as_refs(inputs));
+}
+
 BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
                       const std::vector<BitVec>& inputs, const BatchOptions& options) {
+  return BatchRunner(spec, prog, options).run(inputs);
+}
+
+BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
+                      const std::vector<PacketRef>& inputs, const BatchOptions& options) {
   return BatchRunner(spec, prog, options).run(inputs);
 }
 

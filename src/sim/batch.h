@@ -45,8 +45,13 @@ struct BatchOptions {
   /// Worker threads. <= 1 runs on the calling thread (no pool); the
   /// results are identical either way.
   int threads = 1;
-  /// Packets per pool task.
+  /// Packets per pool task — also the wide-kernel sub-batch width: each
+  /// chunk's impl side runs through run_impl_batch in one lockstep pass.
   int chunk = 64;
+  /// Wide-kernel lane level (see tcam/matcher.h). Auto = best this CPU
+  /// supports, clamped by the PH_SIMD env var. Every level produces
+  /// bit-identical verdicts, mismatch indices and coverage counts.
+  SimdLevel simd = SimdLevel::Auto;
   /// Cancel outstanding work once a mismatch is found (the verdict stays
   /// deterministic; see the contract above).
   bool stop_on_mismatch = true;
@@ -93,6 +98,12 @@ class BatchRunner {
  public:
   BatchRunner(const ParserSpec& spec, const TcamProgram& prog, BatchOptions options = {});
 
+  /// Zero-copy entry point: the refs' backing buffers (a PcapFile, a
+  /// trace vector, ...) must outlive the call. Each chunk's impl side
+  /// runs through the wide lockstep interpreter (run_impl_batch).
+  BatchResult run(const std::vector<PacketRef>& inputs) const;
+
+  /// Owned-packet convenience wrapper (views the vector in place).
   BatchResult run(const std::vector<BitVec>& inputs) const;
 
   const CompiledMatcher& matcher() const { return matcher_; }
@@ -105,8 +116,10 @@ class BatchRunner {
   CompiledMatcher matcher_;
 };
 
-/// One-shot convenience wrapper around BatchRunner.
+/// One-shot convenience wrappers around BatchRunner.
 BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
                       const std::vector<BitVec>& inputs, const BatchOptions& options = {});
+BatchResult run_batch(const ParserSpec& spec, const TcamProgram& prog,
+                      const std::vector<PacketRef>& inputs, const BatchOptions& options = {});
 
 }  // namespace parserhawk

@@ -81,9 +81,9 @@ ParseResult finish(ParseOutcome outcome, OutputDict dict, const Bitstream& in, i
 
 }  // namespace
 
-ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations,
+ParseResult run_spec(const ParserSpec& spec, const PacketRef& input, int max_iterations,
                      CoverageMap* coverage) {
-  Bitstream in(input);
+  Bitstream in = input.stream();
   OutputDict dict;
   int state = spec.start;
 
@@ -124,8 +124,9 @@ ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterat
   return finish(out, std::move(dict), in, max_iterations);
 }
 
-ParseResult run_impl(const TcamProgram& prog, const BitVec& input, CoverageMap* coverage) {
-  Bitstream in(input);
+ParseResult run_impl(const TcamProgram& prog, const PacketRef& input,
+                     CoverageMap* coverage) {
+  Bitstream in = input.stream();
   OutputDict dict;
   int table = prog.start_table;
   int state = prog.start_state;
@@ -166,9 +167,10 @@ ParseResult run_impl(const TcamProgram& prog, const BitVec& input, CoverageMap* 
   return finish(out, std::move(dict), in, prog.max_iterations);
 }
 
-ParseResult run_impl(const CompiledMatcher& matcher, const BitVec& input, CoverageMap* coverage) {
+ParseResult run_impl(const CompiledMatcher& matcher, const PacketRef& input,
+                     CoverageMap* coverage) {
   const TcamProgram& prog = matcher.program();
-  Bitstream in(input);
+  Bitstream in = input.stream();
   OutputDict dict;
   int table = prog.start_table;
   int state = prog.start_state;
@@ -203,6 +205,128 @@ ParseResult run_impl(const CompiledMatcher& matcher, const BitVec& input, Covera
                                         : ParseOutcome::Exhausted;
   if (coverage && out == ParseOutcome::Exhausted) ++coverage->impl_exhausted;
   return finish(out, std::move(dict), in, prog.max_iterations);
+}
+
+void run_impl_batch(const CompiledMatcher& matcher, const PacketRef* packets, int n,
+                    ParseResult* results, CoverageMap* coverage, SimdLevel level) {
+  if (n <= 0) return;
+  if (level == SimdLevel::Auto) level = dispatch_level();
+  const TcamProgram& prog = matcher.program();
+
+  // One lane per in-flight packet. The Bitstream/dict pair is exactly the
+  // state the single-packet interpreter keeps on its stack.
+  struct Lane {
+    Bitstream in;
+    OutputDict dict;
+    int table;
+    int state;
+    Lane(Bitstream s, int t, int st) : in(s), table(t), state(st) {}
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    lanes.emplace_back(packets[i].stream(), prog.start_table, prog.start_state);
+
+  auto settle = [&](int i, ParseOutcome out, int iter) {
+    Lane& ln = lanes[static_cast<std::size_t>(i)];
+    ParseResult r;
+    r.outcome = out;
+    r.dict = std::move(ln.dict);
+    r.bits_consumed = ln.in.position();
+    r.iterations = iter;
+    results[i] = std::move(r);
+  };
+
+  std::vector<int> active(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) active[static_cast<std::size_t>(i)] = i;
+
+  // Lockstep epochs: every iteration buckets the still-running packets by
+  // (table, state) — every packet in a bucket shares one packed Group —
+  // then resolves the whole bucket's lookups with a single wide
+  // match_batch call. Key evaluation and extraction stay per-packet (they
+  // are data-dependent), but the TCAM step goes N packets per key bit.
+  std::map<std::pair<int, int>, std::vector<int>> buckets;
+  std::vector<std::uint64_t> keys;
+  std::vector<int> members;
+  std::vector<int> wins;
+  std::vector<int> survivors;
+
+  int iter = 0;
+  for (; iter < prog.max_iterations && !active.empty(); ++iter) {
+    buckets.clear();
+    survivors.clear();
+    for (int i : active) {
+      Lane& ln = lanes[static_cast<std::size_t>(i)];
+      if (ln.state == kAccept) {
+        settle(i, ParseOutcome::Accepted, iter);
+      } else if (ln.state == kReject) {
+        settle(i, ParseOutcome::Rejected, iter);
+      } else {
+        buckets[{ln.table, ln.state}].push_back(i);
+      }
+    }
+    for (auto& [where, bucket] : buckets) {
+      const CompiledMatcher::Group* g = matcher.find(where.first, where.second);
+      const bool has_key = g != nullptr && g->layout != nullptr && !g->layout->key.empty();
+      keys.clear();
+      members.clear();
+      for (int i : bucket) {
+        Lane& ln = lanes[static_cast<std::size_t>(i)];
+        std::uint64_t key = 0;
+        if (has_key) {
+          auto k = eval_key(prog.fields, g->layout->key, ln.in, ln.dict, /*missing_is_zero=*/true);
+          if (!k) {
+            settle(i, ParseOutcome::Rejected, iter);
+            continue;
+          }
+          key = *k;
+        }
+        members.push_back(i);
+        keys.push_back(key);
+      }
+      if (members.empty()) continue;
+      wins.assign(members.size(), -1);
+      if (g != nullptr)
+        CompiledMatcher::match_batch(*g, keys.data(), static_cast<int>(members.size()),
+                                     wins.data(), level);
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const int i = members[j];
+        const int win = wins[j];
+        if (win < 0) {
+          settle(i, ParseOutcome::Rejected, iter);
+          continue;
+        }
+        Lane& ln = lanes[static_cast<std::size_t>(i)];
+        const TcamEntry* winner = g->rows[static_cast<std::size_t>(win)];
+        if (coverage) coverage->on_row(g->entry_index[static_cast<std::size_t>(win)]);
+        bool extracted = true;
+        for (const auto& ex : winner->extracts)
+          if (!do_extract(prog.fields, ex, ln.in, ln.dict)) {
+            extracted = false;
+            break;
+          }
+        if (!extracted) {
+          settle(i, ParseOutcome::Rejected, iter);
+          continue;
+        }
+        ln.table = winner->next_table;
+        ln.state = winner->next_state;
+        survivors.push_back(i);
+      }
+    }
+    active.assign(survivors.begin(), survivors.end());
+  }
+
+  // Loop bound hit: the scalar interpreter falls out of its row loop and
+  // maps the final state with iterations == K. Mirror it exactly.
+  for (int i : active) {
+    const int state = lanes[static_cast<std::size_t>(i)].state;
+    ParseOutcome out = state == kAccept   ? ParseOutcome::Accepted
+                       : state == kReject ? ParseOutcome::Rejected
+                                          : ParseOutcome::Exhausted;
+    if (coverage && out == ParseOutcome::Exhausted) ++coverage->impl_exhausted;
+    settle(i, out, prog.max_iterations);
+  }
 }
 
 std::string to_string(const OutputDict& dict, const std::vector<Field>& fields) {

@@ -20,12 +20,13 @@
 #include <string>
 
 #include "ir/ir.h"
+#include "sim/packet_ref.h"
 #include "support/bitvec.h"
+#include "tcam/matcher.h"
 #include "tcam/tcam.h"
 
 namespace parserhawk {
 
-class CompiledMatcher;
 struct CoverageMap;
 
 /// The output dictionary OD: field index -> extracted value. Fields never
@@ -65,20 +66,34 @@ inline bool equivalent(const ParseResult& a, const ParseResult& b) {
 /// transitions. Out-of-input extraction or lookahead rejects; a missing
 /// matching rule rejects (P4 semantics). When `coverage` is given, state
 /// entries, fired rules and loop-bound exhaustions are recorded into it.
-ParseResult run_spec(const ParserSpec& spec, const BitVec& input, int max_iterations = 64,
+/// `input` is a zero-copy view (a BitVec converts implicitly); the
+/// backing buffer must outlive the call.
+ParseResult run_spec(const ParserSpec& spec, const PacketRef& input, int max_iterations = 64,
                      CoverageMap* coverage = nullptr);
 
 /// Run a compiled TCAM program on `input` (Figure 6 pseudo-code). The row
 /// bound K comes from `prog.max_iterations`. `coverage` (optional)
 /// records winning rows and exhaustions.
-ParseResult run_impl(const TcamProgram& prog, const BitVec& input, CoverageMap* coverage = nullptr);
+ParseResult run_impl(const TcamProgram& prog, const PacketRef& input,
+                     CoverageMap* coverage = nullptr);
 
 /// Same semantics as the TcamProgram overload — bit-identical results on
 /// every input — but resolves each lookup through the pre-packed
 /// bit-parallel matcher instead of re-scanning the row list (the batch
 /// engine's hot path; see src/tcam/matcher.h).
-ParseResult run_impl(const CompiledMatcher& matcher, const BitVec& input,
+ParseResult run_impl(const CompiledMatcher& matcher, const PacketRef& input,
                      CoverageMap* coverage = nullptr);
+
+/// The traffic-scale impl interpreter (DESIGN.md §12): run `n` packets in
+/// lockstep, bucketing the packets that sit in the same (table, state)
+/// each iteration and resolving all their lookups with one wide
+/// CompiledMatcher::match_batch call per bucket — N packets per key-bit
+/// step instead of one. Results (and coverage counts, when `coverage` is
+/// non-null) are bit-identical to calling the single-packet run_impl
+/// overload per packet, at every SimdLevel.
+void run_impl_batch(const CompiledMatcher& matcher, const PacketRef* packets, int n,
+                    ParseResult* results, CoverageMap* coverage = nullptr,
+                    SimdLevel level = SimdLevel::Auto);
 
 /// Render an output dictionary using `fields` for names.
 std::string to_string(const OutputDict& dict, const std::vector<Field>& fields);

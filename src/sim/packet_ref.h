@@ -1,0 +1,63 @@
+// PacketRef: the batch engine's zero-copy packet currency (DESIGN.md §12).
+//
+// A PacketRef is a borrowed, read-only window onto one packet's wire-order
+// bits, backed either by a BitVec (synthetic traces, difftest corpora,
+// counterexamples) or by a raw byte window into a buffer someone else owns
+// (a pcap::PacketView aliasing the capture file's bytes). BatchRunner and
+// the interpreters consume refs, so replaying a multi-gigabit capture
+// costs one allocation for the file — not one Bitstream copy per packet
+// per side, which is what the pre-§12 engine paid.
+//
+// Lifetime contract: a ref never owns anything. The backing BitVec or
+// byte buffer must outlive every use of the ref, and mutating the backing
+// bytes changes what the ref reads (tests/test_pcap.cpp pins both
+// properties). materialize() is the escape hatch for results that must
+// outlive the backing, e.g. the recorded mismatch input.
+#pragma once
+
+#include <vector>
+
+#include "support/bitstream.h"
+#include "support/bitvec.h"
+
+namespace parserhawk {
+
+struct PacketRef {
+  const BitVec* bits = nullptr;
+  const std::uint8_t* bytes = nullptr;
+  int nbits = 0;
+
+  PacketRef() = default;
+  /// Implicit so every interpreter entry point keeps accepting a BitVec.
+  /// A ref built from a temporary is fine as a function argument (the
+  /// temporary outlives the call) but must never be stored.
+  /*implicit*/ PacketRef(const BitVec& v) : bits(&v), nbits(v.size()) {}
+
+  /// View over `nbits` wire-order bits of a raw byte buffer.
+  static PacketRef over(const std::uint8_t* data, int nbits) {
+    PacketRef r;
+    r.bytes = data;
+    r.nbits = nbits;
+    return r;
+  }
+
+  int size() const { return nbits; }
+
+  /// A read cursor over the viewed bits (still zero-copy).
+  Bitstream stream() const {
+    return bits != nullptr ? Bitstream(*bits) : Bitstream(bytes, nbits);
+  }
+
+  /// Copy the viewed bits into an owning BitVec.
+  BitVec materialize() const {
+    return bits != nullptr ? *bits : BitVec::from_bytes(bytes, 0, nbits);
+  }
+};
+
+/// View an owned packet list (the backing vector must outlive the refs —
+/// including not reallocating, so treat it as frozen).
+inline std::vector<PacketRef> as_refs(const std::vector<BitVec>& packets) {
+  return {packets.begin(), packets.end()};
+}
+
+}  // namespace parserhawk

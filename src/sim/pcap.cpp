@@ -40,17 +40,19 @@ void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
 
 }  // namespace
 
-BitVec PacketView::to_bits() const {
-  BitVec bits;
-  for (std::uint32_t byte = 0; byte < caplen; ++byte)
-    bits.append_u64(data[byte], 8);
-  return bits;
-}
+BitVec PacketView::to_bits() const { return BitVec::from_bytes(data, 0, bit_size()); }
 
 std::vector<BitVec> PcapFile::to_bitvecs() const {
   std::vector<BitVec> out;
   out.reserve(packets.size());
   for (const PacketView& p : packets) out.push_back(p.to_bits());
+  return out;
+}
+
+std::vector<PacketRef> PcapFile::to_refs() const {
+  std::vector<PacketRef> out;
+  out.reserve(packets.size());
+  for (const PacketView& p : packets) out.push_back(p.ref());
   return out;
 }
 

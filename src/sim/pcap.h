@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/packet_ref.h"
 #include "support/bitvec.h"
 #include "support/result.h"
 
@@ -38,8 +39,15 @@ struct PacketView {
   std::uint32_t ts_sec = 0;
   std::uint32_t ts_frac = 0;   ///< microseconds, or nanoseconds (see PcapFile)
 
-  /// The captured bytes as a wire-order BitVec (bit 0 = MSB of byte 0),
-  /// the currency of the interpreters and the batch engine.
+  /// Captured size in wire bits.
+  int bit_size() const { return static_cast<int>(caplen) * 8; }
+
+  /// Zero-copy handle for the interpreters / BatchRunner: still aliases
+  /// the capture buffer, so the PcapFile must outlive the ref too.
+  PacketRef ref() const { return PacketRef::over(data, bit_size()); }
+
+  /// The captured bytes as a wire-order BitVec (bit 0 = MSB of byte 0) —
+  /// an owning copy; prefer ref() on hot paths.
   BitVec to_bits() const;
 };
 
@@ -60,8 +68,13 @@ struct PcapFile {
   bool nanosecond = false;      ///< ts_frac is nanoseconds
   bool truncated_tail = false;  ///< file ended mid-record; tail dropped
 
-  /// Materialize every view as a BitVec (the BatchRunner input format).
+  /// Materialize every view as an owning BitVec.
   std::vector<BitVec> to_bitvecs() const;
+
+  /// Zero-copy refs over every packet (the BatchRunner fast path). The
+  /// refs alias `bytes`: keep this file alive and unmodified while they
+  /// are in use.
+  std::vector<PacketRef> to_refs() const;
 };
 
 /// Error codes: "pcap-truncated-header", "pcap-bad-magic",

@@ -85,7 +85,10 @@ Result<ParserSpec> load_spec(const std::string& name) {
 ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
                          const ReplayOptions& options) {
   ReplayReport report;
-  report.compiled = compile(spec, tofino(), options.synth);
+  if (options.precompiled != nullptr)
+    report.compiled = *options.precompiled;
+  else
+    report.compiled = compile(spec, tofino(), options.synth);
   if (!report.compiled.ok()) {
     report.detail = "compile failed: " + report.compiled.reason;
     return report;
@@ -93,14 +96,18 @@ ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
   const TcamProgram& prog = report.compiled.program;
 
   report.trace = generate_trace(spec, options.trace);
-  std::vector<BitVec> packets = report.trace.packets;
-  packets.insert(packets.end(), options.extra_packets.begin(), options.extra_packets.end());
-  report.corpus_size = packets.size();
+  // Zero-copy replay: the batch engine views the trace's and the caller's
+  // packets in place (both vectors are stable for the duration).
+  std::vector<PacketRef> refs;
+  refs.reserve(report.trace.packets.size() + options.extra_packets.size());
+  for (const BitVec& p : report.trace.packets) refs.push_back(p);
+  for (const BitVec& p : options.extra_packets) refs.push_back(p);
+  report.corpus_size = refs.size();
 
   BatchOptions bo = options.batch;
   bo.max_iterations = prog.max_iterations;
   BatchRunner runner(spec, prog, bo);
-  report.batch = runner.run(packets);
+  report.batch = runner.run(refs);
   if (report.batch.mismatch.has_value()) {
     report.detail = "differential mismatch on input " +
                     report.batch.mismatch->input.to_string() + " (index " +
@@ -113,10 +120,12 @@ ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
   // construction, but replayed captures or pathological specs can leave
   // rules dark — grow the corpus mutation-by-mutation, keeping a packet
   // iff it lights up a new rule.
-  if (!report.coverage.all_rules_covered() && options.mutation_rounds > 0 && !packets.empty()) {
+  if (!report.coverage.all_rules_covered() && options.mutation_rounds > 0 && !refs.empty()) {
     Rng rng(options.trace.seed ^ 0xc092u);
-    std::vector<BitVec> pool(packets.begin(),
-                             packets.begin() + std::min<std::size_t>(packets.size(), 32));
+    std::vector<BitVec> pool;
+    pool.reserve(std::min<std::size_t>(refs.size(), 32));
+    for (std::size_t i = 0; i < refs.size() && i < 32; ++i)
+      pool.push_back(refs[i].materialize());
     for (int round = 0; round < options.mutation_rounds && !report.coverage.all_rules_covered();
          ++round) {
       BitVec child = mutate(spec, pool[rng.below(pool.size())], rng);

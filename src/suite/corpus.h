@@ -39,7 +39,13 @@ Result<ParserSpec> load_spec(const std::string& name);
 struct ReplayOptions {
   SynthOptions synth;
   TraceGenOptions trace;
+  /// Batch-engine knobs; `batch.simd` picks the wide-kernel lane level
+  /// (verdicts and coverage are bit-identical at every level).
   BatchOptions batch;
+  /// Reuse an already-compiled program for this spec instead of
+  /// synthesizing again (e.g. one compile shared by a matrix of replay
+  /// configurations). Must be a successful compile of the same spec.
+  const CompileResult* precompiled = nullptr;
   /// Replayed after the generated trace (e.g. packets out of a pcap).
   std::vector<BitVec> extra_packets;
   /// Coverage-guided mutation rounds when the first replay leaves rules

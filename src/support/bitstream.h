@@ -1,10 +1,18 @@
-// Bitstream: a read cursor over a BitVec.
+// Bitstream: a zero-copy read cursor over wire-order bits.
 //
 // Models the parser's extraction pointer (`pos` in the paper's Figure 6/9):
 // `read(w)` consumes w bits, `peek(offset, w)` implements lookahead without
 // consuming. Reads past the end return nullopt, which both interpreters map
 // to an implicit transition to the reject state (atomic per-field
 // extraction; see DESIGN.md §4).
+//
+// The stream never owns the packet. It views either a BitVec (the
+// front-end / synthesizer currency) or a raw wire-order byte buffer (a
+// pcap::PacketView window into a capture file), so running a packet
+// through an interpreter costs zero allocations and zero copies of the
+// packet body — the backing buffer must simply outlive the stream. Both
+// backings agree on bit order: bit i is bit (7 - i%8) of byte i/8, which
+// is exactly BitVec's MSB-first wire order.
 #pragma once
 
 #include <optional>
@@ -15,22 +23,28 @@ namespace parserhawk {
 
 class Bitstream {
  public:
-  explicit Bitstream(BitVec data) : data_(std::move(data)) {}
+  /// View over a BitVec. The vector must outlive the stream; binding a
+  /// temporary is deleted below because it would dangle immediately.
+  explicit Bitstream(const BitVec& data) : bits_(&data), size_(data.size()) {}
+  explicit Bitstream(BitVec&& data) = delete;
+
+  /// View over `nbits` wire-order bits of a raw byte buffer.
+  Bitstream(const std::uint8_t* bytes, int nbits) : bytes_(bytes), size_(nbits) {}
 
   /// Bits not yet consumed.
-  int remaining() const { return data_.size() - pos_; }
+  int remaining() const { return size_ - pos_; }
 
   /// Current extraction pointer (bits consumed so far).
   int position() const { return pos_; }
 
-  /// Total number of bits in the underlying vector.
-  int size() const { return data_.size(); }
+  /// Total number of bits in the underlying buffer.
+  int size() const { return size_; }
 
   /// Consume `width` bits. Returns nullopt (and consumes nothing) if fewer
   /// than `width` bits remain.
   std::optional<BitVec> read(int width) {
     if (width < 0 || width > remaining()) return std::nullopt;
-    BitVec out = data_.slice(pos_, width);
+    BitVec out = window(pos_, width);
     pos_ += width;
     return out;
   }
@@ -39,14 +53,17 @@ class Bitstream {
   /// consuming. Returns nullopt if the window runs past the end.
   std::optional<BitVec> peek(int offset, int width) const {
     if (offset < 0 || width < 0 || offset + width > remaining()) return std::nullopt;
-    return data_.slice(pos_ + offset, width);
+    return window(pos_ + offset, width);
   }
 
-  /// Underlying data (whole packet).
-  const BitVec& data() const { return data_; }
-
  private:
-  BitVec data_;
+  BitVec window(int lo, int len) const {
+    return bits_ != nullptr ? bits_->slice(lo, len) : BitVec::from_bytes(bytes_, lo, len);
+  }
+
+  const BitVec* bits_ = nullptr;
+  const std::uint8_t* bytes_ = nullptr;
+  int size_ = 0;
   int pos_ = 0;
 };
 

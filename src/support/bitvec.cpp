@@ -27,6 +27,16 @@ BitVec BitVec::from_u64(std::uint64_t value, int width) {
   return v;
 }
 
+BitVec BitVec::from_bytes(const std::uint8_t* bytes, int bit_lo, int bit_len) {
+  if (bit_lo < 0 || bit_len < 0) throw std::out_of_range("BitVec::from_bytes");
+  BitVec v(bit_len);
+  for (int i = 0; i < bit_len; ++i) {
+    const int at = bit_lo + i;
+    if ((bytes[at / 8] >> (7 - at % 8)) & 1u) v.set(i, true);
+  }
+  return v;
+}
+
 std::optional<BitVec> BitVec::parse_binary(const std::string& text) {
   std::size_t start = 0;
   if (text.size() >= 2 && text[0] == '0' && (text[1] == 'b' || text[1] == 'B')) start = 2;

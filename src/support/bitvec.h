@@ -31,6 +31,11 @@ class BitVec {
   /// Requires 0 <= width <= 64.
   static BitVec from_u64(std::uint64_t value, int width);
 
+  /// Bits [bit_lo, bit_lo + bit_len) of a wire-order byte buffer (bit 0 =
+  /// MSB of bytes[0], matching how capture files lay packets out). The
+  /// caller guarantees the window is inside the buffer.
+  static BitVec from_bytes(const std::uint8_t* bytes, int bit_lo, int bit_len);
+
   /// Parse a literal like "0b1010" / "1010" (wire order, bit 0 first).
   /// Returns nullopt on any character outside {0,1} (after an optional
   /// "0b" prefix) or on an empty payload.

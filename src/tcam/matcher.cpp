@@ -1,7 +1,16 @@
 #include "tcam/matcher.h"
 
 #include <bit>
+#include <cstdlib>
+#include <cstring>
 #include <set>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PH_X86 1
+#else
+#define PH_X86 0
+#endif
 
 namespace parserhawk {
 
@@ -15,6 +24,47 @@ std::uint64_t low_mask(int n) {
 }
 
 }  // namespace
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Auto: return "auto";
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Swar: return "swar";
+    case SimdLevel::Avx2: return "avx2";
+    case SimdLevel::Avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel max_supported_level() {
+#if PH_X86
+  static const SimdLevel probed = [] {
+    if (__builtin_cpu_supports("avx512f")) return SimdLevel::Avx512;
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::Avx2;
+    return SimdLevel::Swar;
+  }();
+  return probed;
+#else
+  return SimdLevel::Swar;
+#endif
+}
+
+SimdLevel dispatch_level() {
+  SimdLevel want = SimdLevel::Auto;
+  if (const char* env = std::getenv("PH_SIMD"); env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0)
+      want = SimdLevel::Scalar;
+    else if (std::strcmp(env, "swar") == 0)
+      want = SimdLevel::Swar;
+    else if (std::strcmp(env, "avx2") == 0)
+      want = SimdLevel::Avx2;
+    else if (std::strcmp(env, "avx512") == 0)
+      want = SimdLevel::Avx512;
+  }
+  const SimdLevel cap = max_supported_level();
+  if (want == SimdLevel::Auto) return cap;
+  return static_cast<int>(want) <= static_cast<int>(cap) ? want : cap;
+}
 
 CompiledMatcher::CompiledMatcher(const TcamProgram& prog) : prog_(&prog) {
   // Every (table, state) with rows or a declared layout gets a group, so
@@ -108,6 +158,170 @@ int CompiledMatcher::first_match(const Group& g, std::uint64_t key) {
   for (int w = 0; w < g.words; ++w)
     if (live[w]) return w * kWordBits + std::countr_zero(live[w]);
   return -1;
+}
+
+namespace {
+
+using Group = CompiledMatcher::Group;
+
+inline int winner_of(std::uint64_t live) { return live ? std::countr_zero(live) : -1; }
+
+/// Branchless single-key reduction for single-word groups — the same
+/// select shape (`zero ^ ((zero ^ one) & broadcast(bit))`) every wide
+/// lane uses, so scalar tails share the vector code path's structure.
+inline std::uint64_t reduce_one(const Group& g, std::uint64_t key) {
+  std::uint64_t live = g.base_live[0];
+  const std::uint64_t* one = g.accept_one.data();
+  const std::uint64_t* zero = g.accept_zero.data();
+  for (int b : g.cared_bits) {
+    const std::uint64_t sel = std::uint64_t{0} - ((key >> (g.key_width - 1 - b)) & 1u);
+    live &= zero[b] ^ ((zero[b] ^ one[b]) & sel);
+  }
+  return live;
+}
+
+/// 4 packets per key-bit step with plain uint64 ops (the SWAR level, and
+/// the tail handler for the vector levels).
+void match_swar(const Group& g, const std::uint64_t* keys, int n, int* out) {
+  const std::uint64_t base = g.base_live[0];
+  const std::uint64_t* one = g.accept_one.data();
+  const std::uint64_t* zero = g.accept_zero.data();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint64_t l0 = base, l1 = base, l2 = base, l3 = base;
+    const std::uint64_t k0 = keys[i], k1 = keys[i + 1], k2 = keys[i + 2], k3 = keys[i + 3];
+    for (int b : g.cared_bits) {
+      const int shift = g.key_width - 1 - b;
+      const std::uint64_t zb = zero[b];
+      const std::uint64_t diff = zb ^ one[b];
+      l0 &= zb ^ (diff & (std::uint64_t{0} - ((k0 >> shift) & 1u)));
+      l1 &= zb ^ (diff & (std::uint64_t{0} - ((k1 >> shift) & 1u)));
+      l2 &= zb ^ (diff & (std::uint64_t{0} - ((k2 >> shift) & 1u)));
+      l3 &= zb ^ (diff & (std::uint64_t{0} - ((k3 >> shift) & 1u)));
+      if (!(l0 | l1 | l2 | l3)) break;
+    }
+    out[i] = winner_of(l0);
+    out[i + 1] = winner_of(l1);
+    out[i + 2] = winner_of(l2);
+    out[i + 3] = winner_of(l3);
+  }
+  for (; i < n; ++i) out[i] = winner_of(reduce_one(g, keys[i]));
+}
+
+#if PH_X86
+
+/// 4 packets per key-bit step in one 4x64 AVX2 register. The per-bit
+/// select mask is `0 - keybit` per lane (all-ones when the lane's key has
+/// the bit), blended between the broadcast accept_zero/accept_one words.
+__attribute__((target("avx2"))) void match_avx2(const Group& g, const std::uint64_t* keys, int n,
+                                                int* out) {
+  const std::uint64_t* one = g.accept_one.data();
+  const std::uint64_t* zero = g.accept_zero.data();
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(g.base_live[0]));
+  const __m256i ones = _mm256_set1_epi64x(1);
+  const __m256i zero_v = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i kv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i live = base;
+    for (int b : g.cared_bits) {
+      const int shift = g.key_width - 1 - b;
+      const __m256i bit =
+          _mm256_and_si256(_mm256_srl_epi64(kv, _mm_cvtsi32_si128(shift)), ones);
+      const __m256i sel = _mm256_sub_epi64(zero_v, bit);
+      const __m256i zb = _mm256_set1_epi64x(static_cast<long long>(zero[b]));
+      const __m256i ob = _mm256_set1_epi64x(static_cast<long long>(one[b]));
+      const __m256i tab = _mm256_xor_si256(zb, _mm256_and_si256(_mm256_xor_si256(zb, ob), sel));
+      live = _mm256_and_si256(live, tab);
+      if (_mm256_testz_si256(live, live)) break;
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), live);
+    for (int l = 0; l < 4; ++l) out[i + l] = winner_of(lanes[l]);
+  }
+  for (; i < n; ++i) out[i] = winner_of(reduce_one(g, keys[i]));
+}
+
+/// 8 packets per key-bit step in one 8x64 AVX-512 register; the key-bit
+/// test goes straight to a k-mask (vptestmq) and the accept-word select is
+/// a single masked blend per bit.
+__attribute__((target("avx512f"))) void match_avx512(const Group& g, const std::uint64_t* keys,
+                                                     int n, int* out) {
+  const std::uint64_t* one = g.accept_one.data();
+  const std::uint64_t* zero = g.accept_zero.data();
+  const __m512i base = _mm512_set1_epi64(static_cast<long long>(g.base_live[0]));
+  int i = 0;
+  // 16 packets per key-bit step: two live vectors sharing each bit's
+  // probe/zero/one broadcasts, so the per-bit fixed cost is amortized
+  // twice as far as the single-vector loop below.
+  for (; i + 16 <= n; i += 16) {
+    __m512i kv0 = _mm512_loadu_si512(keys + i);
+    __m512i kv1 = _mm512_loadu_si512(keys + i + 8);
+    __m512i l0 = base, l1 = base;
+    for (int b : g.cared_bits) {
+      const std::uint64_t probe = std::uint64_t{1} << (g.key_width - 1 - b);
+      const __m512i probe_v = _mm512_set1_epi64(static_cast<long long>(probe));
+      const __m512i zb = _mm512_set1_epi64(static_cast<long long>(zero[b]));
+      const __m512i ob = _mm512_set1_epi64(static_cast<long long>(one[b]));
+      l0 = _mm512_and_epi64(l0, _mm512_mask_blend_epi64(_mm512_test_epi64_mask(kv0, probe_v), zb, ob));
+      l1 = _mm512_and_epi64(l1, _mm512_mask_blend_epi64(_mm512_test_epi64_mask(kv1, probe_v), zb, ob));
+      const __m512i any = _mm512_or_epi64(l0, l1);
+      if (_mm512_test_epi64_mask(any, any) == 0) break;
+    }
+    alignas(64) std::uint64_t lanes[16];
+    _mm512_store_si512(lanes, l0);
+    _mm512_store_si512(lanes + 8, l1);
+    for (int l = 0; l < 16; ++l) out[i + l] = winner_of(lanes[l]);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m512i kv = _mm512_loadu_si512(keys + i);
+    __m512i live = base;
+    for (int b : g.cared_bits) {
+      const std::uint64_t probe = std::uint64_t{1} << (g.key_width - 1 - b);
+      const __mmask8 has_bit =
+          _mm512_test_epi64_mask(kv, _mm512_set1_epi64(static_cast<long long>(probe)));
+      const __m512i zb = _mm512_set1_epi64(static_cast<long long>(zero[b]));
+      const __m512i ob = _mm512_set1_epi64(static_cast<long long>(one[b]));
+      live = _mm512_and_epi64(live, _mm512_mask_blend_epi64(has_bit, zb, ob));
+      if (_mm512_test_epi64_mask(live, live) == 0) break;
+    }
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(lanes, live);
+    for (int l = 0; l < 8; ++l) out[i + l] = winner_of(lanes[l]);
+  }
+  for (; i < n; ++i) out[i] = winner_of(reduce_one(g, keys[i]));
+}
+
+#endif  // PH_X86
+
+}  // namespace
+
+void CompiledMatcher::match_batch(const Group& g, const std::uint64_t* keys, int n, int* out,
+                                  SimdLevel level) {
+  if (n <= 0) return;
+  if (level == SimdLevel::Auto)
+    level = dispatch_level();
+  else if (static_cast<int>(level) > static_cast<int>(max_supported_level()))
+    level = max_supported_level();
+
+  if (g.row_count == 0) {
+    for (int i = 0; i < n; ++i) out[i] = -1;
+    return;
+  }
+  // Multi-word groups (> 64 rows) and the forced-scalar level take the
+  // per-key path; every level is bit-identical so this is only a speed
+  // question, and wide groups are rare enough not to earn lanes.
+  if (g.words != 1 || level == SimdLevel::Scalar) {
+    for (int i = 0; i < n; ++i) out[i] = first_match(g, keys[i]);
+    return;
+  }
+  switch (level) {
+#if PH_X86
+    case SimdLevel::Avx512: match_avx512(g, keys, n, out); return;
+    case SimdLevel::Avx2: match_avx2(g, keys, n, out); return;
+#endif
+    default: match_swar(g, keys, n, out); return;
+  }
 }
 
 }  // namespace parserhawk

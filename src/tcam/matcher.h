@@ -18,6 +18,14 @@
 // programs (empty states, zero-width keys, masks wider than the declared
 // key). That identity is what lets the batched differential tester
 // (src/sim/batch.h) replace the scalar interpreter wholesale.
+//
+// match_batch() is the traffic-scale entry point (DESIGN.md §12): it
+// resolves N keys against one group per call, walking the cared-about key
+// bits once and intersecting every packet's live-row bitmap per bit —
+// 4 packets per step under AVX2, 8 under AVX-512, or a branchless 4-wide
+// SWAR unroll everywhere else. All levels produce bit-identical winners
+// to first_match(); the level is picked at runtime (PH_SIMD env var +
+// CPU capability probe), so one binary serves every microarchitecture.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,27 @@
 #include "tcam/tcam.h"
 
 namespace parserhawk {
+
+/// Width of the wide match kernel's packet lanes.
+///
+/// Scalar runs one key at a time; Swar is a branchless 4-wide unroll over
+/// plain uint64 ops; Avx2/Avx512 use 4-/8-lane vector registers. Auto
+/// resolves to the best level this CPU supports (see dispatch_level).
+/// Every level yields bit-identical match results — the choice is purely
+/// a throughput knob.
+enum class SimdLevel { Auto, Scalar, Swar, Avx2, Avx512 };
+
+const char* to_string(SimdLevel level);
+
+/// Highest level usable on this CPU (probed once; Swar on non-x86).
+SimdLevel max_supported_level();
+
+/// Resolve the runtime level: the PH_SIMD environment variable
+/// ("off"/"scalar", "swar", "avx2", "avx512", "auto") clamped to
+/// max_supported_level(). Unset or unrecognized means Auto. Re-read on
+/// every call so tests can flip the env var; resolve once per batch in
+/// hot paths.
+SimdLevel dispatch_level();
 
 class CompiledMatcher {
  public:
@@ -65,6 +94,15 @@ class CompiledMatcher {
   /// Priority index of the first row of `g` matching `key`, or -1. The
   /// winning entry is `g.rows[result]`.
   static int first_match(const Group& g, std::uint64_t key);
+
+  /// Wide kernel: first_match for `n` keys in one pass, writing the
+  /// priority index (or -1) of keys[i] into out[i]. Bit-identical to
+  /// calling first_match per key at every level, any n (including tails
+  /// shorter than the lane width) and any group shape; groups wider than
+  /// 64 rows fall back to the per-key path. `level` Auto resolves via
+  /// dispatch_level(); an unsupported explicit level is clamped down.
+  static void match_batch(const Group& g, const std::uint64_t* keys, int n, int* out,
+                          SimdLevel level = SimdLevel::Auto);
 
   const TcamProgram& program() const { return *prog_; }
 

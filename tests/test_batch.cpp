@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "helpers.h"
@@ -59,6 +60,17 @@ int scan_winner(const TcamProgram& p, int table, int state, std::uint64_t key) {
   for (const TcamEntry* row : p.rows_of(table, state))
     if (row->matches(key)) return static_cast<int>(row - p.entries.data());
   return -1;
+}
+
+/// Every wide-kernel level this build can actually run (always includes
+/// the forced-scalar path and the portable SWAR path).
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::Scalar, SimdLevel::Swar};
+  if (static_cast<int>(max_supported_level()) >= static_cast<int>(SimdLevel::Avx2))
+    levels.push_back(SimdLevel::Avx2);
+  if (static_cast<int>(max_supported_level()) >= static_cast<int>(SimdLevel::Avx512))
+    levels.push_back(SimdLevel::Avx512);
+  return levels;
 }
 
 TEST(CompiledMatcher, AgreesWithScalarScanOnRandomTables) {
@@ -254,7 +266,7 @@ TEST(Coverage, ExactCountsOnKnownInputs) {
   BitVec deep = BitVec::from_u64(0x0f, 8);
   // 1000: field0[0] == 1 -> accept straight away.
   BitVec shallow = BitVec::from_u64(0x8, 4);
-  BatchResult r = run_batch(spec, p, {deep, shallow}, {});
+  BatchResult r = run_batch(spec, p, std::vector<BitVec>{deep, shallow}, {});
   EXPECT_EQ(r.agree, 2);
   ASSERT_EQ(r.coverage.state_hits.size(), 2u);
   EXPECT_EQ(r.coverage.state_hits[0], 2);  // state0 entered by both
@@ -276,7 +288,8 @@ TEST(Coverage, ExactCountsOnKnownInputs) {
 TEST(Coverage, UncoveredRulesAreNamed) {
   ParserSpec spec = spec2();
   TcamProgram p = spec2_impl();
-  BatchResult r = run_batch(spec, p, {BitVec::from_u64(0x8, 4)}, {});  // shallow only
+  BatchResult r =
+      run_batch(spec, p, std::vector<BitVec>{BitVec::from_u64(0x8, 4)}, {});  // shallow only
   EXPECT_FALSE(r.coverage.all_rules_covered());
   std::string missing = r.coverage.uncovered_rules(spec);
   EXPECT_NE(missing.find("state0"), std::string::npos) << missing;
@@ -339,6 +352,199 @@ TEST(BatchRunner, EightThreadStress) {
   ASSERT_TRUE(dirty1.mismatch.has_value());
   EXPECT_EQ(dirty1.first_mismatch, dirty2.first_mismatch);
   EXPECT_EQ(dirty1.evaluated, dirty2.evaluated);
+}
+
+// ---- Wide-kernel identity gate (DESIGN.md §12) ------------------------
+//
+// match_batch must be bit-identical to first_match at every SIMD level,
+// for any key width, row count (including >64-row multi-word groups) and
+// batch length (including tails shorter than one SIMD lane group).
+
+TEST(WideKernel, MatchBatchIdenticalToFirstMatchAtEveryLevel) {
+  Rng rng(0x51d);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Odd key widths on purpose: shifts and the implicit key mask must
+    // agree with the scalar kernel bit-for-bit.
+    int kw = 1 + static_cast<int>(rng.below(63));
+    int rows = 1 + static_cast<int>(rng.below(40));
+    TcamProgram p = random_table(rng, kw, rows);
+    CompiledMatcher m(p);
+    const CompiledMatcher::Group* g = m.find(0, 0);
+    ASSERT_NE(g, nullptr);
+    ASSERT_EQ(g->words, 1);
+    std::uint64_t kmask = kw >= 64 ? ~0ull : ((1ull << kw) - 1);
+    // Batch lengths straddling every tail shape for 4- and 8-wide lanes.
+    for (int n : {1, 3, 4, 5, 7, 8, 9, 31}) {
+      std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+      for (auto& k : keys) k = rng() & kmask;
+      std::vector<int> expect(keys.size());
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        expect[i] = CompiledMatcher::first_match(*g, keys[i]);
+      for (SimdLevel level : supported_levels()) {
+        std::vector<int> got(keys.size(), -2);
+        CompiledMatcher::match_batch(*g, keys.data(), n, got.data(), level);
+        ASSERT_EQ(expect, got) << "level=" << to_string(level) << " kw=" << kw
+                               << " rows=" << rows << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(WideKernel, MultiWordGroupsFallBackIdentically) {
+  // > 64 rows: the wide kernel falls back to per-key first_match, so the
+  // identity must hold trivially — pin it anyway.
+  Rng rng(0x91e);
+  TcamProgram p = random_table(rng, 11, 150);
+  CompiledMatcher m(p);
+  const CompiledMatcher::Group* g = m.find(0, 0);
+  ASSERT_NE(g, nullptr);
+  ASSERT_GT(g->words, 1);
+  std::vector<std::uint64_t> keys(37);
+  for (auto& k : keys) k = rng() & 0x7ff;
+  std::vector<int> expect(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    expect[i] = CompiledMatcher::first_match(*g, keys[i]);
+  for (SimdLevel level : supported_levels()) {
+    std::vector<int> got(keys.size(), -2);
+    CompiledMatcher::match_batch(*g, keys.data(), static_cast<int>(keys.size()), got.data(),
+                                 level);
+    EXPECT_EQ(expect, got) << to_string(level);
+  }
+}
+
+TEST(WideKernel, ZeroLengthBatchIsANoOp) {
+  Rng rng(0x3);
+  TcamProgram p = random_table(rng, 8, 5);
+  CompiledMatcher m(p);
+  const CompiledMatcher::Group* g = m.find(0, 0);
+  ASSERT_NE(g, nullptr);
+  for (SimdLevel level : supported_levels())
+    CompiledMatcher::match_batch(*g, nullptr, 0, nullptr, level);  // must not touch anything
+}
+
+TEST(WideKernel, DispatchRespectsEnvAndClampsToCpu) {
+  // PH_SIMD=off / scalar force the scalar row scan; unknown or absent
+  // values resolve to the best level the CPU supports; a request above
+  // the CPU's ceiling clamps down instead of crashing.
+  ASSERT_GE(static_cast<int>(max_supported_level()), static_cast<int>(SimdLevel::Swar));
+  ::setenv("PH_SIMD", "off", 1);
+  EXPECT_EQ(dispatch_level(), SimdLevel::Scalar);
+  ::setenv("PH_SIMD", "scalar", 1);
+  EXPECT_EQ(dispatch_level(), SimdLevel::Scalar);
+  ::setenv("PH_SIMD", "swar", 1);
+  EXPECT_EQ(dispatch_level(), SimdLevel::Swar);
+  ::setenv("PH_SIMD", "avx512", 1);
+  EXPECT_LE(static_cast<int>(dispatch_level()), static_cast<int>(max_supported_level()));
+  ::unsetenv("PH_SIMD");
+  EXPECT_EQ(dispatch_level(), max_supported_level());
+}
+
+TEST(WideKernel, RunImplBatchMatchesScalarInterpreterAndCoverage) {
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  CompiledMatcher m(p);
+  DiffTestOptions opts;
+  opts.samples = 150;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  std::vector<PacketRef> refs = as_refs(corpus);
+
+  CoverageMap scalar_cov = CoverageMap::for_pair(spec, p);
+  std::vector<ParseResult> scalar(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) scalar[i] = run_impl(m, refs[i], &scalar_cov);
+
+  for (SimdLevel level : supported_levels()) {
+    CoverageMap cov = CoverageMap::for_pair(spec, p);
+    std::vector<ParseResult> wide(corpus.size());
+    run_impl_batch(m, refs.data(), static_cast<int>(refs.size()), wide.data(), &cov, level);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      ASSERT_EQ(scalar[i].outcome, wide[i].outcome) << to_string(level) << " i=" << i;
+      ASSERT_EQ(scalar[i].dict, wide[i].dict) << to_string(level) << " i=" << i;
+      ASSERT_EQ(scalar[i].bits_consumed, wide[i].bits_consumed) << to_string(level) << " i=" << i;
+      ASSERT_EQ(scalar[i].iterations, wide[i].iterations) << to_string(level) << " i=" << i;
+    }
+    EXPECT_EQ(scalar_cov.row_hits, cov.row_hits) << to_string(level);
+    EXPECT_EQ(scalar_cov.impl_exhausted, cov.impl_exhausted) << to_string(level);
+  }
+}
+
+TEST(WideKernel, BatchRunnerVerdictIdenticalAtEverySimdLevel) {
+  ParserSpec spec = spec2();
+  TcamProgram good = spec2_impl();
+  TcamProgram bad = spec2_impl();
+  bad.entries[1].next_state = kReject;
+  DiffTestOptions opts;
+  opts.samples = 200;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+
+  for (const TcamProgram* prog : {&good, &bad}) {
+    BatchOptions ref;
+    ref.simd = SimdLevel::Scalar;
+    BatchResult base = run_batch(spec, *prog, corpus, ref);
+    for (SimdLevel level : supported_levels()) {
+      for (int chunk : {3, 64}) {  // chunk is also the wide sub-batch width
+        BatchOptions b;
+        b.simd = level;
+        b.chunk = chunk;
+        BatchResult r = run_batch(spec, *prog, corpus, b);
+        EXPECT_EQ(base.first_mismatch, r.first_mismatch) << to_string(level) << " chunk=" << chunk;
+        EXPECT_EQ(base.evaluated, r.evaluated) << to_string(level) << " chunk=" << chunk;
+        EXPECT_EQ(base.agree, r.agree) << to_string(level) << " chunk=" << chunk;
+        EXPECT_EQ(base.mismatch.has_value(), r.mismatch.has_value()) << to_string(level);
+        if (base.mismatch.has_value() && r.mismatch.has_value()) {
+          EXPECT_EQ(base.mismatch->input, r.mismatch->input) << to_string(level);
+        }
+        EXPECT_EQ(base.coverage.state_hits, r.coverage.state_hits) << to_string(level);
+        EXPECT_EQ(base.coverage.rule_hits, r.coverage.rule_hits) << to_string(level);
+        EXPECT_EQ(base.coverage.row_hits, r.coverage.row_hits) << to_string(level);
+        for (int o = 0; o < 3; ++o) {
+          EXPECT_EQ(base.spec_outcomes[o], r.spec_outcomes[o]) << to_string(level);
+          EXPECT_EQ(base.impl_outcomes[o], r.impl_outcomes[o]) << to_string(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(WideKernel, ForcedScalarEnvMatchesAutoDispatch) {
+  // The PH_SIMD escape hatch must not change any observable result — the
+  // same contract build.yml's off-vs-on corpus diff step enforces
+  // end-to-end via ci/check_trace.py --diff-metrics.
+  ParserSpec spec = spec2();
+  TcamProgram p = spec2_impl();
+  DiffTestOptions opts;
+  opts.samples = 100;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  ::setenv("PH_SIMD", "off", 1);
+  BatchResult off = run_batch(spec, p, corpus, {});
+  ::unsetenv("PH_SIMD");
+  BatchResult on = run_batch(spec, p, corpus, {});
+  EXPECT_EQ(off.agree, on.agree);
+  EXPECT_EQ(off.evaluated, on.evaluated);
+  EXPECT_EQ(off.coverage.row_hits, on.coverage.row_hits);
+  EXPECT_EQ(off.coverage.rule_hits, on.coverage.rule_hits);
+}
+
+// TSan course: wide kernel under 8 threads × small chunks, every level.
+TEST(WideKernel, EightThreadSimdStress) {
+  ParserSpec spec = spec2();
+  TcamProgram bad = spec2_impl();
+  bad.entries[2].next_state = kReject;
+  DiffTestOptions opts;
+  opts.samples = 256;
+  std::vector<BitVec> corpus = difftest_corpus(spec, opts);
+  BatchOptions ref;
+  ref.simd = SimdLevel::Scalar;
+  BatchResult base = run_batch(spec, bad, corpus, ref);
+  for (SimdLevel level : supported_levels()) {
+    BatchOptions b;
+    b.threads = 8;
+    b.chunk = 4;
+    b.simd = level;
+    BatchResult r = run_batch(spec, bad, corpus, b);
+    EXPECT_EQ(base.first_mismatch, r.first_mismatch) << to_string(level);
+    EXPECT_EQ(base.evaluated, r.evaluated) << to_string(level);
+    EXPECT_EQ(base.coverage.row_hits, r.coverage.row_hits) << to_string(level);
+  }
 }
 
 }  // namespace

@@ -5,8 +5,12 @@
 namespace parserhawk {
 namespace {
 
+// Bitstream is a non-owning view (DESIGN.md §12), so every test binds the
+// backing BitVec to a local that outlives the stream.
+
 TEST(Bitstream, ReadConsumes) {
-  Bitstream s(BitVec::from_u64(0xAB, 8));
+  const BitVec v = BitVec::from_u64(0xAB, 8);
+  Bitstream s(v);
   auto first = s.read(4);
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ(first->to_u64(), 0xAu);
@@ -18,7 +22,8 @@ TEST(Bitstream, ReadConsumes) {
 }
 
 TEST(Bitstream, ReadPastEndFailsWithoutConsuming) {
-  Bitstream s(BitVec::from_u64(0xF, 4));
+  const BitVec v = BitVec::from_u64(0xF, 4);
+  Bitstream s(v);
   EXPECT_FALSE(s.read(5).has_value());
   EXPECT_EQ(s.position(), 0);  // nothing consumed on failure
   EXPECT_TRUE(s.read(4).has_value());
@@ -26,14 +31,16 @@ TEST(Bitstream, ReadPastEndFailsWithoutConsuming) {
 }
 
 TEST(Bitstream, ZeroWidthReadAlwaysSucceeds) {
-  Bitstream s(BitVec{});
+  const BitVec empty;
+  Bitstream s(empty);
   auto r = s.read(0);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->size(), 0);
 }
 
 TEST(Bitstream, PeekDoesNotConsume) {
-  Bitstream s(BitVec::from_u64(0b10110011, 8));
+  const BitVec v = BitVec::from_u64(0b10110011, 8);
+  Bitstream s(v);
   auto p = s.peek(0, 3);
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->to_u64(), 0b101u);
@@ -41,7 +48,8 @@ TEST(Bitstream, PeekDoesNotConsume) {
 }
 
 TEST(Bitstream, PeekWithOffsetIsRelativeToCursor) {
-  Bitstream s(BitVec::from_u64(0b10110011, 8));
+  const BitVec v = BitVec::from_u64(0b10110011, 8);
+  Bitstream s(v);
   ASSERT_TRUE(s.read(4).has_value());
   auto p = s.peek(2, 2);
   ASSERT_TRUE(p.has_value());
@@ -49,16 +57,33 @@ TEST(Bitstream, PeekWithOffsetIsRelativeToCursor) {
 }
 
 TEST(Bitstream, PeekPastEndFails) {
-  Bitstream s(BitVec::from_u64(0xF, 4));
+  const BitVec v = BitVec::from_u64(0xF, 4);
+  Bitstream s(v);
   EXPECT_FALSE(s.peek(2, 3).has_value());
   EXPECT_TRUE(s.peek(2, 2).has_value());
 }
 
 TEST(Bitstream, NegativeWidthRejected) {
-  Bitstream s(BitVec::from_u64(0xF, 4));
+  const BitVec v = BitVec::from_u64(0xF, 4);
+  Bitstream s(v);
   EXPECT_FALSE(s.read(-1).has_value());
   EXPECT_FALSE(s.peek(0, -1).has_value());
   EXPECT_FALSE(s.peek(-1, 2).has_value());
+}
+
+TEST(Bitstream, RawByteWindowReadsWireOrder) {
+  // Bit i of the stream = bit (7 - i%8) of byte i/8 — MSB-first, matching
+  // BitVec::from_bytes and the pcap PacketView convention.
+  const std::uint8_t bytes[2] = {0xA5, 0xC0};
+  Bitstream s(bytes, 12);
+  auto hi = s.read(8);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_EQ(hi->to_u64(), 0xA5u);
+  auto lo = s.read(4);
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_EQ(lo->to_u64(), 0xCu);
+  EXPECT_EQ(s.remaining(), 0);
+  EXPECT_FALSE(s.read(1).has_value());
 }
 
 }  // namespace

@@ -170,6 +170,64 @@ TEST(CorpusReplay, PcapFedBatchesAreThreadCountInvariant) {
   }
 }
 
+/// Satellite (DESIGN.md §12): the wide-kernel level is as unobservable as
+/// the thread count. A full thread × SIMD matrix of replay_spec over two
+/// zoo specs — one compile each, shared via ReplayOptions::precompiled —
+/// must publish bit-identical cov.corpus.* gauges and batch tallies in
+/// every cell.
+TEST(CorpusReplay, ThreadBySimdMatrixPublishesIdenticalGauges) {
+  std::vector<SimdLevel> levels = {SimdLevel::Scalar, SimdLevel::Swar};
+  if (static_cast<int>(max_supported_level()) > static_cast<int>(SimdLevel::Swar))
+    levels.push_back(max_supported_level());
+
+  for (const char* name : {"vlan", "icmp_zoo"}) {
+    auto spec = corpus::load_spec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    SynthOptions so;
+    so.timeout_sec = 120;
+    CompileResult cr = compile(*spec, tofino(), so);
+    ASSERT_TRUE(cr.ok()) << name << ": " << cr.reason;
+
+    const std::string prefix = std::string("cov.corpus.") + name + ".";
+    const char* kGauges[] = {"states_hit", "states_total", "rules_hit", "rules_total"};
+    bool have_baseline = false;
+    std::int64_t expect_gauges[4] = {0, 0, 0, 0};
+    std::int64_t expect_agree = 0;
+    for (int threads : {1, 4, 8}) {
+      for (SimdLevel level : levels) {
+        obs::Metrics::get().reset();
+        obs::Metrics::get().enable();
+        corpus::ReplayOptions opts;
+        opts.precompiled = &cr;
+        opts.batch.threads = threads;
+        opts.batch.chunk = 8;
+        opts.batch.simd = level;
+        corpus::ReplayReport report = corpus::replay_spec(name, *spec, opts);
+        ASSERT_TRUE(report.ok) << name << " threads=" << threads << " level="
+                               << to_string(level) << ": " << report.detail;
+        auto& m = obs::Metrics::get();
+        for (int gi = 0; gi < 4; ++gi) {
+          std::int64_t got = m.gauge(prefix + kGauges[gi]);
+          if (!have_baseline)
+            expect_gauges[gi] = got;
+          else
+            EXPECT_EQ(expect_gauges[gi], got) << name << "." << kGauges[gi]
+                                              << " threads=" << threads
+                                              << " level=" << to_string(level);
+        }
+        if (!have_baseline)
+          expect_agree = report.batch.agree;
+        else
+          EXPECT_EQ(expect_agree, report.batch.agree)
+              << name << " threads=" << threads << " level=" << to_string(level);
+        have_baseline = true;
+        obs::Metrics::get().disable();
+      }
+    }
+    obs::Metrics::get().reset();
+  }
+}
+
 /// The trace generator's own contract: deterministic in (spec, seed),
 /// byte-aligned packets, and no missed rules on the zoo.
 TEST(TraceGen, DeterministicAndByteAligned) {

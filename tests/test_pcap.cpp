@@ -3,13 +3,19 @@
 // magic, truncated headers, records lying about their length, arbitrary
 // byte soup — is rejected with an error code or parsed into views that
 // stay inside the buffer. Never a crash, never an over-read.
+// The zero-copy sections (DESIGN.md §12) pin the PacketRef lifetime
+// contract: refs alias the capture's own buffer through run_batch, views
+// observe later buffer mutations, and moving the PcapFile keeps them valid.
 #include "sim/pcap.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
+#include "helpers.h"
+#include "sim/batch.h"
 #include "support/bitvec.h"
 #include "support/rng.h"
 
@@ -202,6 +208,113 @@ TEST(Pcap, FuzzedBytesNeverEscapeTheBuffer) {
       p.to_bits();  // touch every captured byte under ASan
     }
   }
+}
+
+// ---- Zero-copy lifetime contract --------------------------------------
+
+/// The hand-built correct implementation of testing::spec2 (Table 1),
+/// shared with tests/test_batch.cpp.
+TcamProgram spec2_impl() {
+  TcamProgram p;
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+/// spec2-shaped packets of assorted depths, plus junk-length strays.
+std::vector<BitVec> spec2_packets() {
+  std::vector<BitVec> packets;
+  Rng rng(0x2ca9);
+  for (int i = 0; i < 24; ++i) {
+    int bytes = static_cast<int>(rng.below(4));  // 0..3 bytes
+    BitVec p;
+    for (int b = 0; b < bytes * 8; ++b) p.push_back(rng.chance(0.5));
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+TEST(PcapZeroCopy, RefsAliasTheCaptureThroughRunBatch) {
+  ParserSpec spec = testing::spec2();
+  TcamProgram impl = spec2_impl();
+  auto parsed = pcap::parse(pcap::write(spec2_packets()));
+  ASSERT_TRUE(parsed.ok());
+  const pcap::PcapFile& file = *parsed;
+
+  // Every ref must point inside the file's own buffer — no copies.
+  std::vector<PacketRef> refs = file.to_refs();
+  ASSERT_EQ(refs.size(), file.packets.size());
+  const std::uint8_t* lo = file.bytes.data();
+  const std::uint8_t* hi = lo + file.bytes.size();
+  for (const PacketRef& r : refs) {
+    if (r.nbits == 0) continue;
+    ASSERT_GE(r.bytes, lo);
+    ASSERT_LE(r.bytes + (r.nbits + 7) / 8, hi);
+  }
+
+  // Zero-copy replay and the materialized copy must be indistinguishable.
+  BatchResult via_refs = run_batch(spec, impl, refs, {});
+  BatchResult via_copies = run_batch(spec, impl, file.to_bitvecs(), {});
+  EXPECT_EQ(via_refs.submitted, via_copies.submitted);
+  EXPECT_EQ(via_refs.evaluated, via_copies.evaluated);
+  EXPECT_EQ(via_refs.agree, via_copies.agree);
+  EXPECT_EQ(via_refs.first_mismatch, via_copies.first_mismatch);
+  for (int o = 0; o < 3; ++o) {
+    EXPECT_EQ(via_refs.spec_outcomes[o], via_copies.spec_outcomes[o]) << o;
+    EXPECT_EQ(via_refs.impl_outcomes[o], via_copies.impl_outcomes[o]) << o;
+  }
+  EXPECT_EQ(via_refs.coverage.state_hits, via_copies.coverage.state_hits);
+  EXPECT_EQ(via_refs.coverage.rule_hits, via_copies.coverage.rule_hits);
+  EXPECT_EQ(via_refs.coverage.row_hits, via_copies.coverage.row_hits);
+}
+
+TEST(PcapZeroCopy, TruncatedTailCaptureReplaysItsCompletePackets) {
+  ParserSpec spec = testing::spec2();
+  TcamProgram impl = spec2_impl();
+  std::vector<std::uint8_t> whole = pcap::write(spec2_packets());
+  std::vector<std::uint8_t> chopped(whole.begin(), whole.end() - 3);
+  auto parsed = pcap::parse(std::move(chopped));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->truncated_tail);
+  ASSERT_FALSE(parsed->packets.empty());
+  // The surviving (complete) packets flow through the wide kernel exactly
+  // like their materialized twins.
+  BatchResult via_refs = run_batch(spec, impl, parsed->to_refs(), {});
+  BatchResult via_copies = run_batch(spec, impl, parsed->to_bitvecs(), {});
+  EXPECT_EQ(via_refs.submitted, static_cast<std::int64_t>(parsed->packets.size()));
+  EXPECT_EQ(via_refs.evaluated, via_copies.evaluated);
+  EXPECT_EQ(via_refs.agree, via_copies.agree);
+  EXPECT_EQ(via_refs.coverage.row_hits, via_copies.coverage.row_hits);
+}
+
+TEST(PcapZeroCopy, ViewsObserveBufferMutation) {
+  // A ref is a window, not a snapshot: mutating the capture buffer after
+  // taking views changes what they read. This is the documented aliasing
+  // hazard — pinned here so a future "fix" that silently copies (or a
+  // caller assuming snapshot semantics) trips a test.
+  auto parsed = pcap::parse(pcap::write({BitVec::from_u64(0xAB, 8)}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->packets.size(), 1u);
+  PacketRef ref = parsed->packets[0].ref();
+  EXPECT_EQ(ref.materialize().to_u64(), 0xABu);
+  // Flip the packet's payload byte in place (the view points at it).
+  std::size_t at = static_cast<std::size_t>(parsed->packets[0].data - parsed->bytes.data());
+  parsed->bytes[at] = 0xCD;
+  EXPECT_EQ(ref.materialize().to_u64(), 0xCDu);
+  EXPECT_EQ(parsed->packets[0].to_bits().to_u64(), 0xCDu);
+}
+
+TEST(PcapZeroCopy, MovedPcapFileKeepsViewsValid) {
+  auto parsed = pcap::parse(pcap::write({BitVec::from_u64(0x5A, 8), BitVec::from_u64(0x3C, 8)}));
+  ASSERT_TRUE(parsed.ok());
+  std::vector<PacketRef> refs = parsed->to_refs();
+  pcap::PcapFile moved = std::move(*parsed);  // heap buffer does not move
+  EXPECT_EQ(refs[0].materialize().to_u64(), 0x5Au);
+  EXPECT_EQ(refs[1].materialize().to_u64(), 0x3Cu);
+  EXPECT_EQ(moved.packets[0].to_bits().to_u64(), 0x5Au);
 }
 
 }  // namespace
