@@ -53,6 +53,13 @@ int difftest_threads() {
   return n >= 0 ? n : -1;
 }
 
+VerifierKind verifier() {
+  const char* v = std::getenv("PH_VERIFIER");
+  VerifierKind k = VerifierKind::Z3;
+  if (v != nullptr) parse_verifier(v, k);  // unknown values keep the default
+  return k;
+}
+
 std::vector<RowFamily> table3_families() {
   using namespace parserhawk::suite;
   Rng rng(0xbe7c4);
@@ -162,6 +169,7 @@ PhRun run_parserhawk(const ParserSpec& spec, const HwProfile& hw) {
   opt.cache_dir = cache_dir();  // empty keeps the cache off
   if (difftest_batch() > 0) opt.difftest_samples = difftest_batch();
   if (difftest_threads() >= 0) opt.difftest_threads = difftest_threads();
+  opt.verifier = verifier();
   run.opt = compile(spec, hw, opt);
 
   if (!skip_orig()) {

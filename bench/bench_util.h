@@ -23,6 +23,9 @@
 //                        CEGIS pre-check (default: SynthOptions default)
 //   PH_DIFFTEST_THREADS  difftest worker threads; 0 = reuse the Opt7
 //                        pool. The verdict is identical at every value.
+//   PH_VERIFIER          z3 | bisim | race — which equivalence checker the
+//                        verify phase runs (DESIGN.md §13). The compiled
+//                        program is identical for every value.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +50,8 @@ std::string cache_dir();
 int difftest_batch();
 /// PH_DIFFTEST_THREADS, or -1 when unset (reuse the Opt7 pool).
 int difftest_threads();
+/// PH_VERIFIER, or VerifierKind::Z3 when unset/unrecognized.
+VerifierKind verifier();
 
 /// One named mutation of a base benchmark (the ±R rows of Table 3).
 struct Variant {

@@ -27,6 +27,14 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
     tallies (accept + reject + exhausted) sum to samples
   * every cov.*_hit gauge has a matching cov.*_total gauge with
     hit <= total (coverage can never exceed the universe it counts)
+  * when the bisimulation checker ran (verify.bisim.* counters present):
+    its per-verdict counters sum to verify.bisim.runs, and every
+    verify.bisim.*_reachable gauge stays within its *_total partner
+  * when the verifier race ran (verify.race.* counters present):
+    conclusive_verdicts == bisim_wins + z3_wins, runs ==
+    conclusive_verdicts + inconclusive, and — the differential-harness
+    invariant — agreement_checks == agreements (the two checkers never
+    disagreed on any verify phase of the run)
   * with --require-cache-hits, the metrics must show a warm synthesis
     cache: cache.hits > 0 and no more stores than misses (a hot state is
     never re-stored) — the assertion the warm-cache CI job runs on its
@@ -35,6 +43,10 @@ Checks (schema + monotonicity; see DESIGN.md §7 for the event schema):
     actually run (sim.batch.runs > 0 with samples > 0 and no
     mismatches, and spec rule coverage recorded) — the assertion the
     traced-compile CI step runs on
+  * with --require-race, the metrics must show the raced verify phase
+    actually ran and stayed in agreement: verify.race.runs > 0 with
+    agreement_checks > 0 and verify.bisim.runs > 0 — the assertion the
+    --verifier=race traced-compile CI step runs on
   * with --require-corpus-cov=SPEC,..., every named protocol-zoo spec
     must have published cov.corpus.<spec>.rules_{hit,total} gauges with
     total > 0 and hit == total (the 100%-coverage corpus gate) — the
@@ -176,6 +188,60 @@ def check_sim_batch(path, counters, gauges, require_sim_batch=False):
               f"rules {gauges.get('cov.spec.rules_hit', 0)}/{gauges['cov.spec.rules_total']})")
 
 
+def check_verify_race(path, counters, gauges, require_race=False):
+    """Cross-check the bisimulation / verifier-race counters (DESIGN.md §13)."""
+    bisim_runs = counters.get("verify.bisim.runs", 0)
+    if bisim_runs:
+        verdicts = sum(counters.get(f"verify.bisim.verdict.{v}", 0)
+                       for v in ("equivalent", "counterexample", "inconclusive"))
+        if verdicts != bisim_runs:
+            fail(f"{path}: verify.bisim verdict counters sum to {verdicts}, "
+                 f"expected runs ({bisim_runs})")
+
+    for name, reachable in gauges.items():
+        if not (name.startswith("verify.bisim.") and name.endswith("_reachable")):
+            continue
+        total_name = name[: -len("_reachable")] + "_total"
+        if total_name not in gauges:
+            fail(f"{path}: gauge {name} has no matching {total_name}")
+        if reachable > gauges[total_name]:
+            fail(f"{path}: {name} ({reachable}) exceeds {total_name} "
+                 f"({gauges[total_name]})")
+
+    race_runs = counters.get("verify.race.runs", 0)
+    if race_runs:
+        conclusive = counters.get("verify.race.conclusive_verdicts", 0)
+        bisim_wins = counters.get("verify.race.bisim_wins", 0)
+        z3_wins = counters.get("verify.race.z3_wins", 0)
+        inconclusive = counters.get("verify.race.inconclusive", 0)
+        agreement_checks = counters.get("verify.race.agreement_checks", 0)
+        agreements = counters.get("verify.race.agreements", 0)
+        if conclusive != bisim_wins + z3_wins:
+            fail(f"{path}: verify.race.conclusive_verdicts ({conclusive}) != "
+                 f"bisim_wins ({bisim_wins}) + z3_wins ({z3_wins})")
+        if conclusive + inconclusive != race_runs:
+            fail(f"{path}: verify.race conclusive ({conclusive}) + inconclusive "
+                 f"({inconclusive}) != runs ({race_runs})")
+        if agreement_checks != agreements:
+            fail(f"{path}: verifier race disagreed: agreement_checks "
+                 f"({agreement_checks}) != agreements ({agreements})")
+
+    if require_race:
+        if race_runs <= 0:
+            fail(f"{path}: expected a raced verify phase; verify.race.runs={race_runs}")
+        if counters.get("verify.race.agreement_checks", 0) <= 0:
+            fail(f"{path}: raced verify phase never had both checkers conclusive "
+                 f"(verify.race.agreement_checks == 0)")
+        if bisim_runs <= 0:
+            fail(f"{path}: expected the bisimulation checker to run; "
+                 f"verify.bisim.runs={bisim_runs}")
+        print(f"check_trace: {path}: verifier race OK "
+              f"(runs={race_runs} agreements="
+              f"{counters.get('verify.race.agreements', 0)} "
+              f"bisim_wins={counters.get('verify.race.bisim_wins', 0)} "
+              f"z3_wins={counters.get('verify.race.z3_wins', 0)})")
+
+
 def check_corpus_cov(path, gauges, specs):
     """Every named zoo spec published full-rule corpus coverage."""
     for spec in specs:
@@ -239,7 +305,8 @@ def diff_metrics(path_a, path_b):
           f"({len(inv_a)} invariant metric(s) identical)")
 
 
-def check_metrics(path, require_cache_hits=False, require_sim_batch=False, corpus_specs=None):
+def check_metrics(path, require_cache_hits=False, require_sim_batch=False,
+                  require_race=False, corpus_specs=None):
     with open(path, encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -270,6 +337,7 @@ def check_metrics(path, require_cache_hits=False, require_sim_batch=False, corpu
             fail(f"{path}: histogram {name} has inconsistent count/min/max")
 
     check_sim_batch(path, counters, doc["gauges"], require_sim_batch=require_sim_batch)
+    check_verify_race(path, counters, doc["gauges"], require_race=require_race)
     if corpus_specs:
         check_corpus_cov(path, doc["gauges"], corpus_specs)
 
@@ -475,11 +543,13 @@ def main():
             diff_path = flag.split("=", 1)[1]
         else:
             simple_flags.add(flag)
-    if simple_flags - {"--require-cache-hits", "--require-sim-batch", "--metrics-only"}:
+    if simple_flags - {"--require-cache-hits", "--require-sim-batch",
+                       "--require-race", "--metrics-only"}:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     require_cache_hits = "--require-cache-hits" in simple_flags
     require_sim_batch = "--require-sim-batch" in simple_flags
+    require_race = "--require-race" in simple_flags
     metrics_only = "--metrics-only" in simple_flags
     if report_path:
         check_report(report_path)
@@ -492,7 +562,8 @@ def main():
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         check_metrics(args[0], require_cache_hits=require_cache_hits,
-                      require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
+                      require_sim_batch=require_sim_batch,
+                      require_race=require_race, corpus_specs=corpus_specs)
         if diff_path:
             diff_metrics(args[0], diff_path)
         return
@@ -503,13 +574,15 @@ def main():
             diff_metrics(args[0], diff_path)
             return
     if len(args) < 1 or len(args) > 2 or (
-            (require_cache_hits or require_sim_batch or corpus_specs) and len(args) < 2):
+            (require_cache_hits or require_sim_batch or require_race or corpus_specs)
+            and len(args) < 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(args[0])
     if len(args) == 2:
         check_metrics(args[1], require_cache_hits=require_cache_hits,
-                      require_sim_batch=require_sim_batch, corpus_specs=corpus_specs)
+                      require_sim_batch=require_sim_batch,
+                      require_race=require_race, corpus_specs=corpus_specs)
         if diff_path:
             diff_metrics(args[1], diff_path)
 

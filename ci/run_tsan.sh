@@ -15,7 +15,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DPARSERHAWK_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_property_end2end test_obs test_batch
+  --target test_thread_pool test_parallel_determinism test_property_end2end test_obs test_batch test_verify_bisim
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp"
 # Sanitizer overhead stretches in-flight z3 queries well past the native
@@ -60,5 +60,13 @@ echo "== test_parallel_determinism (TSan, subset) =="
 
 echo "== timeout-under-parallelism property (TSan) =="
 "$BUILD_DIR/tests/test_property_end2end" --gtest_filter='End2EndTimeout.*'
+
+echo "== test_verify_bisim (TSan, race verifier) =="
+# The raced verify phase: Z3 and the bisimulation sweep run concurrently
+# on the Opt7 pool (two solver contexts, shared finish-order atomic,
+# metrics fan-in). The Race* suite compiles at 1/2/4 threads and asserts
+# bit-identical output, so any unsynchronized sharing between the two
+# checkers shows up here.
+"$BUILD_DIR/tests/test_verify_bisim" --gtest_filter='RaceVerifier.*'
 
 echo "TSan run clean."

@@ -31,6 +31,15 @@
 //                       overrides.
 //   --timeout SEC       wall-clock synthesis budget (0 = unlimited).
 //   --verbose / --quiet log level (also PH_LOG=debug|info|warn|error).
+//
+// Verifier selection (DESIGN.md §13):
+//   --verifier=z3|bisim|race  which equivalence checker the final verify
+//                       phase runs: the monolithic terminal-pair Z3 query,
+//                       the product-automaton bisimulation sweep, or both
+//                       raced to completion (every race is also a live
+//                       differential agreement check). The compiled output
+//                       is identical for every choice. Env fallback:
+//                       PH_VERIFIER.
 // Every sidecar is written on every exit path — including spec parse
 // errors, rejected compiles and timeouts — so post-mortems always have
 // data.
@@ -136,6 +145,14 @@ int main(int argc, char** argv) {
   double timeout_sec = 0;
   bool explain = false;
   bool no_cache = false;
+  VerifierKind verifier = VerifierKind::Z3;
+  auto set_verifier = [&](const std::string& v, const char* where) {
+    if (!parse_verifier(v, verifier)) {
+      obs::log_error("%s: unknown verifier '%s' (expected z3, bisim or race)", where, v.c_str());
+      std::exit(2);
+    }
+  };
+  if (const char* env = std::getenv("PH_VERIFIER")) set_verifier(env, "PH_VERIFIER");
   if (const char* env = std::getenv("PH_THREADS")) {
     int v = std::atoi(env);
     if (v > 0) num_threads = v;
@@ -226,6 +243,11 @@ int main(int argc, char** argv) {
       ++i;
     } else if (a.rfind("--replay-save=", 0) == 0) {
       replay_save_path = a.substr(14);
+    } else if (a == "--verifier") {
+      set_verifier(need_value(a, i), "--verifier");
+      ++i;
+    } else if (a.rfind("--verifier=", 0) == 0) {
+      set_verifier(a.substr(11), "--verifier");
     } else if (a == "--no-cache") {
       no_cache = true;
     } else if (a == "--verbose" || a == "-v") {
@@ -254,7 +276,7 @@ int main(int argc, char** argv) {
                  "usage: %s <spec.hawk> [tofino|ipu] [--threads N] [--timeout SEC]\n"
                  "       [--trace-out PATH] [--metrics-out PATH] [--report-out PATH] [--explain]\n"
                  "       [--prom-out PATH] [--flight-dump PATH] [--cache-dir PATH] [--no-cache]\n"
-                 "       [--difftest-batch N] [--difftest-threads N]\n"
+                 "       [--difftest-batch N] [--difftest-threads N] [--verifier z3|bisim|race]\n"
                  "       [--replay FILE.pcap] [--replay-save FILE.pcap] [--verbose|--quiet]\n",
                  argv[0]);
     return finish(2);
@@ -289,6 +311,7 @@ int main(int argc, char** argv) {
   SynthOptions opts;
   opts.num_threads = num_threads;
   opts.timeout_sec = timeout_sec;
+  opts.verifier = verifier;
   if (difftest_batch > 0) opts.difftest_samples = difftest_batch;
   if (difftest_threads >= 0) opts.difftest_threads = difftest_threads;
   if (!no_cache && !cache_dir.empty()) {
@@ -312,9 +335,16 @@ int main(int argc, char** argv) {
     obs::log_error("FAILED: %s (%s)", to_string(result.status).c_str(), result.reason.c_str());
     return finish(1);
   }
-  obs::log_info("OK in %.2fs: %d entries, %d stage(s), verified: %s", result.stats.seconds,
+  obs::log_info("OK in %.2fs: %d entries, %d stage(s), verified: %s (%s)", result.stats.seconds,
                 result.usage.tcam_entries, result.usage.stages,
-                result.stats.formally_verified ? "formally" : "bounded+differential");
+                result.stats.formally_verified ? "formally" : "bounded+differential",
+                result.verifier.c_str());
+  if (result.reach_valid)
+    obs::log_info("bisim reachability: %d/%d states, %d/%d rules, %d/%d TCAM rows%s",
+                  result.reach.states_reachable(), result.reach.states_total(),
+                  result.reach.rules_reachable(), result.reach.rules_total(),
+                  result.reach.rows_reachable(), result.reach.rows_total(),
+                  result.reach.exact ? " (exact)" : "");
   std::printf("%s\n", backend::emit(result.program, hw).c_str());
 
   if (!replay_save_path.empty()) {

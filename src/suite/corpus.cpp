@@ -54,6 +54,23 @@ void publish_gauges(const std::string& name, const CoverageMap& cov) {
   m.maximize(prefix + "rules_total", cov.rules_total());
 }
 
+/// When the compile's verify phase ran the bisimulation sweep, publish its
+/// exact reachable-set report next to the sampled cov.corpus.* gauges so
+/// coverage claims can cite exhaustive reachability, not just hits
+/// (DESIGN.md §13).
+void publish_reach_gauges(const std::string& name, const CompileResult& compiled) {
+  if (!obs::metrics_on() || !compiled.reach_valid) return;
+  obs::Metrics& m = obs::Metrics::get();
+  const verify2::ReachSet& reach = compiled.reach;
+  const std::string prefix = "verify.bisim." + name + ".";
+  m.maximize(prefix + "states_reachable", reach.states_reachable());
+  m.maximize(prefix + "states_total", reach.states_total());
+  m.maximize(prefix + "rules_reachable", reach.rules_reachable());
+  m.maximize(prefix + "rules_total", reach.rules_total());
+  m.maximize(prefix + "rows_reachable", reach.rows_reachable());
+  m.maximize(prefix + "rows_total", reach.rows_total());
+}
+
 }  // namespace
 
 std::string specs_dir() {
@@ -145,7 +162,10 @@ ReplayReport replay_spec(const std::string& name, const ParserSpec& spec,
     }
   }
 
-  if (options.publish) publish_gauges(name, report.coverage);
+  if (options.publish) {
+    publish_gauges(name, report.coverage);
+    publish_reach_gauges(name, report.compiled);
+  }
 
   if (!report.coverage.all_rules_covered()) {
     report.detail = "uncovered rules: " + report.coverage.uncovered_rules(spec);

@@ -1,6 +1,7 @@
 #include "synth/compiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -636,6 +637,99 @@ StateOutcome solve_state(const StateTask& task, const Deadline& deadline, Thread
   return out;
 }
 
+/// Result of the final verify phase: the verdict the compiler acts on,
+/// which checker produced it, and (when the bisimulation sweep ran) its
+/// exact reachable-set report.
+struct VerifyRun {
+  VerifyOutcome outcome;
+  std::string verifier;
+  std::optional<verify2::BisimResult> bisim;
+};
+
+bool conclusive(const VerifyOutcome& o) { return o.kind != VerifyOutcome::Kind::Inconclusive; }
+
+/// Dispatch the verify phase to the configured checker (DESIGN.md §13).
+///
+/// Race mode runs both checkers to completion — no cancellation, so every
+/// race doubles as a live differential agreement check — concurrently when
+/// a pool exists. The *returned* payload is Z3's whenever Z3 is conclusive,
+/// making the compile result bit-identical to --verifier=z3 at any thread
+/// count; the bisim verdict only decides when Z3 could not. The wall-clock
+/// winner (first conclusive by completion order) is published as
+/// verify.race.{bisim,z3}_wins but never affects the payload.
+VerifyRun run_verify_phase(const ParserSpec& work, const TcamProgram& impl,
+                           const VerifyOptions& vo, const SynthOptions& opts, ThreadPool* pool) {
+  VerifyRun run;
+  if (opts.verifier == VerifierKind::Z3) {
+    run.outcome = verify_equivalence(work, impl, vo);
+    run.verifier = "z3";
+    return run;
+  }
+  verify2::BisimOptions bo;
+  bo.input_bits = vo.input_bits;
+  bo.max_iterations_spec = vo.max_iterations_spec;
+  bo.max_iterations_impl = vo.max_iterations_impl;
+  bo.max_configs = vo.max_configs;
+  if (opts.verifier == VerifierKind::Bisim) {
+    run.bisim = verify2::check_bisimulation(work, impl, bo);
+    run.outcome = run.bisim->outcome;
+    run.verifier = "bisim";
+    return run;
+  }
+
+  VerifyOutcome z3_out;
+  verify2::BisimResult bisim_out;
+  std::atomic<int> finish_seq{0};
+  int z3_rank = 0;
+  int bisim_rank = 0;
+  auto z3_job = [&] {
+    z3_out = verify_equivalence(work, impl, vo);
+    z3_rank = ++finish_seq;
+  };
+  auto bisim_job = [&] {
+    bisim_out = verify2::check_bisimulation(work, impl, bo);
+    bisim_rank = ++finish_seq;
+  };
+  if (pool != nullptr) {
+    std::vector<std::function<void()>> jobs;
+    jobs.emplace_back(z3_job);
+    jobs.emplace_back(bisim_job);
+    pool->run_all(std::move(jobs));
+  } else {
+    z3_job();
+    bisim_job();
+  }
+
+  bool z3_ok = conclusive(z3_out);
+  bool bisim_ok = conclusive(bisim_out.outcome);
+  if (obs::metrics_on()) {
+    obs::count("verify.race.runs");
+    if (z3_ok || bisim_ok) {
+      obs::count("verify.race.conclusive_verdicts");
+      bool bisim_first = bisim_ok && (!z3_ok || bisim_rank < z3_rank);
+      obs::count(bisim_first ? "verify.race.bisim_wins" : "verify.race.z3_wins");
+    } else {
+      obs::count("verify.race.inconclusive");
+    }
+    if (z3_ok && bisim_ok) {
+      obs::count("verify.race.agreement_checks");
+      if (z3_out.kind == bisim_out.outcome.kind) obs::count("verify.race.agreements");
+    }
+  }
+  if (z3_ok && bisim_ok && z3_out.kind != bisim_out.outcome.kind)
+    obs::flight::note("verify_race_disagreement", work.name.c_str());
+
+  run.bisim = std::move(bisim_out);
+  if (z3_ok || !bisim_ok) {
+    run.outcome = std::move(z3_out);
+    run.verifier = "race:z3";
+  } else {
+    run.outcome = run.bisim->outcome;
+    run.verifier = "race:bisim";
+  }
+  return run;
+}
+
 /// Compile `spec` against the semantics of `reference` (== spec, or spec
 /// with loops unrolled — the two Opt7 whole-program variants). `pool` is
 /// null for the sequential path.
@@ -883,16 +977,29 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   postopt_phase.end();
 
   // ---------------- Verification (CEGIS verify phase + Figure 22). ------
+  std::string verifier_used;
+  verify2::ReachSet reach;
+  bool reach_valid = false;
   {
     obs::ReportPhase verify_phase("verify");
+    Stopwatch verify_watch;
     VerifyOptions vo;
-    vo.max_iterations_spec = opts.max_iterations;
+    vo.max_iterations_spec =
+        opts.verify_iterations > 0 ? opts.verify_iterations : opts.max_iterations;
     vo.max_iterations_impl = optimized.max_iterations;
-    VerifyOutcome vr = verify_equivalence(work, optimized, vo);
-    if (vr.kind == VerifyOutcome::Kind::Counterexample)
+    vo.max_configs = opts.verify_max_configs;
+    VerifyRun vr = run_verify_phase(work, optimized, vo, opts, pool);
+    stats.verify_seconds = verify_watch.elapsed_sec();
+    verifier_used = std::move(vr.verifier);
+    if (vr.bisim) {
+      reach = std::move(vr.bisim->reach);
+      reach_valid = true;
+    }
+    if (vr.outcome.kind == VerifyOutcome::Kind::Counterexample)
       return fail(CompileStatus::InternalError,
-                  "verification counterexample: " + vr.counterexample.to_string(), reference, stats);
-    stats.formally_verified = vr.kind == VerifyOutcome::Kind::Equivalent;
+                  "verification counterexample: " + vr.outcome.counterexample.to_string(),
+                  reference, stats);
+    stats.formally_verified = vr.outcome.kind == VerifyOutcome::Kind::Equivalent;
   }
 
   // ---------------- Restore Opt6/Opt2 transforms & final diff test. -----
@@ -931,6 +1038,9 @@ CompileResult compile_variant(const ParserSpec& spec, const ParserSpec& referenc
   out.usage = measure(out.program);
   out.reference = reference;
   out.stats = stats;
+  out.verifier = std::move(verifier_used);
+  out.reach = std::move(reach);
+  out.reach_valid = reach_valid;
   return out;
 }
 
@@ -1036,6 +1146,7 @@ CompileResult compile_toplevel(const ParserSpec& spec, const HwProfile& hw,
     obs::count("synth.budget_attempts", result.stats.budget_attempts);
     if (result.stats.formally_verified) obs::count("synth.formally_verified");
     obs::observe("synth.compile_sec", result.stats.seconds);
+    if (!result.verifier.empty()) obs::observe("synth.verify_sec", result.stats.verify_seconds);
   }
   if (span.active()) {
     span.arg("status", to_string(result.status));

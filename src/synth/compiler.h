@@ -18,6 +18,7 @@
 #include "sim/interp.h"
 #include "synth/options.h"
 #include "tcam/tcam.h"
+#include "verify2/bisim.h"
 
 namespace parserhawk {
 
@@ -42,6 +43,8 @@ struct SynthStats {
   int verify_queries = 0;
   /// Entry-budget values attempted by the minimization search.
   int budget_attempts = 0;
+  /// Wall clock of the final verify phase alone (all racers included).
+  double verify_seconds = 0;
   /// Whether the bounded formal equivalence check conclusively passed.
   bool formally_verified = false;
 };
@@ -55,6 +58,15 @@ struct CompileResult {
   /// Semantics the output was verified against: the input spec, after loop
   /// unrolling when the target cannot loop.
   ParserSpec reference;
+  /// Which checker's verdict the verify phase returned: "z3", "bisim",
+  /// "race:z3" / "race:bisim" (the race, naming the payload's source), or
+  /// empty when the compile failed before the verify phase.
+  std::string verifier;
+  /// Exact reachable-set report from the bisimulation sweep; populated
+  /// (reach_valid = true) whenever the bisim checker ran (verifier bisim or
+  /// race). Indices refer to `reference` and `program`.
+  verify2::ReachSet reach;
+  bool reach_valid = false;
 
   bool ok() const { return status == CompileStatus::Success; }
 };

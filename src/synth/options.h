@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "verify2/types.h"
+
 namespace parserhawk::cache {
 class SynthCache;
 }  // namespace parserhawk::cache
@@ -71,6 +73,20 @@ struct SynthOptions {
   /// Opt7 variants on a pool of this many workers. The compiled program
   /// is identical for every value (deterministic-winner rule).
   int num_threads = 1;
+
+  /// Which equivalence checker the final verify phase runs (DESIGN.md §13):
+  /// the monolithic terminal-pair Z3 query, the product-automaton
+  /// bisimulation sweep, or both raced to completion. The compiled program
+  /// and verdict are identical for every value — Race always returns the
+  /// Z3 payload when Z3 is conclusive — so this knob only moves wall clock
+  /// and which verify.* metrics get published.
+  VerifierKind verifier = VerifierKind::Z3;
+  /// Specification-side iteration bound for the verify phase only; 0 = use
+  /// max_iterations. Raise it (independently of the synthesis bound) when
+  /// the bisim reachable-set report must cover states deeper than K.
+  int verify_iterations = 0;
+  /// Path/product configuration budget for the verify phase.
+  int verify_max_configs = 20000;
 
   /// Content-addressed synthesis cache (src/cache, DESIGN.md §8). Off by
   /// default so every compile is reproducibly cold; turning it on never

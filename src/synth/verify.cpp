@@ -11,75 +11,32 @@
 #include "obs/trace.h"
 #include "sim/interp.h"
 #include "synth/z3_obs.h"
+#include "verify2/symexec.h"
 
 namespace parserhawk {
 
 namespace {
+
+using symexec::Config;
+using symexec::input_slice;
+using symexec::statically_false;
 
 /// A fully-explored execution path: guard over the symbolic input, final
 /// outcome, and concrete bit ranges for every extracted field.
 struct Terminal {
   z3::expr guard;
   ParseOutcome outcome;
-  std::map<int, std::pair<int, int>> dict;  // field -> (wire pos, len)
+  symexec::FieldDict dict;  // field -> (wire pos, len)
 };
 
-struct Config {
-  z3::expr guard;
-  int pos;
-  int iter;
-  std::map<int, std::pair<int, int>> dict;
-  // Machine location: spec uses state only; impl uses (table, state).
-  int table;
-  int state;
-};
-
-/// Wire-order slice [pos, pos+len) of the symbolic input (BV bit 0 = last
-/// wire bit).
-z3::expr input_slice(const z3::expr& input, int total_bits, int pos, int len) {
-  unsigned hi = static_cast<unsigned>(total_bits - 1 - pos);
-  unsigned lo = static_cast<unsigned>(total_bits - pos - len);
-  return input.extract(hi, lo);
-}
-
-bool statically_false(const z3::expr& e) { return e.simplify().is_false(); }
-
-/// Build the key expression for `parts`, or nullopt when evaluation rejects
-/// (spec-side missing field, or out-of-input lookahead on either side).
-/// `missing_is_zero` mirrors sim::eval_key: implementation-side TCAM match
-/// registers read as zero when the field was never extracted.
-std::optional<z3::expr> key_expr(z3::context& ctx, const z3::expr& input, int total_bits,
-                                 const std::vector<KeyPart>& parts, const Config& c,
-                                 bool missing_is_zero) {
-  std::optional<z3::expr> key;
-  auto append = [&key](const z3::expr& piece) { key = key ? z3::concat(*key, piece) : piece; };
-  for (const auto& p : parts) {
-    int pos, len = p.len;
-    if (p.kind == KeyPart::Kind::FieldSlice) {
-      auto it = c.dict.find(p.field);
-      if (it == c.dict.end() || p.lo + p.len > it->second.second) {
-        if (!missing_is_zero) return std::nullopt;
-        append(ctx.bv_val(0, static_cast<unsigned>(len)));
-        continue;
-      }
-      pos = it->second.first + p.lo;
-    } else {
-      pos = c.pos + p.lo;
-    }
-    if (pos + len > total_bits) return std::nullopt;
-    append(input_slice(input, total_bits, pos, len));
-  }
-  if (!key) key = ctx.bv_val(0, 1);  // unused
-  return key;
-}
-
-/// Explore all paths of the specification.
-/// `extract` applies one op; returns false when input is exhausted.
+/// Explore all paths of one machine to its terminal set. `step` enumerates
+/// the successors of a non-terminal configuration (verify2/symexec.h).
 template <typename StepFn>
-std::vector<Terminal> explore(z3::context& ctx, int total_bits, int max_iterations, int max_configs,
-                              Config initial, const StepFn& step, bool& exploded) {
+std::vector<Terminal> explore(int max_iterations, int max_configs, Config initial,
+                              const StepFn& step, bool& exploded) {
   std::vector<Terminal> terminals;
   std::vector<Config> work{std::move(initial)};
+  std::vector<symexec::Successor> succ;
   int visited = 0;
   while (!work.empty()) {
     if (++visited > max_configs) {
@@ -99,10 +56,15 @@ std::vector<Terminal> explore(z3::context& ctx, int total_bits, int max_iteratio
       terminals.push_back(Terminal{c.guard, ParseOutcome::Exhausted, c.dict});
       continue;
     }
-    step(c, terminals, work);
+    succ.clear();
+    step(c, succ);
+    for (auto& s : succ) {
+      if (s.is_terminal)
+        terminals.push_back(Terminal{s.cfg.guard, s.outcome, std::move(s.cfg.dict)});
+      else
+        work.push_back(std::move(s.cfg));
+    }
   }
-  (void)ctx;
-  (void)total_bits;
   return terminals;
 }
 
@@ -126,100 +88,19 @@ VerifyOutcome verify_equivalence(const ParserSpec& spec, const TcamProgram& impl
   z3::expr input = ctx.bv_const("I", static_cast<unsigned>(n_bits));
   bool exploded = false;
 
-  // ---- Specification side: extract, then match, then transition. ----
-  auto spec_step = [&](const Config& c, std::vector<Terminal>& terminals,
-                       std::vector<Config>& work) {
-    const State& st = spec.state(c.state);
-    Config after = c;
-    for (const auto& ex : st.extracts) {
-      int w = spec.fields[static_cast<std::size_t>(ex.field)].width;
-      if (after.pos + w > n_bits) {
-        terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
-        return;
-      }
-      after.dict[ex.field] = {after.pos, w};
-      after.pos += w;
-    }
-    if (st.rules.empty()) {
-      terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
-      return;
-    }
-    auto key = key_expr(ctx, input, n_bits, st.key, after, /*missing_is_zero=*/false);
-    if (!key) {
-      terminals.push_back(Terminal{after.guard, ParseOutcome::Rejected, after.dict});
-      return;
-    }
-    int kw = st.key_width();
-    z3::expr nomatch = after.guard;
-    for (const auto& r : st.rules) {
-      z3::expr match = kw == 0 ? ctx.bool_val(true)
-                               : ((*key ^ ctx.bv_val(r.value, static_cast<unsigned>(kw))) &
-                                  ctx.bv_val(r.mask, static_cast<unsigned>(kw))) ==
-                                     ctx.bv_val(0, static_cast<unsigned>(kw));
-      Config next = after;
-      next.guard = nomatch && match;
-      next.state = r.next;
-      next.iter = c.iter + 1;
-      if (!statically_false(next.guard)) work.push_back(std::move(next));
-      nomatch = nomatch && !match;
-      if (statically_false(nomatch)) return;
-    }
-    terminals.push_back(Terminal{nomatch, ParseOutcome::Rejected, after.dict});
+  auto spec_step = [&](const Config& c, std::vector<symexec::Successor>& out) {
+    symexec::spec_successors(ctx, input, n_bits, spec, c, out);
   };
-
-  // ---- Implementation side: match first, then the winner extracts. ----
-  auto impl_step = [&](const Config& c, std::vector<Terminal>& terminals,
-                       std::vector<Config>& work) {
-    const StateLayout* layout = impl.layout_of(c.table, c.state);
-    std::vector<KeyPart> parts = layout ? layout->key : std::vector<KeyPart>{};
-    auto key = key_expr(ctx, input, n_bits, parts, c, /*missing_is_zero=*/true);
-    if (!key) {
-      terminals.push_back(Terminal{c.guard, ParseOutcome::Rejected, c.dict});
-      return;
-    }
-    int kw = 0;
-    for (const auto& p : parts) kw += p.len;
-
-    auto rows = impl.rows_of(c.table, c.state);
-    z3::expr nomatch = c.guard;
-    for (const TcamEntry* row : rows) {
-      z3::expr match = kw == 0 ? ctx.bool_val(true)
-                               : ((*key ^ ctx.bv_val(row->value, static_cast<unsigned>(kw))) &
-                                  ctx.bv_val(row->mask, static_cast<unsigned>(kw))) ==
-                                     ctx.bv_val(0, static_cast<unsigned>(kw));
-      Config next = c;
-      next.guard = nomatch && match;
-      nomatch = nomatch && !match;
-      if (!statically_false(next.guard)) {
-        bool ran_out = false;
-        for (const auto& ex : row->extracts) {
-          int w = impl.fields[static_cast<std::size_t>(ex.field)].width;
-          if (next.pos + w > n_bits) {
-            terminals.push_back(Terminal{next.guard, ParseOutcome::Rejected, next.dict});
-            ran_out = true;
-            break;
-          }
-          next.dict[ex.field] = {next.pos, w};
-          next.pos += w;
-        }
-        if (!ran_out) {
-          next.table = row->next_table;
-          next.state = row->next_state;
-          next.iter = c.iter + 1;
-          work.push_back(std::move(next));
-        }
-      }
-      if (statically_false(nomatch)) return;
-    }
-    terminals.push_back(Terminal{nomatch, ParseOutcome::Rejected, c.dict});
+  auto impl_step = [&](const Config& c, std::vector<symexec::Successor>& out) {
+    symexec::impl_successors(ctx, input, n_bits, impl, c, out);
   };
 
   Config spec_init{ctx.bool_val(true), 0, 0, {}, 0, spec.start};
   Config impl_init{ctx.bool_val(true), 0, 0, {}, impl.start_table, impl.start_state};
-  std::vector<Terminal> spec_terms = explore(ctx, n_bits, options.max_iterations_spec,
-                                             options.max_configs, spec_init, spec_step, exploded);
-  std::vector<Terminal> impl_terms = explore(ctx, n_bits, options.max_iterations_impl,
-                                             options.max_configs, impl_init, impl_step, exploded);
+  std::vector<Terminal> spec_terms = explore(options.max_iterations_spec, options.max_configs,
+                                             spec_init, spec_step, exploded);
+  std::vector<Terminal> impl_terms = explore(options.max_iterations_impl, options.max_configs,
+                                             impl_init, impl_step, exploded);
   if (exploded) {
     VerifyOutcome out;
     out.kind = VerifyOutcome::Kind::Inconclusive;

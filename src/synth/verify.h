@@ -20,31 +20,9 @@
 #include "ir/ir.h"
 #include "support/bitvec.h"
 #include "tcam/tcam.h"
+#include "verify2/types.h"  // VerifyOptions / VerifyOutcome / VerifierKind
 
 namespace parserhawk {
-
-struct VerifyOptions {
-  /// Symbolic input width; 0 = derive from the spec's max consumption.
-  int input_bits = 0;
-  /// Iteration bound for the specification side.
-  int max_iterations_spec = 8;
-  /// Iteration bound for the implementation side (chains take several
-  /// implementation iterations per specification state).
-  int max_iterations_impl = 48;
-  /// Abort (treat as inconclusive) beyond this many path configurations.
-  int max_configs = 20000;
-};
-
-struct VerifyOutcome {
-  enum class Kind {
-    Equivalent,
-    Counterexample,
-    Inconclusive,  ///< config explosion or solver timeout
-  };
-  Kind kind = Kind::Inconclusive;
-  BitVec counterexample;  ///< valid when kind == Counterexample
-  std::string detail;
-};
 
 /// Check Impl(I) == Spec(I) for all I of the derived/requested width.
 /// Throws std::invalid_argument if the spec still contains varbit fields

@@ -5,7 +5,8 @@
 // sat/unsat/unknown/timeout outcomes, and a per-query wall-time histogram —
 // and the tracer gets one "z3_check:<phase>" span per query. Phases in use:
 // "synth" (CEGIS synthesis queries, chain + global), "verify" (CEGIS
-// verification queries), "equiv" (whole-program bounded equivalence).
+// verification queries), "equiv" (whole-program bounded equivalence),
+// "bisim" (the product-automaton sweep's witness and mismatch queries).
 //
 // With tracing and metrics both disabled this is exactly the bare
 // set-timeout + check() the call sites used to inline.

@@ -1,0 +1,362 @@
+#include "verify2/bisim.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/interp.h"
+#include "synth/z3_obs.h"
+#include "verify2/symexec.h"
+
+namespace parserhawk::verify2 {
+
+int ReachSet::states_reachable() const {
+  return static_cast<int>(std::count(spec_states.begin(), spec_states.end(), 1));
+}
+
+int ReachSet::rules_reachable() const {
+  int n = 0;
+  for (const auto& per_state : spec_rules)
+    n += static_cast<int>(std::count(per_state.begin(), per_state.end(), 1));
+  return n;
+}
+
+int ReachSet::rules_total() const {
+  int n = 0;
+  for (const auto& per_state : spec_rules) n += static_cast<int>(per_state.size());
+  return n;
+}
+
+int ReachSet::rows_reachable() const {
+  return static_cast<int>(std::count(impl_rows.begin(), impl_rows.end(), 1));
+}
+
+std::vector<int> ReachSet::unreachable_rows() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < impl_rows.size(); ++i)
+    if (!impl_rows[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+namespace {
+
+using symexec::Config;
+using symexec::input_slice;
+using symexec::statically_false;
+
+/// One product configuration: the shared path constraint plus each side's
+/// location. A side that has reached its outcome (sentinel state, bound, or
+/// a terminal step) is `done` and frozen at its final configuration.
+struct Prod {
+  z3::expr guard;
+  Config spec;
+  Config impl;
+  bool spec_done = false;
+  bool impl_done = false;
+  ParseOutcome spec_out = ParseOutcome::Rejected;
+  ParseOutcome impl_out = ParseOutcome::Rejected;
+};
+
+/// The subsumption key: everything about a product configuration except its
+/// guard. Two configurations at the same key behave identically on any
+/// input satisfying either guard (both machines are deterministic in the
+/// input), so their guards merge by disjunction.
+struct LocKey {
+  int s_state, s_pos, s_iter;
+  int i_table, i_state, i_pos, i_iter;
+  bool s_done, i_done;
+  int s_out, i_out;
+  symexec::FieldDict s_dict, i_dict;
+
+  bool operator<(const LocKey& o) const {
+    return std::tie(s_state, s_pos, s_iter, i_table, i_state, i_pos, i_iter, s_done, i_done,
+                    s_out, i_out, s_dict, i_dict) <
+           std::tie(o.s_state, o.s_pos, o.s_iter, o.i_table, o.i_state, o.i_pos, o.i_iter,
+                    o.s_done, o.i_done, o.s_out, o.i_out, o.s_dict, o.i_dict);
+  }
+};
+
+LocKey key_of(const Prod& p) {
+  return LocKey{p.spec.state,
+                p.spec.pos,
+                p.spec.iter,
+                p.impl.table,
+                p.impl.state,
+                p.impl.pos,
+                p.impl.iter,
+                p.spec_done,
+                p.impl_done,
+                static_cast<int>(p.spec_out),
+                static_cast<int>(p.impl_out),
+                p.spec.dict,
+                p.impl.dict};
+}
+
+const char* verdict_name(VerifyOutcome::Kind k) {
+  switch (k) {
+    case VerifyOutcome::Kind::Equivalent: return "equivalent";
+    case VerifyOutcome::Kind::Counterexample: return "counterexample";
+    default: return "inconclusive";
+  }
+}
+
+}  // namespace
+
+BisimResult check_bisimulation(const ParserSpec& spec, const TcamProgram& impl,
+                               const BisimOptions& options) {
+  obs::Span span("check_bisimulation");
+  span.arg("spec", spec.name);
+  for (const auto& f : spec.fields)
+    if (f.varbit)
+      throw std::invalid_argument("check_bisimulation: varbit fields present; run varbit_to_fixed");
+  for (const auto& f : impl.fields)
+    if (f.varbit) throw std::invalid_argument("check_bisimulation: impl has varbit fields");
+
+  BisimResult result;
+  ReachSet& reach = result.reach;
+  BisimStats& stats = result.stats;
+  reach.spec_states.assign(spec.states.size(), 0);
+  reach.spec_rules.resize(spec.states.size());
+  for (std::size_t s = 0; s < spec.states.size(); ++s)
+    reach.spec_rules[s].assign(spec.states[s].rules.size(), 0);
+  reach.impl_rows.assign(impl.entries.size(), 0);
+  reach.exact = options.exact_reach;
+
+  int n_bits = options.input_bits;
+  if (n_bits == 0) n_bits = analyze(spec, options.max_iterations_spec).max_input_bits;
+  n_bits = std::max(n_bits, 1);
+
+  z3::context ctx;
+  z3::expr input = ctx.bv_const("I", static_cast<unsigned>(n_bits));
+  z3::solver witness(ctx);
+
+  // Witness-check a guard that first touches a reach item: sat ⇒ the item
+  // is semantically reachable, unsat ⇒ the whole successor is dead and can
+  // be pruned, unknown ⇒ mark anyway but the report is no longer exact.
+  // Returns whether the successor should be explored.
+  auto witness_ok = [&](const z3::expr& guard) {
+    if (!options.exact_reach) return true;
+    ++stats.witness_queries;
+    witness.push();
+    witness.add(guard);
+    z3::check_result r = timed_check(witness, nullptr, "bisim");
+    witness.pop();
+    if (r == z3::unsat) return false;
+    if (r != z3::sat) reach.exact = false;
+    return true;
+  };
+
+  // Mark everything a successor's transition touches; the first fresh mark
+  // triggers one witness query covering all items under the same guard.
+  // Returns false when the witness proves the successor unreachable.
+  auto mark = [&](const z3::expr& guard, int spec_state, int rule_state, int rule, int row) {
+    bool fresh = false;
+    auto touch = [&](std::vector<char>& v, int i) {
+      if (i >= 0 && i < static_cast<int>(v.size()) && !v[static_cast<std::size_t>(i)])
+        fresh = true;
+    };
+    touch(reach.spec_states, spec_state);
+    if (rule_state >= 0 && rule_state < static_cast<int>(reach.spec_rules.size()))
+      touch(reach.spec_rules[static_cast<std::size_t>(rule_state)], rule);
+    touch(reach.impl_rows, row);
+    if (!fresh) return true;
+    if (!witness_ok(guard)) return false;
+    auto set = [&](std::vector<char>& v, int i) {
+      if (i >= 0 && i < static_cast<int>(v.size())) v[static_cast<std::size_t>(i)] = 1;
+    };
+    set(reach.spec_states, spec_state);
+    if (rule_state >= 0 && rule_state < static_cast<int>(reach.spec_rules.size()))
+      set(reach.spec_rules[static_cast<std::size_t>(rule_state)], rule);
+    set(reach.impl_rows, row);
+    return true;
+  };
+
+  std::vector<std::pair<LocKey, Prod>> work;
+  std::map<LocKey, std::size_t> pending;
+  auto push = [&](Prod&& p) {
+    LocKey k = key_of(p);
+    auto it = pending.find(k);
+    if (it != pending.end()) {
+      Prod& there = work[it->second].second;
+      there.guard = there.guard || p.guard;
+      ++stats.merges;
+      return;
+    }
+    pending.emplace(k, work.size());
+    work.emplace_back(std::move(k), std::move(p));
+    stats.worklist_hwm = std::max(stats.worklist_hwm, static_cast<std::int64_t>(work.size()));
+  };
+
+  {
+    Prod init{ctx.bool_val(true),
+              Config{ctx.bool_val(true), 0, 0, {}, 0, spec.start},
+              Config{ctx.bool_val(true), 0, 0, {}, impl.start_table, impl.start_state}};
+    if (spec.start >= 0 && spec.start < static_cast<int>(reach.spec_states.size()))
+      reach.spec_states[static_cast<std::size_t>(spec.start)] = 1;
+    push(std::move(init));
+  }
+
+  z3::expr_vector mismatches(ctx);
+  std::vector<symexec::Successor> succ;
+  VerifyOutcome& out = result.outcome;
+  bool aborted = false;
+
+  while (!work.empty()) {
+    if (options.cancel.cancelled()) {
+      out.kind = VerifyOutcome::Kind::Inconclusive;
+      out.detail = "cancelled";
+      aborted = true;
+      break;
+    }
+    if (++stats.configs > options.max_configs) {
+      out.kind = VerifyOutcome::Kind::Inconclusive;
+      out.detail = "product configuration bound exceeded";
+      aborted = true;
+      break;
+    }
+    Prod c = std::move(work.back().second);
+    pending.erase(work.back().first);
+    work.pop_back();
+    if (statically_false(c.guard)) continue;
+
+    // Resolve sentinel states and iteration bounds into done flags.
+    if (!c.spec_done) {
+      if (c.spec.state == kAccept || c.spec.state == kReject) {
+        c.spec_done = true;
+        c.spec_out = c.spec.state == kAccept ? ParseOutcome::Accepted : ParseOutcome::Rejected;
+      } else if (c.spec.iter >= options.max_iterations_spec) {
+        c.spec_done = true;
+        c.spec_out = ParseOutcome::Exhausted;
+      }
+    }
+    if (!c.impl_done) {
+      if (c.impl.state == kAccept || c.impl.state == kReject) {
+        c.impl_done = true;
+        c.impl_out = c.impl.state == kAccept ? ParseOutcome::Accepted : ParseOutcome::Rejected;
+      } else if (c.impl.iter >= options.max_iterations_impl) {
+        c.impl_done = true;
+        c.impl_out = ParseOutcome::Exhausted;
+      }
+    }
+    // Exhaustion is a simulation artifact and excluded from the contract
+    // (exactly as the monolithic checker skips Exhausted terminals), so a
+    // product path with an exhausted side can never witness a mismatch.
+    if ((c.spec_done && c.spec_out == ParseOutcome::Exhausted) ||
+        (c.impl_done && c.impl_out == ParseOutcome::Exhausted))
+      continue;
+
+    if (c.spec_done && c.impl_done) {
+      ++stats.terminal_pairs;
+      if (c.spec_out != c.impl_out) {
+        mismatches.push_back(c.guard);
+        continue;
+      }
+      if (c.spec_out != ParseOutcome::Accepted) continue;  // rejected: dict unobservable
+      z3::expr_vector diffs(ctx);
+      bool static_diff = false;
+      for (const auto& [field, range] : c.spec.dict) {
+        auto it = c.impl.dict.find(field);
+        if (it == c.impl.dict.end()) {
+          static_diff = true;
+          break;
+        }
+        if (it->second == range) continue;  // same bits by construction
+        diffs.push_back(input_slice(input, n_bits, range.first, range.second) !=
+                        input_slice(input, n_bits, it->second.first, it->second.second));
+      }
+      if (!static_diff)
+        for (const auto& [field, range] : c.impl.dict)
+          if (!c.spec.dict.count(field)) {
+            static_diff = true;
+            break;
+          }
+      if (static_diff)
+        mismatches.push_back(c.guard);
+      else if (!diffs.empty())
+        mismatches.push_back(c.guard && z3::mk_or(diffs));
+      continue;
+    }
+
+    // Step the unfinished side (spec first), carrying the shared guard
+    // through the side's step so each successor's guard is the new product
+    // guard.
+    succ.clear();
+    if (!c.spec_done) {
+      Config side = c.spec;
+      side.guard = c.guard;
+      symexec::spec_successors(ctx, input, n_bits, spec, side, succ);
+      for (auto& s : succ) {
+        int to_state = !s.is_terminal && s.cfg.state >= 0 ? s.cfg.state : -1;
+        if (!mark(s.cfg.guard, to_state, c.spec.state, s.rule, -1)) continue;
+        Prod next = c;
+        next.guard = s.cfg.guard;
+        next.spec = std::move(s.cfg);
+        if (s.is_terminal) {
+          next.spec_done = true;
+          next.spec_out = s.outcome;
+        }
+        push(std::move(next));
+      }
+    } else {
+      Config side = c.impl;
+      side.guard = c.guard;
+      symexec::impl_successors(ctx, input, n_bits, impl, side, succ);
+      for (auto& s : succ) {
+        if (!mark(s.cfg.guard, -1, -1, -1, s.row)) continue;
+        Prod next = c;
+        next.guard = s.cfg.guard;
+        next.impl = std::move(s.cfg);
+        if (s.is_terminal) {
+          next.impl_done = true;
+          next.impl_out = s.outcome;
+        }
+        push(std::move(next));
+      }
+    }
+  }
+
+  if (!aborted) {
+    if (mismatches.empty()) {
+      out.kind = VerifyOutcome::Kind::Equivalent;
+    } else {
+      z3::solver solver(ctx);
+      solver.add(z3::mk_or(mismatches));
+      z3::check_result r = timed_check(solver, nullptr, "bisim");
+      if (r == z3::unsat) {
+        out.kind = VerifyOutcome::Kind::Equivalent;
+      } else if (r != z3::sat) {
+        out.kind = VerifyOutcome::Kind::Inconclusive;
+        out.detail = "solver returned unknown";
+      } else {
+        z3::model model = solver.get_model();
+        BitVec cex(n_bits);
+        for (int i = 0; i < n_bits; ++i) {
+          z3::expr bit = model.eval(input_slice(input, n_bits, i, 1), true);
+          cex.set(i, bit.get_numeral_uint64() != 0);
+        }
+        obs::flight::note("bisim_counterexample", spec.name.c_str());
+        out.kind = VerifyOutcome::Kind::Counterexample;
+        out.counterexample = std::move(cex);
+      }
+    }
+  }
+
+  if (obs::metrics_on()) {
+    obs::count("verify.bisim.runs");
+    obs::count("verify.bisim.configs", stats.configs);
+    obs::count("verify.bisim.merges", stats.merges);
+    obs::count(std::string("verify.bisim.verdict.") + verdict_name(out.kind));
+  }
+  span.arg("verdict", std::string(verdict_name(out.kind)));
+  return result;
+}
+
+}  // namespace parserhawk::verify2

@@ -1,0 +1,97 @@
+// Product-automaton bisimulation checker (DESIGN.md §13).
+//
+// An independent implementation of the §4 equivalence contract: instead of
+// running spec and impl to their terminal sets separately and comparing all
+// terminal pairs in one monolithic Z3 query (synth/verify.h), this checker
+// sweeps the *product* of the two machines with an explicit worklist of
+// (spec configuration, impl configuration, shared path constraint) triples.
+// Each side's branch constraints are conjoined onto the shared guard as the
+// product steps, so unsatisfiable spec×impl path combinations are pruned
+// structurally and never reach the solver; product configurations that meet
+// again at the same (locations, positions, dictionaries) are merged by
+// OR-ing their guards (constraint subsumption — sound because both machines
+// are deterministic in the input, so behavior from a product location is a
+// function of the location alone).
+//
+// Because the sweep enumerates exactly the satisfiable-in-structure product
+// paths, it yields for free what sampling cannot: an *exact* reachable-set
+// report — which spec states, spec transition rules and TCAM rows are
+// reachable under the iteration bounds, with per-first-touch SAT witness
+// checks in exact mode so "reachable" means semantically reachable, not
+// merely graph-connected (a shadowed TCAM row's nomatch∧match guard is
+// unsatisfiable and the row is reported unreachable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/cancel.h"
+#include "tcam/tcam.h"
+#include "verify2/types.h"
+
+namespace parserhawk::verify2 {
+
+struct BisimOptions {
+  /// Symbolic input width; 0 = derive from the spec's max consumption.
+  int input_bits = 0;
+  /// Iteration bound for the specification side of the product.
+  int max_iterations_spec = 8;
+  /// Iteration bound for the implementation side (chains take several
+  /// implementation iterations per specification state).
+  int max_iterations_impl = 48;
+  /// Abort (Inconclusive) beyond this many popped product configurations.
+  int max_configs = 20000;
+  /// Witness-check each first-touched state/rule/row with a SAT query so
+  /// the reachable set is semantically exact. When off (or when a witness
+  /// query returns unknown) items are marked on structural reachability and
+  /// ReachSet::exact is false.
+  bool exact_reach = true;
+  /// Cooperative cancellation (the race); a cancelled sweep is Inconclusive.
+  CancelToken cancel;
+};
+
+/// What the sweep proved reachable, by index: spec states and per-state
+/// transition rules (spec.state(s).rules order), and TCAM rows (index into
+/// TcamProgram::entries).
+struct ReachSet {
+  std::vector<char> spec_states;
+  std::vector<std::vector<char>> spec_rules;
+  std::vector<char> impl_rows;
+  /// True when every mark was confirmed by a SAT witness (exact_reach mode
+  /// with no unknown witness queries): unmarked items are then *provably*
+  /// unreachable under the bounds.
+  bool exact = false;
+
+  int states_reachable() const;
+  int states_total() const { return static_cast<int>(spec_states.size()); }
+  int rules_reachable() const;
+  int rules_total() const;
+  int rows_reachable() const;
+  int rows_total() const { return static_cast<int>(impl_rows.size()); }
+  /// Indices into TcamProgram::entries never reached by the sweep.
+  std::vector<int> unreachable_rows() const;
+};
+
+struct BisimStats {
+  std::int64_t configs = 0;          ///< product configurations popped
+  std::int64_t merges = 0;           ///< guard merges at an existing location
+  std::int64_t terminal_pairs = 0;   ///< both-done pairs compared
+  std::int64_t witness_queries = 0;  ///< first-touch reachability SAT checks
+  std::int64_t worklist_hwm = 0;     ///< worklist high-water mark
+};
+
+struct BisimResult {
+  VerifyOutcome outcome;
+  ReachSet reach;
+  BisimStats stats;
+};
+
+/// Sweep the spec × impl product automaton. Same contract and same throw
+/// behavior (varbit ⇒ std::invalid_argument) as verify_equivalence; the
+/// differential suite in tests/test_verify_bisim.cpp holds the two checkers
+/// to identical verdicts. Publishes verify.bisim.* metrics when obs is on.
+BisimResult check_bisimulation(const ParserSpec& spec, const TcamProgram& impl,
+                               const BisimOptions& options = {});
+
+}  // namespace parserhawk::verify2

@@ -1,0 +1,207 @@
+// Shared symbolic-execution machinery of the equivalence checkers.
+//
+// Both sides of the §4 equivalence question are executed over one shared
+// symbolic input bitvector I. Because field widths are fixed during
+// synthesis (Opt6), every path has *concrete* extraction positions: a
+// configuration is (path guard over I, wire position, iteration count,
+// field -> concrete bit range, machine location), and stepping a
+// configuration enumerates guarded successors — either follow-on
+// configurations or terminal outcomes.
+//
+// Two explorers are built on these steps: the monolithic checker
+// (synth/verify.cpp) runs each machine to its terminal set independently
+// and compares all terminal pairs in one Z3 query, while the bisimulation
+// checker (verify2/bisim.cpp) sweeps the product automaton, conjoining both
+// machines' branch constraints onto one shared guard. The step semantics
+// here are the single source of truth for both:
+//
+//   spec side  — extract, then match, then transition; out-of-input
+//                extraction/lookahead rejects; no matching rule rejects.
+//   impl side  — match first (missing match registers read as zero, per
+//                sim::eval_key), then only the winning row extracts and
+//                transitions; out-of-input mid-extraction rejects.
+#pragma once
+
+#include <z3++.h>
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.h"
+#include "tcam/tcam.h"
+
+namespace parserhawk::symexec {
+
+/// field -> (wire position, length): concrete bit ranges of every field
+/// extracted on the path so far.
+using FieldDict = std::map<int, std::pair<int, int>>;
+
+struct Config {
+  z3::expr guard;
+  int pos;
+  int iter;
+  FieldDict dict;
+  // Machine location: spec uses state only; impl uses (table, state).
+  int table;
+  int state;
+};
+
+/// One outcome of stepping a configuration: a follow-on configuration
+/// (`cfg.state` may be kAccept/kReject — the explorer resolves sentinels),
+/// or a terminal Rejected path (out of input, or no rule matched).
+/// `rule`/`row` name the spec rule index / impl entries[] index whose match
+/// constraint the successor's guard conjoins, -1 for implicit fallthroughs.
+struct Successor {
+  Config cfg;
+  bool is_terminal;
+  ParseOutcome outcome;  ///< valid when is_terminal
+  int rule = -1;
+  int row = -1;
+};
+
+/// Wire-order slice [pos, pos+len) of the symbolic input (BV bit 0 = last
+/// wire bit).
+inline z3::expr input_slice(const z3::expr& input, int total_bits, int pos, int len) {
+  unsigned hi = static_cast<unsigned>(total_bits - 1 - pos);
+  unsigned lo = static_cast<unsigned>(total_bits - pos - len);
+  return input.extract(hi, lo);
+}
+
+inline bool statically_false(const z3::expr& e) { return e.simplify().is_false(); }
+
+/// Build the key expression for `parts`, or nullopt when evaluation rejects
+/// (spec-side missing field, or out-of-input lookahead on either side).
+/// `missing_is_zero` mirrors sim::eval_key: implementation-side TCAM match
+/// registers read as zero when the field was never extracted.
+inline std::optional<z3::expr> key_expr(z3::context& ctx, const z3::expr& input, int total_bits,
+                                        const std::vector<KeyPart>& parts, const Config& c,
+                                        bool missing_is_zero) {
+  std::optional<z3::expr> key;
+  auto append = [&key](const z3::expr& piece) { key = key ? z3::concat(*key, piece) : piece; };
+  for (const auto& p : parts) {
+    int pos, len = p.len;
+    if (p.kind == KeyPart::Kind::FieldSlice) {
+      auto it = c.dict.find(p.field);
+      if (it == c.dict.end() || p.lo + p.len > it->second.second) {
+        if (!missing_is_zero) return std::nullopt;
+        append(ctx.bv_val(0, static_cast<unsigned>(len)));
+        continue;
+      }
+      pos = it->second.first + p.lo;
+    } else {
+      pos = c.pos + p.lo;
+    }
+    if (pos + len > total_bits) return std::nullopt;
+    append(input_slice(input, total_bits, pos, len));
+  }
+  if (!key) key = ctx.bv_val(0, 1);  // unused
+  return key;
+}
+
+/// Enumerate the successors of a non-terminal specification configuration
+/// (extract, then match, then transition). Statically-false successors are
+/// pruned; the terminal fallthrough (no matching rule) carries the
+/// accumulated nomatch guard.
+inline void spec_successors(z3::context& ctx, const z3::expr& input, int total_bits,
+                            const ParserSpec& spec, const Config& c,
+                            std::vector<Successor>& out) {
+  const State& st = spec.state(c.state);
+  Config after = c;
+  for (const auto& ex : st.extracts) {
+    int w = spec.fields[static_cast<std::size_t>(ex.field)].width;
+    if (after.pos + w > total_bits) {
+      out.push_back(Successor{std::move(after), true, ParseOutcome::Rejected, -1, -1});
+      return;
+    }
+    after.dict[ex.field] = {after.pos, w};
+    after.pos += w;
+  }
+  if (st.rules.empty()) {
+    out.push_back(Successor{std::move(after), true, ParseOutcome::Rejected, -1, -1});
+    return;
+  }
+  auto key = key_expr(ctx, input, total_bits, st.key, after, /*missing_is_zero=*/false);
+  if (!key) {
+    out.push_back(Successor{std::move(after), true, ParseOutcome::Rejected, -1, -1});
+    return;
+  }
+  int kw = st.key_width();
+  z3::expr nomatch = after.guard;
+  for (std::size_t ri = 0; ri < st.rules.size(); ++ri) {
+    const Rule& r = st.rules[ri];
+    z3::expr match = kw == 0 ? ctx.bool_val(true)
+                             : ((*key ^ ctx.bv_val(r.value, static_cast<unsigned>(kw))) &
+                                ctx.bv_val(r.mask, static_cast<unsigned>(kw))) ==
+                                   ctx.bv_val(0, static_cast<unsigned>(kw));
+    Config next = after;
+    next.guard = nomatch && match;
+    next.state = r.next;
+    next.iter = c.iter + 1;
+    if (!statically_false(next.guard))
+      out.push_back(Successor{std::move(next), false, ParseOutcome::Rejected,
+                              static_cast<int>(ri), -1});
+    nomatch = nomatch && !match;
+    if (statically_false(nomatch)) return;
+  }
+  Config fall = after;
+  fall.guard = nomatch;
+  out.push_back(Successor{std::move(fall), true, ParseOutcome::Rejected, -1, -1});
+}
+
+/// Enumerate the successors of a non-terminal implementation configuration
+/// (match first, then the winning row extracts and transitions). A row
+/// whose extraction runs out of input is a terminal Rejected successor that
+/// still names the row (it matched and fired).
+inline void impl_successors(z3::context& ctx, const z3::expr& input, int total_bits,
+                            const TcamProgram& impl, const Config& c,
+                            std::vector<Successor>& out) {
+  const StateLayout* layout = impl.layout_of(c.table, c.state);
+  std::vector<KeyPart> parts = layout ? layout->key : std::vector<KeyPart>{};
+  auto key = key_expr(ctx, input, total_bits, parts, c, /*missing_is_zero=*/true);
+  if (!key) {
+    out.push_back(Successor{c, true, ParseOutcome::Rejected, -1, -1});
+    return;
+  }
+  int kw = 0;
+  for (const auto& p : parts) kw += p.len;
+
+  auto rows = impl.rows_of(c.table, c.state);
+  z3::expr nomatch = c.guard;
+  for (const TcamEntry* row : rows) {
+    int row_index = static_cast<int>(row - impl.entries.data());
+    z3::expr match = kw == 0 ? ctx.bool_val(true)
+                             : ((*key ^ ctx.bv_val(row->value, static_cast<unsigned>(kw))) &
+                                ctx.bv_val(row->mask, static_cast<unsigned>(kw))) ==
+                                   ctx.bv_val(0, static_cast<unsigned>(kw));
+    Config next = c;
+    next.guard = nomatch && match;
+    nomatch = nomatch && !match;
+    if (!statically_false(next.guard)) {
+      bool ran_out = false;
+      for (const auto& ex : row->extracts) {
+        int w = impl.fields[static_cast<std::size_t>(ex.field)].width;
+        if (next.pos + w > total_bits) {
+          out.push_back(Successor{next, true, ParseOutcome::Rejected, -1, row_index});
+          ran_out = true;
+          break;
+        }
+        next.dict[ex.field] = {next.pos, w};
+        next.pos += w;
+      }
+      if (!ran_out) {
+        next.table = row->next_table;
+        next.state = row->next_state;
+        next.iter = c.iter + 1;
+        out.push_back(Successor{std::move(next), false, ParseOutcome::Rejected, -1, row_index});
+      }
+    }
+    if (statically_false(nomatch)) return;
+  }
+  Config fall = c;
+  fall.guard = nomatch;
+  out.push_back(Successor{std::move(fall), true, ParseOutcome::Rejected, -1, -1});
+}
+
+}  // namespace parserhawk::symexec

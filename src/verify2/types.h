@@ -1,0 +1,71 @@
+// Shared vocabulary of the equivalence checkers (DESIGN.md §13).
+//
+// Two independent checkers speak it: the monolithic terminal-pair Z3 query
+// (synth/verify.h) and the product-automaton bisimulation sweep
+// (verify2/bisim.h). Both implement the same §4 contract — same outcome
+// everywhere, same dictionary on accepted inputs, iteration-bound
+// exhaustion excluded — so a VerifyOutcome is checker-independent and the
+// compiler can race them.
+#pragma once
+
+#include <string>
+
+#include "support/bitvec.h"
+
+namespace parserhawk {
+
+struct VerifyOptions {
+  /// Symbolic input width; 0 = derive from the spec's max consumption.
+  int input_bits = 0;
+  /// Iteration bound for the specification side.
+  int max_iterations_spec = 8;
+  /// Iteration bound for the implementation side (chains take several
+  /// implementation iterations per specification state).
+  int max_iterations_impl = 48;
+  /// Abort (treat as inconclusive) beyond this many path configurations.
+  int max_configs = 20000;
+};
+
+struct VerifyOutcome {
+  enum class Kind {
+    Equivalent,
+    Counterexample,
+    Inconclusive,  ///< config explosion or solver timeout
+  };
+  Kind kind = Kind::Inconclusive;
+  BitVec counterexample;  ///< valid when kind == Counterexample
+  std::string detail;
+};
+
+/// Which equivalence checker the compiler's verify phase runs
+/// (SynthOptions::verifier, hawk_compile --verifier, PH_VERIFIER).
+enum class VerifierKind {
+  Z3,     ///< the monolithic terminal-pair Z3 query (synth/verify.h)
+  Bisim,  ///< the product-automaton bisimulation sweep (verify2/bisim.h)
+  Race,   ///< both, raced; first conclusive verdict wins, z3 payload on tie
+};
+
+inline const char* to_string(VerifierKind k) {
+  switch (k) {
+    case VerifierKind::Z3: return "z3";
+    case VerifierKind::Bisim: return "bisim";
+    default: return "race";
+  }
+}
+
+/// Parse "z3" / "bisim" / "race". Returns false (leaving `out` untouched)
+/// on anything else.
+inline bool parse_verifier(const std::string& s, VerifierKind& out) {
+  if (s == "z3") {
+    out = VerifierKind::Z3;
+  } else if (s == "bisim") {
+    out = VerifierKind::Bisim;
+  } else if (s == "race") {
+    out = VerifierKind::Race;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace parserhawk

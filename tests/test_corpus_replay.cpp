@@ -60,6 +60,12 @@ TEST(CorpusRegistry, EnvironmentOverrideWins) {
 /// plus the same trace round-tripped through a pcap, and demand full
 /// spec-rule coverage. publish=true so the cov.corpus.<spec>.* gauges
 /// the CI trace check asserts on are exercised here too.
+///
+/// Compiles run with --verifier=race so the sampled cov.corpus.* coverage
+/// is cross-checked against the bisim sweep's *exhaustive* reachability
+/// (DESIGN.md §13): every rule the replay claims to have hit must be
+/// provably reachable, and the verify.bisim.<spec>.* gauges must report
+/// 100% of states/rules with no padding rows left dark.
 TEST(CorpusReplay, EveryZooSpecCoversEveryRule) {
   obs::Metrics::get().reset();
   obs::Metrics::get().enable();
@@ -71,6 +77,7 @@ TEST(CorpusReplay, EveryZooSpecCoversEveryRule) {
 
     corpus::ReplayOptions opts;
     opts.synth.timeout_sec = 120;
+    opts.synth.verifier = VerifierKind::Race;
     opts.batch.threads = 2;
     opts.batch.chunk = 16;
     // Replay path: the generated trace, serialized and re-read as a pcap.
@@ -94,6 +101,30 @@ TEST(CorpusReplay, EveryZooSpecCoversEveryRule) {
     EXPECT_EQ(m.gauge("cov.corpus." + name + ".rules_hit"),
               m.gauge("cov.corpus." + name + ".rules_total"))
         << name;
+
+    // Exhaustive reachability from the race's bisim sweep: the report must
+    // exist, claim every state/rule/TCAM row, and agree with both the
+    // sampled coverage totals and the published verify.bisim.* gauges.
+    ASSERT_TRUE(report.compiled.reach_valid) << name;
+    EXPECT_EQ(report.compiled.verifier.rfind("race:", 0), 0u) << report.compiled.verifier;
+    const verify2::ReachSet& reach = report.compiled.reach;
+    EXPECT_EQ(reach.states_reachable(), reach.states_total()) << name;
+    EXPECT_EQ(reach.rules_reachable(), reach.rules_total()) << name;
+    EXPECT_EQ(reach.rows_reachable(), reach.rows_total())
+        << name << ": TCAM rows left provably dark: " << reach.unreachable_rows().size();
+    EXPECT_EQ(static_cast<std::int64_t>(reach.rules_total()),
+              m.gauge("cov.corpus." + name + ".rules_total"))
+        << name;
+    EXPECT_EQ(static_cast<std::int64_t>(reach.states_total()),
+              m.gauge("cov.corpus." + name + ".states_total"))
+        << name;
+    EXPECT_EQ(m.gauge("verify.bisim." + name + ".rules_reachable"),
+              m.gauge("verify.bisim." + name + ".rules_total"))
+        << name;
+    EXPECT_EQ(m.gauge("verify.bisim." + name + ".states_reachable"),
+              m.gauge("verify.bisim." + name + ".states_total"))
+        << name;
+    EXPECT_GT(m.gauge("verify.bisim." + name + ".rows_total"), 0) << name;
   }
   obs::Metrics::get().disable();
   obs::Metrics::get().reset();

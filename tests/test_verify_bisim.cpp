@@ -1,0 +1,385 @@
+// The differential agreement gate for the two equivalence checkers
+// (DESIGN.md §13): the monolithic terminal-pair Z3 query (synth/verify.h)
+// and the product-automaton bisimulation sweep (verify2/bisim.h) must
+// return the same verdict everywhere — hand-written fixtures, the full
+// examples-spec zoo, and a ≥200-program seeded random sweep including
+// mutated-implementation negatives. On Counterexample, each checker's own
+// input must be confirmed real by the concrete interpreters.
+//
+// Also covers the exact-reachability report (padded-TCAM rows are flagged
+// provably unreachable), the fuzz contract (Inconclusive only when
+// max_configs is genuinely exceeded, asserted via the verify.bisim.configs
+// metric), and the race mode's determinism (bit-identical compiled output
+// to --verifier=z3 at any thread count; the Race* suite also runs under
+// TSan via ci/run_tsan.sh).
+#include "verify2/bisim.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "helpers.h"
+#include "hw/profile.h"
+#include "ir/builder.h"
+#include "obs/metrics.h"
+#include "random_spec.h"
+#include "sim/interp.h"
+#include "suite/corpus.h"
+#include "support/rng.h"
+#include "synth/compiler.h"
+#include "synth/verify.h"
+
+namespace parserhawk {
+namespace {
+
+using testing::mpls_loop;
+using testing::random_spec;
+using testing::RandomSpecOptions;
+using testing::spec1;
+using testing::spec2;
+
+/// The Table 1 implementation of spec2 from test_verify.cpp — the shared
+/// hand-written fixture both checker suites exercise.
+TcamProgram table1_impl() {
+  TcamProgram p;
+  p.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  p.layouts[{0, 1}] = StateLayout{{KeyPart{KeyPart::Kind::FieldSlice, 0, 0, 1}}};
+  p.entries.push_back(TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}}, 0, 1});
+  p.entries.push_back(TcamEntry{0, 1, 0, 0, 1, {ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  p.entries.push_back(TcamEntry{0, 1, 1, 1, 1, {}, 0, kAccept});
+  return p;
+}
+
+verify2::BisimOptions bisim_options(const VerifyOptions& vo) {
+  verify2::BisimOptions bo;
+  bo.input_bits = vo.input_bits;
+  bo.max_iterations_spec = vo.max_iterations_spec;
+  bo.max_iterations_impl = vo.max_iterations_impl;
+  bo.max_configs = vo.max_configs;
+  return bo;
+}
+
+void expect_real_counterexample(const ParserSpec& spec, const TcamProgram& impl,
+                                const BitVec& cex, const std::string& what) {
+  ParseResult s = run_spec(spec, cex);
+  ParseResult i = run_impl(impl, cex);
+  EXPECT_FALSE(equivalent(s, i)) << what << ": counterexample " << cex.to_string()
+                                 << " does not actually distinguish spec and impl";
+}
+
+/// The gate itself: both checkers, same verdict; on Counterexample, each
+/// checker's own input must be real. Returns the agreed verdict kind.
+VerifyOutcome::Kind expect_agree(const ParserSpec& spec, const TcamProgram& impl,
+                                 const VerifyOptions& vo, const std::string& what) {
+  VerifyOutcome z = verify_equivalence(spec, impl, vo);
+  verify2::BisimResult b = verify2::check_bisimulation(spec, impl, bisim_options(vo));
+  EXPECT_EQ(static_cast<int>(z.kind), static_cast<int>(b.outcome.kind))
+      << what << ": z3 says " << z.detail << " / bisim says " << b.outcome.detail;
+  if (z.kind == VerifyOutcome::Kind::Counterexample)
+    expect_real_counterexample(spec, impl, z.counterexample, what + " [z3]");
+  if (b.outcome.kind == VerifyOutcome::Kind::Counterexample)
+    expect_real_counterexample(spec, impl, b.outcome.counterexample, what + " [bisim]");
+  return z.kind;
+}
+
+TEST(BisimDifferential, AgreesOnHandWrittenSuite) {
+  VerifyOptions vo;
+  EXPECT_EQ(expect_agree(spec2(), table1_impl(), vo, "table1"),
+            VerifyOutcome::Kind::Equivalent);
+
+  TcamProgram wrong = table1_impl();
+  wrong.entries[1].next_state = kReject;
+  EXPECT_EQ(expect_agree(spec2(), wrong, vo, "wrong-transition"),
+            VerifyOutcome::Kind::Counterexample);
+
+  TcamProgram missing = table1_impl();
+  missing.entries[1].extracts.clear();
+  EXPECT_EQ(expect_agree(spec2(), missing, vo, "missing-extract"),
+            VerifyOutcome::Kind::Counterexample);
+
+  TcamProgram masked = table1_impl();
+  masked.entries[1].value = 1;
+  masked.entries[2].value = 0;
+  EXPECT_EQ(expect_agree(spec2(), masked, vo, "subtle-mask"),
+            VerifyOutcome::Kind::Counterexample);
+
+  // Fused lookahead implementation of spec1.
+  TcamProgram fused;
+  fused.fields = {Field{"field0", 4, false}, Field{"field1", 4, false}};
+  fused.entries.push_back(
+      TcamEntry{0, 0, 0, 0, 0, {ExtractOp{0, -1, 0, 0}, ExtractOp{1, -1, 0, 0}}, 0, kAccept});
+  EXPECT_EQ(expect_agree(spec1(), fused, vo, "fused"), VerifyOutcome::Kind::Equivalent);
+
+  // Loopy MPLS implementation against the loopy spec.
+  TcamProgram loopy;
+  loopy.fields = {Field{"label", 8, false}};
+  loopy.layouts[{0, 0}] = StateLayout{{KeyPart{KeyPart::Kind::Lookahead, -1, 7, 1}}};
+  loopy.entries.push_back(TcamEntry{0, 0, 0, 0, 1, {ExtractOp{0, -1, 0, 0}}, 0, 0});
+  loopy.entries.push_back(TcamEntry{0, 0, 1, 1, 1, {ExtractOp{0, -1, 0, 0}}, 0, kAccept});
+  loopy.max_iterations = 16;
+  VerifyOptions loop_vo;
+  loop_vo.max_iterations_spec = 4;
+  loop_vo.max_iterations_impl = 8;
+  EXPECT_EQ(expect_agree(mpls_loop(), loopy, loop_vo, "loopy"),
+            VerifyOutcome::Kind::Equivalent);
+}
+
+TEST(BisimDifferential, BothCheckersThrowOnVarbit) {
+  SpecBuilder b("vb");
+  b.field("len", 4).varbit_field("opts", 32);
+  b.state("s").extract("len").extract_var("opts", "len", 8, 0).otherwise("accept");
+  ParserSpec spec = b.build().value();
+  TcamProgram p;
+  p.fields = {Field{"len", 4, false}, Field{"opts", 32, false}};
+  EXPECT_THROW(verify_equivalence(spec, p), std::invalid_argument);
+  EXPECT_THROW(verify2::check_bisimulation(spec, p), std::invalid_argument);
+}
+
+/// The full examples zoo through the Tofino-proxy baseline compiler: both
+/// checkers agree everywhere, and — the acceptance bar — zero Inconclusive
+/// verdicts at default bounds, with the bisim reachable-set report covering
+/// 100% of spec states and rules.
+TEST(BisimDifferential, AgreesAcrossExamplesZoo) {
+  std::vector<std::string> names = corpus::list_specs();
+  ASSERT_FALSE(names.empty());
+  int checked = 0;
+  for (const std::string& name : names) {
+    auto spec = corpus::load_spec(name);
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.error().to_string();
+    bool varbit = false;
+    for (const auto& f : spec->fields) varbit |= f.varbit;
+    if (varbit) continue;  // BothCheckersThrowOnVarbit covers the contract
+    CompileResult proxy = baseline::compile_tofino_proxy(*spec, tofino());
+    ASSERT_TRUE(proxy.ok()) << name << ": " << proxy.reason;
+
+    VerifyOptions vo;
+    vo.max_iterations_impl = std::max(48, proxy.program.max_iterations);
+    VerifyOutcome z = verify_equivalence(*spec, proxy.program, vo);
+    verify2::BisimResult b = verify2::check_bisimulation(*spec, proxy.program, bisim_options(vo));
+    EXPECT_EQ(static_cast<int>(z.kind), static_cast<int>(b.outcome.kind)) << name;
+    EXPECT_NE(z.kind, VerifyOutcome::Kind::Inconclusive) << name << ": " << z.detail;
+    EXPECT_NE(b.outcome.kind, VerifyOutcome::Kind::Inconclusive) << name << ": "
+                                                                 << b.outcome.detail;
+    if (z.kind == VerifyOutcome::Kind::Counterexample) {
+      expect_real_counterexample(*spec, proxy.program, z.counterexample, name + " [z3]");
+      expect_real_counterexample(*spec, proxy.program, b.outcome.counterexample,
+                                 name + " [bisim]");
+    }
+    EXPECT_EQ(b.reach.states_reachable(), b.reach.states_total()) << name;
+    EXPECT_EQ(b.reach.rules_reachable(), b.reach.rules_total()) << name;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+}
+
+/// Mutated zoo implementations: corrupting one TCAM entry of a correct
+/// proxy program must fail both checkers identically, each with a real
+/// counterexample.
+TEST(BisimDifferential, MutatedZooImplsAgreeOnCounterexamples) {
+  int negatives = 0;
+  for (const char* name : {"vlan", "icmp_zoo", "gre"}) {
+    auto spec = corpus::load_spec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    CompileResult proxy = baseline::compile_tofino_proxy(*spec, tofino());
+    ASSERT_TRUE(proxy.ok()) << name;
+    VerifyOptions vo;
+    vo.max_iterations_impl = std::max(48, proxy.program.max_iterations);
+    for (std::size_t e = 0; e < proxy.program.entries.size() && negatives < 6; ++e) {
+      TcamProgram bad = proxy.program;
+      bad.entries[e].next_state = bad.entries[e].next_state == kReject ? kAccept : kReject;
+      VerifyOutcome::Kind agreed =
+          expect_agree(*spec, bad, vo, std::string(name) + " entry " + std::to_string(e));
+      if (agreed == VerifyOutcome::Kind::Counterexample) ++negatives;
+    }
+  }
+  EXPECT_GE(negatives, 3) << "the mutation sweep produced too few negative cases";
+}
+
+/// The ≥200-program random sweep: seeded random specs through the proxy
+/// compiler, verified by both checkers — plus a mutated-impl negative for
+/// every other seed.
+TEST(BisimDifferential, RandomSpecSweepOf200Agrees) {
+  int programs = 0;
+  for (std::uint64_t seed = 1; seed <= 220; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    ParserSpec spec = random_spec(rng);
+    CompileResult proxy = baseline::compile_tofino_proxy(spec, tofino());
+    if (!proxy.ok()) continue;  // wide-key rejections etc. are not this gate
+    VerifyOptions vo;
+    vo.max_iterations_impl = std::max(48, proxy.program.max_iterations);
+    expect_agree(spec, proxy.program, vo, "seed " + std::to_string(seed));
+    ++programs;
+    if (seed % 2 == 0 && !proxy.program.entries.empty()) {
+      TcamProgram bad = proxy.program;
+      std::size_t e = rng.range(0, static_cast<int>(bad.entries.size()) - 1);
+      bad.entries[e].next_state = bad.entries[e].next_state == kReject ? kAccept : kReject;
+      expect_agree(spec, bad, vo, "seed " + std::to_string(seed) + " mutated");
+      ++programs;
+    }
+    if (::testing::Test::HasFailure()) break;  // don't spray 200 identical failures
+  }
+  EXPECT_GE(programs, 200);
+}
+
+/// The exact-reachability satellite: pad a correct TCAM with rows that can
+/// never fire — one shadowed by complete higher-priority coverage, one in a
+/// state no transition targets — and the report must flag exactly those,
+/// while the verdict stays Equivalent (dead rows are semantically inert).
+TEST(BisimReach, PaddedTcamRowsFlaggedUnreachable) {
+  TcamProgram padded = table1_impl();
+  // Entries 1 (key 0) and 2 (key 1) cover state 1's whole 1-bit key: this
+  // lower-priority row is shadowed, its nomatch ∧ match guard unsat.
+  padded.entries.push_back(TcamEntry{0, 1, 2, 0, 0, {}, 0, kReject});
+  // A row in a state nothing transitions to: graph-unreachable.
+  padded.entries.push_back(TcamEntry{0, 9, 0, 0, 0, {}, 0, kAccept});
+
+  verify2::BisimResult r = verify2::check_bisimulation(spec2(), padded);
+  EXPECT_EQ(r.outcome.kind, VerifyOutcome::Kind::Equivalent) << r.outcome.detail;
+  EXPECT_TRUE(r.reach.exact);
+  EXPECT_EQ(r.reach.states_reachable(), r.reach.states_total());
+  EXPECT_EQ(r.reach.rules_reachable(), r.reach.rules_total());
+  EXPECT_EQ(r.reach.rows_reachable(), 3);
+  EXPECT_EQ(r.reach.rows_total(), 5);
+  EXPECT_EQ(r.reach.unreachable_rows(), (std::vector<int>{3, 4}));
+
+  // Both checkers still agree on the padded program.
+  EXPECT_EQ(verify_equivalence(spec2(), padded).kind, VerifyOutcome::Kind::Equivalent);
+}
+
+/// Seeded mutation fuzzing of the checker pair, test_fuzz_lang.cpp-style:
+/// random specs, random single-site corruptions drawn from a fixed op menu,
+/// and the agreement invariant must hold on every one.
+TEST(BisimFuzz, SeededMutationFuzzAgrees) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 0xc2b2ae3d27d4eb4full + 7);
+    ParserSpec spec = random_spec(rng);
+    CompileResult proxy = baseline::compile_tofino_proxy(spec, tofino());
+    if (!proxy.ok() || proxy.program.entries.empty()) continue;
+    TcamProgram bad = proxy.program;
+    std::size_t e = rng.range(0, static_cast<int>(bad.entries.size()) - 1);
+    switch (rng.range(0, 3)) {
+      case 0:
+        bad.entries[e].next_state = bad.entries[e].next_state == kReject ? kAccept : kReject;
+        break;
+      case 1: bad.entries[e].value ^= 1; break;
+      case 2: bad.entries[e].mask ^= 1; break;
+      default: bad.entries[e].extracts.clear(); break;
+    }
+    VerifyOptions vo;
+    vo.max_iterations_impl = std::max(48, proxy.program.max_iterations);
+    expect_agree(spec, bad, vo, "fuzz seed " + std::to_string(seed));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+/// Inconclusive is only legitimate when the product-configuration budget
+/// was genuinely exceeded — asserted through the verify.bisim.configs
+/// metric, which must exceed the budget on the Inconclusive run and the
+/// verdict counters must sum to the run count.
+TEST(BisimFuzz, InconclusiveOnlyWhenConfigBoundGenuinelyExceeded) {
+  obs::Metrics::get().reset();
+  obs::Metrics::get().enable();
+
+  verify2::BisimOptions tight;
+  tight.max_configs = 3;
+  verify2::BisimResult starved = verify2::check_bisimulation(spec2(), table1_impl(), tight);
+  EXPECT_EQ(starved.outcome.kind, VerifyOutcome::Kind::Inconclusive);
+  EXPECT_NE(starved.outcome.detail.find("bound exceeded"), std::string::npos)
+      << starved.outcome.detail;
+  EXPECT_GT(starved.stats.configs, tight.max_configs);
+
+  verify2::BisimResult full = verify2::check_bisimulation(spec2(), table1_impl());
+  EXPECT_EQ(full.outcome.kind, VerifyOutcome::Kind::Equivalent);
+
+  auto& m = obs::Metrics::get();
+  EXPECT_EQ(m.counter("verify.bisim.runs"), 2);
+  EXPECT_EQ(m.counter("verify.bisim.configs"), starved.stats.configs + full.stats.configs);
+  EXPECT_GT(m.counter("verify.bisim.configs"),
+            static_cast<std::int64_t>(tight.max_configs));
+  EXPECT_EQ(m.counter("verify.bisim.verdict.inconclusive"), 1);
+  EXPECT_EQ(m.counter("verify.bisim.verdict.equivalent"), 1);
+  EXPECT_EQ(m.counter("verify.bisim.verdict.equivalent") +
+                m.counter("verify.bisim.verdict.counterexample") +
+                m.counter("verify.bisim.verdict.inconclusive"),
+            m.counter("verify.bisim.runs"));
+
+  obs::Metrics::get().disable();
+  obs::Metrics::get().reset();
+}
+
+/// Race determinism (the acceptance bar): --verifier=race produces
+/// bit-identical compiled output to --verifier=z3 at any thread count.
+/// Named Race* so ci/run_tsan.sh can run this suite under TSan: with
+/// threads > 1 the two checkers genuinely run concurrently on the pool.
+TEST(RaceVerifier, BitIdenticalToZ3AtAnyThreadCount) {
+  auto spec = corpus::load_spec("vlan");
+  ASSERT_TRUE(spec.ok());
+
+  SynthOptions z3_opts;
+  z3_opts.timeout_sec = 120;
+  CompileResult golden = compile(*spec, tofino(), z3_opts);
+  ASSERT_TRUE(golden.ok()) << golden.reason;
+  EXPECT_EQ(golden.verifier, "z3");
+  EXPECT_FALSE(golden.reach_valid);
+  const std::string fingerprint = to_string(golden.program);
+
+  for (int threads : {1, 2, 4}) {
+    SynthOptions race_opts;
+    race_opts.timeout_sec = 120;
+    race_opts.verifier = VerifierKind::Race;
+    race_opts.num_threads = threads;
+    CompileResult raced = compile(*spec, tofino(), race_opts);
+    ASSERT_TRUE(raced.ok()) << "threads=" << threads << ": " << raced.reason;
+    EXPECT_EQ(to_string(raced.program), fingerprint) << "threads=" << threads;
+    EXPECT_TRUE(raced.stats.formally_verified) << "threads=" << threads;
+    EXPECT_TRUE(raced.reach_valid) << "threads=" << threads;
+    EXPECT_EQ(raced.reach.states_reachable(), raced.reach.states_total())
+        << "threads=" << threads;
+    EXPECT_EQ(raced.verifier.rfind("race:", 0), 0u) << raced.verifier;
+  }
+
+  // The standalone bisim verifier also reproduces the same program.
+  SynthOptions bisim_opts;
+  bisim_opts.timeout_sec = 120;
+  bisim_opts.verifier = VerifierKind::Bisim;
+  CompileResult bisimed = compile(*spec, tofino(), bisim_opts);
+  ASSERT_TRUE(bisimed.ok()) << bisimed.reason;
+  EXPECT_EQ(bisimed.verifier, "bisim");
+  EXPECT_EQ(to_string(bisimed.program), fingerprint);
+  EXPECT_TRUE(bisimed.stats.formally_verified);
+}
+
+/// The race metric invariants the CI trace gate enforces, checked at the
+/// source: every conclusive race credits exactly one winner, and every
+/// both-conclusive race is an agreement check that agreed.
+TEST(RaceVerifier, MetricInvariantsHold) {
+  obs::Metrics::get().reset();
+  obs::Metrics::get().enable();
+  for (const char* name : {"vlan", "icmp_zoo"}) {
+    auto spec = corpus::load_spec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    SynthOptions opts;
+    opts.timeout_sec = 120;
+    opts.verifier = VerifierKind::Race;
+    opts.num_threads = 4;
+    CompileResult r = compile(*spec, tofino(), opts);
+    ASSERT_TRUE(r.ok()) << name << ": " << r.reason;
+  }
+  auto& m = obs::Metrics::get();
+  EXPECT_GE(m.counter("verify.race.runs"), 2);
+  EXPECT_EQ(m.counter("verify.race.conclusive_verdicts"),
+            m.counter("verify.race.bisim_wins") + m.counter("verify.race.z3_wins"));
+  EXPECT_EQ(m.counter("verify.race.agreement_checks"), m.counter("verify.race.agreements"));
+  EXPECT_GE(m.counter("verify.race.agreement_checks"), 2);
+  EXPECT_EQ(m.counter("verify.bisim.runs"),
+            m.counter("verify.bisim.verdict.equivalent") +
+                m.counter("verify.bisim.verdict.counterexample") +
+                m.counter("verify.bisim.verdict.inconclusive"));
+  obs::Metrics::get().disable();
+  obs::Metrics::get().reset();
+}
+
+}  // namespace
+}  // namespace parserhawk
